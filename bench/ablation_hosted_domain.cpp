@@ -1,0 +1,86 @@
+//===- bench/ablation_hosted_domain.cpp - Hosted-domain ablation ----------===//
+//
+// Section 7: "it becomes a design tradeoff between time and precision of
+// the analysis" (Debray's complexity/precision tradeoff). This ablation
+// runs the Prolog-hosted analyzer with its coarse domain
+// (var/g/nv/any) and with the rich domain (types, lists, structs) and
+// compares their cost on the concrete WAM, next to the compiled analyzer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace awam;
+using namespace awam::bench;
+
+namespace {
+
+double timeHosted(const PreparedBenchmark &P, PrologDomain D,
+                  double MinTotalMs, uint64_t &Instr) {
+  std::string Source = reflectProgram(*P.Parsed, *P.Syms, "main") +
+                       std::string(prologAnalyzerSource(D));
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> Parsed = parseProgram(Source, Syms, Arena);
+  if (!Parsed)
+    return -1;
+  Result<CompiledProgram> Compiled = compileProgram(*Parsed, Syms);
+  if (!Compiled)
+    return -1;
+  Machine M(*Compiled);
+  Parser GoalParser("analyze_main(_)", Syms, Arena);
+  Result<const Term *> Goal = GoalParser.readTerm();
+  if (!Goal)
+    return -1;
+  int NumVars = GoalParser.lastTermNumVars();
+  double Ms = measureMs(
+      [&] {
+        TermArena SolArena;
+        std::vector<Solution> Sols;
+        (void)M.solve(*Goal, NumVars, SolArena, Sols, 1);
+      },
+      MinTotalMs);
+  Instr = M.stepsExecuted();
+  return Ms;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double MinTotalMs = argc > 1 ? std::atof(argv[1]) : 50.0;
+  std::printf("Ablation: domain precision vs analysis cost "
+              "(Prolog-hosted analyzer)\n\n");
+
+  TextTable T({"Benchmark", "coarse(ms)", "rich(ms)", "rich/coarse",
+               "coarse WAM instr", "rich WAM instr", "compiled rich(ms)"});
+
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    PreparedBenchmark P = prepare(B);
+    uint64_t CoarseInstr = 0, RichInstr = 0;
+    double CoarseMs =
+        timeHosted(P, PrologDomain::Coarse, MinTotalMs, CoarseInstr);
+    double RichMs =
+        timeHosted(P, PrologDomain::Rich, MinTotalMs, RichInstr);
+    double OursMs = measureMs(
+        [&] {
+          Analyzer A(*P.Compiled);
+          (void)A.analyze(B.EntrySpec);
+        },
+        MinTotalMs);
+    T.addRow({std::string(B.Name), formatDouble(CoarseMs, 3),
+              formatDouble(RichMs, 3),
+              CoarseMs > 0 ? formatDouble(RichMs / CoarseMs, 1) : "-",
+              std::to_string(CoarseInstr), std::to_string(RichInstr),
+              formatDouble(OursMs, 3)});
+  }
+  std::fputs(T.str().c_str(), stdout);
+  std::printf("\nPrecision costs: the rich domain multiplies the hosted "
+              "analyzer's work, while the\ncompiled analyzer delivers the "
+              "rich precision at a fraction of either cost —\nthe paper's "
+              "Section 7 point that \"more precise dataflow analysis can "
+              "be used if\nthe analyzer is more efficient\".\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- bench/fig2_fig3_wam_listing.cpp - Reproduces Figures 2 and 3 -------===//
+//
+// Figure 2: the WAM code for the head of  p(a, [f(V)|L]) :- ...
+// Figure 3: the same code reinterpreted over the abstract domain for the
+// calling pattern p(atom, glist), decomposed into the three s_unify steps
+// of Section 4.1 with their abstract substitutions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absdom/AbsOps.h"
+#include "compiler/Disasm.h"
+#include "compiler/ProgramCompiler.h"
+#include "wam/Store.h"
+
+#include <cstdio>
+
+using namespace awam;
+
+int main() {
+  SymbolTable Syms;
+  TermArena Arena;
+
+  // The paper's example clause (with a body so V and L are not void).
+  Result<CompiledProgram> P = compileSource(
+      "p(a, [f(V)|L]) :- q(V, L).\nq(_, _).", Syms, Arena);
+  if (!P) {
+    std::fprintf(stderr, "compile error: %s\n", P.diag().str().c_str());
+    return 1;
+  }
+  CodeModule &M = *P->Module;
+
+  std::printf("Figure 2: The WAM code instructions for the head of the "
+              "clause\n\n");
+  int32_t Pid = M.findPredicate(Syms.intern("p"), 2);
+  const ClauseInfo &C = M.predicate(Pid).Clauses[0];
+  std::fputs(
+      disassembleRange(M, C.Entry, C.Entry + C.NumInstr).c_str(), stdout);
+
+  std::printf("\nFigure 3: The WAM code reinterpreted, calling pattern "
+              "p(atom, glist)\n\n");
+
+  // Perform the three s_unify steps of Section 4.1 on abstract cells and
+  // show each result with its abstract substitution.
+  Store St;
+  int64_t AtomArg = St.push(Cell::abs(AbsKind::AtomT));
+  int64_t GElem = St.push(Cell::abs(AbsKind::Ground));
+  int64_t GList1 = St.push(Cell::abs(AbsKind::List, GElem));
+
+  auto show = [&](Cell C) { return St.show(C, Syms); };
+
+  // (1) get_const a, A1:  s_unify(atom, a) = a.
+  bool Ok1 = absUnify(St, Cell::ref(AtomArg), Cell::atom(Syms.intern("a")));
+  std::printf("  get_const  a, A1    %% (1) s_unify(atom, a) %s -> %s\n",
+              Ok1 ? "succeeds" : "fails",
+              show(Cell::ref(AtomArg)).c_str());
+
+  // (2.1) get_list A2: glist <- [g1 | glist2].
+  int64_t Head = St.pushVar();
+  int64_t Tail = St.pushVar();
+  int64_t Base = St.push(Cell::ref(Head));
+  St.push(Cell::ref(Tail));
+  int64_t Cons = St.push(Cell::lis(Base));
+  bool Ok21 = absUnify(St, Cell::ref(GList1), Cell::ref(Cons));
+  std::printf("  get_list   A2       %% (2.1) s_unify(glist, [.|.]) %s: "
+              "glist1 <- %s\n",
+              Ok21 ? "succeeds" : "fails", show(Cell::ref(GList1)).c_str());
+  std::printf("  unify_var  X3       %%       X3 <- %s   (the car)\n",
+              show(Cell::ref(Head)).c_str());
+  std::printf("  unify_var  L        %%       L  <- %s   (the cdr)\n",
+              show(Cell::ref(Tail)).c_str());
+
+  // (2.2) get_struct f/1, X3: g1 <- f(g2).
+  int64_t V = St.pushVar();
+  int64_t FunAddr = St.push(Cell::fun(Syms.intern("f"), 1));
+  St.push(Cell::ref(V));
+  int64_t FStruct = St.push(Cell::str(FunAddr));
+  bool Ok22 = absUnify(St, Cell::ref(Head), Cell::ref(FStruct));
+  std::printf("  get_struct f/1, X3  %% (2.2) s_unify(g, f(V)) %s: "
+              "g1 <- %s\n",
+              Ok22 ? "succeeds" : "fails", show(Cell::ref(Head)).c_str());
+  std::printf("  unify_var  V        %%       V  <- %s\n",
+              show(Cell::ref(V)).c_str());
+
+  std::printf("\nComposed abstract substitution: glist1/%s, L/%s, V/%s\n",
+              show(Cell::ref(GList1)).c_str(),
+              show(Cell::ref(Tail)).c_str(), show(Cell::ref(V)).c_str());
+  std::printf("(paper: glist1/[f(g2)|glist2], L/glist2, V/g2)\n");
+  return Ok1 && Ok21 && Ok22 ? 0 : 1;
+}

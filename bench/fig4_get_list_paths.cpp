@@ -1,0 +1,65 @@
+//===- bench/fig4_get_list_paths.cpp - Reproduces Figure 4 ----------------===//
+//
+// Figure 4 outlines the reinterpreted get_list instruction: concrete
+// values behave as in the standard WAM; abstract terms approximately
+// unifiable with './2 generate a [.|.] instance (ComplexTermInst) and
+// proceed in read mode; everything else fails.
+//
+// This bench drives the *actual* implementation through every input
+// class: it analyzes  p([H|T], H, T).  under one calling pattern per
+// abstract input and prints which path get_list took (visible in the
+// success pattern or the failure).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace awam;
+
+int main() {
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P =
+      compileSource("p([H|T], H, T).", Syms, Arena);
+  if (!P) {
+    std::fprintf(stderr, "compile error: %s\n", P.diag().str().c_str());
+    return 1;
+  }
+
+  std::printf("Figure 4: the reinterpreted get_list instruction, decision "
+              "per input class\n\n");
+  TextTable T({"input A1", "paper's branch", "result p(A1, Car, Cdr)"});
+
+  struct Case {
+    const char *Spec;
+    const char *Branch;
+  } Cases[] = {
+      {"p(var, var, var)", "concrete write mode (bind to [.|.])"},
+      {"p(any, var, var)", "ComplexTermInst: any <- [any|any]"},
+      {"p(nv, var, var)", "ComplexTermInst: nv <- [any|any]"},
+      {"p(g, var, var)", "ComplexTermInst: g <- [g|g]"},
+      {"p(glist, var, var)", "ComplexTermInst: glist <- [g|glist]"},
+      {"p(anylist, var, var)", "ComplexTermInst: list <- [any|anylist]"},
+      {"p(atom, var, var)", "fail (no [.|.] instance of atom)"},
+      {"p(int, var, var)", "fail (no [.|.] instance of integer)"},
+      {"p(const, var, var)", "fail (no [.|.] instance of const)"},
+  };
+
+  for (const Case &C : Cases) {
+    Analyzer A(*P);
+    Result<AnalysisResult> R = A.analyze(C.Spec);
+    std::string Out = "(error)";
+    if (R) {
+      Out = "(fails)";
+      for (const AnalysisResult::Item &I : R->Items)
+        if (I.PredLabel == "p/3" && I.Success)
+          Out = I.Success->str(Syms);
+    }
+    T.addRow({C.Spec, C.Branch, Out});
+  }
+  std::fputs(T.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,172 @@
+//===- bench/micro_ops.cpp - Microbenchmarks (google-benchmark) -----------===//
+//
+// Ablation A3: microbenchmarks of the primitive operations the analysis
+// is built from: concrete unification, abstract meets, pattern
+// canonicalization / instantiation / lub, extension-table lookup, whole
+// compilation, and end-to-end concrete execution vs abstract analysis of
+// nreverse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absdom/AbsOps.h"
+#include "analyzer/Analyzer.h"
+#include "baseline/MetaAnalyzer.h"
+#include "programs/Benchmarks.h"
+#include "wam/Machine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace awam;
+
+namespace {
+
+/// Builds [0, 1, ..., N-1] on the heap.
+int64_t buildIntList(Store &St, int N) {
+  int64_t Tail = St.push(Cell::atom(SymbolTable::SymNil));
+  for (int I = N - 1; I >= 0; --I) {
+    int64_t Base = St.push(Cell::integer(I));
+    St.push(Cell::ref(Tail));
+    Tail = St.push(Cell::lis(Base));
+  }
+  return Tail;
+}
+
+void BM_AbsMeetKinds(benchmark::State &State) {
+  Store St;
+  for (auto _ : State) {
+    int64_t Mark = St.trailMark();
+    int64_t H = St.heapTop();
+    int64_t A = St.push(Cell::abs(AbsKind::Any));
+    int64_t B = St.push(Cell::abs(AbsKind::Ground));
+    benchmark::DoNotOptimize(absUnify(St, Cell::ref(A), Cell::ref(B)));
+    St.unwind(Mark);
+    St.truncate(H);
+  }
+}
+BENCHMARK(BM_AbsMeetKinds);
+
+void BM_AbsUnifyGroundList(benchmark::State &State) {
+  Store St;
+  int64_t List = buildIntList(St, 30);
+  for (auto _ : State) {
+    int64_t Mark = St.trailMark();
+    int64_t H = St.heapTop();
+    int64_t Elem = St.push(Cell::abs(AbsKind::Ground));
+    int64_t GL = St.push(Cell::abs(AbsKind::List, Elem));
+    benchmark::DoNotOptimize(
+        absUnify(St, Cell::ref(GL), Cell::ref(List)));
+    St.unwind(Mark);
+    St.truncate(H);
+  }
+}
+BENCHMARK(BM_AbsUnifyGroundList);
+
+void BM_Canonicalize(benchmark::State &State) {
+  Store St;
+  int64_t List = buildIntList(St, 30);
+  std::vector<Cell> Args = {Cell::ref(List), Cell::ref(St.pushVar())};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(canonicalize(St, Args));
+}
+BENCHMARK(BM_Canonicalize);
+
+void BM_InstantiatePattern(benchmark::State &State) {
+  Store St;
+  int64_t List = buildIntList(St, 30);
+  std::vector<Cell> Args = {Cell::ref(List), Cell::ref(St.pushVar())};
+  Pattern P = canonicalize(St, Args);
+  Store Scratch;
+  for (auto _ : State) {
+    Scratch.reset();
+    benchmark::DoNotOptimize(instantiate(Scratch, P));
+  }
+}
+BENCHMARK(BM_InstantiatePattern);
+
+void BM_LubPatterns(benchmark::State &State) {
+  Store St;
+  SymbolTable Syms;
+  int64_t List = buildIntList(St, 8);
+  int64_t Elem = St.push(Cell::abs(AbsKind::AtomT));
+  int64_t AL = St.push(Cell::abs(AbsKind::List, Elem));
+  Pattern A = canonicalize(St, {Cell::ref(List)});
+  Pattern B = canonicalize(St, {Cell::ref(AL)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(lubPatterns(A, B));
+}
+BENCHMARK(BM_LubPatterns);
+
+void BM_ETLookup(benchmark::State &State) {
+  auto Impl = static_cast<ExtensionTable::Impl>(State.range(0));
+  ExtensionTable Table(Impl);
+  Store St;
+  // Populate with 64 distinct patterns.
+  std::vector<Pattern> Pats;
+  for (int I = 0; I != 64; ++I) {
+    int64_t L = buildIntList(St, I % 5);
+    Pattern P = canonicalize(St, {Cell::ref(L), Cell::ref(St.pushVar())});
+    bool Created = false;
+    Table.findOrCreate(I % 8, P, Created);
+    Pats.push_back(std::move(P));
+  }
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        Table.find(static_cast<int32_t>(I % 8), Pats[I % Pats.size()]));
+    ++I;
+  }
+}
+BENCHMARK(BM_ETLookup)
+    ->Arg(static_cast<int>(ExtensionTable::Impl::LinearList))
+    ->Arg(static_cast<int>(ExtensionTable::Impl::HashMap));
+
+void BM_CompileQsort(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("qsort");
+  for (auto _ : State) {
+    SymbolTable Syms;
+    TermArena Arena;
+    benchmark::DoNotOptimize(compileSource(B->Source, Syms, Arena));
+  }
+}
+BENCHMARK(BM_CompileQsort);
+
+void BM_ConcreteNreverse(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("nreverse");
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P = compileSource(B->Source, Syms, Arena);
+  Machine M(*P);
+  Parser GoalParser("main", Syms, Arena);
+  Result<const Term *> Goal = GoalParser.readTerm();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.proves(*Goal, 0));
+}
+BENCHMARK(BM_ConcreteNreverse);
+
+void BM_AnalyzeNreverse(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("nreverse");
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P = compileSource(B->Source, Syms, Arena);
+  for (auto _ : State) {
+    Analyzer A(*P);
+    benchmark::DoNotOptimize(A.analyze("main"));
+  }
+}
+BENCHMARK(BM_AnalyzeNreverse);
+
+void BM_MetaAnalyzeNreverse(benchmark::State &State) {
+  const BenchmarkProgram *B = findBenchmark("nreverse");
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> P = parseProgram(B->Source, Syms, Arena);
+  for (auto _ : State) {
+    MetaAnalyzer A(*P, Syms);
+    benchmark::DoNotOptimize(A.analyze("main"));
+  }
+}
+BENCHMARK(BM_MetaAnalyzeNreverse);
+
+} // namespace
+
+BENCHMARK_MAIN();

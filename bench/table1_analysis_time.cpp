@@ -1,0 +1,80 @@
+//===- bench/table1_analysis_time.cpp - Reproduces Table 1 ----------------===//
+//
+// Regenerates the paper's Table 1 ("The Efficiency of Dataflow
+// Analyzers"): for every benchmark, the baseline analysis time, our
+// compile time, static WAM code size, abstract instructions executed, the
+// compiled analyzer's time, and the speed-up factor, next to the paper's
+// reported values.
+//
+// Baselines (see DESIGN.md, substitution 1):
+//  * "Hosted"  — a mode analyzer written in Prolog executing on this
+//    project's concrete WAM: the faithful stand-in for the Prolog-hosted
+//    Aquarius analyzer the paper compares against. Speed-Up is measured
+//    against this column, like the paper's.
+//  * "MetaC++" — the same rich analysis as ours but meta-interpreted in
+//    C++: an *equal-host* ablation isolating the pure benefit of
+//    compiling abstract unification (a comparison the paper could not
+//    run; expect a much smaller factor).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace awam;
+using namespace awam::bench;
+
+int main(int argc, char **argv) {
+  double MinTotalMs = argc > 1 ? std::atof(argv[1]) : 200.0;
+
+  std::printf("Table 1: The Efficiency of Dataflow Analyzers "
+              "(reproduction)\n");
+  std::printf(
+      "Hosted = Prolog-written analyzer on our WAM (Aquarius stand-in; "
+      "simpler domain, as\nAquarius's was); MetaC++ = equal-host "
+      "meta-interpreter ablation. Speed-Up = Hosted/Ours.\n\n");
+
+  TextTable T({"Benchmark", "Args", "Preds", "Hosted(ms)", "MetaC++(ms)",
+               "Compile(ms)", "Size", "Exec", "Ours(ms)", "Speed-Up",
+               "EqHost-SU", "PaperSize", "PaperExec", "PaperSU"});
+
+  double SpeedUpSum = 0, EqSum = 0, PaperSpeedUpSum = 0;
+  int N = 0;
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    PreparedBenchmark P = prepare(B);
+    Table1Row Row = measureBenchmark(P, {}, MinTotalMs);
+    const PaperTable1Ref *Ref = paperRow(B.Name);
+    T.addRow({Row.Name, std::to_string(Row.Args), std::to_string(Row.Preds),
+              formatDouble(Row.HostedMs, 3),
+              formatDouble(Row.BaselineMs, 3),
+              formatDouble(Row.CompileMs, 3), std::to_string(Row.CodeSize),
+              std::to_string(Row.Exec), formatDouble(Row.OursMs, 3),
+              formatDouble(Row.SpeedUp, 1),
+              formatDouble(Row.EqualHostSpeedUp, 2),
+              Ref ? std::to_string(Ref->Size) : "-",
+              Ref ? std::to_string(Ref->Exec) : "-",
+              Ref ? std::to_string(Ref->SpeedUp) : "-"});
+    SpeedUpSum += Row.SpeedUp;
+    EqSum += Row.EqualHostSpeedUp;
+    if (Ref)
+      PaperSpeedUpSum += Ref->SpeedUp;
+    ++N;
+  }
+  T.addSeparator();
+  T.addRow({"average", "", "", "", "", "", "", "", "",
+            formatDouble(SpeedUpSum / N, 1), formatDouble(EqSum / N, 2), "",
+            "", formatDouble(PaperSpeedUpSum / N, 0)});
+  std::fputs(T.str().c_str(), stdout);
+
+  std::printf(
+      "\nNotes: Args/Preds are argument places and predicate count of the "
+      "source program;\nSize is static WAM instructions; Exec is abstract "
+      "WAM instructions executed over\nall fixpoint iterations. Paper "
+      "columns are from Tan & Lin 1992, Table 1. The\nhosted baseline "
+      "analyzes a simpler domain than ours (as Aquarius did), which "
+      "is\npart of why speed-up factors fluctuate — the paper makes the "
+      "same observation.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+//===- examples/analyze_file.cpp - Command-line dataflow analyzer ---------===//
+//
+// The full analyzer as a tool:
+//
+//   analyze_file (<file.pl> | bench:<name>) [options]
+//
+//   --entry SPEC   entry goal, e.g. "main" or "qsort(glist, var, var)"
+//                  (default: main)
+//   --depth K      term-depth restriction (default 4)
+//   --wam          print the compiled WAM code
+//   --modes        print the mode report (default prints patterns)
+//   --baseline     use the meta-interpreting analyzer instead
+//   --trace        print the extension-table control trace
+//   --dead         report predicates unreachable from the entry goal
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/AbstractMachine.h"
+#include "analyzer/Analyzer.h"
+#include "baseline/MetaAnalyzer.h"
+#include "compiler/Disasm.h"
+#include "programs/Benchmarks.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace awam;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: analyze_file (<file.pl> | bench:<name>) [--entry SPEC] "
+      "[--depth K]\n                    [--wam] [--modes] [--baseline] "
+      "[--trace]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  std::string Input = argv[1];
+  std::string Entry = "main";
+  int Depth = kDefaultDepthLimit;
+  bool ShowWam = false, ShowModes = false, UseBaseline = false,
+       Trace = false, ShowDead = false;
+  for (int I = 2; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    if (Arg == "--entry" && I + 1 < argc)
+      Entry = argv[++I];
+    else if (Arg == "--depth" && I + 1 < argc)
+      Depth = std::atoi(argv[++I]);
+    else if (Arg == "--wam")
+      ShowWam = true;
+    else if (Arg == "--modes")
+      ShowModes = true;
+    else if (Arg == "--baseline")
+      UseBaseline = true;
+    else if (Arg == "--trace")
+      Trace = true;
+    else if (Arg == "--dead")
+      ShowDead = true;
+    else
+      return usage();
+  }
+
+  std::string Source;
+  if (Input.starts_with("bench:")) {
+    const BenchmarkProgram *B = findBenchmark(Input.substr(6));
+    if (!B) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", Input.c_str() + 6);
+      return 1;
+    }
+    Source = B->Source;
+  } else {
+    std::ifstream In(Input);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", Input.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> Parsed = parseProgram(Source, Syms, Arena);
+  if (!Parsed) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.diag().str().c_str());
+    return 1;
+  }
+  Result<CompiledProgram> Compiled = compileProgram(*Parsed, Syms);
+  if (!Compiled) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 Compiled.diag().str().c_str());
+    return 1;
+  }
+  for (int32_t Pid : Compiled->UndefinedPredicates)
+    std::fprintf(stderr, "warning: %s is called but not defined\n",
+                 Compiled->Module->predicateLabel(Pid).c_str());
+
+  if (ShowWam)
+    std::fputs(disassembleModule(*Compiled->Module).c_str(), stdout);
+
+  AnalyzerOptions Options;
+  Options.DepthLimit = Depth;
+
+  Result<AnalysisResult> R = makeError("unreachable");
+  if (UseBaseline) {
+    MetaAnalyzer B(*Parsed, Syms, Options);
+    R = B.analyze(Entry);
+  } else if (Trace) {
+    Result<std::pair<std::string, Pattern>> Spec = parseEntrySpec(Entry);
+    if (!Spec) {
+      std::fprintf(stderr, "%s\n", Spec.diag().str().c_str());
+      return 1;
+    }
+    Symbol S = Syms.lookup(Spec->first);
+    int32_t Pid =
+        S == ~0u ? -1
+                 : Compiled->Module->findPredicate(
+                       S, static_cast<int>(Spec->second.Roots.size()));
+    if (Pid < 0) {
+      std::fprintf(stderr, "entry %s is not defined\n", Entry.c_str());
+      return 1;
+    }
+    std::vector<std::string> Lines;
+    ExtensionTable Table;
+    AbsMachineOptions MachineOptions;
+    MachineOptions.DepthLimit = Depth;
+    MachineOptions.TraceLog = &Lines;
+    AbstractMachine Machine(*Compiled, Table, MachineOptions);
+    while (Machine.runIteration(Pid, Spec->second) ==
+               AbsRunStatus::Completed &&
+           Machine.changedSinceLastRun())
+      Lines.push_back("---- next iteration ----");
+    for (const std::string &L : Lines)
+      std::printf("%s\n", L.c_str());
+    AnalysisResult Out;
+    for (const ETEntry &E : Table.entries())
+      Out.Items.push_back({E.PredId,
+                           Compiled->Module->predicateLabel(E.PredId),
+                           E.Call, E.Success});
+    R = std::move(Out);
+  } else {
+    Analyzer A(*Compiled, Options);
+    R = A.analyze(Entry);
+  }
+  if (!R) {
+    std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());
+    return 1;
+  }
+  std::fputs((ShowModes ? formatModes(*R, Syms) : formatAnalysis(*R, Syms))
+                 .c_str(),
+             stdout);
+  if (ShowDead && !UseBaseline)
+    std::fputs(formatReachability(*R, *Compiled).c_str(), stdout);
+  return 0;
+}

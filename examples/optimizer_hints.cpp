@@ -1,0 +1,150 @@
+//===- examples/optimizer_hints.cpp - Using the analysis downstream -------===//
+//
+// The paper's motivation (Section 1): mode/type/aliasing information
+// enables "substantial optimizations" — removal of dereferencing and
+// trailing [Taylor 89], clause-selection specialization, first-argument
+// indexing improvements, and And-Parallelism.
+//
+// This example closes that loop: it analyzes a program and walks the
+// compiled code of every predicate, annotating each head instruction with
+// the specialization the inferred calling pattern licenses:
+//
+//   * argument always nonvar  -> get_* can drop its write-mode branch
+//   * argument always ground  -> unification below it needs no trailing
+//                                and no dereferencing past the first cell
+//   * argument always free    -> get_* can drop its read-mode branch
+//                                (pure construction)
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "compiler/Disasm.h"
+#include "programs/Benchmarks.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace awam;
+
+namespace {
+
+/// What the calling pattern guarantees about one argument register.
+struct ArgFacts {
+  bool AlwaysNonvar = true;
+  bool AlwaysGround = true;
+  bool AlwaysFree = true;
+};
+
+bool nodeGround(const Pattern &P, int32_t Id, int Fuel = 64) {
+  if (Fuel <= 0)
+    return false;
+  const PatNode &N = P.Nodes[Id];
+  switch (N.K) {
+  case PatKind::GroundP:
+  case PatKind::ConstP:
+  case PatKind::AtomTP:
+  case PatKind::IntTP:
+  case PatKind::ConP:
+  case PatKind::IntP:
+    return true;
+  case PatKind::ListP:
+  case PatKind::ConsP:
+  case PatKind::StrP:
+    for (int32_t C : N.Children)
+      if (!nodeGround(P, C, Fuel - 1))
+        return false;
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BenchName = argc > 1 ? argv[1] : "qsort";
+  const BenchmarkProgram *B = findBenchmark(BenchName);
+  if (!B) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", BenchName.c_str());
+    return 1;
+  }
+
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> Program = compileSource(B->Source, Syms, Arena);
+  if (!Program) {
+    std::fprintf(stderr, "error: %s\n", Program.diag().str().c_str());
+    return 1;
+  }
+  CodeModule &M = *Program->Module;
+
+  Analyzer A(*Program);
+  Result<AnalysisResult> R = A.analyze(B->EntrySpec);
+  if (!R) {
+    std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());
+    return 1;
+  }
+
+  // Join the facts over every calling pattern of each predicate.
+  std::map<int32_t, std::vector<ArgFacts>> Facts;
+  for (const AnalysisResult::Item &I : R->Items) {
+    auto [It, New] = Facts.try_emplace(
+        I.PredId, std::vector<ArgFacts>(I.Call.Roots.size()));
+    for (size_t Arg = 0; Arg != I.Call.Roots.size(); ++Arg) {
+      ArgFacts &F = It->second[Arg];
+      const PatNode &N = I.Call.Nodes[I.Call.Roots[Arg]];
+      if (N.K == PatKind::VarP || N.K == PatKind::AnyP)
+        F.AlwaysNonvar = false;
+      if (!nodeGround(I.Call, I.Call.Roots[Arg]))
+        F.AlwaysGround = false;
+      if (N.K != PatKind::VarP)
+        F.AlwaysFree = false;
+    }
+    (void)New;
+  }
+
+  std::printf("Specialization hints for '%s' (entry %s)\n\n",
+              BenchName.c_str(), std::string(B->EntrySpec).c_str());
+  for (auto &[Pid, ArgList] : Facts) {
+    std::printf("%s:\n", M.predicateLabel(Pid).c_str());
+    for (size_t Arg = 0; Arg != ArgList.size(); ++Arg) {
+      const ArgFacts &F = ArgList[Arg];
+      std::string Hints;
+      if (F.AlwaysGround)
+        Hints += " drop-trailing drop-deep-deref";
+      if (F.AlwaysNonvar)
+        Hints += " drop-write-mode";
+      if (F.AlwaysFree)
+        Hints += " drop-read-mode construct-only";
+      if (Hints.empty())
+        Hints = " (general unification required)";
+      std::printf("  A%zu:%s\n", Arg + 1, Hints.c_str());
+    }
+    // Annotate the head instructions of each clause.
+    const PredicateInfo &Pred = M.predicate(Pid);
+    for (const ClauseInfo &C : Pred.Clauses) {
+      for (int32_t PC = C.Entry; PC != C.Entry + C.NumInstr; ++PC) {
+        const Instruction &I = M.at(PC);
+        int ArgReg = -1;
+        if (I.Op == Opcode::GetConst || I.Op == Opcode::GetStructure ||
+            I.Op == Opcode::GetVariableX || I.Op == Opcode::GetVariableY)
+          ArgReg = I.B;
+        else if (I.Op == Opcode::GetList)
+          ArgReg = I.A;
+        else
+          continue;
+        if (ArgReg < 0 || ArgReg >= static_cast<int>(ArgList.size()))
+          continue;
+        const ArgFacts &F = ArgList[ArgReg];
+        if (!F.AlwaysNonvar && !F.AlwaysGround && !F.AlwaysFree)
+          continue;
+        std::printf("    @%d %-40s %% %s\n", PC,
+                    disassembleInstruction(M, I).c_str(),
+                    F.AlwaysGround  ? "read-mode only, no trail"
+                    : F.AlwaysNonvar ? "read-mode only"
+                                     : "write-mode only");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+//===- absdom/AbsBuiltins.cpp ---------------------------------------------===//
+
+#include "absdom/AbsBuiltins.h"
+
+#include "absdom/AbsOps.h"
+
+using namespace awam;
+
+bool awam::applyAbsBuiltin(Store &St, BuiltinId Id,
+                           std::span<const Cell> Args) {
+    auto meetFresh = [&](Cell C, AbsKind K) {
+    return absUnify(St, C, Cell::ref(St.push(Cell::abs(K))));
+  };
+  switch (Id) {
+  case BuiltinId::Is:
+    // Success implies: the expression evaluated (it was ground) and the
+    // result is an integer.
+    return meetFresh(Args[1], AbsKind::Ground) && meetFresh(Args[0], AbsKind::IntT);
+  case BuiltinId::ArithLt:
+  case BuiltinId::ArithGt:
+  case BuiltinId::ArithLe:
+  case BuiltinId::ArithGe:
+  case BuiltinId::ArithEq:
+  case BuiltinId::ArithNe:
+    return meetFresh(Args[0], AbsKind::Ground) &&
+           meetFresh(Args[1], AbsKind::Ground);
+  case BuiltinId::Unify:
+    return absUnify(St, Args[0], Args[1]);
+  case BuiltinId::NotUnify: {
+    // Success leaves no bindings. Fail only when the arguments are
+    // certainly identical.
+    DerefResult DA = St.deref(Args[0]);
+    DerefResult DB = St.deref(Args[1]);
+    if (DA.Addr != kNoAddr && DA.Addr == DB.Addr)
+      return false;
+    if ((DA.C.T == Tag::Con || DA.C.T == Tag::Int) && DA.C == DB.C)
+      return false;
+    return true;
+  }
+  case BuiltinId::StructEq:
+    // Success implies the arguments are the identical term.
+    return absUnify(St, Args[0], Args[1]);
+  case BuiltinId::StructNe:
+  case BuiltinId::TermLt:
+  case BuiltinId::TermGt:
+  case BuiltinId::TermLe:
+  case BuiltinId::TermGe:
+    return true;
+  case BuiltinId::VarP: {
+    DerefResult D = St.deref(Args[0]);
+    if (D.C.T == Tag::Ref)
+      return true;
+    if (D.C.isAbs() && D.C.absKind() == AbsKind::Any) {
+      // any /\ var = var.
+      St.bind(D.Addr, Cell::ref(St.pushVar()));
+      return true;
+    }
+    return false;
+  }
+  case BuiltinId::NonvarP: {
+    DerefResult D = St.deref(Args[0]);
+    if (D.C.T == Tag::Ref)
+      return false;
+    if (D.C.isAbs() && D.C.absKind() == AbsKind::Any)
+      return meetFresh(Args[0], AbsKind::NV);
+    return true;
+  }
+  case BuiltinId::AtomP:
+    if (isVarCell(St, Args[0]))
+      return false;
+    return meetFresh(Args[0], AbsKind::AtomT);
+  case BuiltinId::IntegerP:
+  case BuiltinId::NumberP:
+    if (isVarCell(St, Args[0]))
+      return false;
+    return meetFresh(Args[0], AbsKind::IntT);
+  case BuiltinId::AtomicP:
+    if (isVarCell(St, Args[0]))
+      return false;
+    return meetFresh(Args[0], AbsKind::Const);
+  case BuiltinId::CompoundP: {
+    DerefResult D = St.deref(Args[0]);
+    switch (D.C.T) {
+    case Tag::Lis:
+    case Tag::Str:
+      return true;
+    case Tag::Abs:
+      switch (D.C.absKind()) {
+      case AbsKind::Any:
+      case AbsKind::NV:
+      case AbsKind::Ground:
+      case AbsKind::List:
+        return true; // may be compound; no narrowing representable
+      default:
+        return false;
+      }
+    default:
+      return false;
+    }
+  }
+  case BuiltinId::Functor: {
+    DerefResult D = St.deref(Args[0]);
+    switch (D.C.T) {
+    case Tag::Con:
+    case Tag::Int:
+      return absUnify(St, Args[1], D.C) &&
+             absUnify(St, Args[2], Cell::integer(0));
+    case Tag::Lis:
+      return absUnify(St, Args[1], Cell::atom(SymbolTable::SymDot)) &&
+             absUnify(St, Args[2], Cell::integer(2));
+    case Tag::Str: {
+      const Cell F = St.at(D.C.V);
+      return absUnify(St, Args[1], Cell::atom(static_cast<Symbol>(F.V))) &&
+             absUnify(St, Args[2], Cell::integer(F.funArity()));
+    }
+    default:
+      // Unknown or under-construction: name is a constant, arity an
+      // integer, and on success the term is nonvar.
+      return meetFresh(Args[0], AbsKind::NV) &&
+             meetFresh(Args[1], AbsKind::Const) &&
+             meetFresh(Args[2], AbsKind::IntT);
+    }
+  }
+  case BuiltinId::Arg: {
+    if (!meetFresh(Args[0], AbsKind::IntT))
+      return false;
+    DerefResult DT = St.deref(Args[1]);
+    if (DT.C.T == Tag::Ref)
+      return false; // arg/3 on a variable fails/errors concretely
+    DerefResult DN = St.deref(Args[0]);
+    if (DN.C.T == Tag::Int && DT.C.T == Tag::Str) {
+      const Cell F = St.at(DT.C.V);
+      if (DN.C.V < 1 || DN.C.V > F.funArity())
+        return false;
+      return absUnify(St, Args[2], Cell::ref(DT.C.V + DN.C.V));
+    }
+    if (DN.C.T == Tag::Int && DT.C.T == Tag::Lis) {
+      if (DN.C.V < 1 || DN.C.V > 2)
+        return false;
+      return absUnify(St, Args[2], Cell::ref(DT.C.V + DN.C.V - 1));
+    }
+    if (isGroundCell(St, DT.C))
+      return meetFresh(Args[2], AbsKind::Ground);
+    return true;
+  }
+  case BuiltinId::Univ: {
+    DerefResult D = St.deref(Args[0]);
+    bool G = D.C.T != Tag::Ref && isGroundCell(St, D.C);
+    // X0 =.. X1: X0 is nonvar on success, X1 a list (of ground parts when
+    // X0 is ground).
+    int64_t Elem = St.push(Cell::abs(G ? AbsKind::Ground : AbsKind::Any));
+    int64_t L = St.push(Cell::abs(AbsKind::List, Elem));
+    return meetFresh(Args[0], AbsKind::NV) &&
+           absUnify(St, Args[1], Cell::ref(L));
+  }
+  case BuiltinId::Write:
+  case BuiltinId::Nl:
+    return true;
+  case BuiltinId::Tab:
+    return meetFresh(Args[0], AbsKind::Ground);
+  case BuiltinId::HaltB:
+    // Treated as success during analysis (documented approximation).
+    return true;
+  case BuiltinId::NumBuiltins:
+    break;
+  }
+  assert(false && "unknown builtin id");
+  return true;
+}

@@ -1,0 +1,35 @@
+//===- absdom/AbsBuiltins.h - Abstract builtin semantics --------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract (success-approximating) semantics of the builtin predicates,
+/// shared by the compiled abstract machine and the baseline
+/// meta-interpreting analyzer so both implement the *same* analysis.
+///
+/// Each builtin models the effect of a successful call: e.g. `X is E`
+/// narrows E to ground and X to integer; type tests narrow their argument
+/// to the tested type or fail when the meet is empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ABSDOM_ABSBUILTINS_H
+#define AWAM_ABSDOM_ABSBUILTINS_H
+
+#include "compiler/Builtins.h"
+#include "wam/Store.h"
+
+#include <span>
+
+namespace awam {
+
+/// Applies the abstract semantics of builtin \p Id to \p Args (argument
+/// cells in \p St). Returns false if the builtin certainly fails; bindings
+/// are trailed in \p St.
+bool applyAbsBuiltin(Store &St, BuiltinId Id, std::span<const Cell> Args);
+
+} // namespace awam
+
+#endif // AWAM_ABSDOM_ABSBUILTINS_H

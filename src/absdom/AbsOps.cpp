@@ -1,0 +1,657 @@
+//===- absdom/AbsOps.cpp - Abstract domain operations ---------------------===//
+
+#include "absdom/AbsOps.h"
+
+#include <set>
+
+using namespace awam;
+
+namespace {
+
+/// Binds the (unbound or abstract) cell at \p Addr so it denotes the same
+/// value as \p Target. Abstract targets are referenced by address so that
+/// later refinement of the target is seen through this cell (aliasing);
+/// immutable values are stored directly.
+void bindTo(Store &St, int64_t Addr, const DerefResult &Target) {
+  if (Target.C.isAbs()) {
+    assert(Target.Addr != kNoAddr && "abstract cell without address");
+    St.bind(Addr, Cell::ref(Target.Addr));
+    return;
+  }
+  St.bind(Addr, Target.C);
+}
+
+/// Pushes a fresh abstract cell of simple kind \p K.
+int64_t freshAbs(Store &St, AbsKind K) { return St.push(Cell::abs(K)); }
+
+/// Meet of two abstract *kinds* on the simple chain
+/// atom/int < const < ground < nv < any. Returns false for empty meet.
+/// List kinds are handled by the callers.
+bool meetSimpleKind(AbsKind A, AbsKind B, AbsKind &Out) {
+  auto Level = [](AbsKind K) {
+    switch (K) {
+    case AbsKind::AtomT:
+    case AbsKind::IntT: return 0;
+    case AbsKind::Const: return 1;
+    case AbsKind::Ground: return 2;
+    case AbsKind::NV: return 3;
+    case AbsKind::Any: return 4;
+    default: return -1;
+    }
+  };
+  int LA = Level(A), LB = Level(B);
+  assert(LA >= 0 && LB >= 0 && "list kind reached meetSimpleKind");
+  if (LA == 0 && LB == 0) {
+    if (A != B)
+      return false; // atom /\ integer = empty
+    Out = A;
+    return true;
+  }
+  Out = LA < LB ? A : B;
+  return true;
+}
+
+bool absMeet(Store &St, DerefResult DA, DerefResult DB);
+
+/// Compound-node pairs currently being unified; revisiting a pair means a
+/// cyclic (rational) term, which unifies coinductively. Thread-unsafe by
+/// design (machines are single-threaded); depth of live absUnify
+/// recursions is reflected by pushes/pops below.
+thread_local std::vector<std::pair<int64_t, int64_t>> UnifyInProgress;
+
+struct UnifyPairScope {
+  bool Cycle;
+  UnifyPairScope(int64_t A, int64_t B) {
+    for (auto [X, Y] : UnifyInProgress)
+      if ((X == A && Y == B) || (X == B && Y == A)) {
+        Cycle = true;
+        return;
+      }
+    Cycle = false;
+    UnifyInProgress.emplace_back(A, B);
+  }
+  ~UnifyPairScope() {
+    if (!Cycle)
+      UnifyInProgress.pop_back();
+  }
+};
+
+/// Overwrites (with trailing) every free variable reachable from \p C with
+/// `any`. Used when a term unifies with an unknown non-variable value
+/// (s_unify(any, f(X, Y)) = f(any, any) with {X/any, Y/any} — the paper's
+/// Section 4.1 example): the variables are bound to unknown subterms.
+void bindFreeVarsToAny(Store &St, Cell C, int Fuel = 64) {
+  if (Fuel <= 0)
+    return;
+  DerefResult D = St.deref(C);
+  switch (D.C.T) {
+  case Tag::Ref:
+    St.bind(D.Addr, Cell::abs(AbsKind::Any));
+    return;
+  case Tag::Lis:
+    bindFreeVarsToAny(St, Cell::ref(D.C.V), Fuel - 1);
+    bindFreeVarsToAny(St, Cell::ref(D.C.V + 1), Fuel - 1);
+    return;
+  case Tag::Str: {
+    const Cell F = St.at(D.C.V);
+    for (int I = 1; I <= F.funArity(); ++I)
+      bindFreeVarsToAny(St, Cell::ref(D.C.V + I), Fuel - 1);
+    return;
+  }
+  default:
+    return; // constants and abstract cells contain no free variables
+  }
+}
+
+} // namespace
+
+bool awam::absUnify(Store &St, Cell A, Cell B) {
+  DerefResult DA = St.deref(A);
+  DerefResult DB = St.deref(B);
+  if (DA.Addr != kNoAddr && DA.Addr == DB.Addr)
+    return true;
+
+  bool AVar = DA.C.T == Tag::Ref;
+  bool BVar = DB.C.T == Tag::Ref;
+  if (AVar && BVar) {
+    if (DA.Addr < DB.Addr)
+      St.bind(DB.Addr, Cell::ref(DA.Addr));
+    else
+      St.bind(DA.Addr, Cell::ref(DB.Addr));
+    return true;
+  }
+  if (AVar) {
+    bindTo(St, DA.Addr, DB);
+    return true;
+  }
+  if (BVar) {
+    bindTo(St, DB.Addr, DA);
+    return true;
+  }
+
+  if (DA.C.isAbs() || DB.C.isAbs())
+    return absMeet(St, DA, DB);
+
+  // Both concrete: structural unification, recursing through absUnify so
+  // abstract subterms meet correctly.
+  if (DA.C.T != DB.C.T)
+    return false;
+  switch (DA.C.T) {
+  case Tag::Con:
+  case Tag::Int:
+    return DA.C.V == DB.C.V;
+  case Tag::Lis: {
+    UnifyPairScope Scope(DA.Addr, DB.Addr);
+    if (Scope.Cycle)
+      return true; // rational trees unify coinductively
+    if (!absUnify(St, Cell::ref(DA.C.V), Cell::ref(DB.C.V)) ||
+        !absUnify(St, Cell::ref(DA.C.V + 1), Cell::ref(DB.C.V + 1)))
+      return false;
+    // The two cells now denote the same term; alias them so abstraction
+    // sees one node (keeps the compiled and interpreted analyses in
+    // lock-step).
+    if (DA.Addr != kNoAddr && DB.Addr != kNoAddr && DA.Addr != DB.Addr)
+      St.bind(DA.Addr, Cell::ref(DB.Addr));
+    return true;
+  }
+  case Tag::Str: {
+    const Cell FA = St.at(DA.C.V);
+    const Cell FB = St.at(DB.C.V);
+    if (FA.V != FB.V || FA.funArity() != FB.funArity())
+      return false;
+    UnifyPairScope Scope(DA.Addr, DB.Addr);
+    if (Scope.Cycle)
+      return true; // rational trees unify coinductively
+    for (int I = 1; I <= FA.funArity(); ++I)
+      if (!absUnify(St, Cell::ref(DA.C.V + I), Cell::ref(DB.C.V + I)))
+        return false;
+    if (DA.Addr != kNoAddr && DB.Addr != kNoAddr && DA.Addr != DB.Addr)
+      St.bind(DA.Addr, Cell::ref(DB.Addr));
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Meet where at least one side is an abstract cell. Implements the
+/// s_unify table of the paper's Section 4.1 plus ComplexTermInst.
+bool absMeet(Store &St, DerefResult DA, DerefResult DB) {
+  if (!DA.C.isAbs())
+    std::swap(DA, DB);
+  AbsKind KA = DA.C.absKind();
+
+  // any /\ X = X; free variables inside an unknown term become `any`.
+  if (KA == AbsKind::Any) {
+    bindTo(St, DA.Addr, DB);
+    if (DB.C.T == Tag::Lis || DB.C.T == Tag::Str)
+      bindFreeVarsToAny(St, DB.C);
+    return true;
+  }
+
+  if (DB.C.isAbs()) {
+    AbsKind KB = DB.C.absKind();
+    if (KB == AbsKind::Any) {
+      bindTo(St, DB.Addr, DA);
+      return true;
+    }
+    bool AList = KA == AbsKind::List;
+    bool BList = KB == AbsKind::List;
+    if (AList && BList) {
+      // (alpha-list) /\ (beta-list) = (alpha /\ beta)-list.
+      if (!absUnify(St, Cell::ref(DA.C.V), Cell::ref(DB.C.V)))
+        return false;
+      bindTo(St, DA.Addr, DB);
+      return true;
+    }
+    if (AList || BList) {
+      if (BList) // make DA the list side
+        std::swap(DA, DB), std::swap(KA, KB);
+      switch (KB) {
+      case AbsKind::NV:
+        bindTo(St, DB.Addr, DA);
+        return true;
+      case AbsKind::Ground: {
+        // list(alpha) /\ g = list(alpha /\ g).
+        int64_t G = freshAbs(St, AbsKind::Ground);
+        if (!absUnify(St, Cell::ref(DA.C.V), Cell::ref(G)))
+          return false;
+        bindTo(St, DB.Addr, DA);
+        return true;
+      }
+      case AbsKind::Const:
+      case AbsKind::AtomT: {
+        // The only constant list is '[]'.
+        Cell Nil = Cell::atom(SymbolTable::SymNil);
+        St.bind(DA.Addr, Nil);
+        St.bind(DB.Addr, Nil);
+        return true;
+      }
+      case AbsKind::IntT:
+        return false;
+      default:
+        return false; // unreachable: Any/List handled above
+      }
+    }
+    // Both on the simple chain.
+    AbsKind K;
+    if (!meetSimpleKind(KA, KB, K))
+      return false;
+    if (K == KA)
+      bindTo(St, DB.Addr, DA);
+    else if (K == KB)
+      bindTo(St, DA.Addr, DB);
+    else {
+      int64_t N = freshAbs(St, K);
+      DerefResult DN = St.deref(Cell::ref(N));
+      bindTo(St, DA.Addr, DN);
+      bindTo(St, DB.Addr, DN);
+    }
+    return true;
+  }
+
+  // Abstract (DA) against concrete (DB).
+  switch (KA) {
+  case AbsKind::NV:
+    bindTo(St, DA.Addr, DB);
+    if (DB.C.T == Tag::Lis || DB.C.T == Tag::Str)
+      bindFreeVarsToAny(St, DB.C);
+    return true;
+
+  case AbsKind::Ground:
+    switch (DB.C.T) {
+    case Tag::Con:
+    case Tag::Int:
+      bindTo(St, DA.Addr, DB);
+      return true;
+    case Tag::Lis: {
+      // g /\ [H|T] = [g /\ H | g /\ T].
+      bindTo(St, DA.Addr, DB);
+      int64_t G1 = freshAbs(St, AbsKind::Ground);
+      int64_t G2 = freshAbs(St, AbsKind::Ground);
+      return absUnify(St, Cell::ref(DB.C.V), Cell::ref(G1)) &&
+             absUnify(St, Cell::ref(DB.C.V + 1), Cell::ref(G2));
+    }
+    case Tag::Str: {
+      bindTo(St, DA.Addr, DB);
+      const Cell F = St.at(DB.C.V);
+      for (int I = 1; I <= F.funArity(); ++I) {
+        int64_t G = freshAbs(St, AbsKind::Ground);
+        if (!absUnify(St, Cell::ref(DB.C.V + I), Cell::ref(G)))
+          return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+    }
+
+  case AbsKind::Const:
+    if (DB.C.T != Tag::Con && DB.C.T != Tag::Int)
+      return false;
+    bindTo(St, DA.Addr, DB);
+    return true;
+
+  case AbsKind::AtomT:
+    if (DB.C.T != Tag::Con)
+      return false;
+    bindTo(St, DA.Addr, DB);
+    return true;
+
+  case AbsKind::IntT:
+    if (DB.C.T != Tag::Int)
+      return false;
+    bindTo(St, DA.Addr, DB);
+    return true;
+
+  case AbsKind::List:
+    switch (DB.C.T) {
+    case Tag::Con:
+      if (DB.C.V != SymbolTable::SymNil)
+        return false;
+      bindTo(St, DA.Addr, DB);
+      return true;
+    case Tag::Lis: {
+      // alpha-list /\ [H|T] = [alpha /\ H | alpha-list /\ T]: the car gets
+      // a fresh *instance* of alpha (ComplexTermInst), the cdr a fresh
+      // alpha-list sharing the element-type cell.
+      int64_t Param = DA.C.V;
+      bindTo(St, DA.Addr, DB);
+      int64_t ElemInst = copyAbs(St, Cell::ref(Param));
+      if (!absUnify(St, Cell::ref(DB.C.V), Cell::ref(ElemInst)))
+        return false;
+      int64_t TailList = St.push(Cell::abs(AbsKind::List, Param));
+      return absUnify(St, Cell::ref(DB.C.V + 1), Cell::ref(TailList));
+    }
+    default:
+      return false;
+    }
+
+  case AbsKind::Any:
+  case AbsKind::Var:
+    break; // handled earlier / not used as cell kinds
+  }
+  assert(false && "unhandled abstract meet case");
+  return false;
+}
+
+} // namespace
+
+int64_t awam::copyAbs(Store &St, Cell C, int MaxDepth) {
+  struct Copier {
+    Store &St;
+    std::map<int64_t, int64_t> Memo;
+
+    int64_t copy(Cell C, int Depth) {
+      DerefResult D = St.deref(C);
+      if (D.Addr != kNoAddr) {
+        auto It = Memo.find(D.Addr);
+        if (It != Memo.end())
+          return It->second;
+      }
+      int64_t Out = copyUncached(D, Depth);
+      if (D.Addr != kNoAddr)
+        Memo.emplace(D.Addr, Out);
+      return Out;
+    }
+
+    int64_t copyUncached(const DerefResult &D, int Depth) {
+      switch (D.C.T) {
+      case Tag::Ref:
+        // A free variable inside a copied abstract value widens to `any`:
+        // the copy must not claim var-ness for a term whose original may be
+        // instantiated through an alias the copy cannot see.
+        return St.push(Cell::abs(AbsKind::Any));
+      case Tag::Con:
+      case Tag::Int:
+        return St.push(D.C);
+      case Tag::Abs:
+        if (D.C.absKind() == AbsKind::List) {
+          int64_t P = copy(Cell::ref(D.C.V), Depth - 1);
+          return St.push(Cell::abs(AbsKind::List, P));
+        }
+        return St.push(D.C);
+      case Tag::Lis: {
+        if (Depth <= 0)
+          return St.push(Cell::abs(isGroundCell(St, D.C) ? AbsKind::Ground
+                                                         : AbsKind::NV));
+        int64_t Car = copy(Cell::ref(D.C.V), Depth - 1);
+        int64_t Cdr = copy(Cell::ref(D.C.V + 1), Depth - 1);
+        int64_t Base = St.push(Cell::ref(Car));
+        St.push(Cell::ref(Cdr));
+        return St.push(Cell::lis(Base));
+      }
+      case Tag::Str: {
+        if (Depth <= 0)
+          return St.push(Cell::abs(isGroundCell(St, D.C) ? AbsKind::Ground
+                                                         : AbsKind::NV));
+        const Cell F = St.at(D.C.V);
+        std::vector<int64_t> Args;
+        for (int I = 1; I <= F.funArity(); ++I)
+          Args.push_back(copy(Cell::ref(D.C.V + I), Depth - 1));
+        int64_t FunAddr = St.push(F);
+        for (int64_t A : Args)
+          St.push(Cell::ref(A));
+        return St.push(Cell::str(FunAddr));
+      }
+      case Tag::Fun:
+      case Tag::Ctl:
+        assert(false && "copyAbs on non-term cell");
+        return St.push(Cell::abs(AbsKind::Any));
+      }
+      return 0;
+    }
+  };
+  return Copier{St, {}}.copy(C, MaxDepth);
+}
+
+bool awam::isGroundCell(const Store &St, Cell C, int MaxDepth) {
+  if (MaxDepth <= 0)
+    return false; // conservative on very deep / cyclic structures
+  DerefResult D = St.deref(C);
+  switch (D.C.T) {
+  case Tag::Con:
+  case Tag::Int:
+    return true;
+  case Tag::Ref:
+    return false;
+  case Tag::Abs:
+    switch (D.C.absKind()) {
+    case AbsKind::Ground:
+    case AbsKind::Const:
+    case AbsKind::AtomT:
+    case AbsKind::IntT:
+      return true;
+    case AbsKind::List:
+      return isGroundCell(St, Cell::ref(D.C.V), MaxDepth - 1);
+    default:
+      return false;
+    }
+  case Tag::Lis:
+    return isGroundCell(St, Cell::ref(D.C.V), MaxDepth - 1) &&
+           isGroundCell(St, Cell::ref(D.C.V + 1), MaxDepth - 1);
+  case Tag::Str: {
+    const Cell F = St.at(D.C.V);
+    for (int I = 1; I <= F.funArity(); ++I)
+      if (!isGroundCell(St, Cell::ref(D.C.V + I), MaxDepth - 1))
+        return false;
+    return true;
+  }
+  case Tag::Fun:
+  case Tag::Ctl:
+    return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// Overwrites every free-variable cell reachable from \p C with `any`.
+/// Only used on freshly built lub results (no trailing needed).
+void widenVarsToAny(Store &St, Cell C, int Fuel = 64) {
+  if (Fuel <= 0)
+    return;
+  DerefResult D = St.deref(C);
+  switch (D.C.T) {
+  case Tag::Ref:
+    St.at(D.Addr) = Cell::abs(AbsKind::Any);
+    return;
+  case Tag::Lis:
+    widenVarsToAny(St, Cell::ref(D.C.V), Fuel - 1);
+    widenVarsToAny(St, Cell::ref(D.C.V + 1), Fuel - 1);
+    return;
+  case Tag::Str: {
+    const Cell F = St.at(D.C.V);
+    for (int I = 1; I <= F.funArity(); ++I)
+      widenVarsToAny(St, Cell::ref(D.C.V + I), Fuel - 1);
+    return;
+  }
+  case Tag::Abs:
+    if (D.C.absKind() == AbsKind::List)
+      widenVarsToAny(St, Cell::ref(D.C.V), Fuel - 1);
+    return;
+  default:
+    return;
+  }
+}
+
+/// Join levels on the simple chain; AtomT and IntT join to Const.
+AbsKind joinSimple(AbsKind A, AbsKind B) {
+  auto Level = [](AbsKind K) {
+    switch (K) {
+    case AbsKind::AtomT:
+    case AbsKind::IntT: return 0;
+    case AbsKind::Const: return 1;
+    case AbsKind::Ground: return 2;
+    case AbsKind::NV: return 3;
+    default: return 4;
+    }
+  };
+  if (Level(A) == 0 && Level(B) == 0)
+    return A == B ? A : AbsKind::Const;
+  return Level(A) >= Level(B) ? A : B;
+}
+
+} // namespace
+
+std::optional<std::vector<Cell>> LubContext::listElems(Cell C, int Fuel) {
+  std::vector<Cell> Elems;
+  Cell Cur = C;
+  while (Fuel-- > 0) {
+    DerefResult D = St.deref(Cur);
+    if (D.C.T == Tag::Con && D.C.V == SymbolTable::SymNil)
+      return Elems;
+    if (D.C.T == Tag::Abs && D.C.absKind() == AbsKind::List) {
+      Elems.push_back(Cell::ref(D.C.V));
+      return Elems;
+    }
+    if (D.C.T == Tag::Lis) {
+      Elems.push_back(Cell::ref(D.C.V));
+      Cur = Cell::ref(D.C.V + 1);
+      continue;
+    }
+    return std::nullopt; // improper list
+  }
+  return std::nullopt;
+}
+
+int64_t LubContext::joinViaGroundness(const DerefResult &DA,
+                                      const DerefResult &DB) {
+  // Map each side to its best simple kind, then join.
+  auto SimpleOf = [&](const DerefResult &D) {
+    switch (D.C.T) {
+    case Tag::Con: return AbsKind::AtomT;
+    case Tag::Int: return AbsKind::IntT;
+    case Tag::Abs:
+      if (D.C.absKind() != AbsKind::List)
+        return D.C.absKind();
+      [[fallthrough]];
+    default:
+      return isGroundCell(St, D.C) ? AbsKind::Ground : AbsKind::NV;
+    }
+  };
+  return St.push(Cell::abs(joinSimple(SimpleOf(DA), SimpleOf(DB))));
+}
+
+int64_t LubContext::lub(Cell A, Cell B) {
+  DerefResult DA = St.deref(A);
+  DerefResult DB = St.deref(B);
+
+  auto Key = std::make_pair(DA.Addr, DB.Addr);
+  bool Memoizable = DA.Addr != kNoAddr && DB.Addr != kNoAddr;
+  if (Memoizable)
+    for (const auto &[K, R] : Memo)
+      if (K == Key)
+        return R;
+
+  // Detect sharing present on one side only: a node paired with two
+  // different partners. All var results produced with that node must widen
+  // to `any` (see the header comment).
+  auto notePartner = [](std::vector<std::pair<int64_t, int64_t>> &Partners,
+                        int64_t Node, int64_t Partner) {
+    for (auto &[N, P] : Partners)
+      if (N == Node)
+        return P != Partner;
+    Partners.emplace_back(Node, Partner);
+    return false;
+  };
+  bool Broken = false;
+  if (DA.Addr != kNoAddr)
+    Broken |= notePartner(PartnerOfA, DA.Addr, DB.Addr);
+  if (DB.Addr != kNoAddr)
+    Broken |= notePartner(PartnerOfB, DB.Addr, DA.Addr);
+
+  int64_t Out = lubUncached(DA, DB);
+  if (Broken) {
+    // Widen this result and all earlier results involving either node.
+    widenVarsToAny(St, Cell::ref(Out));
+    for (const auto &[K, R] : Memo)
+      if (K.first == DA.Addr || K.second == DB.Addr)
+        widenVarsToAny(St, Cell::ref(R));
+  }
+  if (Memoizable)
+    Memo.emplace_back(Key, Out);
+  return Out;
+}
+
+int64_t LubContext::lubUncached(const DerefResult &DA,
+                                const DerefResult &DB) {
+  bool AVar = DA.C.T == Tag::Ref;
+  bool BVar = DB.C.T == Tag::Ref;
+  if (AVar && BVar)
+    return St.pushVar();
+  if (AVar || BVar)
+    return St.push(Cell::abs(AbsKind::Any)); // var |_| nonvar = any
+
+  if ((DA.C.isAbs() && DA.C.absKind() == AbsKind::Any) ||
+      (DB.C.isAbs() && DB.C.absKind() == AbsKind::Any))
+    return St.push(Cell::abs(AbsKind::Any));
+
+  // Identical constants.
+  if ((DA.C.T == Tag::Con || DA.C.T == Tag::Int) && DA.C.T == DB.C.T &&
+      DA.C.V == DB.C.V)
+    return St.push(DA.C);
+
+  // Pointwise cons |_| cons keeps structure.
+  if (DA.C.T == Tag::Lis && DB.C.T == Tag::Lis) {
+    int64_t Car = lub(Cell::ref(DA.C.V), Cell::ref(DB.C.V));
+    int64_t Cdr = lub(Cell::ref(DA.C.V + 1), Cell::ref(DB.C.V + 1));
+    int64_t Base = St.push(Cell::ref(Car));
+    St.push(Cell::ref(Cdr));
+    return St.push(Cell::lis(Base));
+  }
+
+  // List generalization: '[]' / cons chains / alpha-lists.
+  auto IsListCat = [&](const DerefResult &D) {
+    return (D.C.T == Tag::Con && D.C.V == SymbolTable::SymNil) ||
+           D.C.T == Tag::Lis ||
+           (D.C.T == Tag::Abs && D.C.absKind() == AbsKind::List);
+  };
+  if (IsListCat(DA) && IsListCat(DB)) {
+    auto EA = listElems(DA.C);
+    auto EB = listElems(DB.C);
+    if (EA && EB) {
+      std::vector<Cell> All = *EA;
+      All.insert(All.end(), EB->begin(), EB->end());
+      int64_t Elem;
+      if (All.empty()) {
+        // nil |_| nil is handled above; this is unreachable in practice
+        // but a var-free bottom-ish element keeps it sound.
+        Elem = St.push(Cell::abs(AbsKind::Any));
+      } else {
+        Elem = copyAbs(St, All[0]);
+        for (size_t I = 1; I != All.size(); ++I)
+          Elem = lub(Cell::ref(Elem), All[I]);
+      }
+      // List element types must not claim var-ness (an element handed out
+      // later is a copy that cannot see aliases).
+      widenVarsToAny(St, Cell::ref(Elem));
+      return St.push(Cell::abs(AbsKind::List, Elem));
+    }
+    return joinViaGroundness(DA, DB);
+  }
+
+  // Pointwise structure join for equal functors.
+  if (DA.C.T == Tag::Str && DB.C.T == Tag::Str) {
+    const Cell FA = St.at(DA.C.V);
+    const Cell FB = St.at(DB.C.V);
+    if (FA.V == FB.V && FA.funArity() == FB.funArity()) {
+      std::vector<int64_t> Args;
+      for (int I = 1; I <= FA.funArity(); ++I)
+        Args.push_back(lub(Cell::ref(DA.C.V + I), Cell::ref(DB.C.V + I)));
+      int64_t FunAddr = St.push(FA);
+      for (int64_t Arg : Args)
+        St.push(Cell::ref(Arg));
+      return St.push(Cell::str(FunAddr));
+    }
+  }
+
+  return joinViaGroundness(DA, DB);
+}
+
+int64_t awam::lubCells(Store &St, Cell A, Cell B) {
+  LubContext Ctx(St);
+  return Ctx.lub(A, B);
+}

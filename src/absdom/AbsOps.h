@@ -1,0 +1,94 @@
+//===- absdom/AbsOps.h - Abstract domain operations -------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operations over the paper's abstract domain (Section 3), implemented on
+/// machine cells:
+///
+///   empty  <=  var, atom, integer  <=  const  <=  ground  <=  nv  <=  any
+///                      alpha-list, struct instances in between
+///
+/// Representation choices (Section 4.1): abstract terms behave like logic
+/// variables — each is one heap cell that can be instantiated to a more
+/// specific term; aliasing is cell sharing; free variables are represented
+/// by ordinary unbound Ref cells (so `var` unification is exactly concrete
+/// binding).
+///
+///  * absUnify   — set unification s_unify(T1, T2): binds cells to meets,
+///                 expanding abstract cells against concrete structure
+///                 (ComplexTermInst) as needed. All effects are trailed.
+///  * copyAbs    — a fresh instance of an abstract value (used when a list
+///                 type hands out one element).
+///  * isGroundCell — gamma(cell) contains only ground terms?
+///  * lubCells   — least upper bound of two values, building new cells
+///                 (used to summarize success patterns). Sharing present in
+///                 only one operand is dropped, and `var` claims under
+///                 dropped sharing widen to `any` (a may-aliased variable
+///                 may be instantiated through its alias).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ABSDOM_ABSOPS_H
+#define AWAM_ABSDOM_ABSOPS_H
+
+#include "wam/Store.h"
+
+#include <map>
+#include <optional>
+
+namespace awam {
+
+/// Abstract (set) unification of \p A and \p B in \p St: mutates cells via
+/// trailed bindings so both sides denote the meet afterwards. Returns false
+/// if the meet is empty (unification fails); partial bindings may remain
+/// and must be undone by the caller's backtracking (exactly like concrete
+/// unification).
+bool absUnify(Store &St, Cell A, Cell B);
+
+/// Pushes a fresh deep copy of the abstract value \p C (depth-limited;
+/// beyond \p MaxDepth abstract structure is widened to g/nv). Returns the
+/// address of the copy. Constants are shared, not copied.
+int64_t copyAbs(Store &St, Cell C, int MaxDepth = 32);
+
+/// True if every term in gamma(\p C) is ground. Conservative on cycles
+/// (returns false beyond an internal depth limit).
+bool isGroundCell(const Store &St, Cell C, int MaxDepth = 64);
+
+/// True if gamma(\p C) is exactly the variables (an unbound cell).
+inline bool isVarCell(const Store &St, Cell C) {
+  return St.deref(C).C.T == Tag::Ref;
+}
+
+/// Context for lubCells: memoizes node pairs so sharing common to both
+/// operands is preserved, and tracks partner mismatches so dropped sharing
+/// widens var results to any.
+class LubContext {
+public:
+  explicit LubContext(Store &St) : St(St) {}
+
+  /// Returns (the address of) a fresh cell denoting lub(A, B).
+  int64_t lub(Cell A, Cell B);
+
+private:
+  int64_t lubUncached(const DerefResult &DA, const DerefResult &DB);
+  int64_t joinViaGroundness(const DerefResult &DA, const DerefResult &DB);
+  /// Element-type cells of a list-shaped value ([], cons chain, or alpha-
+  /// list); nullopt if the value is not list-shaped.
+  std::optional<std::vector<Cell>> listElems(Cell C, int Fuel = 64);
+
+  Store &St;
+  // Lubbed values are depth-cut patterns, so these stay tiny; linear scans
+  // over flat vectors beat tree maps.
+  std::vector<std::pair<std::pair<int64_t, int64_t>, int64_t>> Memo;
+  std::vector<std::pair<int64_t, int64_t>> PartnerOfA, PartnerOfB;
+};
+
+/// Convenience wrapper over LubContext for a single pair of values.
+int64_t lubCells(Store &St, Cell A, Cell B);
+
+} // namespace awam
+
+#endif // AWAM_ABSDOM_ABSOPS_H

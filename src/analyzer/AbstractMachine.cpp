@@ -1,0 +1,475 @@
+//===- analyzer/AbstractMachine.cpp - Reinterpreted WAM dispatch ----------===//
+
+#include "analyzer/AbstractMachine.h"
+
+#include "absdom/AbsBuiltins.h"
+#include "absdom/AbsOps.h"
+#include "compiler/Builtins.h"
+
+#include <algorithm>
+#include <span>
+
+using namespace awam;
+
+AbstractMachine::AbstractMachine(const CompiledProgram &Program,
+                                 ExtensionTable &Table,
+                                 AbsMachineOptions Options)
+    : Program(Program), Module(*Program.Module), Table(Table),
+      Options(Options), X(std::max(Program.MaxXReg, 8)) {}
+
+void AbstractMachine::machineError(std::string Message) {
+  ErrorMsg = std::move(Message);
+  HasError = true;
+  Running = false;
+}
+
+/// Appends a control-scheme trace line when tracing is enabled.
+#define AWAM_TRACE(Text)                                                     \
+  do {                                                                       \
+    if (Options.TraceLog)                                                    \
+      Options.TraceLog->push_back(Text);                                     \
+  } while (false)
+
+AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
+                                           const Pattern &Entry) {
+  St.reset();
+  Envs.clear();
+  Frames.clear();
+  std::fill(X.begin(), X.end(), Cell());
+  P = kHaltAddress;
+  CP = kHaltAddress;
+  E = -1;
+  S = 0;
+  WriteMode = false;
+  Changed = false;
+  HasError = false;
+  ErrorMsg.clear();
+
+  Table.beginIteration();
+
+  bool Created = false;
+  ETEntry &TopEntry = Table.findOrCreate(PredId, Entry, Created);
+  if (Created)
+    Changed = true;
+  TopEntry.Explored = true;
+
+  AnalysisFrame F;
+  F.Entry = &TopEntry;
+  F.PredId = PredId;
+  for (int64_t Addr : instantiate(St, Entry))
+    F.CallerArgs.push_back(Cell::ref(Addr));
+  F.SavedCP = kHaltAddress;
+  F.SavedE = -1;
+  F.TrailMark = St.trailMark();
+  F.HeapMark = St.heapTop();
+  F.EnvMark = 0;
+  Frames.push_back(std::move(F));
+
+  Running = true;
+  enterClause();
+  while (Running && !HasError)
+    if (!step())
+      break;
+  return HasError ? AbsRunStatus::Error : AbsRunStatus::Completed;
+}
+
+void AbstractMachine::enterClause() {
+  AnalysisFrame &F = Frames.back();
+  const PredicateInfo &Pred = Module.predicate(F.PredId);
+  if (F.ClauseIdx >= Pred.Clauses.size()) {
+    returnFromFrame();
+    return;
+  }
+  // Fresh attempt: discard the previous clause's bindings and allocations.
+  St.unwind(F.TrailMark);
+  St.truncate(F.HeapMark);
+  Envs.resize(F.EnvMark);
+  E = F.SavedE;
+  WriteMode = false;
+
+  F.CalleeArgs = instantiate(St, F.Entry->Call);
+  for (size_t I = 0; I != F.CalleeArgs.size(); ++I)
+    X[I] = Cell::ref(F.CalleeArgs[I]);
+  P = Pred.Clauses[F.ClauseIdx].Entry;
+  AWAM_TRACE("explore " + Module.predicateLabel(F.PredId) + " clause " +
+             std::to_string(F.ClauseIdx + 1) + " with " +
+             F.Entry->Call.str(Module.symbols()));
+}
+
+void AbstractMachine::failCurrent() {
+  assert(!Frames.empty() && "failure with no analysis frame");
+  ++Frames.back().ClauseIdx;
+  enterClause();
+}
+
+void AbstractMachine::clauseSucceeded() {
+  AnalysisFrame &F = Frames.back();
+  std::vector<Cell> Cells;
+  Cells.reserve(F.CalleeArgs.size());
+  for (int64_t Addr : F.CalleeArgs)
+    Cells.push_back(Cell::ref(Addr));
+  Pattern SPat = canonicalize(St, Cells, Options.DepthLimit);
+
+  // updateET: summarize success patterns with lub. The common case at the
+  // fixpoint is re-deriving an already-summarized pattern, so test
+  // equality before paying for a lub.
+  if (F.Entry->Success) {
+    if (!(SPat == *F.Entry->Success)) {
+      Pattern Merged =
+          lubPatterns(*F.Entry->Success, SPat, Options.DepthLimit);
+      if (!(Merged == *F.Entry->Success)) {
+        F.Entry->Success = std::move(Merged);
+        Changed = true;
+      }
+    }
+  } else {
+    F.Entry->Success = std::move(SPat);
+    Changed = true;
+  }
+
+  AWAM_TRACE("proceed => updateET(" + Module.predicateLabel(F.PredId) +
+             " " + F.Entry->Success->str(Module.symbols()) +
+             "), fail to next clause");
+
+  // Artificial failure: explore the next clause.
+  ++F.ClauseIdx;
+  enterClause();
+}
+
+void AbstractMachine::returnFromFrame() {
+  AnalysisFrame F = std::move(Frames.back());
+  Frames.pop_back();
+
+  // Discard the callee's working state.
+  St.unwind(F.TrailMark);
+  St.truncate(F.HeapMark);
+  Envs.resize(F.EnvMark);
+  E = F.SavedE;
+
+  AWAM_TRACE("clauses of " + Module.predicateLabel(F.PredId) +
+             " exhausted => lookupET -> " +
+             (F.Entry->Success ? F.Entry->Success->str(Module.symbols())
+                               : std::string("no success pattern")));
+
+  // lookupET: return the summarized success pattern, if any.
+  if (F.Entry->Success) {
+    std::vector<int64_t> Roots = instantiate(St, *F.Entry->Success);
+    bool Ok = true;
+    for (size_t I = 0; I != Roots.size() && Ok; ++I)
+      Ok = absUnify(St, F.CallerArgs[I], Cell::ref(Roots[I]));
+    if (Ok) {
+      P = F.SavedCP;
+      return;
+    }
+  }
+  // No (compatible) success pattern: the call fails.
+  if (Frames.empty()) {
+    Running = false; // top-level goal finitely failed this iteration
+    return;
+  }
+  failCurrent();
+}
+
+void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
+  const PredicateInfo &Pred = Module.predicate(PredId);
+  std::vector<Cell> Args(X.begin(), X.begin() + Pred.Arity);
+  Pattern CPat = canonicalize(St, Args, Options.DepthLimit,
+                              /*WidenConstants=*/true);
+
+  bool Created = false;
+  ETEntry &Entry = Table.findOrCreate(PredId, CPat, Created);
+  if (Created)
+    Changed = true;
+
+  AWAM_TRACE("call " + Module.predicateLabel(PredId) + " with " +
+             CPat.str(Module.symbols()) +
+             (Entry.Explored ? " [explored: consult table]"
+                             : " [unexplored: explore clauses]"));
+
+  if (Entry.Explored) {
+    // Memoized deterministic return (or failure if nothing is known yet —
+    // the fixpoint iteration will come back).
+    if (!Entry.Success) {
+      failCurrent();
+      return;
+    }
+    std::vector<int64_t> Roots = instantiate(St, *Entry.Success);
+    for (size_t I = 0; I != Roots.size(); ++I)
+      if (!absUnify(St, Args[I], Cell::ref(Roots[I]))) {
+        failCurrent();
+        return;
+      }
+    P = ContinueAt;
+    return;
+  }
+
+  Entry.Explored = true;
+  AnalysisFrame F;
+  F.Entry = &Entry;
+  F.PredId = PredId;
+  F.CallerArgs = std::move(Args);
+  F.SavedCP = ContinueAt;
+  F.SavedE = E;
+  F.TrailMark = St.trailMark();
+  F.HeapMark = St.heapTop();
+  F.EnvMark = Envs.size();
+  Frames.push_back(std::move(F));
+  enterClause();
+}
+
+bool AbstractMachine::step() {
+  if (++Steps > Options.MaxSteps) {
+    machineError("abstract instruction budget exceeded");
+    return false;
+  }
+  Instruction I = Module.at(P++);
+  switch (I.Op) {
+  case Opcode::Halt:
+    Running = false;
+    return false;
+
+  // ---- Get instructions ----------------------------------------------
+  case Opcode::GetVariableX:
+    X[I.A] = X[I.B];
+    break;
+  case Opcode::GetVariableY:
+    ySlot(I.A) = X[I.B];
+    break;
+  case Opcode::GetValueX:
+    if (!absUnify(St, X[I.A], X[I.B]))
+      failCurrent();
+    break;
+  case Opcode::GetValueY:
+    if (!absUnify(St, ySlot(I.A), X[I.B]))
+      failCurrent();
+    break;
+  case Opcode::GetConst: {
+    const ConstOperand &C = Module.constAt(I.A);
+    Cell K = C.K == ConstOperand::IntK ? Cell::integer(C.Int)
+                                       : Cell::atom(C.Name);
+    if (!absUnify(St, X[I.B], K))
+      failCurrent();
+    break;
+  }
+  case Opcode::GetList: {
+    DerefResult D = St.deref(X[I.A]);
+    switch (D.C.T) {
+    case Tag::Ref: // concrete write mode
+      St.bind(D.Addr, Cell::lis(St.heapTop()));
+      WriteMode = true;
+      break;
+    case Tag::Lis: // concrete read mode
+      S = D.C.V;
+      WriteMode = false;
+      break;
+    case Tag::Abs: {
+      // ComplexTermInst (Figure 4): generate a [.|.] instance of the
+      // abstract term and proceed in read mode over its subterm cells.
+      int64_t Base;
+      switch (D.C.absKind()) {
+      case AbsKind::Any:
+      case AbsKind::NV:
+        Base = St.push(Cell::abs(AbsKind::Any));
+        St.push(Cell::abs(AbsKind::Any));
+        break;
+      case AbsKind::Ground:
+        Base = St.push(Cell::abs(AbsKind::Ground));
+        St.push(Cell::abs(AbsKind::Ground));
+        break;
+      case AbsKind::List: {
+        int64_t ElemInst = copyAbs(St, Cell::ref(D.C.V));
+        Base = St.push(Cell::ref(ElemInst));
+        St.push(Cell::abs(AbsKind::List, D.C.V));
+        break;
+      }
+      default:
+        failCurrent(); // const/atom/int have no list instances
+        return true;
+      }
+      St.bind(D.Addr, Cell::lis(Base));
+      S = Base;
+      WriteMode = false;
+      break;
+    }
+    default:
+      failCurrent();
+      break;
+    }
+    break;
+  }
+  case Opcode::GetStructure: {
+    const FunctorArity &Fn = Module.functorAt(I.A);
+    DerefResult D = St.deref(X[I.B]);
+    switch (D.C.T) {
+    case Tag::Ref: {
+      int64_t FunAddr = St.push(Cell::fun(Fn.Name, Fn.Arity));
+      St.bind(D.Addr, Cell::str(FunAddr));
+      WriteMode = true;
+      break;
+    }
+    case Tag::Str: {
+      const Cell FC = St.at(D.C.V);
+      if (FC.V != Fn.Name || FC.funArity() != Fn.Arity) {
+        failCurrent();
+        break;
+      }
+      S = D.C.V + 1;
+      WriteMode = false;
+      break;
+    }
+    case Tag::Abs: {
+      AbsKind K = D.C.absKind();
+      if (K != AbsKind::Any && K != AbsKind::NV && K != AbsKind::Ground) {
+        failCurrent(); // lists/constants have no f/n instances
+        break;
+      }
+      AbsKind ArgKind =
+          K == AbsKind::Ground ? AbsKind::Ground : AbsKind::Any;
+      int64_t FunAddr = St.push(Cell::fun(Fn.Name, Fn.Arity));
+      for (int32_t N = 0; N != Fn.Arity; ++N)
+        St.push(Cell::abs(ArgKind));
+      St.bind(D.Addr, Cell::str(FunAddr));
+      S = FunAddr + 1;
+      WriteMode = false;
+      break;
+    }
+    default:
+      failCurrent();
+      break;
+    }
+    break;
+  }
+
+  // ---- Put instructions (identical to the concrete machine) -----------
+  case Opcode::PutVariableX: {
+    int64_t A = St.pushVar();
+    X[I.A] = Cell::ref(A);
+    X[I.B] = Cell::ref(A);
+    break;
+  }
+  case Opcode::PutVariableY: {
+    int64_t A = St.pushVar();
+    ySlot(I.A) = Cell::ref(A);
+    X[I.B] = Cell::ref(A);
+    break;
+  }
+  case Opcode::PutValueX:
+    X[I.B] = X[I.A];
+    break;
+  case Opcode::PutValueY:
+    X[I.B] = ySlot(I.A);
+    break;
+  case Opcode::PutConst: {
+    const ConstOperand &C = Module.constAt(I.A);
+    X[I.B] = C.K == ConstOperand::IntK ? Cell::integer(C.Int)
+                                       : Cell::atom(C.Name);
+    break;
+  }
+  case Opcode::PutList:
+    X[I.A] = Cell::lis(St.heapTop());
+    WriteMode = true;
+    break;
+  case Opcode::PutStructure: {
+    const FunctorArity &Fn = Module.functorAt(I.A);
+    int64_t FunAddr = St.push(Cell::fun(Fn.Name, Fn.Arity));
+    X[I.B] = Cell::str(FunAddr);
+    WriteMode = true;
+    break;
+  }
+
+  // ---- Unify instructions ---------------------------------------------
+  case Opcode::UnifyVariableX:
+    X[I.A] = Cell::ref(WriteMode ? St.pushVar() : S++);
+    break;
+  case Opcode::UnifyVariableY:
+    ySlot(I.A) = Cell::ref(WriteMode ? St.pushVar() : S++);
+    break;
+  case Opcode::UnifyValueX:
+    if (WriteMode)
+      St.push(X[I.A]);
+    else if (!absUnify(St, X[I.A], Cell::ref(S++)))
+      failCurrent();
+    break;
+  case Opcode::UnifyValueY:
+    if (WriteMode)
+      St.push(ySlot(I.A));
+    else if (!absUnify(St, ySlot(I.A), Cell::ref(S++)))
+      failCurrent();
+    break;
+  case Opcode::UnifyConst: {
+    const ConstOperand &C = Module.constAt(I.A);
+    Cell K = C.K == ConstOperand::IntK ? Cell::integer(C.Int)
+                                       : Cell::atom(C.Name);
+    if (WriteMode)
+      St.push(K);
+    else if (!absUnify(St, Cell::ref(S++), K))
+      failCurrent();
+    break;
+  }
+  case Opcode::UnifyVoid:
+    if (WriteMode)
+      for (int32_t N = 0; N != I.A; ++N)
+        St.pushVar();
+    else
+      S += I.A;
+    break;
+
+  // ---- Procedural / control -------------------------------------------
+  case Opcode::Allocate: {
+    EnvFrame Env;
+    Env.PrevE = E;
+    Env.SavedCP = CP;
+    Env.Y.resize(I.A);
+    Envs.push_back(std::move(Env));
+    E = static_cast<int64_t>(Envs.size()) - 1;
+    break;
+  }
+  case Opcode::Deallocate:
+    CP = Envs[E].SavedCP;
+    E = Envs[E].PrevE;
+    break;
+  case Opcode::Call:
+    doCall(I.A, P);
+    break;
+  case Opcode::Execute:
+    // Reverted to call followed by proceed (paper Section 5): the
+    // continuation is the module's synthetic Proceed instruction.
+    doCall(I.A, kProceedAddress);
+    break;
+  case Opcode::Proceed:
+    clauseSucceeded();
+    break;
+  case Opcode::Fail:
+    failCurrent();
+    break;
+
+  // Cut is ignored during analysis (sound over-approximation).
+  case Opcode::NeckCut:
+  case Opcode::GetLevel:
+  case Opcode::CutY:
+    break;
+
+  case Opcode::Builtin:
+    if (!runAbsBuiltin(I.A, I.B))
+      failCurrent();
+    break;
+
+  // Clause selection lives in call/proceed; the indexing block is never
+  // entered by the abstract machine.
+  case Opcode::Try:
+  case Opcode::Retry:
+  case Opcode::Trust:
+  case Opcode::Jump:
+  case Opcode::SwitchOnTerm:
+  case Opcode::SwitchOnConstant:
+  case Opcode::SwitchOnStructure:
+    machineError("indexing instruction reached the abstract machine");
+    return false;
+  }
+  return true;
+}
+
+bool AbstractMachine::runAbsBuiltin(int Id, int Arity) {
+  return applyAbsBuiltin(St, static_cast<BuiltinId>(Id),
+                         std::span<const Cell>(X.data(), Arity));
+}

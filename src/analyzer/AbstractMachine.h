@@ -1,0 +1,139 @@
+//===- analyzer/AbstractMachine.h - The abstract WAM ------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's contribution: the WAM instruction set reinterpreted over the
+/// abstract domain (Section 4.2) with the extension-table control scheme
+/// folded into `call` and `proceed` (Section 5).
+///
+/// The machine executes the *same clause code* the compiler produced for
+/// the concrete machine. Differences from the concrete machine:
+///
+///  * get/unify instructions use abstract unification (absUnify), which
+///    instantiates abstract cells against concrete structure
+///    (ComplexTermInst) and proceeds in read mode, as in Figure 4;
+///  * `call` abstracts the argument registers into a calling pattern,
+///    consults the extension table, and either returns a memoized success
+///    pattern or explores the callee's clauses one by one (indexing blocks
+///    are bypassed — clause selection lives in call/proceed, as the paper
+///    prescribes);
+///  * `proceed` performs updateET followed by an artificial failure;
+///    exhausting a predicate's clauses performs lookupET;
+///  * `execute` is reverted to call-followed-by-proceed;
+///  * cut is ignored (a sound over-approximation);
+///  * builtins narrow their arguments abstractly (e.g. `is/2` makes the
+///    expression ground and the result an integer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_ABSTRACTMACHINE_H
+#define AWAM_ANALYZER_ABSTRACTMACHINE_H
+
+#include "analyzer/ExtensionTable.h"
+#include "compiler/ProgramCompiler.h"
+#include "wam/Store.h"
+
+#include <string>
+#include <vector>
+
+namespace awam {
+
+/// Outcome of one abstract-interpretation iteration.
+enum class AbsRunStatus {
+  Completed, ///< ran to completion (top goal succeeded or finitely failed)
+  Error,     ///< machine error (budget exceeded, unsupported instruction)
+};
+
+/// Resource limits for the abstract machine.
+struct AbsMachineOptions {
+  int DepthLimit = kDefaultDepthLimit; ///< term-depth restriction k
+  uint64_t MaxSteps = 200'000'000;     ///< per-iteration instruction budget
+  /// When non-null, control events (call / lookup / updateET / return) are
+  /// appended as human-readable lines — used to regenerate the paper's
+  /// Figure 5 annotations.
+  std::vector<std::string> *TraceLog = nullptr;
+};
+
+/// One iteration of extension-table-based abstract interpretation over the
+/// compiled code. The ExtensionTable is owned by the caller (the Analyzer
+/// driver) and persists across iterations.
+class AbstractMachine {
+public:
+  AbstractMachine(const CompiledProgram &Program, ExtensionTable &Table,
+                  AbsMachineOptions Options = {});
+
+  /// Runs one iteration from entry predicate \p PredId with calling
+  /// pattern \p Entry. Returns Completed normally; table growth is
+  /// reported via changedSinceLastRun().
+  AbsRunStatus runIteration(int32_t PredId, const Pattern &Entry);
+
+  /// True if the last runIteration added entries or grew a success pattern.
+  bool changedSinceLastRun() const { return Changed; }
+
+  /// Abstract WAM instructions executed, accumulated over all iterations
+  /// (the paper's "Exec" column in Table 1).
+  uint64_t stepsExecuted() const { return Steps; }
+
+  const std::string &errorMessage() const { return ErrorMsg; }
+
+private:
+  /// One predicate exploration in progress (replaces concrete choice
+  /// points: clause alternatives are driven by call/proceed).
+  struct AnalysisFrame {
+    ETEntry *Entry = nullptr;
+    int32_t PredId = -1;
+    size_t ClauseIdx = 0;
+    std::vector<Cell> CallerArgs;    // caller's argument cells
+    std::vector<int64_t> CalleeArgs; // instantiated calling-pattern cells
+    int32_t SavedCP = 0;
+    int64_t SavedE = -1;
+    int64_t TrailMark = 0;
+    int64_t HeapMark = 0;
+    size_t EnvMark = 0;
+  };
+
+  struct EnvFrame {
+    int64_t PrevE = -1;
+    int32_t SavedCP = 0;
+    std::vector<Cell> Y;
+  };
+
+  bool step();                       // executes one instruction
+  void doCall(int32_t PredId, int32_t ContinueAt);
+  void enterClause();                // (re)start current frame's clause
+  void clauseSucceeded();            // proceed: updateET + artificial fail
+  void failCurrent();                // failure inside the current clause
+  void returnFromFrame();            // clauses exhausted: lookupET
+  bool runAbsBuiltin(int Id, int Arity);
+  void machineError(std::string Message);
+
+  Cell &ySlot(int I) { return Envs[E].Y[I]; }
+
+  const CompiledProgram &Program;
+  const CodeModule &Module;
+  ExtensionTable &Table;
+  AbsMachineOptions Options;
+
+  Store St;
+  std::vector<Cell> X;
+  std::vector<EnvFrame> Envs;
+  std::vector<AnalysisFrame> Frames;
+
+  int32_t P = 0;
+  int32_t CP = 0;
+  int64_t E = -1;
+  int64_t S = 0;
+  bool WriteMode = false;
+  bool Running = false;
+  bool Changed = false;
+  bool HasError = false;
+  uint64_t Steps = 0;
+  std::string ErrorMsg;
+};
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_ABSTRACTMACHINE_H

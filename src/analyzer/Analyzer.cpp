@@ -1,0 +1,274 @@
+//===- analyzer/Analyzer.cpp ----------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+#include <set>
+
+using namespace awam;
+
+Pattern awam::makeEntryPattern(const std::vector<PatKind> &ArgKinds) {
+  Pattern P;
+  for (PatKind K : ArgKinds) {
+    int32_t Id = static_cast<int32_t>(P.Nodes.size());
+    PatNode N;
+    N.K = K;
+    if (K == PatKind::ListP) {
+      PatNode Elem;
+      Elem.K = PatKind::AnyP;
+      N.Children.push_back(Id + 1);
+      P.Nodes.push_back(N);
+      P.Nodes.push_back(Elem);
+      P.Roots.push_back(Id);
+      continue;
+    }
+    P.Nodes.push_back(N);
+    P.Roots.push_back(Id);
+  }
+  return P;
+}
+
+Result<std::pair<std::string, Pattern>>
+awam::parseEntrySpec(std::string_view Spec) {
+  auto Fail = [&](std::string Msg) {
+    return makeError("bad entry spec '" + std::string(Spec) + "': " + Msg);
+  };
+  size_t Paren = Spec.find('(');
+  std::string Name(Spec.substr(0, Paren));
+  while (!Name.empty() && std::isspace(static_cast<unsigned char>(
+                              Name.back())))
+    Name.pop_back();
+  if (Name.empty())
+    return Fail("missing predicate name");
+
+  Pattern P;
+  if (Paren == std::string_view::npos)
+    return std::make_pair(Name, P);
+  if (Spec.back() != ')')
+    return Fail("missing ')'");
+
+  std::string_view ArgText = Spec.substr(Paren + 1, Spec.size() - Paren - 2);
+  size_t Pos = 0;
+  auto nextArg = [&]() -> std::string {
+    std::string Out;
+    while (Pos < ArgText.size() && ArgText[Pos] != ',')
+      Out.push_back(ArgText[Pos++]);
+    if (Pos < ArgText.size())
+      ++Pos; // skip ','
+    // trim
+    size_t B = Out.find_first_not_of(" \t");
+    size_t End = Out.find_last_not_of(" \t");
+    return B == std::string::npos ? "" : Out.substr(B, End - B + 1);
+  };
+
+  while (Pos < ArgText.size()) {
+    std::string Arg = nextArg();
+    if (Arg.empty())
+      return Fail("empty argument");
+    int32_t Id = static_cast<int32_t>(P.Nodes.size());
+    PatNode N;
+    auto simpleKind = [](const std::string &S) -> std::optional<PatKind> {
+      if (S == "any") return PatKind::AnyP;
+      if (S == "nv") return PatKind::NVP;
+      if (S == "g" || S == "ground") return PatKind::GroundP;
+      if (S == "const") return PatKind::ConstP;
+      if (S == "atom") return PatKind::AtomTP;
+      if (S == "int" || S == "integer") return PatKind::IntTP;
+      if (S == "var") return PatKind::VarP;
+      return std::nullopt;
+    };
+    if (auto K = simpleKind(Arg)) {
+      N.K = *K;
+      P.Nodes.push_back(N);
+      P.Roots.push_back(Id);
+      continue;
+    }
+    if (Arg.size() > 4 && Arg.ends_with("list")) {
+      auto EK = simpleKind(Arg.substr(0, Arg.size() - 4));
+      if (!EK)
+        return Fail("unknown list element type in '" + Arg + "'");
+      N.K = PatKind::ListP;
+      N.Children.push_back(Id + 1);
+      PatNode Elem;
+      Elem.K = *EK;
+      P.Nodes.push_back(N);
+      P.Nodes.push_back(Elem);
+      P.Roots.push_back(Id);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(Arg[0])) ||
+        (Arg[0] == '-' && Arg.size() > 1)) {
+      N.K = PatKind::IntP;
+      N.Num = std::stoll(Arg);
+      P.Nodes.push_back(N);
+      P.Roots.push_back(Id);
+      continue;
+    }
+    return Fail("unknown argument form '" + Arg +
+                "' (atoms need interning; use kinds)");
+  }
+  return std::make_pair(Name, P);
+}
+
+Analyzer::Analyzer(const CompiledProgram &Program, AnalyzerOptions Options)
+    : Program(Program), Options(Options) {}
+
+Result<AnalysisResult> Analyzer::analyze(std::string_view Name,
+                                         const Pattern &Entry) {
+  CodeModule &M = *Program.Module;
+  Symbol S = M.symbols().lookup(Name);
+  int Arity = static_cast<int>(Entry.Roots.size());
+  int32_t Pid = S == ~0u ? -1 : M.findPredicate(S, Arity);
+  if (Pid < 0)
+    return makeError("entry predicate " + std::string(Name) + "/" +
+                     std::to_string(Arity) + " is not defined");
+
+  ExtensionTable Table(Options.TableImpl);
+  AbsMachineOptions MachineOptions;
+  MachineOptions.DepthLimit = Options.DepthLimit;
+  MachineOptions.MaxSteps = Options.MaxSteps;
+  AbstractMachine Machine(Program, Table, MachineOptions);
+
+  AnalysisResult R;
+  for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+    AbsRunStatus Status = Machine.runIteration(Pid, Entry);
+    ++R.Iterations;
+    if (Status == AbsRunStatus::Error)
+      return makeError("abstract machine error: " + Machine.errorMessage());
+    if (!Machine.changedSinceLastRun()) {
+      R.Converged = true;
+      break;
+    }
+  }
+  R.Instructions = Machine.stepsExecuted();
+  R.TableProbes = Table.probeCount();
+  for (const ETEntry &E : Table.entries())
+    R.Items.push_back(
+        {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
+  return R;
+}
+
+Result<AnalysisResult> Analyzer::analyze(std::string_view EntrySpec) {
+  Result<std::pair<std::string, Pattern>> Parsed = parseEntrySpec(EntrySpec);
+  if (!Parsed)
+    return Parsed.diag();
+  return analyze(Parsed->first, Parsed->second);
+}
+
+std::string awam::formatAnalysis(const AnalysisResult &R,
+                                 const SymbolTable &Syms) {
+  TextTable T({"predicate", "calling pattern", "success pattern"});
+  for (const AnalysisResult::Item &I : R.Items)
+    T.addRow({I.PredLabel, I.Call.str(Syms),
+              I.Success ? I.Success->str(Syms) : "(fails)"});
+  std::string Out = T.str();
+  Out += "iterations: " + std::to_string(R.Iterations) +
+         (R.Converged ? " (fixpoint)" : " (budget hit)") +
+         ", abstract instructions: " + std::to_string(R.Instructions) +
+         "\n";
+  return Out;
+}
+
+namespace {
+/// True if every term described by node \p Id is ground.
+bool isGroundNode(const Pattern &P, int32_t Id, int Fuel = 64) {
+  if (Fuel <= 0)
+    return false;
+  const PatNode &N = P.Nodes[Id];
+  switch (N.K) {
+  case PatKind::GroundP:
+  case PatKind::ConstP:
+  case PatKind::AtomTP:
+  case PatKind::IntTP:
+  case PatKind::ConP:
+  case PatKind::IntP:
+    return true;
+  case PatKind::VarP:
+  case PatKind::AnyP:
+  case PatKind::NVP:
+    return false;
+  case PatKind::ListP:
+  case PatKind::ConsP:
+  case PatKind::StrP:
+    for (int32_t C : N.Children)
+      if (!isGroundNode(P, C, Fuel - 1))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+/// Classifies one root node of a calling pattern as an input mode.
+std::string modeOf(const Pattern &P, int32_t Root) {
+  if (isGroundNode(P, Root))
+    return "++";
+  switch (P.Nodes[Root].K) {
+  case PatKind::VarP:
+    return "-";
+  case PatKind::AnyP:
+    return "?";
+  default:
+    return "+"; // nonvar
+  }
+}
+
+/// Renders one root of a pattern in isolation.
+std::string rootText(const Pattern &P, size_t ArgIdx,
+                     const SymbolTable &Syms) {
+  // Reuse Pattern::str by printing the whole tuple and splitting is
+  // fragile; print a single-root sub-pattern instead.
+  Pattern Sub;
+  Sub.Nodes = P.Nodes;
+  Sub.Roots = {P.Roots[ArgIdx]};
+  std::string S = Sub.str(Syms);
+  // Strip the surrounding "( ... )".
+  return S.substr(1, S.size() - 2);
+}
+} // namespace
+
+std::string awam::formatModes(const AnalysisResult &R,
+                              const SymbolTable &Syms) {
+  TextTable T({"predicate", "arg", "mode", "call type", "success type"});
+  for (const AnalysisResult::Item &I : R.Items) {
+    for (size_t A = 0; A != I.Call.Roots.size(); ++A) {
+      T.addRow({A == 0 ? I.PredLabel : "", std::to_string(A + 1),
+                modeOf(I.Call, I.Call.Roots[A]), rootText(I.Call, A, Syms),
+                I.Success ? rootText(*I.Success, A, Syms) : "(fails)"});
+    }
+    if (I.Call.Roots.empty())
+      T.addRow({I.PredLabel, "-", "", "",
+                I.Success ? "succeeds" : "(fails)"});
+  }
+  return T.str();
+}
+
+std::string awam::formatReachability(const AnalysisResult &R,
+                                     const CompiledProgram &Program) {
+  const CodeModule &M = *Program.Module;
+  std::set<int32_t> Reached;
+  std::vector<std::string> NeverSucceeds;
+  for (const AnalysisResult::Item &I : R.Items) {
+    Reached.insert(I.PredId);
+    if (!I.Success)
+      NeverSucceeds.push_back(I.PredLabel + " " +
+                              I.Call.str(M.symbols()));
+  }
+  std::string Out;
+  Out += "Reachability from the analyzed entry goal:\n";
+  bool AnyDead = false;
+  for (int32_t Pid = 0; Pid != M.numPredicates(); ++Pid) {
+    if (M.predicate(Pid).Clauses.empty())
+      continue; // undefined predicates are reported by the compiler
+    if (!Reached.count(Pid)) {
+      Out += "  unreachable: " + M.predicateLabel(Pid) + "\n";
+      AnyDead = true;
+    }
+  }
+  if (!AnyDead)
+    Out += "  every defined predicate is reachable\n";
+  for (const std::string &S : NeverSucceeds)
+    Out += "  never succeeds: " + S + "\n";
+  return Out;
+}

@@ -1,0 +1,93 @@
+//===- analyzer/Analyzer.h - Fixpoint driver and results --------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level dataflow analyzer: drives the abstract machine to the
+/// least fixpoint by iterating the entry goal until the extension table
+/// stops changing (the paper's "iterative deepening" over iterations,
+/// Section 2.2), and packages the result for reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_ANALYZER_H
+#define AWAM_ANALYZER_ANALYZER_H
+
+#include "analyzer/AbstractMachine.h"
+
+#include <string>
+#include <vector>
+
+namespace awam {
+
+/// Analyzer configuration.
+struct AnalyzerOptions {
+  int DepthLimit = kDefaultDepthLimit;
+  ExtensionTable::Impl TableImpl = ExtensionTable::Impl::LinearList;
+  int MaxIterations = 1000;
+  uint64_t MaxSteps = 200'000'000;
+};
+
+/// Final analysis output: the extension table plus statistics.
+struct AnalysisResult {
+  struct Item {
+    int32_t PredId;
+    std::string PredLabel;
+    Pattern Call;
+    std::optional<Pattern> Success;
+  };
+  std::vector<Item> Items;
+  int Iterations = 0;
+  bool Converged = false;
+  uint64_t Instructions = 0; ///< abstract WAM instructions executed (Exec)
+  uint64_t TableProbes = 0;
+};
+
+/// Builds an entry calling pattern from per-argument simple kinds.
+Pattern makeEntryPattern(const std::vector<PatKind> &ArgKinds);
+
+/// Parses an entry goal specification like "qsort(glist, var, var)" or
+/// "main" into (name, pattern). Recognized argument forms: any, nv, g,
+/// ground, const, atom, int, var, Klist (e.g. glist, anylist), and
+/// integers/atoms as themselves.
+Result<std::pair<std::string, Pattern>>
+parseEntrySpec(std::string_view Spec);
+
+/// The compiled dataflow analyzer (the paper's system).
+class Analyzer {
+public:
+  Analyzer(const CompiledProgram &Program, AnalyzerOptions Options = {});
+
+  /// Analyzes the program from entry predicate \p Name / arity implied by
+  /// \p Entry. Returns the fixpoint table.
+  Result<AnalysisResult> analyze(std::string_view Name,
+                                 const Pattern &Entry);
+
+  /// Convenience: analyze from a spec string (see parseEntrySpec).
+  Result<AnalysisResult> analyze(std::string_view EntrySpec);
+
+private:
+  const CompiledProgram &Program;
+  AnalyzerOptions Options;
+};
+
+/// Renders the analysis result as a table of calling / success patterns.
+std::string formatAnalysis(const AnalysisResult &R,
+                           const SymbolTable &Syms);
+
+/// Renders inferred modes: for each calling pattern, one line per argument
+/// with its input mode (++ ground, + nonvar, - free, ? unknown) and
+/// success type.
+std::string formatModes(const AnalysisResult &R, const SymbolTable &Syms);
+
+/// Reachability report derived from the extension table: predicates of
+/// \p Program that the analysis never called from the entry goal (dead
+/// code with respect to that entry), and calls that can never succeed.
+std::string formatReachability(const AnalysisResult &R,
+                               const CompiledProgram &Program);
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_ANALYZER_H

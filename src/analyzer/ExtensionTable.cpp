@@ -1,0 +1,43 @@
+//===- analyzer/ExtensionTable.cpp ----------------------------------------===//
+
+#include "analyzer/ExtensionTable.h"
+
+using namespace awam;
+
+ETEntry *ExtensionTable::find(int32_t PredId, const Pattern &Call) {
+  if (WhichImpl == Impl::LinearList) {
+    for (ETEntry &E : Entries) {
+      ++Probes;
+      if (E.PredId == PredId && E.Call == Call)
+        return &E;
+    }
+    return nullptr;
+  }
+  uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
+  auto It = Index.find(H);
+  if (It == Index.end())
+    return nullptr;
+  for (ETEntry *E : It->second) {
+    ++Probes;
+    if (E->PredId == PredId && E->Call == Call)
+      return E;
+  }
+  return nullptr;
+}
+
+ETEntry &ExtensionTable::findOrCreate(int32_t PredId, const Pattern &Call,
+                                      bool &Created) {
+  if (ETEntry *E = find(PredId, Call)) {
+    Created = false;
+    return *E;
+  }
+  Created = true;
+  ETEntry &E = Entries.emplace_back();
+  E.PredId = PredId;
+  E.Call = Call;
+  if (WhichImpl == Impl::HashMap) {
+    uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
+    Index[H].push_back(&E);
+  }
+  return E;
+}

@@ -1,0 +1,78 @@
+//===- analyzer/ExtensionTable.h - OLDT-style memo table --------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extension table of the paper's control scheme (Sections 2.2 and 5):
+/// a memo mapping (predicate, calling pattern) to the lub of the success
+/// patterns found so far. Multiple calling patterns are kept per predicate;
+/// the success patterns of one calling pattern are summarized by lub.
+///
+/// The paper implements the table as a linear list of pairs (Section 6);
+/// we provide that implementation plus a hashed variant for the ablation
+/// bench (bench/ablation_et).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_EXTENSIONTABLE_H
+#define AWAM_ANALYZER_EXTENSIONTABLE_H
+
+#include "analyzer/Pattern.h"
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+namespace awam {
+
+/// One (calling pattern, success pattern) pair.
+struct ETEntry {
+  int32_t PredId = -1;
+  Pattern Call;
+  std::optional<Pattern> Success;
+  /// Set while / after the entry was explored in the current iteration.
+  bool Explored = false;
+};
+
+/// The memo table.
+class ExtensionTable {
+public:
+  /// Lookup structure used to find entries.
+  enum class Impl {
+    LinearList, ///< the paper's implementation: scan a list of pairs
+    HashMap,    ///< hash on (predicate, pattern)
+  };
+
+  explicit ExtensionTable(Impl I = Impl::LinearList) : WhichImpl(I) {}
+
+  /// Returns the entry for (\p PredId, \p Call), creating it if missing;
+  /// sets \p Created accordingly. Entry references are stable.
+  ETEntry &findOrCreate(int32_t PredId, const Pattern &Call, bool &Created);
+
+  /// Returns the entry if present.
+  ETEntry *find(int32_t PredId, const Pattern &Call);
+
+  /// Clears the per-iteration Explored flags.
+  void beginIteration() {
+    for (ETEntry &E : Entries)
+      E.Explored = false;
+  }
+
+  const std::deque<ETEntry> &entries() const { return Entries; }
+  size_t size() const { return Entries.size(); }
+
+  /// Number of pattern comparisons performed by lookups (ablation metric).
+  uint64_t probeCount() const { return Probes; }
+
+private:
+  Impl WhichImpl;
+  std::deque<ETEntry> Entries; // stable addresses
+  std::unordered_map<uint64_t, std::vector<ETEntry *>> Index; // HashMap impl
+  uint64_t Probes = 0;
+};
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_EXTENSIONTABLE_H

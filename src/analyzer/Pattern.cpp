@@ -1,0 +1,387 @@
+//===- analyzer/Pattern.cpp -----------------------------------------------===//
+
+#include "analyzer/Pattern.h"
+
+#include "absdom/AbsOps.h"
+#include "support/StringUtil.h"
+
+#include <map>
+
+using namespace awam;
+
+size_t Pattern::hash() const {
+  size_t H = Nodes.size() * 1469598103934665603ull;
+  auto Mix = [&H](size_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  for (const PatNode &N : Nodes) {
+    Mix(static_cast<size_t>(N.K));
+    Mix(N.Sym);
+    Mix(static_cast<size_t>(N.Num));
+    for (int32_t C : N.Children)
+      Mix(static_cast<size_t>(C));
+  }
+  for (int32_t R : Roots)
+    Mix(static_cast<size_t>(R));
+  return H;
+}
+
+namespace {
+
+class Canonicalizer {
+public:
+  Canonicalizer(const Store &St, int DepthLimit, bool WidenConstants)
+      : St(St), DepthLimit(DepthLimit), WidenConstants(WidenConstants) {}
+
+  Pattern run(const std::vector<Cell> &Args) {
+    Pattern P;
+    P.Nodes.reserve(4 * Args.size() + 8);
+    P.Roots.reserve(Args.size());
+    Seen.reserve(16);
+    for (const Cell &A : Args)
+      P.Roots.push_back(visit(A, 0, P));
+    return P;
+  }
+
+private:
+  /// Node identity for sharing detection: structures and lists identify
+  /// by their base block (several cells can hold the same Str/Lis value),
+  /// other values by the cell that holds them.
+  static int64_t keyOf(const DerefResult &D) {
+    if (D.C.T == Tag::Str)
+      return (D.C.V << 2) | 1;
+    if (D.C.T == Tag::Lis)
+      return (D.C.V << 2) | 2;
+    return D.Addr == kNoAddr ? kNoAddr : (D.Addr << 2);
+  }
+
+  int32_t visit(Cell C, int Depth, Pattern &P) {
+    DerefResult D = St.deref(C);
+    int64_t Key = keyOf(D);
+    // Patterns are small (depth-cut), so a linear scan beats a map here.
+    if (Key != kNoAddr)
+      for (auto [Addr, Id] : Seen)
+        if (Addr == Key) {
+          // Re-visiting a node whose children are still being built means
+          // a cyclic (rational) term: patterns must stay acyclic, so the
+          // back-edge widens to a leaf (a cyclic term is always nonvar).
+          for (int64_t Live : InProgress)
+            if (Live == Key) {
+              int32_t Leaf = static_cast<int32_t>(P.Nodes.size());
+              PatNode N;
+              N.K = PatKind::NVP;
+              P.Nodes.push_back(N);
+              return Leaf;
+            }
+          return Id;
+        }
+    int32_t Id = static_cast<int32_t>(P.Nodes.size());
+    P.Nodes.emplace_back();
+    if (Key != kNoAddr) {
+      Seen.emplace_back(Key, Id);
+      InProgress.push_back(Key);
+    }
+    PatNode N = makeNode(D, Depth, P);
+    if (Key != kNoAddr)
+      InProgress.pop_back();
+    P.Nodes[Id] = std::move(N);
+    return Id;
+  }
+
+  PatNode makeNode(const DerefResult &D, int Depth, Pattern &P) {
+    PatNode N;
+    switch (D.C.T) {
+    case Tag::Ref:
+      N.K = PatKind::VarP;
+      return N;
+    case Tag::Con:
+      // Call abstraction widens constants to their types; '[]' keeps its
+      // list information.
+      if (WidenConstants && D.C.V != SymbolTable::SymNil) {
+        N.K = PatKind::AtomTP;
+        return N;
+      }
+      N.K = PatKind::ConP;
+      N.Sym = static_cast<Symbol>(D.C.V);
+      return N;
+    case Tag::Int:
+      if (WidenConstants) {
+        N.K = PatKind::IntTP;
+        return N;
+      }
+      N.K = PatKind::IntP;
+      N.Num = D.C.V;
+      return N;
+    case Tag::Abs:
+      switch (D.C.absKind()) {
+      case AbsKind::Any: N.K = PatKind::AnyP; return N;
+      case AbsKind::NV: N.K = PatKind::NVP; return N;
+      case AbsKind::Ground: N.K = PatKind::GroundP; return N;
+      case AbsKind::Const: N.K = PatKind::ConstP; return N;
+      case AbsKind::AtomT: N.K = PatKind::AtomTP; return N;
+      case AbsKind::IntT: N.K = PatKind::IntTP; return N;
+      case AbsKind::List:
+        N.K = PatKind::ListP;
+        N.Children.push_back(visit(Cell::ref(D.C.V), Depth + 1, P));
+        return N;
+      case AbsKind::Var: N.K = PatKind::VarP; return N;
+      }
+      N.K = PatKind::AnyP;
+      return N;
+    case Tag::Lis:
+      if (Depth + 1 >= DepthLimit)
+        return widened(D, P);
+      N.K = PatKind::ConsP;
+      N.Children.push_back(visit(Cell::ref(D.C.V), Depth + 1, P));
+      N.Children.push_back(visit(Cell::ref(D.C.V + 1), Depth + 1, P));
+      return N;
+    case Tag::Str: {
+      if (Depth + 1 >= DepthLimit)
+        return widened(D, P);
+      const Cell F = St.at(D.C.V);
+      N.K = PatKind::StrP;
+      N.Sym = static_cast<Symbol>(F.V);
+      for (int I = 1; I <= F.funArity(); ++I)
+        N.Children.push_back(visit(Cell::ref(D.C.V + I), Depth + 1, P));
+      return N;
+    }
+    case Tag::Fun:
+    case Tag::Ctl:
+      assert(false && "non-term cell in pattern");
+      N.K = PatKind::AnyP;
+      return N;
+    }
+    return N;
+  }
+
+  /// The term-depth restriction: a compound below the limit is simplified
+  /// to a simple abstract type (Section 3). Alpha-lists count as simple
+  /// elements, so a proper list widens to glist/anylist rather than g/nv.
+  PatNode widened(const DerefResult &D, Pattern &P) {
+    PatNode N;
+    if (D.C.T == Tag::Lis) {
+      // Walk the spine to see whether this is a proper list.
+      bool Proper = false;
+      bool Ground = true;
+      Cell Cur = D.C;
+      for (int Fuel = 0; Fuel != 512; ++Fuel) {
+        DerefResult DC = St.deref(Cur);
+        if (DC.C.T == Tag::Con && DC.C.V == SymbolTable::SymNil) {
+          Proper = true;
+          break;
+        }
+        if (DC.C.T == Tag::Abs && DC.C.absKind() == AbsKind::List) {
+          Proper = true;
+          Ground = Ground && isGroundCell(St, Cell::ref(DC.C.V));
+          break;
+        }
+        if (DC.C.T != Tag::Lis)
+          break;
+        Ground = Ground && isGroundCell(St, Cell::ref(DC.C.V));
+        Cur = Cell::ref(DC.C.V + 1);
+      }
+      if (Proper) {
+        N.K = PatKind::ListP;
+        PatNode Elem;
+        Elem.K = Ground ? PatKind::GroundP : PatKind::AnyP;
+        N.Children.push_back(static_cast<int32_t>(P.Nodes.size()));
+        P.Nodes.push_back(Elem);
+        return N;
+      }
+    }
+    N.K = isGroundCell(St, D.C) ? PatKind::GroundP : PatKind::NVP;
+    return N;
+  }
+
+  const Store &St;
+  int DepthLimit;
+  bool WidenConstants;
+  std::vector<std::pair<int64_t, int32_t>> Seen;
+  std::vector<int64_t> InProgress;
+};
+
+} // namespace
+
+Pattern awam::canonicalize(const Store &St, const std::vector<Cell> &Args,
+                           int DepthLimit, bool WidenConstants) {
+  return Canonicalizer(St, DepthLimit, WidenConstants).run(Args);
+}
+
+std::vector<int64_t> awam::instantiate(Store &St, const Pattern &P) {
+  std::vector<int64_t> CellOf(P.Nodes.size(), -1);
+
+  // Build nodes bottom-up with an explicit worklist (the DAG is acyclic).
+  struct Builder {
+    Store &St;
+    const Pattern &P;
+    std::vector<int64_t> &CellOf;
+
+    int64_t build(int32_t Id) {
+      if (CellOf[Id] >= 0)
+        return CellOf[Id];
+      const PatNode &N = P.Nodes[Id];
+      int64_t Out = -1;
+      switch (N.K) {
+      case PatKind::VarP: Out = St.pushVar(); break;
+      case PatKind::AnyP: Out = St.push(Cell::abs(AbsKind::Any)); break;
+      case PatKind::NVP: Out = St.push(Cell::abs(AbsKind::NV)); break;
+      case PatKind::GroundP:
+        Out = St.push(Cell::abs(AbsKind::Ground));
+        break;
+      case PatKind::ConstP: Out = St.push(Cell::abs(AbsKind::Const)); break;
+      case PatKind::AtomTP: Out = St.push(Cell::abs(AbsKind::AtomT)); break;
+      case PatKind::IntTP: Out = St.push(Cell::abs(AbsKind::IntT)); break;
+      case PatKind::ConP: Out = St.push(Cell::atom(N.Sym)); break;
+      case PatKind::IntP: Out = St.push(Cell::integer(N.Num)); break;
+      case PatKind::ListP: {
+        int64_t Elem = build(N.Children[0]);
+        Out = St.push(Cell::abs(AbsKind::List, Elem));
+        break;
+      }
+      case PatKind::ConsP: {
+        int64_t Car = build(N.Children[0]);
+        int64_t Cdr = build(N.Children[1]);
+        int64_t Base = St.push(Cell::ref(Car));
+        St.push(Cell::ref(Cdr));
+        Out = St.push(Cell::lis(Base));
+        break;
+      }
+      case PatKind::StrP: {
+        std::vector<int64_t> Args;
+        for (int32_t C : N.Children)
+          Args.push_back(build(C));
+        int64_t FunAddr = St.push(
+            Cell::fun(N.Sym, static_cast<int>(N.Children.size())));
+        for (int64_t A : Args)
+          St.push(Cell::ref(A));
+        Out = St.push(Cell::str(FunAddr));
+        break;
+      }
+      }
+      CellOf[Id] = Out;
+      return Out;
+    }
+  } B{St, P, CellOf};
+
+  std::vector<int64_t> Roots;
+  Roots.reserve(P.Roots.size());
+  for (int32_t R : P.Roots)
+    Roots.push_back(B.build(R));
+  return Roots;
+}
+
+Pattern awam::lubPatterns(const Pattern &A, const Pattern &B,
+                          int DepthLimit) {
+  assert(A.Roots.size() == B.Roots.size() && "arity mismatch in lub");
+  Store Scratch;
+  std::vector<int64_t> RA = instantiate(Scratch, A);
+  std::vector<int64_t> RB = instantiate(Scratch, B);
+  LubContext Ctx(Scratch);
+  std::vector<Cell> Result;
+  Result.reserve(RA.size());
+  for (size_t I = 0; I != RA.size(); ++I)
+    Result.push_back(
+        Cell::ref(Ctx.lub(Cell::ref(RA[I]), Cell::ref(RB[I]))));
+  return canonicalize(Scratch, Result, DepthLimit);
+}
+
+bool awam::patternLeq(const Pattern &A, const Pattern &B, int DepthLimit) {
+  return lubPatterns(A, B, DepthLimit) == B;
+}
+
+std::string Pattern::str(const SymbolTable &Syms) const {
+  std::string Out = "(";
+  std::vector<int> Visits(Nodes.size(), 0);
+  // First pass: count references so only truly shared nodes get markers.
+  std::vector<int> RefCount(Nodes.size(), 0);
+  for (int32_t R : Roots)
+    ++RefCount[R];
+  for (const PatNode &N : Nodes)
+    for (int32_t C : N.Children)
+      ++RefCount[C];
+
+  struct Printer {
+    const Pattern &P;
+    const SymbolTable &Syms;
+    std::vector<int> &Visits;
+    std::vector<int> &RefCount;
+
+    void print(int32_t Id, std::string &Out) {
+      const PatNode &N = P.Nodes[Id];
+      bool Shared = RefCount[Id] > 1 && N.K != PatKind::ConP &&
+                    N.K != PatKind::IntP;
+      if (Shared && Visits[Id]++) {
+        Out += "_S" + std::to_string(Id);
+        return;
+      }
+      std::string Marker = Shared ? "_S" + std::to_string(Id) + "=" : "";
+      Out += Marker;
+      switch (N.K) {
+      case PatKind::VarP: Out += "var"; return;
+      case PatKind::AnyP: Out += "any"; return;
+      case PatKind::NVP: Out += "nv"; return;
+      case PatKind::GroundP: Out += "g"; return;
+      case PatKind::ConstP: Out += "const"; return;
+      case PatKind::AtomTP: Out += "atom"; return;
+      case PatKind::IntTP: Out += "int"; return;
+      case PatKind::ConP:
+        Out += quoteAtom(Syms.name(N.Sym));
+        return;
+      case PatKind::IntP:
+        Out += std::to_string(N.Num);
+        return;
+      case PatKind::ListP: {
+        const PatNode &E = P.Nodes[N.Children[0]];
+        // "glist" style for simple element types, "(...)list" otherwise.
+        std::string Elem;
+        print(N.Children[0], Elem);
+        if (E.Children.empty() && Elem.find('=') == std::string::npos)
+          Out += Elem + "list";
+        else
+          Out += "(" + Elem + ")list";
+        return;
+      }
+      case PatKind::ConsP: {
+        Out += "[";
+        print(N.Children[0], Out);
+        int32_t Tail = N.Children[1];
+        for (;;) {
+          const PatNode &T = P.Nodes[Tail];
+          if (T.K == PatKind::ConP && T.Sym == SymbolTable::SymNil) {
+            Out += "]";
+            return;
+          }
+          if (T.K == PatKind::ConsP && RefCount[Tail] <= 1) {
+            Out += ",";
+            print(T.Children[0], Out);
+            Tail = T.Children[1];
+            continue;
+          }
+          Out += "|";
+          print(Tail, Out);
+          Out += "]";
+          return;
+        }
+      }
+      case PatKind::StrP: {
+        Out += quoteAtom(Syms.name(N.Sym));
+        Out += "(";
+        for (size_t I = 0; I != N.Children.size(); ++I) {
+          if (I)
+            Out += ",";
+          print(N.Children[I], Out);
+        }
+        Out += ")";
+        return;
+      }
+      }
+    }
+  } Pr{*this, Syms, Visits, RefCount};
+
+  for (size_t I = 0; I != Roots.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Pr.print(Roots[I], Out);
+  }
+  return Out + ")";
+}

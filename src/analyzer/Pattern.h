@@ -1,0 +1,106 @@
+//===- analyzer/Pattern.h - Calling and success patterns --------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical abstract descriptions of argument-register tuples: the
+/// "calling patterns" and "success patterns" of the paper's extension-table
+/// control scheme (Sections 2.2 and 5).
+///
+/// A Pattern is a term DAG cut at the paper's term-depth limit (k = 4 by
+/// default). Node ids are assigned in first-visit order from the roots, so
+/// structural equality of two Patterns is equality up to renaming, and
+/// shared nodes represent aliasing (a variable or abstract term reachable
+/// from two argument positions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_PATTERN_H
+#define AWAM_ANALYZER_PATTERN_H
+
+#include "wam/Store.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace awam {
+
+/// Node kinds of pattern DAGs.
+enum class PatKind : uint8_t {
+  VarP,    ///< a free variable
+  AnyP,    ///< any
+  NVP,     ///< nv
+  GroundP, ///< g
+  ConstP,  ///< const
+  AtomTP,  ///< atom (the set)
+  IntTP,   ///< integer (the set)
+  ListP,   ///< alpha-list; one child: the element type
+  ConP,    ///< a specific atom; Sym is its symbol
+  IntP,    ///< a specific integer; Num is its value
+  ConsP,   ///< a list cell; two children
+  StrP,    ///< a structure; Sym/children
+};
+
+/// One pattern node.
+struct PatNode {
+  PatKind K = PatKind::AnyP;
+  Symbol Sym = 0;
+  int64_t Num = 0;
+  std::vector<int32_t> Children;
+
+  friend bool operator==(const PatNode &, const PatNode &) = default;
+};
+
+/// A canonical pattern: nodes in first-visit order plus one root per
+/// argument position.
+struct Pattern {
+  std::vector<PatNode> Nodes;
+  std::vector<int32_t> Roots;
+
+  friend bool operator==(const Pattern &, const Pattern &) = default;
+
+  /// Stable hash for table lookup.
+  size_t hash() const;
+
+  /// Renders like the paper: "(atom, glist)" with aliased nodes shown as
+  /// "_S<n>" markers on repeated visits.
+  std::string str(const SymbolTable &Syms) const;
+};
+
+/// Default term-depth restriction (the paper and Taylor's analyzer use 4).
+inline constexpr int kDefaultDepthLimit = 4;
+
+/// Abstracts the cells \p Args (argument registers) into a canonical
+/// Pattern, applying the term-depth cut at \p DepthLimit.
+///
+/// With \p WidenConstants set, specific constants are widened to their
+/// types (a -> atom, 3 -> integer; '[]' is kept, it carries list
+/// information). The paper applies this widening when abstracting a call
+/// — its example call pattern for p(a, ...) is p(atom, ...) — which keeps
+/// the number of calling patterns per predicate small; success patterns
+/// keep specific constants.
+Pattern canonicalize(const Store &St, const std::vector<Cell> &Args,
+                     int DepthLimit = kDefaultDepthLimit,
+                     bool WidenConstants = false);
+
+/// Builds fresh cells denoting \p P in \p St; returns one root address per
+/// argument position. Shared nodes become shared cells (aliasing).
+std::vector<int64_t> instantiate(Store &St, const Pattern &P);
+
+/// Least upper bound of two patterns with the same arity, computed by
+/// instantiating both into a scratch store, lubbing cell-wise and
+/// re-canonicalizing.
+Pattern lubPatterns(const Pattern &A, const Pattern &B,
+                    int DepthLimit = kDefaultDepthLimit);
+
+/// Partial order: A is at or below B (gamma(A) subset of gamma(B)),
+/// decided as lub(A, B) == B.
+bool patternLeq(const Pattern &A, const Pattern &B,
+                int DepthLimit = kDefaultDepthLimit);
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_PATTERN_H

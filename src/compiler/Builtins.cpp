@@ -1,0 +1,63 @@
+//===- compiler/Builtins.cpp ----------------------------------------------===//
+
+#include "compiler/Builtins.h"
+
+#include <array>
+
+using namespace awam;
+
+namespace {
+struct BuiltinDesc {
+  BuiltinId Id;
+  std::string_view Name;
+  int Arity;
+};
+
+constexpr std::array<BuiltinDesc, NumBuiltinIds> Descs = {{
+    {BuiltinId::Is, "is", 2},
+    {BuiltinId::ArithLt, "<", 2},
+    {BuiltinId::ArithGt, ">", 2},
+    {BuiltinId::ArithLe, "=<", 2},
+    {BuiltinId::ArithGe, ">=", 2},
+    {BuiltinId::ArithEq, "=:=", 2},
+    {BuiltinId::ArithNe, "=\\=", 2},
+    {BuiltinId::Unify, "=", 2},
+    {BuiltinId::NotUnify, "\\=", 2},
+    {BuiltinId::StructEq, "==", 2},
+    {BuiltinId::StructNe, "\\==", 2},
+    {BuiltinId::TermLt, "@<", 2},
+    {BuiltinId::TermGt, "@>", 2},
+    {BuiltinId::TermLe, "@=<", 2},
+    {BuiltinId::TermGe, "@>=", 2},
+    {BuiltinId::VarP, "var", 1},
+    {BuiltinId::NonvarP, "nonvar", 1},
+    {BuiltinId::AtomP, "atom", 1},
+    {BuiltinId::IntegerP, "integer", 1},
+    {BuiltinId::NumberP, "number", 1},
+    {BuiltinId::AtomicP, "atomic", 1},
+    {BuiltinId::CompoundP, "compound", 1},
+    {BuiltinId::Functor, "functor", 3},
+    {BuiltinId::Arg, "arg", 3},
+    {BuiltinId::Univ, "=..", 2},
+    {BuiltinId::Write, "write", 1},
+    {BuiltinId::Nl, "nl", 0},
+    {BuiltinId::Tab, "tab", 1},
+    {BuiltinId::HaltB, "halt", 0},
+}};
+} // namespace
+
+std::optional<BuiltinId> awam::lookupBuiltin(std::string_view Name,
+                                             int Arity) {
+  for (const BuiltinDesc &D : Descs)
+    if (D.Name == Name && D.Arity == Arity)
+      return D.Id;
+  return std::nullopt;
+}
+
+std::string_view awam::builtinName(BuiltinId Id) {
+  return Descs[static_cast<size_t>(Id)].Name;
+}
+
+int awam::builtinArity(BuiltinId Id) {
+  return Descs[static_cast<size_t>(Id)].Arity;
+}

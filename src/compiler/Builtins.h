@@ -1,0 +1,73 @@
+//===- compiler/Builtins.h - Builtin predicate registry ---------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The set of builtin predicates known to the compiler. The concrete
+/// machine (src/wam) and the abstract machine (src/analyzer) each provide an
+/// implementation for every id; the compiler emits a Builtin instruction
+/// whenever a goal matches this registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_COMPILER_BUILTINS_H
+#define AWAM_COMPILER_BUILTINS_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace awam {
+
+/// Ids of builtin predicates.
+enum class BuiltinId : uint8_t {
+  Is,           ///< is/2: arithmetic evaluation
+  ArithLt,      ///< </2
+  ArithGt,      ///< >/2
+  ArithLe,      ///< =</2
+  ArithGe,      ///< >=/2
+  ArithEq,      ///< =:=/2
+  ArithNe,      ///< =\=/2
+  Unify,        ///< =/2
+  NotUnify,     ///< \=/2
+  StructEq,     ///< ==/2
+  StructNe,     ///< \==/2
+  TermLt,       ///< @</2 (standard order of terms)
+  TermGt,       ///< @>/2
+  TermLe,       ///< @=</2
+  TermGe,       ///< @>=/2
+  VarP,         ///< var/1
+  NonvarP,      ///< nonvar/1
+  AtomP,        ///< atom/1
+  IntegerP,     ///< integer/1
+  NumberP,      ///< number/1
+  AtomicP,      ///< atomic/1
+  CompoundP,    ///< compound/1
+  Functor,      ///< functor/3
+  Arg,          ///< arg/3
+  Univ,         ///< =../2
+  Write,        ///< write/1
+  Nl,           ///< nl/0
+  Tab,          ///< tab/1
+  HaltB,        ///< halt/0
+  NumBuiltins,
+};
+
+/// Number of distinct builtin ids.
+inline constexpr int NumBuiltinIds =
+    static_cast<int>(BuiltinId::NumBuiltins);
+
+/// Returns the builtin id for \p Name / \p Arity, if it is a builtin.
+std::optional<BuiltinId> lookupBuiltin(std::string_view Name, int Arity);
+
+/// Returns the source name of a builtin (e.g. "is").
+std::string_view builtinName(BuiltinId Id);
+
+/// Returns the arity of a builtin.
+int builtinArity(BuiltinId Id);
+
+} // namespace awam
+
+#endif // AWAM_COMPILER_BUILTINS_H

@@ -1,0 +1,44 @@
+//===- compiler/CodeModule.cpp --------------------------------------------===//
+
+#include "compiler/CodeModule.h"
+
+using namespace awam;
+
+int32_t CodeModule::internConst(ConstOperand C) {
+  auto [It, Inserted] =
+      ConstIndex.try_emplace(C, static_cast<int32_t>(Consts.size()));
+  if (Inserted)
+    Consts.push_back(C);
+  return It->second;
+}
+
+int32_t CodeModule::internFunctor(FunctorArity F) {
+  auto [It, Inserted] =
+      FunctorIndex.try_emplace(F, static_cast<int32_t>(Functors.size()));
+  if (Inserted)
+    Functors.push_back(F);
+  return It->second;
+}
+
+int32_t CodeModule::predicateId(Symbol Name, int Arity) {
+  auto Key = std::make_pair(Name, static_cast<int32_t>(Arity));
+  auto [It, Inserted] =
+      PredIndex.try_emplace(Key, static_cast<int32_t>(Preds.size()));
+  if (Inserted) {
+    PredicateInfo P;
+    P.Name = Name;
+    P.Arity = Arity;
+    Preds.push_back(P);
+  }
+  return It->second;
+}
+
+int32_t CodeModule::findPredicate(Symbol Name, int Arity) const {
+  auto It = PredIndex.find({Name, Arity});
+  return It == PredIndex.end() ? -1 : It->second;
+}
+
+std::string CodeModule::predicateLabel(int32_t Id) const {
+  const PredicateInfo &P = Preds[Id];
+  return std::string(Syms->name(P.Name)) + "/" + std::to_string(P.Arity);
+}

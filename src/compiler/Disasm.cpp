@@ -1,0 +1,154 @@
+//===- compiler/Disasm.cpp ------------------------------------------------===//
+
+#include "compiler/Disasm.h"
+
+#include "compiler/Builtins.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+
+using namespace awam;
+
+static std::string constText(const CodeModule &M, int32_t Idx) {
+  const ConstOperand &C = M.constAt(Idx);
+  if (C.K == ConstOperand::IntK)
+    return std::to_string(C.Int);
+  return quoteAtom(M.symbols().name(C.Name));
+}
+
+static std::string functorText(const CodeModule &M, int32_t Idx) {
+  const FunctorArity &F = M.functorAt(Idx);
+  return quoteAtom(M.symbols().name(F.Name)) + "/" +
+         std::to_string(F.Arity);
+}
+
+// Registers print 1-based, as in the paper (A1 = X1; X and A name the
+// same bank, A for argument positions).
+static std::string regX(int32_t R) { return "X" + std::to_string(R + 1); }
+static std::string regY(int32_t R) { return "Y" + std::to_string(R + 1); }
+static std::string regA(int32_t R) { return "A" + std::to_string(R + 1); }
+static std::string addr(int32_t A) {
+  return A == kFailTarget ? "fail" : "@" + std::to_string(A);
+}
+
+std::string awam::disassembleInstruction(const CodeModule &M,
+                                         const Instruction &I) {
+  std::string Name = padRight(opcodeName(I.Op), 20);
+  switch (I.Op) {
+  case Opcode::GetVariableX:
+  case Opcode::GetValueX:
+    return Name + regX(I.A) + ", " + regA(I.B);
+  case Opcode::GetVariableY:
+  case Opcode::GetValueY:
+    return Name + regY(I.A) + ", " + regA(I.B);
+  case Opcode::GetConst:
+    return Name + constText(M, I.A) + ", " + regA(I.B);
+  case Opcode::GetList:
+    return Name + regA(I.A);
+  case Opcode::GetStructure:
+    return Name + functorText(M, I.A) + ", " + regA(I.B);
+  case Opcode::PutVariableX:
+  case Opcode::PutValueX:
+    return Name + regX(I.A) + ", " + regA(I.B);
+  case Opcode::PutVariableY:
+  case Opcode::PutValueY:
+    return Name + regY(I.A) + ", " + regA(I.B);
+  case Opcode::PutConst:
+    return Name + constText(M, I.A) + ", " + regA(I.B);
+  case Opcode::PutList:
+    return Name + regX(I.A);
+  case Opcode::PutStructure:
+    return Name + functorText(M, I.A) + ", " + regX(I.B);
+  case Opcode::UnifyVariableX:
+  case Opcode::UnifyValueX:
+    return Name + regX(I.A);
+  case Opcode::UnifyVariableY:
+  case Opcode::UnifyValueY:
+    return Name + regY(I.A);
+  case Opcode::UnifyConst:
+    return Name + constText(M, I.A);
+  case Opcode::UnifyVoid:
+  case Opcode::Allocate:
+    return Name + std::to_string(I.A);
+  case Opcode::Deallocate:
+  case Opcode::Proceed:
+  case Opcode::Fail:
+  case Opcode::NeckCut:
+  case Opcode::Halt:
+    return std::string(opcodeName(I.Op));
+  case Opcode::Call:
+  case Opcode::Execute:
+    return Name + M.predicateLabel(I.A);
+  case Opcode::Try:
+  case Opcode::Retry:
+  case Opcode::Trust:
+  case Opcode::Jump:
+    return Name + addr(I.A);
+  case Opcode::SwitchOnTerm: {
+    const TermSwitch &S = M.termSwitchAt(I.A);
+    return Name + "var:" + addr(S.OnVar) + " const:" + addr(S.OnConst) +
+           " list:" + addr(S.OnList) + " struct:" + addr(S.OnStruct);
+  }
+  case Opcode::SwitchOnConstant:
+  case Opcode::SwitchOnStructure: {
+    const ValueSwitch &S = M.valueSwitchAt(I.A);
+    std::string Out = Name;
+    for (auto [Key, Target] : S.Cases) {
+      Out += I.Op == Opcode::SwitchOnConstant ? constText(M, Key)
+                                              : functorText(M, Key);
+      Out += ":" + addr(Target) + " ";
+    }
+    Out += "default:" + addr(S.Default);
+    return Out;
+  }
+  case Opcode::GetLevel:
+  case Opcode::CutY:
+    return Name + regY(I.A);
+  case Opcode::Builtin:
+    return Name +
+           std::string(builtinName(static_cast<BuiltinId>(I.A))) + "/" +
+           std::to_string(I.B);
+  }
+  return std::string(opcodeName(I.Op));
+}
+
+std::string awam::disassembleRange(const CodeModule &M, int32_t Begin,
+                                   int32_t End) {
+  std::string Out;
+  for (int32_t A = Begin; A != End; ++A) {
+    Out += padLeft(std::to_string(A), 5) + "  " +
+           disassembleInstruction(M, M.at(A)) + "\n";
+  }
+  return Out;
+}
+
+std::string awam::disassemblePredicate(const CodeModule &M, int32_t PredId) {
+  const PredicateInfo &P = M.predicate(PredId);
+  std::string Out = M.predicateLabel(PredId) + ":";
+  if (P.Clauses.empty())
+    return Out + "  (undefined)\n";
+  Out += "  index entry " + addr(P.IndexEntry) + "\n";
+  for (size_t I = 0; I != P.Clauses.size(); ++I) {
+    Out += "  clause " + std::to_string(I + 1) + ":\n";
+    Out += disassembleRange(M, P.Clauses[I].Entry,
+                            P.Clauses[I].Entry + P.Clauses[I].NumInstr);
+  }
+  // The indexing block (chains and switches) is emitted contiguously
+  // after the predicate's last clause, ending at the index entry.
+  if (P.Clauses.size() > 1) {
+    int32_t AfterClauses = 0;
+    for (const ClauseInfo &C : P.Clauses)
+      AfterClauses = std::max(AfterClauses, C.Entry + C.NumInstr);
+    if (P.IndexEntry >= AfterClauses)
+      Out += "  indexing:\n" +
+             disassembleRange(M, AfterClauses, P.IndexEntry + 1);
+  }
+  return Out;
+}
+
+std::string awam::disassembleModule(const CodeModule &M) {
+  std::string Out;
+  for (int32_t P = 0; P != M.numPredicates(); ++P)
+    Out += disassemblePredicate(M, P) + "\n";
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===- compiler/Disasm.h - WAM code disassembler ----------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders compiled WAM code as text in the style of the paper's Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_COMPILER_DISASM_H
+#define AWAM_COMPILER_DISASM_H
+
+#include "compiler/CodeModule.h"
+
+#include <string>
+
+namespace awam {
+
+/// Renders one instruction (without address) as text.
+std::string disassembleInstruction(const CodeModule &Module,
+                                   const Instruction &I);
+
+/// Renders the code range [Begin, End) with addresses.
+std::string disassembleRange(const CodeModule &Module, int32_t Begin,
+                             int32_t End);
+
+/// Renders a whole predicate: indexing block reference plus each clause.
+std::string disassemblePredicate(const CodeModule &Module, int32_t PredId);
+
+/// Renders the entire module.
+std::string disassembleModule(const CodeModule &Module);
+
+} // namespace awam
+
+#endif // AWAM_COMPILER_DISASM_H

@@ -1,0 +1,49 @@
+//===- compiler/Instruction.cpp -------------------------------------------===//
+
+#include "compiler/Instruction.h"
+
+using namespace awam;
+
+std::string_view awam::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::GetVariableX: return "get_variable_x";
+  case Opcode::GetVariableY: return "get_variable_y";
+  case Opcode::GetValueX: return "get_value_x";
+  case Opcode::GetValueY: return "get_value_y";
+  case Opcode::GetConst: return "get_const";
+  case Opcode::GetList: return "get_list";
+  case Opcode::GetStructure: return "get_structure";
+  case Opcode::PutVariableX: return "put_variable_x";
+  case Opcode::PutVariableY: return "put_variable_y";
+  case Opcode::PutValueX: return "put_value_x";
+  case Opcode::PutValueY: return "put_value_y";
+  case Opcode::PutConst: return "put_const";
+  case Opcode::PutList: return "put_list";
+  case Opcode::PutStructure: return "put_structure";
+  case Opcode::UnifyVariableX: return "unify_variable_x";
+  case Opcode::UnifyVariableY: return "unify_variable_y";
+  case Opcode::UnifyValueX: return "unify_value_x";
+  case Opcode::UnifyValueY: return "unify_value_y";
+  case Opcode::UnifyConst: return "unify_const";
+  case Opcode::UnifyVoid: return "unify_void";
+  case Opcode::Allocate: return "allocate";
+  case Opcode::Deallocate: return "deallocate";
+  case Opcode::Call: return "call";
+  case Opcode::Execute: return "execute";
+  case Opcode::Proceed: return "proceed";
+  case Opcode::Try: return "try";
+  case Opcode::Retry: return "retry";
+  case Opcode::Trust: return "trust";
+  case Opcode::Jump: return "jump";
+  case Opcode::Fail: return "fail";
+  case Opcode::SwitchOnTerm: return "switch_on_term";
+  case Opcode::SwitchOnConstant: return "switch_on_constant";
+  case Opcode::SwitchOnStructure: return "switch_on_structure";
+  case Opcode::NeckCut: return "neck_cut";
+  case Opcode::GetLevel: return "get_level";
+  case Opcode::CutY: return "cut_y";
+  case Opcode::Builtin: return "builtin";
+  case Opcode::Halt: return "halt";
+  }
+  return "<bad opcode>";
+}

@@ -1,0 +1,103 @@
+//===- compiler/Instruction.h - WAM instruction set -------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The WAM instruction set (Warren, "An Abstract Prolog Instruction Set",
+/// SRI TN 309, 1983), in the variant used by this project:
+///
+///  * get/put/unify instructions as in the standard WAM;
+///  * all unbound variables are allocated on the heap, so the unsafe-value
+///    and local-value instruction variants are unnecessary;
+///  * clause alternatives use try/retry/trust chains over standalone clause
+///    code blocks (instead of try_me_else between inlined clauses) — this is
+///    what lets the analyzer enter clauses directly, as the paper requires;
+///  * cut is get_level/cut_y plus neck_cut;
+///  * builtins execute inline via a Builtin instruction.
+///
+/// The same code is executed by the concrete machine (src/wam) and
+/// *reinterpreted* by the abstract machine (src/analyzer), which is the
+/// paper's central idea.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_COMPILER_INSTRUCTION_H
+#define AWAM_COMPILER_INSTRUCTION_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace awam {
+
+/// WAM opcodes. Register operands: "X" means the temporary/argument bank
+/// (arguments are X0..Xn-1), "Y" means permanent slots in the environment.
+enum class Opcode : uint8_t {
+  // Get instructions (head argument unification). B = argument register.
+  GetVariableX, ///< X[A] := A[B]
+  GetVariableY, ///< Y[A] := A[B]
+  GetValueX,    ///< unify(X[A], A[B])
+  GetValueY,    ///< unify(Y[A], A[B])
+  GetConst,     ///< unify A[B] with constant pool entry A
+  GetList,      ///< unify A[A] with a list cell; enters read/write mode
+  GetStructure, ///< unify A[B] with functor pool entry A; read/write mode
+
+  // Put instructions (body argument construction). B = argument register.
+  PutVariableX, ///< new heap var; X[A] := A[B] := ref
+  PutVariableY, ///< new heap var; Y[A] := A[B] := ref
+  PutValueX,    ///< A[B] := X[A]
+  PutValueY,    ///< A[B] := Y[A]
+  PutConst,     ///< A[B] := constant pool entry A
+  PutList,      ///< A[A] := new list cell; following unifys run in write mode
+  PutStructure, ///< A[B] := new structure, functor pool entry A; write mode
+
+  // Unify instructions (subterm unification in read or write mode).
+  UnifyVariableX, ///< read: X[A] := next subterm; write: push fresh var
+  UnifyVariableY,
+  UnifyValueX, ///< read: unify(X[A], next subterm); write: push X[A]
+  UnifyValueY,
+  UnifyConst, ///< read: unify next subterm with const; write: push const
+  UnifyVoid,  ///< skip/push A fresh anonymous subterms
+
+  // Procedural instructions.
+  Allocate,   ///< push environment with A permanent slots
+  Deallocate, ///< pop environment (restores continuation)
+  Call,       ///< call predicate table entry A
+  Execute,    ///< tail-call predicate table entry A (last-call optimization)
+  Proceed,    ///< return from a clause
+
+  // Indexing instructions.
+  Try,   ///< push choice point; continue at code address A
+  Retry, ///< update choice point; continue at code address A
+  Trust, ///< pop choice point; continue at code address A
+  Jump,  ///< unconditional branch to code address A
+  Fail,  ///< force backtracking
+  SwitchOnTerm,      ///< dispatch on tag of A[0]; A = term-switch pool entry
+  SwitchOnConstant,  ///< dispatch on constant value of A[0]; A = table entry
+  SwitchOnStructure, ///< dispatch on functor of A[0]; A = table entry
+
+  // Cut.
+  NeckCut,  ///< discard choice points created since the predicate was called
+  GetLevel, ///< Y[A] := current cut barrier (emitted right after Allocate)
+  CutY,     ///< discard choice points younger than the barrier in Y[A]
+
+  // Escapes.
+  Builtin, ///< run builtin A with B arguments in A[0..B-1]
+  Halt,    ///< stop the machine (top-level success)
+};
+
+/// Returns the mnemonic of \p Op (e.g. "get_structure").
+std::string_view opcodeName(Opcode Op);
+
+/// One decoded instruction. The meaning of A/B depends on the opcode; see
+/// the Opcode enum. C is unused except as spare (kept for uniform decoding).
+struct Instruction {
+  Opcode Op;
+  int32_t A = 0;
+  int32_t B = 0;
+};
+
+} // namespace awam
+
+#endif // AWAM_COMPILER_INSTRUCTION_H

@@ -1,0 +1,49 @@
+//===- compiler/ProgramCompiler.h - Whole-program compilation ---*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a parsed program into a CodeModule: clause code blocks, per-
+/// predicate first-argument indexing (switch_on_term plus
+/// switch_on_constant / switch_on_structure with try/retry/trust chains),
+/// and the predicate table. This module plays the role of the PLM compiler
+/// in the paper's pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_COMPILER_PROGRAMCOMPILER_H
+#define AWAM_COMPILER_PROGRAMCOMPILER_H
+
+#include "compiler/CodeModule.h"
+#include "support/Error.h"
+#include "term/Parser.h"
+
+#include <memory>
+
+namespace awam {
+
+/// A compiled program plus compilation metadata.
+struct CompiledProgram {
+  std::unique_ptr<CodeModule> Module;
+  int MaxXReg = 0; ///< register file size any machine needs
+  std::vector<int32_t> UndefinedPredicates; ///< called but never defined
+  /// Static profile used by the Table 1 columns: argument places and
+  /// predicate count of the source program.
+  int NumArgs = 0;
+  int NumPreds = 0;
+};
+
+/// Compiles \p Program. Address 0 of the module is a Halt instruction that
+/// machines use as the top-level continuation.
+Result<CompiledProgram> compileProgram(const ParsedProgram &Program,
+                                       SymbolTable &Syms);
+
+/// Convenience: parse + compile a source string.
+Result<CompiledProgram> compileSource(std::string_view Source,
+                                      SymbolTable &Syms, TermArena &Arena);
+
+} // namespace awam
+
+#endif // AWAM_COMPILER_PROGRAMCOMPILER_H

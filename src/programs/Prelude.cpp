@@ -1,0 +1,79 @@
+//===- programs/Prelude.cpp -----------------------------------------------===//
+
+#include "programs/Prelude.h"
+
+using namespace awam;
+
+std::string_view awam::preludeSource() {
+  static constexpr std::string_view Source = R"PL(
+% ---- AWAM prelude: list and arithmetic utilities ----
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, [X|_]) :- !.
+memberchk(X, [_|T]) :- memberchk(X, T).
+
+length(L, N) :- length_(L, 0, N).
+length_([], N, N).
+length_([_|T], N0, N) :- N1 is N0 + 1, length_(T, N1, N).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], Acc, Acc).
+reverse_([H|T], Acc, R) :- reverse_(T, [H|Acc], R).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+nth0(0, [X|_], X) :- !.
+nth0(N, [_|T], X) :- N > 0, N1 is N - 1, nth0(N1, T, X).
+
+nth1(1, [X|_], X) :- !.
+nth1(N, [_|T], X) :- N > 1, N1 is N - 1, nth1(N1, T, X).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+between(L, H, L) :- L =< H.
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+
+sum_list(L, S) :- sum_list_(L, 0, S).
+sum_list_([], S, S).
+sum_list_([H|T], A, S) :- A1 is A + H, sum_list_(T, A1, S).
+
+max_list([H|T], M) :- max_list_(T, H, M).
+max_list_([], M, M).
+max_list_([H|T], A, M) :- H > A, !, max_list_(T, H, M).
+max_list_([_|T], A, M) :- max_list_(T, A, M).
+
+min_list([H|T], M) :- min_list_(T, H, M).
+min_list_([], M, M).
+min_list_([H|T], A, M) :- H < A, !, min_list_(T, H, M).
+min_list_([_|T], A, M) :- min_list_(T, A, M).
+
+% Insertion sort by the standard order of terms (duplicates kept).
+msort([], []).
+msort([H|T], S) :- msort(T, S1), msort_insert(H, S1, S).
+msort_insert(X, [], [X]).
+msort_insert(X, [Y|T], [X, Y|T]) :- X @=< Y, !.
+msort_insert(X, [Y|T], [Y|R]) :- msort_insert(X, T, R).
+
+delete([], _, []).
+delete([X|T], X, R) :- !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+subtract([], _, []).
+subtract([H|T], L, R) :- memberchk(H, L), !, subtract(T, L, R).
+subtract([H|T], L, [H|R]) :- subtract(T, L, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+)PL";
+  return Source;
+}

@@ -1,0 +1,32 @@
+//===- programs/Prelude.h - Standard library predicates ---------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small standard library of list and arithmetic predicates written in
+/// the supported Prolog subset. Programs that want it prepend
+/// preludeSource() to their own text (the benchmark programs inline their
+/// dependencies instead, to stay faithful to the original suite).
+///
+/// Provided: append/3, member/2, memberchk/2, length/2, reverse/2,
+/// select/3, nth0/3, nth1/3, last/2, between/3, numlist/3, sum_list/2,
+/// max_list/2, min_list/2, msort/2 (insertion sort, standard order),
+/// delete/3, exclude-by-equality subtract/3, permutation/2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_PROGRAMS_PRELUDE_H
+#define AWAM_PROGRAMS_PRELUDE_H
+
+#include <string_view>
+
+namespace awam {
+
+/// The prelude's Prolog source.
+std::string_view preludeSource();
+
+} // namespace awam
+
+#endif // AWAM_PROGRAMS_PRELUDE_H

@@ -1,0 +1,84 @@
+//===- support/Error.h - Lightweight recoverable-error type -----*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal Result/Err types used for recoverable errors (malformed source
+/// programs, resource limits). The library does not use exceptions;
+/// programmatic errors are asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_SUPPORT_ERROR_H
+#define AWAM_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace awam {
+
+/// A diagnostic with a source position (1-based line/column; 0 = unknown).
+struct Diagnostic {
+  std::string Message;
+  int Line = 0;
+  int Column = 0;
+
+  /// Renders "line L, column C: message" (or just the message when the
+  /// position is unknown).
+  std::string str() const {
+    if (Line == 0)
+      return Message;
+    return "line " + std::to_string(Line) + ", column " +
+           std::to_string(Column) + ": " + Message;
+  }
+};
+
+/// Result of a fallible operation: either a value or a Diagnostic.
+template <typename T> class Result {
+public:
+  /*implicit*/ Result(T Value) : Value(std::move(Value)) {}
+  /*implicit*/ Result(Diagnostic D) : Diag(std::move(D)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "accessing value of failed Result");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "accessing value of failed Result");
+    return *Value;
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  /// The diagnostic of a failed Result.
+  const Diagnostic &diag() const {
+    assert(!Value && "diag() on successful Result");
+    return Diag;
+  }
+
+  /// Moves the value out of a successful Result.
+  T take() {
+    assert(Value && "take() on failed Result");
+    return std::move(*Value);
+  }
+
+private:
+  std::optional<T> Value;
+  Diagnostic Diag;
+};
+
+/// Creates a failed Result diagnostic in one expression.
+inline Diagnostic makeError(std::string Message, int Line = 0,
+                            int Column = 0) {
+  return Diagnostic{std::move(Message), Line, Column};
+}
+
+} // namespace awam
+
+#endif // AWAM_SUPPORT_ERROR_H

@@ -1,0 +1,30 @@
+//===- support/SymbolTable.cpp --------------------------------------------===//
+
+#include "support/SymbolTable.h"
+
+using namespace awam;
+
+SymbolTable::SymbolTable() {
+  // Keep in sync with the fixed-id enum in the header.
+  static const char *const Fixed[NumFixedSymbols] = {
+      "[]", ".", ",", ":-", "true", "fail", "!", "{}", "-", "+"};
+  for (const char *Name : Fixed)
+    intern(Name);
+}
+
+Symbol SymbolTable::intern(std::string_view Name) {
+  auto It = Index.find(Name);
+  if (It != Index.end())
+    return It->second;
+  Symbol S = static_cast<Symbol>(Names.size());
+  // Key the index with the stable storage inside Names, not the caller's
+  // buffer; the deque never moves stored strings.
+  Names.push_back(std::string(Name));
+  Index.emplace(std::string_view(Names.back()), S);
+  return S;
+}
+
+Symbol SymbolTable::lookup(std::string_view Name) const {
+  auto It = Index.find(Name);
+  return It == Index.end() ? ~0u : It->second;
+}

@@ -1,0 +1,82 @@
+//===- support/SymbolTable.h - Interned atom/functor names ------*- C++ -*-===//
+//
+// Part of the AWAM project: a reproduction of Tan & Lin, "Compiling Dataflow
+// Analysis of Logic Programs", PLDI 1992.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interning table mapping atom and functor names to dense 32-bit ids.
+///
+/// Every atom, functor and variable name in the system is represented by a
+/// Symbol, so term comparison and WAM operand encoding are integer
+/// comparisons. A SymbolTable is owned by a Program/Machine context and
+/// passed by reference; Symbols from different tables must not be mixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_SUPPORT_SYMBOLTABLE_H
+#define AWAM_SUPPORT_SYMBOLTABLE_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace awam {
+
+/// Dense id of an interned name. Symbol 0 is always the empty-list atom "[]"
+/// and symbol 1 is always the list constructor "."; see SymbolTable.
+using Symbol = uint32_t;
+
+/// Interning table for atom and functor names.
+///
+/// The table pre-interns the handful of names the machine itself needs so
+/// that they have fixed, documented ids (see the Sym* constants below).
+class SymbolTable {
+public:
+  /// Fixed ids of pre-interned symbols.
+  enum : Symbol {
+    SymNil = 0,     ///< "[]" the empty list
+    SymDot = 1,     ///< "." the list constructor
+    SymComma = 2,   ///< ","
+    SymNeck = 3,    ///< ":-"
+    SymTrue = 4,    ///< "true"
+    SymFail = 5,    ///< "fail"
+    SymCut = 6,     ///< "!"
+    SymCurly = 7,   ///< "{}"
+    SymMinus = 8,   ///< "-"
+    SymPlus = 9,    ///< "+"
+    NumFixedSymbols = 10,
+  };
+
+  SymbolTable();
+
+  /// Returns the id for \p Name, interning it on first use.
+  Symbol intern(std::string_view Name);
+
+  /// Returns the name of \p S. The returned view is stable for the lifetime
+  /// of the table.
+  std::string_view name(Symbol S) const {
+    assert(S < Names.size() && "symbol out of range");
+    return Names[S];
+  }
+
+  /// Returns the id of \p Name if it is already interned, or ~0u otherwise.
+  Symbol lookup(std::string_view Name) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return Names.size(); }
+
+private:
+  // A deque keeps each stored std::string object at a stable address, so the
+  // string_view keys in Index (which point into these strings) never dangle.
+  std::deque<std::string> Names;
+  std::unordered_map<std::string_view, Symbol> Index;
+};
+
+} // namespace awam
+
+#endif // AWAM_SUPPORT_SYMBOLTABLE_H

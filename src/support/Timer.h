@@ -1,0 +1,62 @@
+//===- support/Timer.h - Wall-clock timing helpers --------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic timing utilities for the benchmark harness. The paper reports
+/// analysis times with a 0.1 msec resolution averaged over 100-1000
+/// iterations; measureMs implements that protocol (adaptive repetition until
+/// a minimum total run time is reached).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_SUPPORT_TIMER_H
+#define AWAM_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace awam {
+
+/// A simple start/elapsed wall-clock stopwatch.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+        .count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Runs \p Fn repeatedly until at least \p MinTotalMs of wall time has been
+/// spent (but at least \p MinIters and at most \p MaxIters runs), and returns
+/// the average per-run time in milliseconds.
+template <typename Fn>
+double measureMs(Fn &&Fn_, double MinTotalMs = 200.0, int MinIters = 3,
+                 int MaxIters = 1000) {
+  // Warm-up run (paging, allocator growth) is excluded from the average.
+  Fn_();
+  Timer T;
+  int Iters = 0;
+  do {
+    Fn_();
+    ++Iters;
+  } while (Iters < MaxIters &&
+           (Iters < MinIters || T.elapsedMs() < MinTotalMs));
+  return T.elapsedMs() / Iters;
+}
+
+} // namespace awam
+
+#endif // AWAM_SUPPORT_TIMER_H

@@ -1,0 +1,243 @@
+//===- term/Lexer.cpp -----------------------------------------------------===//
+
+#include "term/Lexer.h"
+
+#include <cctype>
+
+using namespace awam;
+
+static bool isSymbolChar(char C) {
+  static constexpr std::string_view SymbolChars = "+-*/\\^<>=~:.?@#&$";
+  return SymbolChars.find(C) != std::string_view::npos;
+}
+
+static bool isAlnumChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+Lexer::Lexer(std::string_view Source) : Src(Source) {}
+
+void Lexer::advance() {
+  if (Pos >= Src.size())
+    return;
+  if (Src[Pos] == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  ++Pos;
+}
+
+void Lexer::skipLayout() {
+  for (;;) {
+    char C = cur();
+    if (C == '\0')
+      return;
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '%') {
+      while (cur() != '\0' && cur() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && lookahead() == '*') {
+      advance();
+      advance();
+      while (cur() != '\0' && !(cur() == '*' && lookahead() == '/'))
+        advance();
+      advance(); // '*'
+      advance(); // '/'
+      continue;
+    }
+    return;
+  }
+}
+
+const Token &Lexer::peek() {
+  if (!HasPeeked) {
+    Peeked = lex();
+    HasPeeked = true;
+  }
+  return Peeked;
+}
+
+Token Lexer::next() {
+  if (HasPeeked) {
+    HasPeeked = false;
+    return Peeked;
+  }
+  return lex();
+}
+
+Token Lexer::lex() {
+  bool AfterName = PrevWasName;
+  PrevWasName = false;
+
+  // '(' with no layout before it and following an atom/var is a functor
+  // application parenthesis.
+  if (cur() == '(' && AfterName) {
+    Token T{TokenKind::OpenCT, "(", 0, Line, Column};
+    advance();
+    return T;
+  }
+
+  skipLayout();
+  Token T;
+  T.Line = Line;
+  T.Column = Column;
+  char C = cur();
+
+  if (C == '\0') {
+    T.Kind = TokenKind::EndOfFile;
+    return T;
+  }
+
+  // End token: '.' followed by layout or EOF.
+  if (C == '.') {
+    char N = lookahead();
+    if (N == '\0' || std::isspace(static_cast<unsigned char>(N)) ||
+        N == '%') {
+      advance();
+      T.Kind = TokenKind::End;
+      T.Text = ".";
+      return T;
+    }
+  }
+
+  if (std::string_view("()[]{},|").find(C) != std::string_view::npos) {
+    T.Kind = TokenKind::Punct;
+    T.Text = std::string(1, C);
+    advance();
+    return T;
+  }
+
+  // Character code 0'c (also 0'\\n style escapes).
+  if (C == '0' && lookahead() == '\'') {
+    advance(); // 0
+    advance(); // '
+    char V = cur();
+    if (V == '\\') {
+      advance();
+      char E = cur();
+      switch (E) {
+      case 'n': V = '\n'; break;
+      case 't': V = '\t'; break;
+      case 'a': V = '\a'; break;
+      case 'b': V = '\b'; break;
+      case 'r': V = '\r'; break;
+      case '\\': V = '\\'; break;
+      case '\'': V = '\''; break;
+      default: V = E; break;
+      }
+    }
+    advance();
+    T.Kind = TokenKind::Int;
+    T.IntVal = static_cast<unsigned char>(V);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = 0;
+    while (std::isdigit(static_cast<unsigned char>(cur()))) {
+      Value = Value * 10 + (cur() - '0');
+      advance();
+    }
+    T.Kind = TokenKind::Int;
+    T.IntVal = Value;
+    PrevWasName = true; // "3(" is not a call, but harmless
+    return T;
+  }
+
+  if (std::islower(static_cast<unsigned char>(C))) {
+    std::string Name;
+    while (isAlnumChar(cur())) {
+      Name.push_back(cur());
+      advance();
+    }
+    T.Kind = TokenKind::Atom;
+    T.Text = std::move(Name);
+    PrevWasName = true;
+    return T;
+  }
+
+  if (std::isupper(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Name;
+    while (isAlnumChar(cur())) {
+      Name.push_back(cur());
+      advance();
+    }
+    T.Kind = TokenKind::Var;
+    T.Text = std::move(Name);
+    PrevWasName = true;
+    return T;
+  }
+
+  if (C == '\'') {
+    advance();
+    std::string Name;
+    for (;;) {
+      char V = cur();
+      if (V == '\0') {
+        T.Kind = TokenKind::Error;
+        T.Text = "unterminated quoted atom";
+        return T;
+      }
+      if (V == '\'') {
+        advance();
+        if (cur() == '\'') { // escaped quote ''
+          Name.push_back('\'');
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (V == '\\') {
+        advance();
+        char E = cur();
+        switch (E) {
+        case 'n': Name.push_back('\n'); break;
+        case 't': Name.push_back('\t'); break;
+        case '\\': Name.push_back('\\'); break;
+        case '\'': Name.push_back('\''); break;
+        default: Name.push_back(E); break;
+        }
+        advance();
+        continue;
+      }
+      Name.push_back(V);
+      advance();
+    }
+    T.Kind = TokenKind::Atom;
+    T.Text = std::move(Name);
+    PrevWasName = true;
+    return T;
+  }
+
+  if (C == '!' || C == ';') {
+    T.Kind = TokenKind::Atom;
+    T.Text = std::string(1, C);
+    advance();
+    PrevWasName = true;
+    return T;
+  }
+
+  if (isSymbolChar(C)) {
+    std::string Name;
+    while (isSymbolChar(cur())) {
+      Name.push_back(cur());
+      advance();
+    }
+    T.Kind = TokenKind::Atom;
+    T.Text = std::move(Name);
+    PrevWasName = true;
+    return T;
+  }
+
+  T.Kind = TokenKind::Error;
+  T.Text = std::string("unexpected character '") + C + "'";
+  advance();
+  return T;
+}

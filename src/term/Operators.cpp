@@ -1,0 +1,79 @@
+//===- term/Operators.cpp -------------------------------------------------===//
+
+#include "term/Operators.h"
+
+#include <map>
+#include <string>
+
+using namespace awam;
+
+namespace {
+const std::map<std::string, OpDef, std::less<>> &infixTable() {
+  static const std::map<std::string, OpDef, std::less<>> Table = {
+      {":-", {1200, OpType::XFX}},
+      {"-->", {1200, OpType::XFX}},
+      {";", {1100, OpType::XFY}},
+      {"->", {1050, OpType::XFY}},
+      {",", {1000, OpType::XFY}},
+      {"=", {700, OpType::XFX}},
+      {"\\=", {700, OpType::XFX}},
+      {"==", {700, OpType::XFX}},
+      {"\\==", {700, OpType::XFX}},
+      {"@<", {700, OpType::XFX}},
+      {"@>", {700, OpType::XFX}},
+      {"@=<", {700, OpType::XFX}},
+      {"@>=", {700, OpType::XFX}},
+      {"=..", {700, OpType::XFX}},
+      {"is", {700, OpType::XFX}},
+      {"=:=", {700, OpType::XFX}},
+      {"=\\=", {700, OpType::XFX}},
+      {"<", {700, OpType::XFX}},
+      {">", {700, OpType::XFX}},
+      {"=<", {700, OpType::XFX}},
+      {">=", {700, OpType::XFX}},
+      {"+", {500, OpType::YFX}},
+      {"-", {500, OpType::YFX}},
+      {"/\\", {500, OpType::YFX}},
+      {"\\/", {500, OpType::YFX}},
+      {"xor", {500, OpType::YFX}},
+      {"*", {400, OpType::YFX}},
+      {"/", {400, OpType::YFX}},
+      {"//", {400, OpType::YFX}},
+      {"mod", {400, OpType::YFX}},
+      {"rem", {400, OpType::YFX}},
+      {"<<", {400, OpType::YFX}},
+      {">>", {400, OpType::YFX}},
+      {"**", {200, OpType::XFX}},
+      {"^", {200, OpType::XFY}},
+  };
+  return Table;
+}
+
+const std::map<std::string, OpDef, std::less<>> &prefixTable() {
+  static const std::map<std::string, OpDef, std::less<>> Table = {
+      {":-", {1200, OpType::FX}},
+      {"?-", {1200, OpType::FX}},
+      {"\\+", {900, OpType::FY}},
+      {"-", {200, OpType::FY}},
+      {"+", {200, OpType::FY}},
+      {"\\", {200, OpType::FY}},
+  };
+  return Table;
+}
+} // namespace
+
+std::optional<OpDef> awam::lookupInfixOp(std::string_view Name) {
+  const auto &Table = infixTable();
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<OpDef> awam::lookupPrefixOp(std::string_view Name) {
+  const auto &Table = prefixTable();
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second;
+}

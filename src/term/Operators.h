@@ -1,0 +1,39 @@
+//===- term/Operators.h - Prolog operator table -----------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard Prolog operator table used by the reader (a fixed table; the
+/// benchmark programs do not declare operators of their own, and op/3 is not
+/// part of the analyzed language).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_TERM_OPERATORS_H
+#define AWAM_TERM_OPERATORS_H
+
+#include <optional>
+#include <string_view>
+
+namespace awam {
+
+/// Operator fixity classes, as in ISO Prolog.
+enum class OpType { XFX, XFY, YFX, FY, FX, XF, YF };
+
+/// One operator definition: priority 1..1200 plus fixity.
+struct OpDef {
+  int Priority;
+  OpType Type;
+};
+
+/// Returns the infix/postfix definition of \p Name, if any.
+std::optional<OpDef> lookupInfixOp(std::string_view Name);
+
+/// Returns the prefix definition of \p Name, if any.
+std::optional<OpDef> lookupPrefixOp(std::string_view Name);
+
+} // namespace awam
+
+#endif // AWAM_TERM_OPERATORS_H

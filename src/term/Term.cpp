@@ -1,0 +1,29 @@
+//===- term/Term.cpp ------------------------------------------------------===//
+
+#include "term/Term.h"
+
+using namespace awam;
+
+bool awam::termEquals(const Term *A, const Term *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case TermKind::Var:
+    return false; // identity already checked
+  case TermKind::Int:
+    return A->intValue() == B->intValue();
+  case TermKind::Atom:
+    return A->functor() == B->functor();
+  case TermKind::Struct: {
+    if (A->functor() != B->functor() || A->arity() != B->arity())
+      return false;
+    for (int I = 0, E = A->arity(); I != E; ++I)
+      if (!termEquals(A->arg(I), B->arg(I)))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}

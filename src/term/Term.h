@@ -1,0 +1,174 @@
+//===- term/Term.h - Prolog source-level terms ------------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable source-level Prolog terms (the compiler's AST) and the arena
+/// that owns them.
+///
+/// Terms are trees of Var / Int / Atom / Struct nodes. Within one clause,
+/// every occurrence of the same source variable shares a single Var node, so
+/// identity comparison of Var nodes is variable identity. Lists are ordinary
+/// structures with functor "."/2 terminated by the atom "[]".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_TERM_TERM_H
+#define AWAM_TERM_TERM_H
+
+#include "support/SymbolTable.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+namespace awam {
+
+/// Discriminator for Term nodes.
+enum class TermKind : uint8_t {
+  Var,    ///< A logic variable (named or anonymous).
+  Int,    ///< An integer constant.
+  Atom,   ///< An atom constant (including "[]").
+  Struct, ///< A compound term f(T1,...,Tn), n >= 1.
+};
+
+/// An immutable source-level term node. Allocate via TermArena.
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+  bool isVar() const { return Kind == TermKind::Var; }
+  bool isInt() const { return Kind == TermKind::Int; }
+  bool isAtom() const { return Kind == TermKind::Atom; }
+  bool isStruct() const { return Kind == TermKind::Struct; }
+
+  /// True for atoms and structures (things that can name a predicate).
+  bool isCallable() const { return isAtom() || isStruct(); }
+
+  /// The atom/functor name; valid for Atom and Struct nodes.
+  Symbol functor() const {
+    assert(isCallable() && "functor() on non-callable term");
+    return Name;
+  }
+
+  /// Number of arguments (0 for atoms).
+  int arity() const {
+    assert(isCallable() && "arity() on non-callable term");
+    return static_cast<int>(ArgList.size());
+  }
+
+  /// The i-th argument of a structure (0-based).
+  const Term *arg(int I) const {
+    assert(isStruct() && I >= 0 && I < arity() && "arg() out of range");
+    return ArgList[I];
+  }
+
+  /// All arguments of a structure.
+  std::span<const Term *const> args() const { return ArgList; }
+
+  /// Integer value; valid for Int nodes.
+  int64_t intValue() const {
+    assert(isInt() && "intValue() on non-integer term");
+    return IntVal;
+  }
+
+  /// Clause-local variable index (dense, 0-based); valid for Var nodes.
+  int varId() const {
+    assert(isVar() && "varId() on non-variable term");
+    return static_cast<int>(IntVal);
+  }
+
+  /// Variable display name; valid for Var nodes ("_" for anonymous).
+  Symbol varName() const {
+    assert(isVar() && "varName() on non-variable term");
+    return Name;
+  }
+
+  /// True for the atom "[]".
+  bool isNil() const {
+    return isAtom() && Name == SymbolTable::SymNil;
+  }
+
+  /// True for a "."/2 structure (a list cell).
+  bool isCons() const {
+    return isStruct() && Name == SymbolTable::SymDot && arity() == 2;
+  }
+
+  /// Default-constructs an atom node; only TermArena should create terms
+  /// (the constructor is public because container emplacement requires it).
+  Term() = default;
+
+private:
+  friend class TermArena;
+
+  TermKind Kind = TermKind::Atom;
+  Symbol Name = 0;    // atom/functor name or variable name
+  int64_t IntVal = 0; // integer value or variable id
+  std::vector<const Term *> ArgList;
+};
+
+/// Owns Term nodes; all terms created by an arena die with it.
+class TermArena {
+public:
+  /// Creates a variable node. \p VarId must be dense within the enclosing
+  /// clause (the parser guarantees this).
+  const Term *mkVar(Symbol DisplayName, int VarId) {
+    Term &T = Nodes.emplace_back();
+    T.Kind = TermKind::Var;
+    T.Name = DisplayName;
+    T.IntVal = VarId;
+    return &T;
+  }
+
+  const Term *mkInt(int64_t Value) {
+    Term &T = Nodes.emplace_back();
+    T.Kind = TermKind::Int;
+    T.IntVal = Value;
+    return &T;
+  }
+
+  const Term *mkAtom(Symbol Name) {
+    Term &T = Nodes.emplace_back();
+    T.Kind = TermKind::Atom;
+    T.Name = Name;
+    return &T;
+  }
+
+  const Term *mkStruct(Symbol Name, std::vector<const Term *> Args) {
+    assert(!Args.empty() && "structure must have at least one argument");
+    Term &T = Nodes.emplace_back();
+    T.Kind = TermKind::Struct;
+    T.Name = Name;
+    T.ArgList = std::move(Args);
+    return &T;
+  }
+
+  /// Builds a list cell [Head|Tail].
+  const Term *mkCons(const Term *Head, const Term *Tail) {
+    return mkStruct(SymbolTable::SymDot, {Head, Tail});
+  }
+
+  /// Builds a proper list of \p Elements.
+  const Term *mkList(const std::vector<const Term *> &Elements,
+                     const Term *Tail) {
+    const Term *T = Tail;
+    for (size_t I = Elements.size(); I != 0; --I)
+      T = mkCons(Elements[I - 1], T);
+    return T;
+  }
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  std::deque<Term> Nodes;
+};
+
+/// Structural equality of two terms (variables compare by identity).
+bool termEquals(const Term *A, const Term *B);
+
+} // namespace awam
+
+#endif // AWAM_TERM_TERM_H

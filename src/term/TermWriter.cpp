@@ -1,0 +1,133 @@
+//===- term/TermWriter.cpp ------------------------------------------------===//
+
+#include "term/TermWriter.h"
+
+#include "support/StringUtil.h"
+#include "term/Operators.h"
+
+#include <cctype>
+
+using namespace awam;
+
+namespace {
+class Writer {
+public:
+  Writer(const SymbolTable &Syms, const WriteOptions &Options)
+      : Syms(Syms), Options(Options) {}
+
+  void write(const Term *T, int MaxPriority, std::string &Out) const {
+    switch (T->kind()) {
+    case TermKind::Var: {
+      std::string_view Name = Syms.name(T->varName());
+      if (Name == "_") {
+        Out += "_G" + std::to_string(T->varId());
+      } else {
+        Out += Name;
+      }
+      return;
+    }
+    case TermKind::Int:
+      Out += std::to_string(T->intValue());
+      return;
+    case TermKind::Atom:
+      writeAtom(T->functor(), Out);
+      return;
+    case TermKind::Struct:
+      writeStruct(T, MaxPriority, Out);
+      return;
+    }
+  }
+
+private:
+  void writeAtom(Symbol S, std::string &Out) const {
+    std::string_view Name = Syms.name(S);
+    Out += Options.QuoteAtoms ? quoteAtom(Name) : std::string(Name);
+  }
+
+  void writeStruct(const Term *T, int MaxPriority, std::string &Out) const {
+    if (T->isCons()) {
+      writeList(T, Out);
+      return;
+    }
+    if (T->functor() == SymbolTable::SymCurly && T->arity() == 1) {
+      Out += "{";
+      write(T->arg(0), 1200, Out);
+      Out += "}";
+      return;
+    }
+    std::string_view Name = Syms.name(T->functor());
+    if (Options.UseOperators && T->arity() == 2) {
+      if (auto Op = lookupInfixOp(Name)) {
+        bool Paren = Op->Priority > MaxPriority;
+        if (Paren)
+          Out += "(";
+        int LMax = Op->Type == OpType::YFX ? Op->Priority : Op->Priority - 1;
+        int RMax = Op->Type == OpType::XFY ? Op->Priority : Op->Priority - 1;
+        write(T->arg(0), LMax, Out);
+        if (Name == ",") {
+          Out += ",";
+        } else {
+          Out += isUnquotedAtom(Name) && std::isalpha(static_cast<unsigned char>(Name[0]))
+                     ? " " + std::string(Name) + " "
+                     : std::string(Name);
+        }
+        write(T->arg(1), RMax, Out);
+        if (Paren)
+          Out += ")";
+        return;
+      }
+    }
+    if (Options.UseOperators && T->arity() == 1) {
+      // "- 3" would re-read as the integer -3; print the structure -(3)
+      // in functional form to keep write/read round-trips faithful.
+      bool MinusOnInt = Name == "-" && T->arg(0)->isInt();
+      if (auto Op = lookupPrefixOp(Name); Op && !MinusOnInt) {
+        bool Paren = Op->Priority > MaxPriority;
+        if (Paren)
+          Out += "(";
+        Out += Name;
+        Out += " ";
+        write(T->arg(0),
+              Op->Type == OpType::FY ? Op->Priority : Op->Priority - 1, Out);
+        if (Paren)
+          Out += ")";
+        return;
+      }
+    }
+    writeAtom(T->functor(), Out);
+    Out += "(";
+    for (int I = 0, E = T->arity(); I != E; ++I) {
+      if (I)
+        Out += ",";
+      write(T->arg(I), 999, Out);
+    }
+    Out += ")";
+  }
+
+  void writeList(const Term *T, std::string &Out) const {
+    Out += "[";
+    write(T->arg(0), 999, Out);
+    const Term *Tail = T->arg(1);
+    while (Tail->isCons()) {
+      Out += ",";
+      write(Tail->arg(0), 999, Out);
+      Tail = Tail->arg(1);
+    }
+    if (!Tail->isNil()) {
+      Out += "|";
+      write(Tail, 999, Out);
+    }
+    Out += "]";
+  }
+
+  const SymbolTable &Syms;
+  const WriteOptions &Options;
+};
+} // namespace
+
+std::string awam::writeTerm(const Term *T, const SymbolTable &Syms,
+                            const WriteOptions &Options) {
+  std::string Out;
+  Writer(Syms, Options).write(T, 1200, Out);
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- term/TermWriter.h - Term pretty-printer ------------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders source terms back to Prolog text (operators, lists, quoting),
+/// used by tests, the disassembler and the analysis report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_TERM_TERMWRITER_H
+#define AWAM_TERM_TERMWRITER_H
+
+#include "support/SymbolTable.h"
+#include "term/Term.h"
+
+#include <string>
+
+namespace awam {
+
+/// Options controlling term printing.
+struct WriteOptions {
+  bool UseOperators = true; ///< print a+b instead of +(a,b)
+  bool QuoteAtoms = true;   ///< quote atoms that need it
+};
+
+/// Renders \p T as Prolog text.
+std::string writeTerm(const Term *T, const SymbolTable &Syms,
+                      const WriteOptions &Options = WriteOptions());
+
+} // namespace awam
+
+#endif // AWAM_TERM_TERMWRITER_H

@@ -1,0 +1,358 @@
+//===- wam/Builtins.cpp - Concrete builtin predicates ---------------------===//
+//
+// Implements Machine::runBuiltin and its helpers: arithmetic evaluation,
+// the standard order of terms, type tests, term construction/inspection
+// and output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Builtins.h"
+#include "term/TermWriter.h"
+#include "wam/Machine.h"
+
+using namespace awam;
+
+bool Machine::evalArith(Cell C, int64_t &Result) {
+  DerefResult D = St.deref(C);
+  switch (D.C.T) {
+  case Tag::Int:
+    Result = D.C.V;
+    return true;
+  case Tag::Ref:
+    machineError("arithmetic on unbound variable");
+    return false;
+  case Tag::Con:
+    machineError("arithmetic on atom '" +
+                 std::string(symbols().name(D.C.V)) + "'");
+    return false;
+  case Tag::Str: {
+    const Cell &F = St.at(D.C.V);
+    std::string_view Name = symbols().name(F.V);
+    int Arity = F.funArity();
+    int64_t A = 0, B_ = 0;
+    if (!evalArith(Cell::ref(D.C.V + 1), A))
+      return false;
+    if (Arity == 2 && !evalArith(Cell::ref(D.C.V + 2), B_))
+      return false;
+    if (Arity == 1) {
+      if (Name == "-") {
+        Result = -A;
+        return true;
+      }
+      if (Name == "+") {
+        Result = A;
+        return true;
+      }
+      if (Name == "abs") {
+        Result = A < 0 ? -A : A;
+        return true;
+      }
+    } else if (Arity == 2) {
+      if (Name == "+") { Result = A + B_; return true; }
+      if (Name == "-") { Result = A - B_; return true; }
+      if (Name == "*") { Result = A * B_; return true; }
+      if (Name == "//" || Name == "/") {
+        if (B_ == 0) {
+          machineError("division by zero");
+          return false;
+        }
+        Result = A / B_;
+        return true;
+      }
+      if (Name == "mod") {
+        if (B_ == 0) {
+          machineError("division by zero");
+          return false;
+        }
+        Result = ((A % B_) + B_) % B_;
+        return true;
+      }
+      if (Name == "rem") {
+        if (B_ == 0) {
+          machineError("division by zero");
+          return false;
+        }
+        Result = A % B_;
+        return true;
+      }
+      if (Name == "min") { Result = std::min(A, B_); return true; }
+      if (Name == "max") { Result = std::max(A, B_); return true; }
+      if (Name == ">>") { Result = A >> B_; return true; }
+      if (Name == "<<") { Result = A << B_; return true; }
+      if (Name == "/\\") { Result = A & B_; return true; }
+      if (Name == "\\/") { Result = A | B_; return true; }
+    }
+    machineError("unknown arithmetic functor " + std::string(Name) + "/" +
+                 std::to_string(Arity));
+    return false;
+  }
+  default:
+    machineError("bad arithmetic operand");
+    return false;
+  }
+}
+
+/// Standard order of terms: Var < Int < Atom < Compound; compound terms by
+/// arity, then name, then arguments left to right. Lists order as '.'/2.
+int Machine::compareTerms(Cell A, Cell B_) {
+  DerefResult DA = St.deref(A);
+  DerefResult DB = St.deref(B_);
+  auto rank = [](const DerefResult &D) {
+    switch (D.C.T) {
+    case Tag::Ref: return 0;
+    case Tag::Int: return 1;
+    case Tag::Con: return 2;
+    default: return 3;
+    }
+  };
+  int RA = rank(DA), RB = rank(DB);
+  if (RA != RB)
+    return RA < RB ? -1 : 1;
+  switch (RA) {
+  case 0:
+    return DA.Addr < DB.Addr ? -1 : DA.Addr == DB.Addr ? 0 : 1;
+  case 1:
+    return DA.C.V < DB.C.V ? -1 : DA.C.V == DB.C.V ? 0 : 1;
+  case 2: {
+    std::string_view NA = symbols().name(DA.C.V);
+    std::string_view NB = symbols().name(DB.C.V);
+    return NA < NB ? -1 : NA == NB ? 0 : 1;
+  }
+  default: {
+    // View both as (name, arity, args...).
+    auto shape = [&](const DerefResult &D) {
+      if (D.C.T == Tag::Lis)
+        return std::tuple<Symbol, int, int64_t>(SymbolTable::SymDot, 2,
+                                                D.C.V - 1);
+      const Cell &F = St.at(D.C.V);
+      return std::tuple<Symbol, int, int64_t>(static_cast<Symbol>(F.V),
+                                              F.funArity(), D.C.V);
+    };
+    auto [NameA, ArityA, BaseA] = shape(DA);
+    auto [NameB, ArityB, BaseB] = shape(DB);
+    if (ArityA != ArityB)
+      return ArityA < ArityB ? -1 : 1;
+    std::string_view NA = symbols().name(NameA);
+    std::string_view NB = symbols().name(NameB);
+    if (NA != NB)
+      return NA < NB ? -1 : 1;
+    for (int I = 1; I <= ArityA; ++I) {
+      int C = compareTerms(Cell::ref(BaseA + I), Cell::ref(BaseB + I));
+      if (C != 0)
+        return C;
+    }
+    return 0;
+  }
+  }
+}
+
+bool Machine::runBuiltin(int Id, int Arity) {
+  (void)Arity;
+  switch (static_cast<BuiltinId>(Id)) {
+  case BuiltinId::Is: {
+    int64_t V = 0;
+    if (!evalArith(X[1], V))
+      return true; // machine error already set
+    return unify(X[0], Cell::integer(V));
+  }
+  case BuiltinId::ArithLt:
+  case BuiltinId::ArithGt:
+  case BuiltinId::ArithLe:
+  case BuiltinId::ArithGe:
+  case BuiltinId::ArithEq:
+  case BuiltinId::ArithNe: {
+    int64_t A = 0, B_ = 0;
+    if (!evalArith(X[0], A) || !evalArith(X[1], B_))
+      return true;
+    switch (static_cast<BuiltinId>(Id)) {
+    case BuiltinId::ArithLt: return A < B_;
+    case BuiltinId::ArithGt: return A > B_;
+    case BuiltinId::ArithLe: return A <= B_;
+    case BuiltinId::ArithGe: return A >= B_;
+    case BuiltinId::ArithEq: return A == B_;
+    default: return A != B_;
+    }
+  }
+  case BuiltinId::Unify:
+    return unify(X[0], X[1]);
+  case BuiltinId::NotUnify: {
+    int64_t Mark = St.trailMark();
+    int64_t H = St.heapTop();
+    bool Unifies = unify(X[0], X[1]);
+    St.unwind(Mark);
+    St.truncate(H);
+    return !Unifies;
+  }
+  case BuiltinId::StructEq:
+    return compareTerms(X[0], X[1]) == 0;
+  case BuiltinId::StructNe:
+    return compareTerms(X[0], X[1]) != 0;
+  case BuiltinId::TermLt:
+    return compareTerms(X[0], X[1]) < 0;
+  case BuiltinId::TermGt:
+    return compareTerms(X[0], X[1]) > 0;
+  case BuiltinId::TermLe:
+    return compareTerms(X[0], X[1]) <= 0;
+  case BuiltinId::TermGe:
+    return compareTerms(X[0], X[1]) >= 0;
+  case BuiltinId::VarP:
+    return St.deref(X[0]).C.T == Tag::Ref;
+  case BuiltinId::NonvarP:
+    return St.deref(X[0]).C.T != Tag::Ref;
+  case BuiltinId::AtomP:
+    return St.deref(X[0]).C.T == Tag::Con;
+  case BuiltinId::IntegerP:
+  case BuiltinId::NumberP:
+    return St.deref(X[0]).C.T == Tag::Int;
+  case BuiltinId::AtomicP: {
+    Tag T = St.deref(X[0]).C.T;
+    return T == Tag::Con || T == Tag::Int;
+  }
+  case BuiltinId::CompoundP: {
+    Tag T = St.deref(X[0]).C.T;
+    return T == Tag::Str || T == Tag::Lis;
+  }
+  case BuiltinId::Functor: {
+    DerefResult D = St.deref(X[0]);
+    switch (D.C.T) {
+    case Tag::Con:
+    case Tag::Int:
+      return unify(X[1], D.C) && unify(X[2], Cell::integer(0));
+    case Tag::Lis:
+      return unify(X[1], Cell::atom(SymbolTable::SymDot)) &&
+             unify(X[2], Cell::integer(2));
+    case Tag::Str: {
+      const Cell &F = St.at(D.C.V);
+      return unify(X[1], Cell::atom(static_cast<Symbol>(F.V))) &&
+             unify(X[2], Cell::integer(F.funArity()));
+    }
+    case Tag::Ref: {
+      // Construction mode: functor(X, Name, Arity).
+      DerefResult DN = St.deref(X[1]);
+      DerefResult DAr = St.deref(X[2]);
+      if (DAr.C.T != Tag::Int) {
+        machineError("functor/3: arity must be an integer");
+        return true;
+      }
+      int N = static_cast<int>(DAr.C.V);
+      if (N == 0)
+        return unify(X[0], DN.C);
+      if (DN.C.T != Tag::Con) {
+        machineError("functor/3: name must be an atom");
+        return true;
+      }
+      if (static_cast<Symbol>(DN.C.V) == SymbolTable::SymDot && N == 2) {
+        int64_t Base = St.pushVar();
+        St.pushVar();
+        return unify(X[0], Cell::lis(Base));
+      }
+      int64_t FunAddr =
+          St.push(Cell::fun(static_cast<Symbol>(DN.C.V), N));
+      for (int I = 0; I != N; ++I)
+        St.pushVar();
+      return unify(X[0], Cell::str(FunAddr));
+    }
+    default:
+      machineError("functor/3: bad argument");
+      return true;
+    }
+  }
+  case BuiltinId::Arg: {
+    DerefResult DN = St.deref(X[0]);
+    DerefResult DT = St.deref(X[1]);
+    if (DN.C.T != Tag::Int) {
+      machineError("arg/3: index must be an integer");
+      return true;
+    }
+    int64_t N = DN.C.V;
+    if (DT.C.T == Tag::Lis)
+      return N >= 1 && N <= 2 && unify(X[2], Cell::ref(DT.C.V + N - 1));
+    if (DT.C.T != Tag::Str) {
+      machineError("arg/3: second argument must be compound");
+      return true;
+    }
+    const Cell &F = St.at(DT.C.V);
+    return N >= 1 && N <= F.funArity() &&
+           unify(X[2], Cell::ref(DT.C.V + N));
+  }
+  case BuiltinId::Univ: {
+    DerefResult D = St.deref(X[0]);
+    if (D.C.T != Tag::Ref) {
+      // Decompose: T =.. [Name|Args].
+      std::vector<Cell> Items;
+      if (D.C.T == Tag::Con || D.C.T == Tag::Int) {
+        Items.push_back(D.C);
+      } else if (D.C.T == Tag::Lis) {
+        Items.push_back(Cell::atom(SymbolTable::SymDot));
+        Items.push_back(Cell::ref(D.C.V));
+        Items.push_back(Cell::ref(D.C.V + 1));
+      } else {
+        const Cell &F = St.at(D.C.V);
+        Items.push_back(Cell::atom(static_cast<Symbol>(F.V)));
+        for (int I = 1; I <= F.funArity(); ++I)
+          Items.push_back(Cell::ref(D.C.V + I));
+      }
+      Cell ListCell = Cell::atom(SymbolTable::SymNil);
+      for (size_t I = Items.size(); I != 0; --I) {
+        int64_t Base = St.push(Items[I - 1]);
+        St.push(ListCell);
+        ListCell = Cell::lis(Base);
+      }
+      return unify(X[1], ListCell);
+    }
+    // Construction: read the list, then build the term.
+    std::vector<Cell> Items;
+    DerefResult L = St.deref(X[1]);
+    while (L.C.T == Tag::Lis) {
+      Items.push_back(Cell::ref(L.C.V));
+      L = St.deref(Cell::ref(L.C.V + 1));
+    }
+    if (!(L.C.T == Tag::Con && L.C.V == SymbolTable::SymNil) ||
+        Items.empty()) {
+      machineError("=../2: right argument must be a proper non-empty list");
+      return true;
+    }
+    DerefResult Head = St.deref(Items[0]);
+    if (Items.size() == 1)
+      return unify(X[0], Head.C);
+    if (Head.C.T != Tag::Con) {
+      machineError("=../2: functor must be an atom");
+      return true;
+    }
+    if (static_cast<Symbol>(Head.C.V) == SymbolTable::SymDot &&
+        Items.size() == 3) {
+      int64_t Base = St.push(Items[1]);
+      St.push(Items[2]);
+      return unify(X[0], Cell::lis(Base));
+    }
+    int64_t FunAddr = St.push(Cell::fun(static_cast<Symbol>(Head.C.V),
+                                        static_cast<int>(Items.size()) - 1));
+    for (size_t I = 1; I != Items.size(); ++I)
+      St.push(Items[I]);
+    return unify(X[0], Cell::str(FunAddr));
+  }
+  case BuiltinId::Write: {
+    TermArena Arena;
+    const Term *T = St.readTerm(X[0], Arena, symbols());
+    Out += writeTerm(T, symbols(), WriteOptions{.QuoteAtoms = false});
+    return true;
+  }
+  case BuiltinId::Nl:
+    Out += "\n";
+    return true;
+  case BuiltinId::Tab: {
+    int64_t N = 0;
+    if (!evalArith(X[0], N))
+      return true;
+    Out.append(static_cast<size_t>(std::max<int64_t>(N, 0)), ' ');
+    return true;
+  }
+  case BuiltinId::HaltB:
+    Halt = true;
+    return true;
+  case BuiltinId::NumBuiltins:
+    break;
+  }
+  machineError("unknown builtin id");
+  return true;
+}

@@ -1,0 +1,87 @@
+//===- wam/Cell.h - Tagged machine words ------------------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tagged-cell representation shared by the concrete WAM and the
+/// abstract WAM. As the paper observes (Section 4.2), if every run-time
+/// object is a tag plus a value in one word, the primary approximation
+/// function AbsType is just the tag of the object — abstract types are
+/// simply additional tags (Tag::Abs with an AbsKind), and abstract terms
+/// behave like variables: an Abs cell can be overwritten (value-trailed)
+/// with a more specific cell.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_WAM_CELL_H
+#define AWAM_WAM_CELL_H
+
+#include "support/SymbolTable.h"
+
+#include <cstdint>
+
+namespace awam {
+
+/// Primary tags of machine cells.
+enum class Tag : uint8_t {
+  Ref, ///< reference into the heap; self-reference means "unbound variable"
+  Str, ///< structure pointer; V = heap index of the functor cell
+  Lis, ///< list pointer; V = heap index of the 2-cell car/cdr pair
+  Con, ///< atom constant; V = Symbol
+  Int, ///< integer constant; V = value
+  Fun, ///< functor cell (only inside the heap); V = Symbol, Aux = arity
+  Abs, ///< abstract type (abstract machine only); Aux = AbsKind; for
+       ///< parameterized lists V = heap index of the element-type cell
+  Ctl, ///< control value in stack frames (not a term)
+};
+
+/// Abstract types of the paper's Section 3 domain that are represented as
+/// cell kinds. Specific constants / structures / lists / variables are
+/// represented with their concrete tags on the abstract heap; `empty`
+/// (bottom) is unification failure and needs no cell.
+enum class AbsKind : uint8_t {
+  Any,    ///< all terms (top)
+  NV,     ///< all non-variable terms
+  Ground, ///< all ground terms
+  Const,  ///< atom or integer constants
+  AtomT,  ///< atoms
+  IntT,   ///< integers
+  List,   ///< α-list: '[]' or [α|α-list]; V = element-type cell
+  Var,    ///< free variables
+};
+
+/// A machine word: tag + payload. Heap, registers, and stack slots are all
+/// vectors of Cell.
+struct Cell {
+  Tag T = Tag::Ref;
+  uint8_t Aux = 0; // arity (Fun) or AbsKind (Abs)
+  int64_t V = 0;   // heap index / Symbol / integer / control value
+
+  static Cell ref(int64_t HeapIndex) { return {Tag::Ref, 0, HeapIndex}; }
+  static Cell str(int64_t HeapIndex) { return {Tag::Str, 0, HeapIndex}; }
+  static Cell lis(int64_t HeapIndex) { return {Tag::Lis, 0, HeapIndex}; }
+  static Cell atom(Symbol S) { return {Tag::Con, 0, S}; }
+  static Cell integer(int64_t I) { return {Tag::Int, 0, I}; }
+  static Cell fun(Symbol S, int Arity) {
+    return {Tag::Fun, static_cast<uint8_t>(Arity), S};
+  }
+  static Cell abs(AbsKind K, int64_t V = 0) {
+    return {Tag::Abs, static_cast<uint8_t>(K), V};
+  }
+  static Cell ctl(int64_t V) { return {Tag::Ctl, 0, V}; }
+
+  bool isAbs() const { return T == Tag::Abs; }
+  AbsKind absKind() const { return static_cast<AbsKind>(Aux); }
+  int funArity() const { return Aux; }
+
+  friend bool operator==(const Cell &, const Cell &) = default;
+};
+
+/// Returns the display name of an abstract kind ("any", "nv", "g", ...).
+std::string_view absKindName(AbsKind K);
+
+} // namespace awam
+
+#endif // AWAM_WAM_CELL_H

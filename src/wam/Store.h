@@ -1,0 +1,130 @@
+//===- wam/Store.h - Heap, trail, dereferencing -----------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory substrate shared by the concrete and abstract machines: the
+/// heap, the value trail (the paper keeps the standard three-stack scheme;
+/// we use a value trail because the abstract machine overwrites non-Ref
+/// cells when it instantiates abstract terms), dereferencing, binding, and
+/// conversion between heap terms and source Terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_WAM_STORE_H
+#define AWAM_WAM_STORE_H
+
+#include "support/SymbolTable.h"
+#include "term/Term.h"
+#include "wam/Cell.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace awam {
+
+/// A dereferenced value: the cell plus its heap address (kNoAddr when the
+/// value is a register immediate that does not live on the heap).
+struct DerefResult {
+  Cell C;
+  int64_t Addr;
+};
+
+/// Heap address sentinel for values not residing on the heap.
+inline constexpr int64_t kNoAddr = -1;
+
+/// Heap + trail. Addresses are heap indexes and remain stable as the heap
+/// grows.
+class Store {
+public:
+  /// Pushes \p C and returns its address.
+  int64_t push(Cell C) {
+    Heap.push_back(C);
+    return static_cast<int64_t>(Heap.size()) - 1;
+  }
+
+  /// Pushes a fresh unbound variable and returns its address.
+  int64_t pushVar() {
+    int64_t A = static_cast<int64_t>(Heap.size());
+    Heap.push_back(Cell::ref(A));
+    return A;
+  }
+
+  Cell &at(int64_t Addr) { return Heap[Addr]; }
+  const Cell &at(int64_t Addr) const { return Heap[Addr]; }
+  int64_t heapTop() const { return static_cast<int64_t>(Heap.size()); }
+
+  /// Truncates the heap to \p Top (backtracking).
+  void truncate(int64_t Top) { Heap.resize(Top); }
+
+  /// Follows Ref chains. Unbound variables and Abs cells dereference to
+  /// themselves with their address; immediates yield kNoAddr.
+  DerefResult deref(Cell C) const {
+    int64_t Addr = kNoAddr;
+    while (C.T == Tag::Ref) {
+      const Cell &H = Heap[C.V];
+      if (H.T == Tag::Ref && H.V == C.V)
+        return {H, C.V}; // unbound
+      Addr = C.V;
+      C = H;
+    }
+    return {C, Addr};
+  }
+
+  /// Overwrites the heap cell at \p Addr with \p C, recording the old value
+  /// on the trail.
+  void bind(int64_t Addr, Cell C) {
+    Trail.push_back({Addr, Heap[Addr]});
+    Heap[Addr] = C;
+  }
+
+  int64_t trailMark() const { return static_cast<int64_t>(Trail.size()); }
+
+  /// Undoes all bindings made since \p Mark.
+  void unwind(int64_t Mark) {
+    while (static_cast<int64_t>(Trail.size()) > Mark) {
+      const TrailEntry &E = Trail.back();
+      Heap[E.Addr] = E.Old;
+      Trail.pop_back();
+    }
+  }
+
+  /// Builds source term \p T on the heap. \p VarAddrs maps clause var ids to
+  /// heap addresses (created on demand), so shared variables share cells.
+  int64_t buildTerm(const Term *T, std::unordered_map<int, int64_t> &VarAddrs);
+
+  /// Reads the heap value \p C back as a source Term in \p Arena. Unbound
+  /// variables become Var terms named _G<addr>; Abs cells become atoms
+  /// spelled like their kind (for tests/debugging). \p MaxDepth guards
+  /// against cyclic terms; exceeding it yields the atom '...'.
+  const Term *readTerm(Cell C, TermArena &Arena, SymbolTable &Syms,
+                       int MaxDepth = 10000) const;
+
+  /// Renders the heap value \p C as text (convenience over readTerm).
+  std::string show(Cell C, SymbolTable &Syms) const;
+
+  size_t heapSize() const { return Heap.size(); }
+  size_t trailSize() const { return Trail.size(); }
+
+  /// Drops all heap and trail contents.
+  void reset() {
+    Heap.clear();
+    Trail.clear();
+  }
+
+private:
+  struct TrailEntry {
+    int64_t Addr;
+    Cell Old;
+  };
+
+  std::vector<Cell> Heap;
+  std::vector<TrailEntry> Trail;
+};
+
+} // namespace awam
+
+#endif // AWAM_WAM_STORE_H

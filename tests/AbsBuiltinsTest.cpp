@@ -1,0 +1,180 @@
+//===- tests/AbsBuiltinsTest.cpp - Abstract builtin semantics -------------===//
+//
+// Each builtin's abstract (success-narrowing) behaviour, exercised
+// directly through applyAbsBuiltin — shared by the compiled machine and
+// the meta-interpreting baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absdom/AbsBuiltins.h"
+#include "absdom/AbsOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+class AbsBuiltinsTest : public ::testing::Test {
+protected:
+  Cell abs(AbsKind K) { return Cell::ref(St.push(Cell::abs(K))); }
+  Cell var() { return Cell::ref(St.pushVar()); }
+  Cell atomc(std::string_view N) {
+    return Cell::ref(St.push(Cell::atom(Syms.intern(N))));
+  }
+  Cell intc(int64_t V) { return Cell::ref(St.push(Cell::integer(V))); }
+  Cell strc(std::string_view F, std::vector<Cell> Args) {
+    int64_t FunAddr =
+        St.push(Cell::fun(Syms.intern(F), static_cast<int>(Args.size())));
+    for (Cell A : Args)
+      St.push(A);
+    return Cell::ref(St.push(Cell::str(FunAddr)));
+  }
+  bool apply(BuiltinId Id, std::vector<Cell> Args) {
+    return applyAbsBuiltin(St, Id, Args);
+  }
+  std::string show(Cell C) { return St.show(C, Syms); }
+
+  SymbolTable Syms;
+  Store St;
+};
+
+TEST_F(AbsBuiltinsTest, IsNarrowsResultAndExpression) {
+  Cell R = var();
+  Cell E = strc("+", {var(), intc(1)});
+  EXPECT_TRUE(apply(BuiltinId::Is, {R, E}));
+  EXPECT_EQ(show(R), "int");
+  EXPECT_EQ(show(E), "g+1"); // the expression variable became ground
+}
+
+TEST_F(AbsBuiltinsTest, IsFailsOnNonNumericResult) {
+  EXPECT_FALSE(apply(BuiltinId::Is, {atomc("a"), intc(1)}));
+}
+
+TEST_F(AbsBuiltinsTest, ComparisonsGroundBothSides) {
+  Cell A = var(), B = abs(AbsKind::Any);
+  EXPECT_TRUE(apply(BuiltinId::ArithLt, {A, B}));
+  EXPECT_EQ(show(A), "g");
+  EXPECT_EQ(show(B), "g");
+}
+
+TEST_F(AbsBuiltinsTest, UnifyMeets) {
+  Cell A = abs(AbsKind::Ground), B = abs(AbsKind::AtomT);
+  EXPECT_TRUE(apply(BuiltinId::Unify, {A, B}));
+  EXPECT_EQ(show(A), "atom");
+  EXPECT_FALSE(apply(BuiltinId::Unify, {atomc("x"), intc(1)}));
+}
+
+TEST_F(AbsBuiltinsTest, NotUnifyConservative) {
+  // Different constants certainly do not unify: succeed, no bindings.
+  Cell V = var();
+  EXPECT_TRUE(apply(BuiltinId::NotUnify, {V, atomc("a")}));
+  EXPECT_EQ(show(V).substr(0, 2), "_G"); // still free
+  // Identical constants certainly unify: fail.
+  EXPECT_FALSE(apply(BuiltinId::NotUnify, {atomc("a"), atomc("a")}));
+  Cell W = var();
+  EXPECT_FALSE(apply(BuiltinId::NotUnify, {W, W}));
+}
+
+TEST_F(AbsBuiltinsTest, TypeTestsNarrowOrFail) {
+  Cell G = abs(AbsKind::Ground);
+  EXPECT_TRUE(apply(BuiltinId::AtomP, {G}));
+  EXPECT_EQ(show(G), "atom");
+
+  EXPECT_FALSE(apply(BuiltinId::AtomP, {var()}));
+  EXPECT_FALSE(apply(BuiltinId::AtomP, {intc(3)}));
+  EXPECT_FALSE(apply(BuiltinId::IntegerP, {atomc("a")}));
+  EXPECT_TRUE(apply(BuiltinId::IntegerP, {intc(3)}));
+  EXPECT_TRUE(apply(BuiltinId::AtomicP, {abs(AbsKind::Const)}));
+  EXPECT_FALSE(apply(BuiltinId::AtomicP, {strc("f", {var()})}));
+}
+
+TEST_F(AbsBuiltinsTest, VarTest) {
+  EXPECT_TRUE(apply(BuiltinId::VarP, {var()}));
+  EXPECT_FALSE(apply(BuiltinId::VarP, {abs(AbsKind::NV)}));
+  EXPECT_FALSE(apply(BuiltinId::VarP, {atomc("a")}));
+  // var(X) on `any` narrows to var.
+  Cell A = abs(AbsKind::Any);
+  EXPECT_TRUE(apply(BuiltinId::VarP, {A}));
+  EXPECT_TRUE(isVarCell(St, A));
+}
+
+TEST_F(AbsBuiltinsTest, NonvarTest) {
+  EXPECT_FALSE(apply(BuiltinId::NonvarP, {var()}));
+  EXPECT_TRUE(apply(BuiltinId::NonvarP, {atomc("a")}));
+  Cell A = abs(AbsKind::Any);
+  EXPECT_TRUE(apply(BuiltinId::NonvarP, {A}));
+  EXPECT_EQ(show(A), "nv");
+}
+
+TEST_F(AbsBuiltinsTest, FunctorDecomposes) {
+  Cell T = strc("foo", {atomc("a"), var()});
+  Cell N = var(), A = var();
+  EXPECT_TRUE(apply(BuiltinId::Functor, {T, N, A}));
+  EXPECT_EQ(show(N), "foo");
+  EXPECT_EQ(show(A), "2");
+}
+
+TEST_F(AbsBuiltinsTest, FunctorOnAbstract) {
+  Cell T = abs(AbsKind::Any), N = var(), A = var();
+  EXPECT_TRUE(apply(BuiltinId::Functor, {T, N, A}));
+  EXPECT_EQ(show(T), "nv");
+  EXPECT_EQ(show(N), "const");
+  EXPECT_EQ(show(A), "int");
+}
+
+TEST_F(AbsBuiltinsTest, ArgPreciseAndConservative) {
+  Cell T = strc("f", {atomc("a"), intc(2)});
+  Cell Out = var();
+  EXPECT_TRUE(apply(BuiltinId::Arg, {intc(2), T, Out}));
+  EXPECT_EQ(show(Out), "2");
+  EXPECT_FALSE(apply(BuiltinId::Arg, {intc(9), T, var()}));
+  // Ground but unknown structure: the argument is ground.
+  Cell Out2 = var();
+  EXPECT_TRUE(
+      apply(BuiltinId::Arg, {abs(AbsKind::IntT), abs(AbsKind::Ground),
+                             Out2}));
+  EXPECT_EQ(show(Out2), "g");
+  // arg/3 on a variable term fails.
+  EXPECT_FALSE(apply(BuiltinId::Arg, {intc(1), var(), var()}));
+}
+
+TEST_F(AbsBuiltinsTest, UnivTypes) {
+  Cell T = abs(AbsKind::Ground), L = var();
+  EXPECT_TRUE(apply(BuiltinId::Univ, {T, L}));
+  EXPECT_EQ(show(L), "g_list");
+  Cell T2 = abs(AbsKind::Any), L2 = var();
+  EXPECT_TRUE(apply(BuiltinId::Univ, {T2, L2}));
+  EXPECT_EQ(show(L2), "any_list");
+  EXPECT_EQ(show(T2), "nv");
+}
+
+TEST_F(AbsBuiltinsTest, StructEqNarrowsLikeUnify) {
+  Cell A = abs(AbsKind::Ground), B = abs(AbsKind::IntT);
+  EXPECT_TRUE(apply(BuiltinId::StructEq, {A, B}));
+  EXPECT_EQ(show(A), "int");
+}
+
+TEST_F(AbsBuiltinsTest, OrderTestsAreNoOps) {
+  Cell A = var(), B = var();
+  EXPECT_TRUE(apply(BuiltinId::TermLt, {A, B}));
+  EXPECT_TRUE(isVarCell(St, A));
+  EXPECT_TRUE(apply(BuiltinId::StructNe, {A, B}));
+}
+
+TEST_F(AbsBuiltinsTest, OutputBuiltins) {
+  EXPECT_TRUE(apply(BuiltinId::Write, {var()}));
+  EXPECT_TRUE(apply(BuiltinId::Nl, {}));
+  Cell N = var();
+  EXPECT_TRUE(apply(BuiltinId::Tab, {N}));
+  EXPECT_EQ(show(N), "g");
+}
+
+TEST_F(AbsBuiltinsTest, CompoundTest) {
+  EXPECT_TRUE(apply(BuiltinId::CompoundP, {strc("f", {var()})}));
+  EXPECT_FALSE(apply(BuiltinId::CompoundP, {var()}));
+  EXPECT_FALSE(apply(BuiltinId::CompoundP, {atomc("a")}));
+  EXPECT_TRUE(apply(BuiltinId::CompoundP, {abs(AbsKind::NV)}));
+}
+
+} // namespace

@@ -1,0 +1,328 @@
+//===- tests/AbsDomTest.cpp - Abstract domain unit tests ------------------===//
+//
+// Unit and property tests for absdom: the s_unify meet table, copyAbs,
+// groundness, and the cell-level lub, plus pattern canonicalization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absdom/AbsOps.h"
+#include "analyzer/Pattern.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+class AbsDomTest : public ::testing::Test {
+protected:
+  /// Pushes an abstract cell and returns a Ref to it.
+  Cell abs(AbsKind K) { return Cell::ref(St.push(Cell::abs(K))); }
+  /// Pushes an alpha-list cell over a fresh element cell of kind \p K.
+  Cell list(AbsKind K) {
+    int64_t Elem = St.push(Cell::abs(K));
+    return Cell::ref(St.push(Cell::abs(AbsKind::List, Elem)));
+  }
+  Cell atomc(std::string_view Name) {
+    return Cell::ref(St.push(Cell::atom(Syms.intern(Name))));
+  }
+  Cell intc(int64_t V) { return Cell::ref(St.push(Cell::integer(V))); }
+  Cell var() { return Cell::ref(St.pushVar()); }
+  Cell nil() { return atomc("[]"); }
+  /// Builds [Car|Cdr].
+  Cell cons(Cell Car, Cell Cdr) {
+    int64_t Base = St.push(Car);
+    St.push(Cdr);
+    return Cell::ref(St.push(Cell::lis(Base)));
+  }
+  Cell strc(std::string_view F, std::vector<Cell> Args) {
+    int64_t FunAddr =
+        St.push(Cell::fun(Syms.intern(F), static_cast<int>(Args.size())));
+    for (Cell A : Args)
+      St.push(A);
+    return Cell::ref(St.push(Cell::str(FunAddr)));
+  }
+
+  /// Renders a cell for expectations.
+  std::string show(Cell C) { return St.show(C, Syms); }
+
+  /// Unifies and renders the (shared) result, or "FAIL".
+  std::string meet(Cell A, Cell B) {
+    int64_t Mark = St.trailMark();
+    bool Ok = absUnify(St, A, B);
+    std::string Out = Ok ? show(A) : "FAIL";
+    if (Ok) {
+      // Both sides must denote the same value after a successful meet.
+      EXPECT_EQ(show(A), show(B));
+    }
+    St.unwind(Mark);
+    return Out;
+  }
+
+  std::string lub(Cell A, Cell B) {
+    return show(Cell::ref(lubCells(St, A, B)));
+  }
+
+  SymbolTable Syms;
+  Store St;
+};
+
+// ---- Meet table (paper Section 4.1 examples) ----------------------------
+
+TEST_F(AbsDomTest, MeetAnyGroundIsGround) {
+  EXPECT_EQ(meet(abs(AbsKind::Any), abs(AbsKind::Ground)), "g");
+}
+
+TEST_F(AbsDomTest, MeetChain) {
+  EXPECT_EQ(meet(abs(AbsKind::Any), abs(AbsKind::NV)), "nv");
+  EXPECT_EQ(meet(abs(AbsKind::NV), abs(AbsKind::Ground)), "g");
+  EXPECT_EQ(meet(abs(AbsKind::Ground), abs(AbsKind::Const)), "const");
+  EXPECT_EQ(meet(abs(AbsKind::Const), abs(AbsKind::AtomT)), "atom");
+  EXPECT_EQ(meet(abs(AbsKind::Const), abs(AbsKind::IntT)), "int");
+  EXPECT_EQ(meet(abs(AbsKind::AtomT), abs(AbsKind::IntT)), "FAIL");
+}
+
+TEST_F(AbsDomTest, MeetWithConstants) {
+  EXPECT_EQ(meet(abs(AbsKind::Any), atomc("a")), "a");
+  EXPECT_EQ(meet(abs(AbsKind::Ground), atomc("a")), "a");
+  EXPECT_EQ(meet(abs(AbsKind::AtomT), atomc("a")), "a");
+  EXPECT_EQ(meet(abs(AbsKind::IntT), atomc("a")), "FAIL");
+  EXPECT_EQ(meet(abs(AbsKind::IntT), intc(3)), "3");
+  EXPECT_EQ(meet(abs(AbsKind::AtomT), intc(3)), "FAIL");
+}
+
+TEST_F(AbsDomTest, MeetVarBindsLikeAVariable) {
+  // s_unify(var, T) = T for every T.
+  EXPECT_EQ(meet(var(), abs(AbsKind::Ground)), "g");
+  EXPECT_EQ(meet(var(), atomc("a")), "a");
+  Cell V1 = var(), V2 = var();
+  EXPECT_TRUE(absUnify(St, V1, V2));
+  EXPECT_TRUE(isVarCell(St, V1));
+  // Aliased: binding one binds the other.
+  EXPECT_TRUE(absUnify(St, V1, atomc("b")));
+  EXPECT_EQ(show(V2), "b");
+}
+
+TEST_F(AbsDomTest, MeetGroundWithStructureGroundsArguments) {
+  // s_unify(g, f(X)) = f(g) with X/g.
+  Cell V = var();
+  Cell F = strc("f", {V});
+  EXPECT_TRUE(absUnify(St, abs(AbsKind::Ground), F));
+  EXPECT_EQ(show(F), "f(g)");
+  EXPECT_EQ(show(V), "g");
+}
+
+TEST_F(AbsDomTest, MeetGlistWithConsIsPaperExample) {
+  // s_unify(glist, [Head|Tail]) = [g|glist], {Head/g, Tail/glist}.
+  Cell Head = var(), Tail = var();
+  Cell L = cons(Head, Tail);
+  EXPECT_TRUE(absUnify(St, list(AbsKind::Ground), L));
+  EXPECT_EQ(show(Head), "g");
+  EXPECT_EQ(show(Tail), "g_list");
+  EXPECT_EQ(show(L), "[g|g_list]");
+}
+
+TEST_F(AbsDomTest, MeetListWithNil) {
+  EXPECT_EQ(meet(list(AbsKind::Ground), nil()), "[]");
+  EXPECT_EQ(meet(list(AbsKind::Any), abs(AbsKind::Const)), "[]");
+  EXPECT_EQ(meet(list(AbsKind::Any), abs(AbsKind::IntT)), "FAIL");
+}
+
+TEST_F(AbsDomTest, MeetListWithGroundNarrowsElementType) {
+  Cell L = list(AbsKind::Any);
+  EXPECT_TRUE(absUnify(St, L, abs(AbsKind::Ground)));
+  EXPECT_EQ(show(L), "g_list");
+}
+
+TEST_F(AbsDomTest, MeetListList) {
+  EXPECT_EQ(meet(list(AbsKind::Any), list(AbsKind::Ground)), "g_list");
+  EXPECT_EQ(meet(list(AbsKind::AtomT), list(AbsKind::IntT)), "FAIL");
+}
+
+TEST_F(AbsDomTest, MeetStructuresRecursively) {
+  Cell A = strc("f", {abs(AbsKind::Any), atomc("x")});
+  Cell B = strc("f", {abs(AbsKind::Ground), abs(AbsKind::AtomT)});
+  EXPECT_TRUE(absUnify(St, A, B));
+  EXPECT_EQ(show(A), "f(g,x)");
+}
+
+TEST_F(AbsDomTest, MeetDifferentFunctorsFails) {
+  EXPECT_EQ(meet(strc("f", {atomc("a")}), strc("g", {atomc("a")})), "FAIL");
+}
+
+TEST_F(AbsDomTest, MeetIsIdempotentOnKinds) {
+  for (AbsKind K : {AbsKind::Any, AbsKind::NV, AbsKind::Ground,
+                    AbsKind::Const, AbsKind::AtomT, AbsKind::IntT}) {
+    EXPECT_EQ(meet(abs(K), abs(K)), std::string(absKindName(K)));
+  }
+}
+
+TEST_F(AbsDomTest, AliasingPropagatesThroughMeet) {
+  // Unify two `any` cells, then narrow one; the other must narrow too.
+  Cell A = abs(AbsKind::Any), B = abs(AbsKind::Any);
+  EXPECT_TRUE(absUnify(St, A, B));
+  EXPECT_TRUE(absUnify(St, A, abs(AbsKind::AtomT)));
+  EXPECT_EQ(show(B), "atom");
+}
+
+// ---- Groundness ----------------------------------------------------------
+
+TEST_F(AbsDomTest, Groundness) {
+  EXPECT_TRUE(isGroundCell(St, atomc("a")));
+  EXPECT_TRUE(isGroundCell(St, intc(1)));
+  EXPECT_TRUE(isGroundCell(St, abs(AbsKind::Ground)));
+  EXPECT_TRUE(isGroundCell(St, abs(AbsKind::AtomT)));
+  EXPECT_FALSE(isGroundCell(St, abs(AbsKind::Any)));
+  EXPECT_FALSE(isGroundCell(St, abs(AbsKind::NV)));
+  EXPECT_FALSE(isGroundCell(St, var()));
+  EXPECT_TRUE(isGroundCell(St, list(AbsKind::Ground)));
+  EXPECT_FALSE(isGroundCell(St, list(AbsKind::Any)));
+  EXPECT_TRUE(isGroundCell(St, strc("f", {atomc("a"), intc(1)})));
+  EXPECT_FALSE(isGroundCell(St, strc("f", {atomc("a"), var()})));
+  EXPECT_TRUE(isGroundCell(St, cons(atomc("a"), nil())));
+}
+
+// ---- Lub ------------------------------------------------------------------
+
+TEST_F(AbsDomTest, LubKinds) {
+  EXPECT_EQ(lub(abs(AbsKind::Ground), abs(AbsKind::NV)), "nv");
+  EXPECT_EQ(lub(abs(AbsKind::AtomT), abs(AbsKind::IntT)), "const");
+  EXPECT_EQ(lub(abs(AbsKind::Ground), abs(AbsKind::Any)), "any");
+  std::string VarLub = lub(var(), var());
+  EXPECT_TRUE(VarLub.starts_with("_G")) << VarLub; // stays a variable
+  EXPECT_EQ(lub(var(), abs(AbsKind::Ground)), "any");
+}
+
+TEST_F(AbsDomTest, LubConstants) {
+  EXPECT_EQ(lub(atomc("a"), atomc("a")), "a");
+  EXPECT_EQ(lub(atomc("a"), atomc("b")), "atom");
+  EXPECT_EQ(lub(intc(1), intc(2)), "int");
+  EXPECT_EQ(lub(intc(1), atomc("a")), "const");
+}
+
+TEST_F(AbsDomTest, LubListInference) {
+  // [] |_| [a] = 'a'-list: the paper's inferred list datatypes (the
+  // element type stays the specific constant here).
+  EXPECT_EQ(lub(nil(), cons(atomc("a"), nil())), "a_list");
+  EXPECT_EQ(lub(nil(), cons(abs(AbsKind::AtomT), nil())), "atom_list");
+  EXPECT_EQ(lub(nil(), list(AbsKind::Ground)), "g_list");
+  EXPECT_EQ(lub(cons(intc(1), nil()), list(AbsKind::IntT)), "int_list");
+  // Improper list joins via groundness.
+  EXPECT_EQ(lub(nil(), cons(atomc("a"), var())), "nv");
+}
+
+TEST_F(AbsDomTest, LubPointwiseStructures) {
+  EXPECT_EQ(lub(strc("f", {atomc("a")}), strc("f", {atomc("b")})),
+            "f(atom)");
+  EXPECT_EQ(lub(strc("f", {atomc("a")}), strc("g", {atomc("b")})), "g");
+  EXPECT_EQ(lub(strc("f", {var()}), strc("g", {var()})), "nv");
+}
+
+TEST_F(AbsDomTest, LubPointwiseCons) {
+  EXPECT_EQ(lub(cons(atomc("a"), nil()), cons(atomc("b"), nil())),
+            "[atom]");
+}
+
+// ---- Patterns --------------------------------------------------------------
+
+TEST_F(AbsDomTest, PatternRoundTrip) {
+  Cell V = var();
+  std::vector<Cell> Args = {V, cons(abs(AbsKind::Ground), nil()), V};
+  Pattern P = canonicalize(St, Args);
+  // Shared variable across arguments 1 and 3.
+  EXPECT_EQ(P.Roots[0], P.Roots[2]);
+  Store St2;
+  std::vector<int64_t> Roots = instantiate(St2, P);
+  std::vector<Cell> Cells;
+  for (int64_t R : Roots)
+    Cells.push_back(Cell::ref(R));
+  Pattern P2 = canonicalize(St2, Cells);
+  EXPECT_EQ(P, P2);
+  EXPECT_EQ(P.hash(), P2.hash());
+}
+
+TEST_F(AbsDomTest, PatternDepthCut) {
+  // f(f(f(f(f(a))))) cut at depth 4 -> inner terms widen to g.
+  Cell T = strc("f", {strc("f", {strc("f", {strc("f", {atomc("a")})})})});
+  Pattern P = canonicalize(St, {T}, 4);
+  std::string S = P.str(Syms);
+  EXPECT_NE(S.find("g"), std::string::npos) << S;
+  // With a generous limit nothing is cut.
+  Pattern PFull = canonicalize(St, {T}, 16);
+  EXPECT_EQ(PFull.str(Syms), "(f(f(f(f(a)))))");
+}
+
+TEST_F(AbsDomTest, PatternPrintPaperStyle) {
+  std::vector<Cell> Args = {abs(AbsKind::AtomT), list(AbsKind::Ground)};
+  Pattern P = canonicalize(St, Args);
+  EXPECT_EQ(P.str(Syms), "(atom, glist)");
+}
+
+TEST_F(AbsDomTest, PatternLubDropsOneSidedSharingAndWidensVars) {
+  // A: p(X, X) with X var; B: p(var, var) unaliased.
+  Cell V = var();
+  Pattern A = canonicalize(St, {V, V});
+  Pattern B = canonicalize(St, {var(), var()});
+  Pattern L = lubPatterns(A, B);
+  // Sharing dropped, vars widened to any (var is not closed under
+  // instantiation through a dropped alias).
+  EXPECT_EQ(L.str(Syms), "(any, any)");
+}
+
+TEST_F(AbsDomTest, PatternLubKeepsTwoSidedSharing) {
+  Cell V1 = var();
+  Pattern A = canonicalize(St, {V1, V1});
+  Store St2;
+  SymbolTable Syms2;
+  int64_t V2 = St2.pushVar();
+  Pattern B =
+      canonicalize(St2, {Cell::ref(V2), Cell::ref(V2)});
+  Pattern L = lubPatterns(A, B);
+  EXPECT_EQ(L.Roots[0], L.Roots[1]);
+  EXPECT_EQ(L.Nodes[L.Roots[0]].K, PatKind::VarP);
+}
+
+TEST_F(AbsDomTest, PatternLeqIsPartialOrderSample) {
+  std::vector<Pattern> Pats;
+  Pats.push_back(canonicalize(St, {abs(AbsKind::Ground)}));
+  Pats.push_back(canonicalize(St, {abs(AbsKind::NV)}));
+  Pats.push_back(canonicalize(St, {abs(AbsKind::Any)}));
+  Pats.push_back(canonicalize(St, {atomc("a")}));
+  Pats.push_back(canonicalize(St, {list(AbsKind::Ground)}));
+  // Reflexive.
+  for (const Pattern &P : Pats)
+    EXPECT_TRUE(patternLeq(P, P)) << P.str(Syms);
+  // a <= g <= nv <= any.
+  EXPECT_TRUE(patternLeq(Pats[3], Pats[0]));
+  EXPECT_TRUE(patternLeq(Pats[0], Pats[1]));
+  EXPECT_TRUE(patternLeq(Pats[1], Pats[2]));
+  EXPECT_FALSE(patternLeq(Pats[2], Pats[1]));
+  // glist <= g.
+  EXPECT_TRUE(patternLeq(Pats[4], Pats[0]));
+  // Lub is an upper bound for every pair.
+  for (const Pattern &A : Pats)
+    for (const Pattern &B : Pats) {
+      Pattern L = lubPatterns(A, B);
+      EXPECT_TRUE(patternLeq(A, L))
+          << A.str(Syms) << " vs " << L.str(Syms);
+      EXPECT_TRUE(patternLeq(B, L))
+          << B.str(Syms) << " vs " << L.str(Syms);
+    }
+}
+
+TEST_F(AbsDomTest, LubCommutativeOnSamples) {
+  std::vector<Cell> Vals = {abs(AbsKind::Ground), abs(AbsKind::NV),
+                            atomc("a"),           intc(3),
+                            list(AbsKind::Ground), nil(),
+                            cons(atomc("a"), nil()),
+                            strc("f", {abs(AbsKind::Any)})};
+  for (Cell A : Vals)
+    for (Cell B : Vals) {
+      Pattern PA = canonicalize(St, {A});
+      Pattern PB = canonicalize(St, {B});
+      EXPECT_EQ(lubPatterns(PA, PB), lubPatterns(PB, PA))
+          << PA.str(Syms) << " vs " << PB.str(Syms);
+    }
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- tests/DesugarTest.cpp - Control-construct desugaring tests ---------===//
+//
+// Disjunction, if-then-else and negation-as-failure compile via auxiliary
+// predicates; these tests check both the rewriting and the end-to-end
+// semantics on the concrete machine, plus analyzability.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "term/TermWriter.h"
+#include "wam/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+class DesugarTest : public ::testing::Test {
+protected:
+  void compile(std::string_view Source) {
+    Result<CompiledProgram> P = compileSource(Source, Syms, Arena);
+    ASSERT_TRUE(P) << P.diag().str();
+    Program = std::make_unique<CompiledProgram>(P.take());
+    M = std::make_unique<Machine>(*Program);
+  }
+
+  std::vector<std::string> solutions(std::string_view GoalText,
+                                     int Max = 50) {
+    Parser GP(GoalText, Syms, Arena);
+    Result<const Term *> G = GP.readTerm();
+    EXPECT_TRUE(G) << G.diag().str();
+    std::vector<Solution> Sols;
+    TermArena SolArena;
+    RunStatus Status =
+        M->solve(*G, GP.lastTermNumVars(), SolArena, Sols, Max);
+    EXPECT_NE(Status, RunStatus::Error) << M->errorMessage();
+    std::vector<std::string> Out;
+    for (const Solution &S : Sols) {
+      std::string Line;
+      for (const Term *B : S.Bindings) {
+        if (!B)
+          continue;
+        if (!Line.empty())
+          Line += ", ";
+        Line += writeTerm(B, Syms);
+      }
+      Out.push_back(Line.empty() ? "yes" : Line);
+    }
+    return Out;
+  }
+
+  SymbolTable Syms;
+  TermArena Arena;
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<Machine> M;
+};
+
+TEST_F(DesugarTest, DisjunctionEnumeratesBothBranches) {
+  compile("p(X) :- (X = a ; X = b).");
+  EXPECT_EQ(solutions("p(X)"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(DesugarTest, DisjunctionThreeWay) {
+  compile("p(X) :- (X = 1 ; X = 2 ; X = 3).");
+  EXPECT_EQ(solutions("p(X)"), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(DesugarTest, DisjunctionSharesOuterBindings) {
+  compile("p(X, Y) :- q(X), (X = a, Y = hit ; Y = miss).\n"
+          "q(a). q(b).");
+  EXPECT_EQ(solutions("p(X, Y)"),
+            (std::vector<std::string>{"a, hit", "a, miss", "b, miss"}));
+}
+
+TEST_F(DesugarTest, IfThenElseTakesThenBranch) {
+  compile("max(X, Y, M) :- (X >= Y -> M = X ; M = Y).");
+  EXPECT_EQ(solutions("max(3, 2, M)"), (std::vector<std::string>{"3"}));
+  EXPECT_EQ(solutions("max(2, 5, M)"), (std::vector<std::string>{"5"}));
+}
+
+TEST_F(DesugarTest, IfThenElseCommits) {
+  // The condition must not be re-satisfiable: only one solution.
+  compile("pick(X) :- (member(X, [1,2,3]) -> true ; X = none).\n"
+          "member(X, [X|_]). member(X, [_|T]) :- member(X, T).");
+  EXPECT_EQ(solutions("pick(X)"), (std::vector<std::string>{"1"}));
+}
+
+TEST_F(DesugarTest, BareIfThenFailsWhenConditionFails) {
+  compile("t(X) :- (X > 2 -> true).");
+  EXPECT_EQ(solutions("t(3)"), (std::vector<std::string>{"yes"}));
+  EXPECT_TRUE(solutions("t(1)").empty());
+}
+
+TEST_F(DesugarTest, NegationAsFailure) {
+  compile("lonely(X) :- member(X, [1,2,3]), \\+ member(X, [2,3,4]).\n"
+          "member(X, [X|_]). member(X, [_|T]) :- member(X, T).");
+  EXPECT_EQ(solutions("lonely(X)"), (std::vector<std::string>{"1"}));
+}
+
+TEST_F(DesugarTest, NegationDoesNotBind) {
+  compile("t(X) :- \\+ X = a, X = b.");
+  // \\+ X = a succeeds only if X = a fails; with X free it binds, so the
+  // negation fails.
+  EXPECT_TRUE(solutions("t(X)").empty());
+  compile("t2(X) :- X = b, \\+ X = a.");
+  EXPECT_EQ(solutions("t2(X)"), (std::vector<std::string>{"b"}));
+}
+
+TEST_F(DesugarTest, NestedControl) {
+  compile("c(X, K) :- ( X = 0 -> K = zero\n"
+          "           ; X > 0 -> K = pos\n"
+          "           ; K = neg ).");
+  EXPECT_EQ(solutions("c(0, K)"), (std::vector<std::string>{"zero"}));
+  EXPECT_EQ(solutions("c(9, K)"), (std::vector<std::string>{"pos"}));
+  EXPECT_EQ(solutions("c(-4, K)"), (std::vector<std::string>{"neg"}));
+}
+
+TEST_F(DesugarTest, AnalyzerHandlesDesugaredControl) {
+  compile("sign(X, S) :- (X >= 0 -> S = nonneg ; S = neg).");
+  Analyzer A(*Program);
+  Result<AnalysisResult> R = A.analyze("sign(int, var)");
+  ASSERT_TRUE(R) << R.diag().str();
+  for (const AnalysisResult::Item &I : R->Items)
+    if (I.PredLabel == "sign/2") {
+      ASSERT_TRUE(I.Success.has_value());
+      EXPECT_EQ(I.Success->str(Syms), "(int, atom)");
+      return;
+    }
+  FAIL() << "sign/2 not analyzed";
+}
+
+TEST_F(DesugarTest, PlainProgramsUnchanged) {
+  Result<ParsedProgram> P =
+      parseProgram("p(X) :- q(X), r(X).\nq(a).\nr(a).", Syms, Arena);
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Clauses.size(), 3u);
+}
+
+TEST_F(DesugarTest, AuxiliaryPredicatesGenerated) {
+  Result<ParsedProgram> P =
+      parseProgram("p :- (a ; b).\na.\nb.", Syms, Arena);
+  ASSERT_TRUE(P);
+  // Original 3 clauses plus two alternatives of the auxiliary predicate.
+  EXPECT_EQ(P->Clauses.size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/LexerTest.cpp - Tokenizer unit tests -------------------------===//
+
+#include "term/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Source) {
+  Lexer L(Source);
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = L.next();
+    if (T.Kind == TokenKind::EndOfFile)
+      return Out;
+    Out.push_back(T);
+    if (T.Kind == TokenKind::Error)
+      return Out;
+  }
+}
+
+TEST(LexerTest, SimpleAtomsAndVariables) {
+  auto Ts = lexAll("foo Bar _baz _ x1");
+  ASSERT_EQ(Ts.size(), 5u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Atom);
+  EXPECT_EQ(Ts[0].Text, "foo");
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Var);
+  EXPECT_EQ(Ts[1].Text, "Bar");
+  EXPECT_EQ(Ts[2].Kind, TokenKind::Var);
+  EXPECT_EQ(Ts[2].Text, "_baz");
+  EXPECT_EQ(Ts[3].Kind, TokenKind::Var);
+  EXPECT_EQ(Ts[3].Text, "_");
+  EXPECT_EQ(Ts[4].Kind, TokenKind::Atom);
+  EXPECT_EQ(Ts[4].Text, "x1");
+}
+
+TEST(LexerTest, Integers) {
+  auto Ts = lexAll("0 42 123456");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].IntVal, 0);
+  EXPECT_EQ(Ts[1].IntVal, 42);
+  EXPECT_EQ(Ts[2].IntVal, 123456);
+}
+
+TEST(LexerTest, CharacterCodes) {
+  auto Ts = lexAll("0'a 0'  0'\\n");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].IntVal, 'a');
+  EXPECT_EQ(Ts[1].IntVal, ' ');
+  EXPECT_EQ(Ts[2].IntVal, '\n');
+}
+
+TEST(LexerTest, SymbolicAtoms) {
+  auto Ts = lexAll(":- ?- = \\= == @< =.. -->");
+  ASSERT_EQ(Ts.size(), 8u);
+  for (const Token &T : Ts)
+    EXPECT_EQ(T.Kind, TokenKind::Atom);
+  EXPECT_EQ(Ts[0].Text, ":-");
+  EXPECT_EQ(Ts[3].Text, "\\=");
+  EXPECT_EQ(Ts[4].Text, "==");
+  EXPECT_EQ(Ts[6].Text, "=..");
+}
+
+TEST(LexerTest, QuotedAtoms) {
+  auto Ts = lexAll("'hello world' 'it''s' 'a\\nb'");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Text, "hello world");
+  EXPECT_EQ(Ts[1].Text, "it's");
+  EXPECT_EQ(Ts[2].Text, "a\nb");
+}
+
+TEST(LexerTest, UnterminatedQuoteIsError) {
+  auto Ts = lexAll("'oops");
+  ASSERT_FALSE(Ts.empty());
+  EXPECT_EQ(Ts.back().Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, EndTokenVsDotOperator) {
+  // '.' followed by layout ends a clause; '=..' stays one atom.
+  auto Ts = lexAll("a. X =.. L.");
+  ASSERT_EQ(Ts.size(), 6u);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::End);
+  EXPECT_EQ(Ts[3].Text, "=..");
+  EXPECT_EQ(Ts[5].Kind, TokenKind::End);
+}
+
+TEST(LexerTest, Comments) {
+  auto Ts = lexAll("a % line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, "b");
+  EXPECT_EQ(Ts[2].Text, "c");
+}
+
+TEST(LexerTest, FunctorParenIsOpenCT) {
+  auto Ts = lexAll("f(a) g (b)");
+  // f OpenCT a ')' g '(' b ')'
+  ASSERT_EQ(Ts.size(), 8u);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::OpenCT);
+  EXPECT_EQ(Ts[5].Kind, TokenKind::Punct); // '(' after layout
+  EXPECT_EQ(Ts[5].Text, "(");
+}
+
+TEST(LexerTest, CutAndSemicolonAreSoloAtoms) {
+  auto Ts = lexAll("! ;");
+  ASSERT_EQ(Ts.size(), 2u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Atom);
+  EXPECT_EQ(Ts[0].Text, "!");
+  EXPECT_EQ(Ts[1].Text, ";");
+}
+
+TEST(LexerTest, PositionsTracked) {
+  Lexer L("a\n  b");
+  Token A = L.next();
+  Token B = L.next();
+  EXPECT_EQ(A.Line, 1);
+  EXPECT_EQ(A.Column, 1);
+  EXPECT_EQ(B.Line, 2);
+  EXPECT_EQ(B.Column, 3);
+}
+
+TEST(LexerTest, PunctuationInventory) {
+  auto Ts = lexAll("[ ] { } , |");
+  ASSERT_EQ(Ts.size(), 6u);
+  for (const Token &T : Ts)
+    EXPECT_EQ(T.Kind, TokenKind::Punct);
+}
+
+TEST(LexerTest, PeekDoesNotConsume) {
+  Lexer L("a b");
+  EXPECT_EQ(L.peek().Text, "a");
+  EXPECT_EQ(L.peek().Text, "a");
+  EXPECT_EQ(L.next().Text, "a");
+  EXPECT_EQ(L.next().Text, "b");
+}
+
+} // namespace

@@ -1,0 +1,348 @@
+//===- tests/MachineTest.cpp - Concrete WAM integration tests -------------===//
+//
+// End-to-end tests of the parse -> compile -> execute pipeline on the
+// concrete machine: unification, lists, arithmetic, backtracking, cut,
+// builtins, and classic programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wam/Machine.h"
+
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+/// Test fixture bundling the full pipeline.
+class MachineTest : public ::testing::Test {
+protected:
+  /// Compiles \p Source; fails the test on error.
+  void compile(std::string_view Source) {
+    Result<CompiledProgram> P = compileSource(Source, Syms, Arena);
+    ASSERT_TRUE(P) << P.diag().str();
+    Program = std::make_unique<CompiledProgram>(P.take());
+    M = std::make_unique<Machine>(*Program);
+  }
+
+  /// Parses a goal term.
+  const Term *goal(std::string_view Text, int *NumVars = nullptr) {
+    Parser P(Text, Syms, Arena);
+    Result<const Term *> T = P.readTerm();
+    EXPECT_TRUE(T) << T.diag().str();
+    if (NumVars)
+      *NumVars = P.lastTermNumVars();
+    return *T;
+  }
+
+  /// True if the goal succeeds.
+  bool proves(std::string_view GoalText) {
+    int NumVars = 0;
+    const Term *G = goal(GoalText, &NumVars);
+    return M->proves(G, NumVars);
+  }
+
+  /// Returns the rendered bindings of the goal's first solution, or "" on
+  /// failure. Bindings render as "Var=Value" joined by ", " in variable
+  /// order of appearance.
+  std::string firstSolution(std::string_view GoalText) {
+    int NumVars = 0;
+    const Term *G = goal(GoalText, &NumVars);
+    std::vector<Solution> Sols;
+    TermArena SolArena;
+    RunStatus Status = M->solve(G, NumVars, SolArena, Sols, 1);
+    EXPECT_NE(Status, RunStatus::Error) << M->errorMessage();
+    if (Status != RunStatus::Success)
+      return "";
+    std::string Out;
+    for (int I = 0; I != NumVars; ++I) {
+      if (!Sols[0].Bindings[I])
+        continue;
+      if (!Out.empty())
+        Out += ", ";
+      Out += writeTerm(Sols[0].Bindings[I], Syms);
+    }
+    return Out.empty() ? "true" : Out;
+  }
+
+  /// Returns all solutions (up to \p Max), one rendered binding line each.
+  std::vector<std::string> allSolutions(std::string_view GoalText,
+                                        int Max = 100) {
+    int NumVars = 0;
+    const Term *G = goal(GoalText, &NumVars);
+    std::vector<Solution> Sols;
+    TermArena SolArena;
+    RunStatus Status = M->solve(G, NumVars, SolArena, Sols, Max);
+    EXPECT_NE(Status, RunStatus::Error) << M->errorMessage();
+    std::vector<std::string> Out;
+    for (const Solution &S : Sols) {
+      std::string Line;
+      for (int I = 0; I != NumVars; ++I) {
+        if (!S.Bindings[I])
+          continue;
+        if (!Line.empty())
+          Line += ", ";
+        Line += writeTerm(S.Bindings[I], Syms);
+      }
+      Out.push_back(Line);
+    }
+    return Out;
+  }
+
+  SymbolTable Syms;
+  TermArena Arena;
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<Machine> M;
+};
+
+TEST_F(MachineTest, FactSucceeds) {
+  compile("p(a).");
+  EXPECT_TRUE(proves("p(a)"));
+  EXPECT_FALSE(proves("p(b)"));
+}
+
+TEST_F(MachineTest, FactBindsVariable) {
+  compile("p(a).");
+  EXPECT_EQ(firstSolution("p(X)"), "a");
+}
+
+TEST_F(MachineTest, UndefinedPredicateFails) {
+  compile("p(a).");
+  EXPECT_FALSE(proves("q(a)"));
+}
+
+TEST_F(MachineTest, ZeroArityChain) {
+  compile("a :- b. b :- c. c.");
+  EXPECT_TRUE(proves("a"));
+}
+
+TEST_F(MachineTest, StructureUnification) {
+  compile("p(f(X, g(X))) :- q(X). q(1).");
+  EXPECT_TRUE(proves("p(f(1, g(1)))"));
+  EXPECT_FALSE(proves("p(f(1, g(2)))"));
+  EXPECT_EQ(firstSolution("p(f(Y, Z))"), "1, g(1)");
+}
+
+TEST_F(MachineTest, PaperExampleClause) {
+  // The clause from the paper's Section 2 (Figure 2).
+  compile("p(a, [f(V)|L]) :- q(V, L). q(1, []).");
+  EXPECT_TRUE(proves("p(a, [f(1)])"));
+  EXPECT_FALSE(proves("p(b, [f(1)])"));
+  EXPECT_EQ(firstSolution("p(a, Xs)"), "[f(1)]");
+}
+
+TEST_F(MachineTest, BacktrackingEnumerates) {
+  compile("color(red). color(green). color(blue).");
+  EXPECT_EQ(allSolutions("color(C)"),
+            (std::vector<std::string>{"red", "green", "blue"}));
+}
+
+TEST_F(MachineTest, AppendForward) {
+  compile("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+  EXPECT_EQ(firstSolution("app([1,2], [3], Z)"), "[1,2,3]");
+}
+
+TEST_F(MachineTest, AppendBackwardEnumeratesSplits) {
+  compile("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+  auto Sols = allSolutions("app(A, B, [1,2])");
+  ASSERT_EQ(Sols.size(), 3u);
+  EXPECT_EQ(Sols[0], "[], [1,2]");
+  EXPECT_EQ(Sols[1], "[1], [2]");
+  EXPECT_EQ(Sols[2], "[1,2], []");
+}
+
+TEST_F(MachineTest, NaiveReverse) {
+  compile("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).\n"
+          "nrev([], []). nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).");
+  EXPECT_EQ(firstSolution("nrev([1,2,3,4,5], R)"), "[5,4,3,2,1]");
+}
+
+TEST_F(MachineTest, Arithmetic) {
+  compile("double(X, Y) :- Y is X * 2.\n"
+          "fact(0, 1).\n"
+          "fact(N, F) :- N > 0, N1 is N - 1, fact(N1, F1), F is N * F1.");
+  EXPECT_EQ(firstSolution("double(21, Y)"), "42");
+  EXPECT_EQ(firstSolution("fact(10, F)"), "3628800");
+}
+
+TEST_F(MachineTest, ComparisonBuiltins) {
+  compile("t.");
+  EXPECT_TRUE(proves("t"));
+  Machine &Mach = *M;
+  (void)Mach;
+  compile("check :- 1 < 2, 2 =< 2, 3 > 1, 3 >= 3, 4 =:= 4, 4 =\\= 5.");
+  EXPECT_TRUE(proves("check"));
+  compile("bad :- 2 < 1.");
+  EXPECT_FALSE(proves("bad"));
+}
+
+TEST_F(MachineTest, CutPrunesAlternatives) {
+  compile("max(X, Y, X) :- X >= Y, !.\n"
+          "max(_, Y, Y).");
+  EXPECT_EQ(allSolutions("max(3, 2, M)"), (std::vector<std::string>{"3"}));
+  EXPECT_EQ(allSolutions("max(2, 3, M)"), (std::vector<std::string>{"3"}));
+}
+
+TEST_F(MachineTest, DeepCut) {
+  compile("p(X) :- q(X), !, r(X).\n"
+          "p(fallback).\n"
+          "q(1). q(2). r(1).");
+  // q(1) commits; r(1) holds, so only one solution and no fallback.
+  EXPECT_EQ(allSolutions("p(X)"), (std::vector<std::string>{"1"}));
+}
+
+TEST_F(MachineTest, DeepCutBlocksFallbackOnFailure) {
+  compile("p(X) :- q(X), !, r(X).\n"
+          "p(fallback).\n"
+          "q(2). r(1).");
+  // q(2) commits, r(2) fails, cut prevents both q retry and clause 2.
+  EXPECT_TRUE(allSolutions("p(X)").empty());
+}
+
+TEST_F(MachineTest, NeckCutKeepsOuterChoice) {
+  compile("p(1) :- !. p(2).\n"
+          "q(X) :- p(X).\n"
+          "r(a). r(b).");
+  EXPECT_EQ(allSolutions("p(X)"), (std::vector<std::string>{"1"}));
+  // Cut inside p must not prune r's alternatives.
+  compile("p(1) :- !. p(2).\n"
+          "s(R, X) :- r(R), p(X).\n"
+          "r(a). r(b).");
+  EXPECT_EQ(allSolutions("s(R, X)"),
+            (std::vector<std::string>{"a, 1", "b, 1"}));
+}
+
+TEST_F(MachineTest, TypeTestBuiltins) {
+  compile("checks(X) :- var(X).\n"
+          "checkn(X) :- nonvar(X).\n"
+          "checka(X) :- atom(X).\n"
+          "checki(X) :- integer(X).\n"
+          "checkat(X) :- atomic(X).\n"
+          "checkc(X) :- compound(X).");
+  EXPECT_TRUE(proves("checks(_)"));
+  EXPECT_FALSE(proves("checks(a)"));
+  EXPECT_TRUE(proves("checkn(f(x))"));
+  EXPECT_TRUE(proves("checka(abc)"));
+  EXPECT_FALSE(proves("checka(3)"));
+  EXPECT_TRUE(proves("checki(3)"));
+  EXPECT_TRUE(proves("checkat(3)"));
+  EXPECT_TRUE(proves("checkat(a)"));
+  EXPECT_FALSE(proves("checkat(f(a))"));
+  EXPECT_TRUE(proves("checkc(f(a))"));
+  EXPECT_TRUE(proves("checkc([1])"));
+  EXPECT_FALSE(proves("checkc([])"));
+}
+
+TEST_F(MachineTest, StructuralEqualityAndOrder) {
+  compile("t.");
+  EXPECT_TRUE(proves("t"));
+  compile("eq(X, Y) :- X == Y.\n"
+          "lt(X, Y) :- X @< Y.");
+  EXPECT_TRUE(proves("eq(f(a), f(a))"));
+  EXPECT_FALSE(proves("eq(f(a), f(b))"));
+  EXPECT_FALSE(proves("eq(X, Y)"));
+  EXPECT_TRUE(proves("eq(X, X)"));
+  EXPECT_TRUE(proves("lt(1, a)"));       // Int < Atom
+  EXPECT_TRUE(proves("lt(a, f(a))"));    // Atom < Compound
+  EXPECT_TRUE(proves("lt(f(a), f(b))")); // args left to right
+}
+
+TEST_F(MachineTest, UnifyAndNotUnifyBuiltins) {
+  compile("u(X, Y) :- X = Y.\n"
+          "nu(X, Y) :- X \\= Y.");
+  EXPECT_EQ(firstSolution("u(X, f(1))"), "f(1)");
+  EXPECT_TRUE(proves("nu(a, b)"));
+  EXPECT_FALSE(proves("nu(a, a)"));
+  EXPECT_FALSE(proves("nu(X, a)")); // X unifies with a
+}
+
+TEST_F(MachineTest, FunctorArgUniv) {
+  compile("f3(T, N, A) :- functor(T, N, A).\n"
+          "a3(N, T, A) :- arg(N, T, A).\n"
+          "univ(T, L) :- T =.. L.");
+  EXPECT_EQ(firstSolution("f3(foo(a,b), N, A)"), "foo, 2");
+  // Fresh variables are named after their heap address, so only check the
+  // shape.
+  std::string Constructed = firstSolution("f3(T, foo, 2)");
+  EXPECT_TRUE(Constructed.starts_with("foo(_G")) << Constructed;
+  EXPECT_EQ(firstSolution("a3(2, foo(a,b), A)"), "b");
+  EXPECT_EQ(firstSolution("univ(foo(a,b), L)"), "[foo,a,b]");
+  EXPECT_EQ(firstSolution("univ(T, [foo,a,b])"), "foo(a,b)");
+}
+
+TEST_F(MachineTest, WriteOutput) {
+  compile("hello :- write(hello), nl, write([1,2,3]), nl, tab(2), "
+          "write(f(X, Y)).");
+  EXPECT_TRUE(proves("hello"));
+  EXPECT_TRUE(M->output().starts_with("hello\n[1,2,3]\n  f(_G"))
+      << M->output();
+}
+
+TEST_F(MachineTest, QuickSort) {
+  compile(
+      "partition([], _, [], []).\n"
+      "partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, "
+      "L2).\n"
+      "partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).\n"
+      "qsort([], R, R).\n"
+      "qsort([X|L], R, R0) :- partition(L, X, L1, L2), qsort(L2, R1, R0), "
+      "qsort(L1, R, [X|R1]).");
+  EXPECT_EQ(firstSolution("qsort([3,1,2], S, [])"), "[1,2,3]");
+  EXPECT_EQ(firstSolution("qsort([27,74,17,33,94,18,46,83,65,2], S, [])"),
+            "[2,17,18,27,33,46,65,74,83,94]");
+}
+
+TEST_F(MachineTest, LastCallOptimizationDeepRecursion) {
+  // Tail-recursive loop should run in constant stack.
+  compile("count(0) :- !.\n"
+          "count(N) :- N1 is N - 1, count(N1).");
+  EXPECT_TRUE(proves("count(200000)"));
+}
+
+TEST_F(MachineTest, HaltBuiltin) {
+  compile("h :- halt.");
+  int NumVars = 0;
+  const Term *G = goal("h", &NumVars);
+  std::vector<Solution> Sols;
+  TermArena SolArena;
+  EXPECT_EQ(M->solve(G, NumVars, SolArena, Sols, 1), RunStatus::Halted);
+}
+
+TEST_F(MachineTest, ArithmeticErrorReported) {
+  compile("bad(X) :- Y is X + 1, Y > 0.");
+  int NumVars = 0;
+  const Term *G = goal("bad(_)", &NumVars);
+  std::vector<Solution> Sols;
+  TermArena SolArena;
+  EXPECT_EQ(M->solve(G, NumVars, SolArena, Sols, 1), RunStatus::Error);
+  EXPECT_NE(M->errorMessage().find("unbound"), std::string::npos);
+}
+
+TEST_F(MachineTest, FirstArgIndexingSelectsClause) {
+  compile("t(a, 1). t(b, 2). t(c, 3). t([X|_], X). t(f(X), X). t(7, seven).");
+  EXPECT_EQ(firstSolution("t(a, V)"), "1");
+  EXPECT_EQ(firstSolution("t(b, V)"), "2");
+  EXPECT_EQ(firstSolution("t([9,8], V)"), "9");
+  EXPECT_EQ(firstSolution("t(f(5), V)"), "5");
+  EXPECT_EQ(firstSolution("t(7, V)"), "seven");
+  EXPECT_FALSE(proves("t(zzz, _)"));
+  // All clauses reachable through an unbound first argument.
+  EXPECT_EQ(allSolutions("t(K, V)").size(), 6u);
+}
+
+TEST_F(MachineTest, MemberSelect) {
+  compile("member(X, [X|_]).\n"
+          "member(X, [_|T]) :- member(X, T).\n"
+          "select(X, [X|T], T).\n"
+          "select(X, [H|T], [H|R]) :- select(X, T, R).");
+  EXPECT_EQ(allSolutions("member(X, [1,2,3])").size(), 3u);
+  auto Sels = allSolutions("select(X, [1,2,3], R)");
+  ASSERT_EQ(Sels.size(), 3u);
+  EXPECT_EQ(Sels[0], "1, [2,3]");
+  EXPECT_EQ(Sels[1], "2, [1,3]");
+  EXPECT_EQ(Sels[2], "3, [1,2]");
+}
+
+} // namespace

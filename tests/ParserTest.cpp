@@ -1,0 +1,184 @@
+//===- tests/ParserTest.cpp - Reader and writer unit tests ----------------===//
+//
+// Operator precedence, lists, clause splitting, variable numbering,
+// error reporting, and the parse -> write -> parse round-trip property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Parser.h"
+#include "term/TermWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  /// Parses one term and renders it back in canonical (no-operator) form.
+  std::string canon(std::string_view Text) {
+    Parser P(Text, Syms, Arena);
+    Result<const Term *> T = P.readTerm();
+    if (!T)
+      return "ERROR: " + T.diag().str();
+    WriteOptions Options;
+    Options.UseOperators = false;
+    return writeTerm(*T, Syms, Options);
+  }
+
+  /// Parses and re-renders with operators.
+  std::string pretty(std::string_view Text) {
+    Parser P(Text, Syms, Arena);
+    Result<const Term *> T = P.readTerm();
+    if (!T)
+      return "ERROR: " + T.diag().str();
+    return writeTerm(*T, Syms);
+  }
+
+  SymbolTable Syms;
+  TermArena Arena;
+};
+
+TEST_F(ParserTest, AtomsIntsVars) {
+  EXPECT_EQ(canon("foo"), "foo");
+  EXPECT_EQ(canon("42"), "42");
+  EXPECT_EQ(canon("-7"), "-7");
+  EXPECT_EQ(canon("X"), "X");
+}
+
+TEST_F(ParserTest, Structures) {
+  EXPECT_EQ(canon("f(a, b)"), "f(a,b)");
+  EXPECT_EQ(canon("f(g(h(1)), X)"), "f(g(h(1)),X)");
+}
+
+TEST_F(ParserTest, OperatorPrecedence) {
+  EXPECT_EQ(canon("1 + 2 * 3"), "+(1,*(2,3))");
+  EXPECT_EQ(canon("(1 + 2) * 3"), "*(+(1,2),3)");
+  EXPECT_EQ(canon("1 - 2 - 3"), "-(-(1,2),3)");  // yfx: left assoc
+  EXPECT_EQ(canon("a , b , c"), "','(a,','(b,c))"); // xfy: right assoc
+  EXPECT_EQ(canon("X is Y + 1"), "is(X,+(Y,1))");
+  EXPECT_EQ(canon("2 ** 3"), "**(2,3)");
+  EXPECT_EQ(canon("- (3)"), "-(3)");
+  EXPECT_EQ(canon("a = b"), "=(a,b)");
+}
+
+TEST_F(ParserTest, ClauseNeck) {
+  EXPECT_EQ(canon("a :- b, c"), ":-(a,','(b,c))");
+}
+
+TEST_F(ParserTest, Lists) {
+  // List sugar survives canonical printing; structure is checked via the
+  // Term API below.
+  EXPECT_EQ(canon("[]"), "[]");
+  EXPECT_EQ(canon("[1]"), "[1]");
+  EXPECT_EQ(canon("[1, 2]"), "[1,2]");
+  EXPECT_EQ(canon("[H|T]"), "[H|T]");
+  EXPECT_EQ(canon("[a, b|T]"), "[a,b|T]");
+  Parser P("[1, 2]", Syms, Arena);
+  Result<const Term *> T = P.readTerm();
+  ASSERT_TRUE(T);
+  ASSERT_TRUE((*T)->isCons());
+  EXPECT_EQ((*T)->arg(0)->intValue(), 1);
+  ASSERT_TRUE((*T)->arg(1)->isCons());
+  EXPECT_TRUE((*T)->arg(1)->arg(1)->isNil());
+}
+
+TEST_F(ParserTest, ListPrettyPrinting) {
+  EXPECT_EQ(pretty("[1, 2, 3]"), "[1,2,3]");
+  EXPECT_EQ(pretty("[a|T]"), "[a|T]");
+  EXPECT_EQ(pretty("1 + 2 * 3"), "1+2*3");
+  EXPECT_EQ(pretty("(1 + 2) * 3"), "(1+2)*3");
+}
+
+TEST_F(ParserTest, CurlyBraces) {
+  EXPECT_EQ(canon("{}"), "{}");
+  EXPECT_EQ(canon("{a, b}"), "{','(a,b)}");
+  Parser P("{a}", Syms, Arena);
+  Result<const Term *> T = P.readTerm();
+  ASSERT_TRUE(T);
+  EXPECT_EQ((*T)->functor(), SymbolTable::SymCurly);
+  EXPECT_EQ((*T)->arity(), 1);
+}
+
+TEST_F(ParserTest, SharedVariablesShareNodes) {
+  Parser P("f(X, Y, X)", Syms, Arena);
+  Result<const Term *> T = P.readTerm();
+  ASSERT_TRUE(T);
+  EXPECT_EQ((*T)->arg(0), (*T)->arg(2));
+  EXPECT_NE((*T)->arg(0), (*T)->arg(1));
+  EXPECT_EQ(P.lastTermNumVars(), 2);
+}
+
+TEST_F(ParserTest, AnonymousVariablesAreDistinct) {
+  Parser P("f(_, _)", Syms, Arena);
+  Result<const Term *> T = P.readTerm();
+  ASSERT_TRUE(T);
+  EXPECT_NE((*T)->arg(0), (*T)->arg(1));
+  EXPECT_EQ(P.lastTermNumVars(), 2);
+}
+
+TEST_F(ParserTest, ErrorsCarryPositions) {
+  Parser P("f(a,\n   )", Syms, Arena);
+  Result<const Term *> T = P.readTerm();
+  ASSERT_FALSE(T);
+  EXPECT_EQ(T.diag().Line, 2);
+}
+
+TEST_F(ParserTest, MissingEndReported) {
+  Parser P("f(a) g", Syms, Arena);
+  Result<const Term *> T = P.readTerm();
+  ASSERT_FALSE(T);
+  EXPECT_NE(T.diag().Message.find("'.'"), std::string::npos);
+}
+
+TEST_F(ParserTest, ProgramSplitsClauses) {
+  Result<ParsedProgram> P =
+      parseProgram("f(a).\nf(X) :- g(X), h.\n:- note.", Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+  ASSERT_EQ(P->Clauses.size(), 2u);
+  EXPECT_TRUE(P->Clauses[0].Body.empty());
+  ASSERT_EQ(P->Clauses[1].Body.size(), 2u);
+  ASSERT_EQ(P->Directives.size(), 1u);
+}
+
+TEST_F(ParserTest, TrueFilteredFromBody) {
+  Result<ParsedProgram> P = parseProgram("f :- true, g, true.", Syms, Arena);
+  ASSERT_TRUE(P);
+  ASSERT_EQ(P->Clauses[0].Body.size(), 1u);
+}
+
+TEST_F(ParserTest, NonCallableHeadRejected) {
+  Result<ParsedProgram> P = parseProgram("42 :- g.", Syms, Arena);
+  EXPECT_FALSE(P);
+}
+
+// Round-trip: parse, pretty-print, re-parse, canonical forms must match.
+class RoundTripTest : public ParserTest,
+                      public ::testing::WithParamInterface<const char *> {};
+
+TEST_P(RoundTripTest, WriteThenParseIsIdentity) {
+  Parser P1(GetParam(), Syms, Arena);
+  Result<const Term *> T1 = P1.readTerm();
+  ASSERT_TRUE(T1) << GetParam();
+  std::string Printed = writeTerm(*T1, Syms);
+  Parser P2(Printed, Syms, Arena);
+  Result<const Term *> T2 = P2.readTerm();
+  ASSERT_TRUE(T2) << Printed;
+  WriteOptions Canon;
+  Canon.UseOperators = false;
+  EXPECT_EQ(writeTerm(*T1, Syms, Canon), writeTerm(*T2, Syms, Canon))
+      << "via " << Printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Samples, RoundTripTest,
+    ::testing::Values(
+        "f(a, B, [1,2|T])", "1 + 2 * 3 - 4", "(1 + 2) * (3 - 4)",
+        "X is Y mod 3", "a :- b, c, d", "[[1],[2,3],[]]",
+        "'quoted atom'(x)", "f(-1, - 1)", "p :- q ; r",
+        "t(A) :- A = [x|_], g", "1 < 2", "X = f(Y, g(Z))",
+        "d(U + V, X, DU + DV)", "{goal, extra}", "- (- (3))",
+        "h([a|[b|[c|[]]]])"));
+
+} // namespace

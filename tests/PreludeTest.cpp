@@ -1,0 +1,167 @@
+//===- tests/PreludeTest.cpp - Standard-library predicate tests -----------===//
+//
+// Concrete semantics of every prelude predicate, plus analyzability of
+// representative ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "programs/Prelude.h"
+#include "term/TermWriter.h"
+#include "wam/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+class PreludeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::string Source(preludeSource());
+    Result<CompiledProgram> P = compileSource(Source, Syms, Arena);
+    ASSERT_TRUE(P) << P.diag().str();
+    Program = std::make_unique<CompiledProgram>(P.take());
+    M = std::make_unique<Machine>(*Program);
+  }
+
+  std::vector<std::string> all(std::string_view GoalText, int Max = 100) {
+    Parser GP(GoalText, Syms, Arena);
+    Result<const Term *> G = GP.readTerm();
+    EXPECT_TRUE(G) << G.diag().str();
+    std::vector<Solution> Sols;
+    TermArena SolArena;
+    RunStatus Status =
+        M->solve(*G, GP.lastTermNumVars(), SolArena, Sols, Max);
+    EXPECT_NE(Status, RunStatus::Error) << M->errorMessage();
+    std::vector<std::string> Out;
+    for (const Solution &S : Sols) {
+      std::string Line;
+      for (const Term *B : S.Bindings)
+        if (B)
+          Line += (Line.empty() ? "" : ", ") + writeTerm(B, Syms);
+      Out.push_back(Line.empty() ? "yes" : Line);
+    }
+    return Out;
+  }
+
+  std::string first(std::string_view Goal) {
+    auto Sols = all(Goal, 1);
+    return Sols.empty() ? "(fails)" : Sols[0];
+  }
+
+  SymbolTable Syms;
+  TermArena Arena;
+  std::unique_ptr<CompiledProgram> Program;
+  std::unique_ptr<Machine> M;
+};
+
+TEST_F(PreludeTest, Append) {
+  EXPECT_EQ(first("append([1,2], [3], R)"), "[1,2,3]");
+  EXPECT_EQ(all("append(A, B, [1,2])").size(), 3u);
+}
+
+TEST_F(PreludeTest, MemberAndMemberchk) {
+  EXPECT_EQ(all("member(X, [a,b,c])").size(), 3u);
+  EXPECT_EQ(all("memberchk(X, [a,b,c])").size(), 1u);
+  EXPECT_EQ(first("memberchk(b, [a,b,c])"), "yes");
+  EXPECT_EQ(first("memberchk(z, [a,b,c])"), "(fails)");
+}
+
+TEST_F(PreludeTest, Length) {
+  EXPECT_EQ(first("length([a,b,c,d], N)"), "4");
+  EXPECT_EQ(first("length([], N)"), "0");
+}
+
+TEST_F(PreludeTest, Reverse) {
+  EXPECT_EQ(first("reverse([1,2,3], R)"), "[3,2,1]");
+  EXPECT_EQ(first("reverse([], R)"), "[]");
+}
+
+TEST_F(PreludeTest, Select) {
+  EXPECT_EQ(all("select(X, [1,2,3], R)"),
+            (std::vector<std::string>{"1, [2,3]", "2, [1,3]", "3, [1,2]"}));
+}
+
+TEST_F(PreludeTest, Nth) {
+  EXPECT_EQ(first("nth0(0, [a,b,c], X)"), "a");
+  EXPECT_EQ(first("nth0(2, [a,b,c], X)"), "c");
+  EXPECT_EQ(first("nth1(1, [a,b,c], X)"), "a");
+  EXPECT_EQ(first("nth1(3, [a,b,c], X)"), "c");
+  EXPECT_EQ(first("nth0(5, [a,b,c], X)"), "(fails)");
+}
+
+TEST_F(PreludeTest, Last) {
+  EXPECT_EQ(first("last([1,2,3], X)"), "3");
+  EXPECT_EQ(first("last([], X)"), "(fails)");
+}
+
+TEST_F(PreludeTest, Between) {
+  EXPECT_EQ(all("between(1, 5, X)"),
+            (std::vector<std::string>{"1", "2", "3", "4", "5"}));
+  EXPECT_EQ(first("between(3, 2, X)"), "(fails)");
+}
+
+TEST_F(PreludeTest, Numlist) {
+  EXPECT_EQ(first("numlist(1, 5, L)"), "[1,2,3,4,5]");
+  EXPECT_EQ(first("numlist(3, 3, L)"), "[3]");
+  EXPECT_EQ(first("numlist(4, 3, L)"), "[]");
+}
+
+TEST_F(PreludeTest, SumMaxMin) {
+  EXPECT_EQ(first("sum_list([1,2,3,4], S)"), "10");
+  EXPECT_EQ(first("sum_list([], S)"), "0");
+  EXPECT_EQ(first("max_list([3,1,4,1,5], M)"), "5");
+  EXPECT_EQ(first("min_list([3,1,4,1,5], M)"), "1");
+}
+
+TEST_F(PreludeTest, Msort) {
+  EXPECT_EQ(first("msort([3,1,2], S)"), "[1,2,3]");
+  EXPECT_EQ(first("msort([b,a,1,c,2], S)"), "[1,2,a,b,c]");
+  EXPECT_EQ(first("msort([2,1,2], S)"), "[1,2,2]"); // duplicates kept
+}
+
+TEST_F(PreludeTest, DeleteAndSubtract) {
+  EXPECT_EQ(first("delete([1,2,1,3], 1, R)"), "[2,3]");
+  EXPECT_EQ(first("subtract([1,2,3,4], [2,4], R)"), "[1,3]");
+}
+
+TEST_F(PreludeTest, Permutation) {
+  EXPECT_EQ(all("permutation([1,2,3], P)").size(), 6u);
+}
+
+TEST_F(PreludeTest, AnalyzesCleanly) {
+  Analyzer A(*Program);
+  Result<AnalysisResult> R = A.analyze("reverse(glist, var)");
+  ASSERT_TRUE(R) << R.diag().str();
+  EXPECT_TRUE(R->Converged);
+  for (const AnalysisResult::Item &I : R->Items)
+    if (I.PredLabel == "reverse/2" && I.Success)
+      EXPECT_EQ(I.Success->str(Syms), "(glist, glist)");
+
+  R = A.analyze("sum_list(intlist, var)");
+  ASSERT_TRUE(R) << R.diag().str();
+  for (const AnalysisResult::Item &I : R->Items)
+    if (I.PredLabel == "sum_list/2" && I.Success)
+      EXPECT_EQ(I.Success->str(Syms), "(intlist, int)");
+}
+
+TEST_F(PreludeTest, PreludeComposesWithUserPrograms) {
+  std::string Source = std::string(preludeSource()) +
+                       "pairsum(L, S) :- reverse(L, R), sum_list(R, S).\n";
+  SymbolTable Syms2;
+  TermArena Arena2;
+  Result<CompiledProgram> P = compileSource(Source, Syms2, Arena2);
+  ASSERT_TRUE(P) << P.diag().str();
+  Machine M2(*P);
+  Parser GP("pairsum([1,2,3], S)", Syms2, Arena2);
+  Result<const Term *> G = GP.readTerm();
+  std::vector<Solution> Sols;
+  TermArena SolArena;
+  ASSERT_EQ(M2.solve(*G, GP.lastTermNumVars(), SolArena, Sols, 1),
+            RunStatus::Success);
+  EXPECT_EQ(writeTerm(Sols[0].Bindings[0], Syms2), "6");
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===- tests/PrologHostedTest.cpp - Prolog-hosted analyzer tests ----------===//
+//
+// The Prolog-hosted mode analyzer (the Aquarius stand-in) must run on the
+// concrete WAM for every benchmark and produce a sound coarse table:
+// wherever the compiled analyzer (rich domain) says an argument is ground,
+// the coarse domain may say g/nv/any but never contradict by claiming the
+// predicate fails while the rich analysis succeeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/PrologHosted.h"
+#include "programs/Benchmarks.h"
+#include "wam/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+TEST(PrologHostedTest, ReflectsSmallProgram) {
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> P =
+      parseProgram("p(a, [X|_]) :- q(X), X > 1.\nq(1).", Syms, Arena);
+  ASSERT_TRUE(P);
+  std::string Data = reflectProgram(*P, Syms, "p");
+  EXPECT_NE(Data.find("top_goal(p, 0)."), std::string::npos) << Data;
+  EXPECT_NE(Data.find("clauses(p, 2"), std::string::npos) << Data;
+  EXPECT_NE(Data.find("'$v'(0)"), std::string::npos) << Data;
+  EXPECT_NE(Data.find("u(q,1,['$v'(0)])"), std::string::npos) << Data;
+  EXPECT_NE(Data.find("b(>,2,['$v'(0),1])"), std::string::npos) << Data;
+}
+
+TEST(PrologHostedTest, AnalyzesTinyProgram) {
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> P = parseProgram(
+      "main :- double(3, Y), use(Y).\n"
+      "double(X, Y) :- Y is X * 2.\n"
+      "use(_).",
+      Syms, Arena);
+  ASSERT_TRUE(P);
+  Result<PrologHostedResult> R = runPrologHostedAnalysis(*P, Syms, "main");
+  ASSERT_TRUE(R) << R.diag().str();
+  // double/2 was called with (int, var) and succeeds with (int, int).
+  EXPECT_NE(R->Table.find("double"), std::string::npos) << R->Table;
+  EXPECT_NE(R->Table.find("some([int,int])"), std::string::npos)
+      << R->Table;
+  EXPECT_GT(R->HostInstructions, 0u);
+
+  // The coarse-domain variant reports the same facts as groundness.
+  SymbolTable Syms2;
+  TermArena Arena2;
+  Result<ParsedProgram> P2 = parseProgram(
+      "main :- double(3, Y), use(Y).\n"
+      "double(X, Y) :- Y is X * 2.\n"
+      "use(_).",
+      Syms2, Arena2);
+  ASSERT_TRUE(P2);
+  Result<PrologHostedResult> R2 =
+      runPrologHostedAnalysis(*P2, Syms2, "main", PrologDomain::Coarse);
+  ASSERT_TRUE(R2) << R2.diag().str();
+  EXPECT_NE(R2->Table.find("some([g,g])"), std::string::npos) << R2->Table;
+}
+
+TEST(PrologHostedTest, RecursiveFixpoint) {
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> P = parseProgram(
+      "main :- len([a,b,c], N), out(N).\n"
+      "len([], 0).\n"
+      "len([_|T], N) :- len(T, M), N is M + 1.\n"
+      "out(_).",
+      Syms, Arena);
+  ASSERT_TRUE(P);
+  Result<PrologHostedResult> R = runPrologHostedAnalysis(*P, Syms, "main");
+  ASSERT_TRUE(R) << R.diag().str();
+  EXPECT_NE(R->Table.find("len"), std::string::npos) << R->Table;
+}
+
+class PrologHostedBenchTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PrologHostedBenchTest, RunsOnEveryBenchmark) {
+  const BenchmarkProgram &B = benchmarkPrograms()[GetParam()];
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> P = parseProgram(B.Source, Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+  Result<PrologHostedResult> R = runPrologHostedAnalysis(*P, Syms, "main");
+  ASSERT_TRUE(R) << B.Name << ": " << R.diag().str();
+  // main/0 must be in the table with a success entry (it succeeds
+  // concretely, and the coarse analysis is an over-approximation).
+  EXPECT_NE(R->Table.find("e(main,0,[],"), std::string::npos)
+      << B.Name << ": " << R->Table;
+  EXPECT_NE(R->Table.find("e(main,0,[],yes,some([]))"), std::string::npos)
+      << B.Name << ": " << R->Table;
+}
+
+std::string benchName(const ::testing::TestParamInfo<size_t> &Info) {
+  return std::string(benchmarkPrograms()[Info.param].Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PrologHostedBenchTest,
+                         ::testing::Range<size_t>(0,
+                                                  benchmarkPrograms().size()),
+                         benchName);
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- tests/StoreSupportTest.cpp - Store and support unit tests ----------===//
+
+#include "support/StringUtil.h"
+#include "support/SymbolTable.h"
+#include "support/Timer.h"
+#include "term/Parser.h"
+#include "term/TermWriter.h"
+#include "wam/Store.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+// ---- SymbolTable ---------------------------------------------------------
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable S;
+  Symbol A = S.intern("hello");
+  Symbol B = S.intern("hello");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(S.name(A), "hello");
+}
+
+TEST(SymbolTableTest, FixedSymbolsPreInterned) {
+  SymbolTable S;
+  EXPECT_EQ(S.intern("[]"), SymbolTable::SymNil);
+  EXPECT_EQ(S.intern("."), SymbolTable::SymDot);
+  EXPECT_EQ(S.intern(":-"), SymbolTable::SymNeck);
+  EXPECT_EQ(S.intern("!"), SymbolTable::SymCut);
+}
+
+TEST(SymbolTableTest, LookupWithoutInterning) {
+  SymbolTable S;
+  EXPECT_EQ(S.lookup("nonexistent"), ~0u);
+  Symbol A = S.intern("exists");
+  EXPECT_EQ(S.lookup("exists"), A);
+}
+
+TEST(SymbolTableTest, ManySymbolsStayStable) {
+  SymbolTable S;
+  std::vector<Symbol> Ids;
+  for (int I = 0; I != 2000; ++I)
+    Ids.push_back(S.intern("sym" + std::to_string(I)));
+  for (int I = 0; I != 2000; ++I)
+    EXPECT_EQ(S.name(Ids[I]), "sym" + std::to_string(I));
+}
+
+// ---- StringUtil ------------------------------------------------------------
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(StringUtilTest, QuoteAtom) {
+  EXPECT_EQ(quoteAtom("foo"), "foo");
+  EXPECT_EQ(quoteAtom("fooBar1"), "fooBar1");
+  EXPECT_EQ(quoteAtom("Foo"), "'Foo'");
+  EXPECT_EQ(quoteAtom("hello world"), "'hello world'");
+  EXPECT_EQ(quoteAtom("it's"), "'it\\'s'");
+  EXPECT_EQ(quoteAtom("[]"), "[]");
+  EXPECT_EQ(quoteAtom("!"), "!");
+  EXPECT_EQ(quoteAtom(":-"), ":-");
+  EXPECT_EQ(quoteAtom(""), "''");
+}
+
+TEST(StringUtilTest, TextTableAligns) {
+  TextTable T({"a", "long"});
+  T.addRow({"xx", "1"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find("| xx | "), std::string::npos) << Out;
+}
+
+// ---- Store -----------------------------------------------------------------
+
+TEST(StoreTest, PushVarSelfReference) {
+  Store St;
+  int64_t A = St.pushVar();
+  EXPECT_EQ(St.at(A).T, Tag::Ref);
+  EXPECT_EQ(St.at(A).V, A);
+  DerefResult D = St.deref(Cell::ref(A));
+  EXPECT_EQ(D.Addr, A);
+  EXPECT_EQ(D.C.T, Tag::Ref);
+}
+
+TEST(StoreTest, DerefFollowsChains) {
+  Store St;
+  int64_t A = St.pushVar();
+  int64_t B = St.pushVar();
+  int64_t C = St.push(Cell::integer(7));
+  St.bind(B, Cell::ref(C));
+  St.bind(A, Cell::ref(B));
+  DerefResult D = St.deref(Cell::ref(A));
+  EXPECT_EQ(D.C.T, Tag::Int);
+  EXPECT_EQ(D.C.V, 7);
+  EXPECT_EQ(D.Addr, C);
+}
+
+TEST(StoreTest, UnwindRestoresBindings) {
+  Store St;
+  int64_t A = St.pushVar();
+  int64_t Mark = St.trailMark();
+  St.bind(A, Cell::integer(1));
+  EXPECT_EQ(St.deref(Cell::ref(A)).C.T, Tag::Int);
+  St.unwind(Mark);
+  EXPECT_EQ(St.deref(Cell::ref(A)).C.T, Tag::Ref);
+}
+
+TEST(StoreTest, UnwindRestoresOverwrittenAbstractCells) {
+  Store St;
+  int64_t A = St.push(Cell::abs(AbsKind::Ground));
+  int64_t Mark = St.trailMark();
+  St.bind(A, Cell::atom(SymbolTable::SymNil));
+  St.unwind(Mark);
+  EXPECT_TRUE(St.at(A).isAbs());
+  EXPECT_EQ(St.at(A).absKind(), AbsKind::Ground);
+}
+
+TEST(StoreTest, BuildAndReadTermRoundTrip) {
+  SymbolTable Syms;
+  TermArena Arena;
+  Parser P("f(a, [1, X], g(X))", Syms, Arena);
+  Result<const Term *> T = P.readTerm();
+  ASSERT_TRUE(T);
+
+  Store St;
+  std::unordered_map<int, int64_t> Vars;
+  int64_t Addr = St.buildTerm(*T, Vars);
+
+  TermArena OutArena;
+  const Term *Back = St.readTerm(Cell::ref(Addr), OutArena, Syms);
+  // The two X occurrences must still share (same heap cell, hence the
+  // same variable id in the read-back).
+  ASSERT_TRUE(Back->isStruct());
+  const Term *ListArg = Back->arg(1);
+  const Term *GArg = Back->arg(2);
+  EXPECT_EQ(ListArg->arg(1)->arg(0)->varId(), GArg->arg(0)->varId());
+  WriteOptions Canon;
+  Canon.UseOperators = false;
+  std::string S = writeTerm(Back, Syms, Canon);
+  EXPECT_TRUE(S.starts_with("f(a,")) << S;
+}
+
+TEST(StoreTest, ReadTermDepthGuard) {
+  Store St;
+  // Build a cyclic term by hand: X = f(X).
+  int64_t FunAddr = St.push(Cell::fun(3, 1));
+  int64_t ArgAddr = St.push(Cell::ref(0));
+  int64_t StrAddr = St.push(Cell::str(FunAddr));
+  St.at(ArgAddr) = Cell::ref(StrAddr);
+  SymbolTable Syms;
+  TermArena Arena;
+  const Term *T = St.readTerm(Cell::ref(StrAddr), Arena, Syms, 16);
+  ASSERT_NE(T, nullptr); // terminates thanks to the depth guard
+}
+
+// ---- Timer -----------------------------------------------------------------
+
+TEST(TimerTest, MeasureRunsAtLeastMinIters) {
+  int Count = 0;
+  double Ms = measureMs([&] { ++Count; }, /*MinTotalMs=*/0.0,
+                        /*MinIters=*/5, /*MaxIters=*/10);
+  EXPECT_GE(Count, 6); // warm-up + 5
+  EXPECT_GE(Ms, 0.0);
+}
+
+} // namespace
