@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_et.dir/ablation_et.cpp.o"
+  "CMakeFiles/ablation_et.dir/ablation_et.cpp.o.d"
+  "ablation_et"
+  "ablation_et.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_et.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

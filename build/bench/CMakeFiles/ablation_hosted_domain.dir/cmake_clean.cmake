@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hosted_domain.dir/ablation_hosted_domain.cpp.o"
+  "CMakeFiles/ablation_hosted_domain.dir/ablation_hosted_domain.cpp.o.d"
+  "ablation_hosted_domain"
+  "ablation_hosted_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hosted_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_hosted_domain.
+# This may be replaced when dependencies are built.

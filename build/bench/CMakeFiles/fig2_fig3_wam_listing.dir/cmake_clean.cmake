@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_fig3_wam_listing.dir/fig2_fig3_wam_listing.cpp.o"
+  "CMakeFiles/fig2_fig3_wam_listing.dir/fig2_fig3_wam_listing.cpp.o.d"
+  "fig2_fig3_wam_listing"
+  "fig2_fig3_wam_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_fig3_wam_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_fig3_wam_listing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_get_list_paths.dir/fig4_get_list_paths.cpp.o"
+  "CMakeFiles/fig4_get_list_paths.dir/fig4_get_list_paths.cpp.o.d"
+  "fig4_get_list_paths"
+  "fig4_get_list_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_get_list_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_get_list_paths.
+# This may be replaced when dependencies are built.

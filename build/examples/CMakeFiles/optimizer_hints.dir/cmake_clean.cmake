@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_hints.dir/optimizer_hints.cpp.o"
+  "CMakeFiles/optimizer_hints.dir/optimizer_hints.cpp.o.d"
+  "optimizer_hints"
+  "optimizer_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_prolog.dir/run_prolog.cpp.o"
+  "CMakeFiles/run_prolog.dir/run_prolog.cpp.o.d"
+  "run_prolog"
+  "run_prolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_prolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_absdom.dir/AbsBuiltins.cpp.o"
+  "CMakeFiles/awam_absdom.dir/AbsBuiltins.cpp.o.d"
+  "CMakeFiles/awam_absdom.dir/AbsOps.cpp.o"
+  "CMakeFiles/awam_absdom.dir/AbsOps.cpp.o.d"
+  "libawam_absdom.a"
+  "libawam_absdom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_absdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_analyzer.dir/AbstractMachine.cpp.o"
+  "CMakeFiles/awam_analyzer.dir/AbstractMachine.cpp.o.d"
+  "CMakeFiles/awam_analyzer.dir/Analyzer.cpp.o"
+  "CMakeFiles/awam_analyzer.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/awam_analyzer.dir/ExtensionTable.cpp.o"
+  "CMakeFiles/awam_analyzer.dir/ExtensionTable.cpp.o.d"
+  "CMakeFiles/awam_analyzer.dir/Pattern.cpp.o"
+  "CMakeFiles/awam_analyzer.dir/Pattern.cpp.o.d"
+  "libawam_analyzer.a"
+  "libawam_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_baseline.dir/MetaAnalyzer.cpp.o"
+  "CMakeFiles/awam_baseline.dir/MetaAnalyzer.cpp.o.d"
+  "CMakeFiles/awam_baseline.dir/PrologHosted.cpp.o"
+  "CMakeFiles/awam_baseline.dir/PrologHosted.cpp.o.d"
+  "libawam_baseline.a"
+  "libawam_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

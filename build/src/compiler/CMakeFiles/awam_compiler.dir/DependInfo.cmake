@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/Builtins.cpp" "src/compiler/CMakeFiles/awam_compiler.dir/Builtins.cpp.o" "gcc" "src/compiler/CMakeFiles/awam_compiler.dir/Builtins.cpp.o.d"
+  "/root/repo/src/compiler/ClauseCompiler.cpp" "src/compiler/CMakeFiles/awam_compiler.dir/ClauseCompiler.cpp.o" "gcc" "src/compiler/CMakeFiles/awam_compiler.dir/ClauseCompiler.cpp.o.d"
+  "/root/repo/src/compiler/CodeModule.cpp" "src/compiler/CMakeFiles/awam_compiler.dir/CodeModule.cpp.o" "gcc" "src/compiler/CMakeFiles/awam_compiler.dir/CodeModule.cpp.o.d"
+  "/root/repo/src/compiler/Disasm.cpp" "src/compiler/CMakeFiles/awam_compiler.dir/Disasm.cpp.o" "gcc" "src/compiler/CMakeFiles/awam_compiler.dir/Disasm.cpp.o.d"
+  "/root/repo/src/compiler/Instruction.cpp" "src/compiler/CMakeFiles/awam_compiler.dir/Instruction.cpp.o" "gcc" "src/compiler/CMakeFiles/awam_compiler.dir/Instruction.cpp.o.d"
+  "/root/repo/src/compiler/ProgramCompiler.cpp" "src/compiler/CMakeFiles/awam_compiler.dir/ProgramCompiler.cpp.o" "gcc" "src/compiler/CMakeFiles/awam_compiler.dir/ProgramCompiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/term/CMakeFiles/awam_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/awam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_compiler.dir/Builtins.cpp.o"
+  "CMakeFiles/awam_compiler.dir/Builtins.cpp.o.d"
+  "CMakeFiles/awam_compiler.dir/ClauseCompiler.cpp.o"
+  "CMakeFiles/awam_compiler.dir/ClauseCompiler.cpp.o.d"
+  "CMakeFiles/awam_compiler.dir/CodeModule.cpp.o"
+  "CMakeFiles/awam_compiler.dir/CodeModule.cpp.o.d"
+  "CMakeFiles/awam_compiler.dir/Disasm.cpp.o"
+  "CMakeFiles/awam_compiler.dir/Disasm.cpp.o.d"
+  "CMakeFiles/awam_compiler.dir/Instruction.cpp.o"
+  "CMakeFiles/awam_compiler.dir/Instruction.cpp.o.d"
+  "CMakeFiles/awam_compiler.dir/ProgramCompiler.cpp.o"
+  "CMakeFiles/awam_compiler.dir/ProgramCompiler.cpp.o.d"
+  "libawam_compiler.a"
+  "libawam_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_programs.dir/Benchmarks.cpp.o"
+  "CMakeFiles/awam_programs.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/awam_programs.dir/Prelude.cpp.o"
+  "CMakeFiles/awam_programs.dir/Prelude.cpp.o.d"
+  "libawam_programs.a"
+  "libawam_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/awam_support.dir/StringUtil.cpp.o.d"
+  "CMakeFiles/awam_support.dir/SymbolTable.cpp.o"
+  "CMakeFiles/awam_support.dir/SymbolTable.cpp.o.d"
+  "libawam_support.a"
+  "libawam_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

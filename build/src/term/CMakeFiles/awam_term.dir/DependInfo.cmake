@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/term/Desugar.cpp" "src/term/CMakeFiles/awam_term.dir/Desugar.cpp.o" "gcc" "src/term/CMakeFiles/awam_term.dir/Desugar.cpp.o.d"
+  "/root/repo/src/term/Lexer.cpp" "src/term/CMakeFiles/awam_term.dir/Lexer.cpp.o" "gcc" "src/term/CMakeFiles/awam_term.dir/Lexer.cpp.o.d"
+  "/root/repo/src/term/Operators.cpp" "src/term/CMakeFiles/awam_term.dir/Operators.cpp.o" "gcc" "src/term/CMakeFiles/awam_term.dir/Operators.cpp.o.d"
+  "/root/repo/src/term/Parser.cpp" "src/term/CMakeFiles/awam_term.dir/Parser.cpp.o" "gcc" "src/term/CMakeFiles/awam_term.dir/Parser.cpp.o.d"
+  "/root/repo/src/term/Term.cpp" "src/term/CMakeFiles/awam_term.dir/Term.cpp.o" "gcc" "src/term/CMakeFiles/awam_term.dir/Term.cpp.o.d"
+  "/root/repo/src/term/TermWriter.cpp" "src/term/CMakeFiles/awam_term.dir/TermWriter.cpp.o" "gcc" "src/term/CMakeFiles/awam_term.dir/TermWriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/awam_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_term.dir/Desugar.cpp.o"
+  "CMakeFiles/awam_term.dir/Desugar.cpp.o.d"
+  "CMakeFiles/awam_term.dir/Lexer.cpp.o"
+  "CMakeFiles/awam_term.dir/Lexer.cpp.o.d"
+  "CMakeFiles/awam_term.dir/Operators.cpp.o"
+  "CMakeFiles/awam_term.dir/Operators.cpp.o.d"
+  "CMakeFiles/awam_term.dir/Parser.cpp.o"
+  "CMakeFiles/awam_term.dir/Parser.cpp.o.d"
+  "CMakeFiles/awam_term.dir/Term.cpp.o"
+  "CMakeFiles/awam_term.dir/Term.cpp.o.d"
+  "CMakeFiles/awam_term.dir/TermWriter.cpp.o"
+  "CMakeFiles/awam_term.dir/TermWriter.cpp.o.d"
+  "libawam_term.a"
+  "libawam_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

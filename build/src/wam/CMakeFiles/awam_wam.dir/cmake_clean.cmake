@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awam_wam.dir/Builtins.cpp.o"
+  "CMakeFiles/awam_wam.dir/Builtins.cpp.o.d"
+  "CMakeFiles/awam_wam.dir/Machine.cpp.o"
+  "CMakeFiles/awam_wam.dir/Machine.cpp.o.d"
+  "CMakeFiles/awam_wam.dir/Store.cpp.o"
+  "CMakeFiles/awam_wam.dir/Store.cpp.o.d"
+  "libawam_wam.a"
+  "libawam_wam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awam_wam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absbuiltins_test.dir/AbsBuiltinsTest.cpp.o"
+  "CMakeFiles/absbuiltins_test.dir/AbsBuiltinsTest.cpp.o.d"
+  "absbuiltins_test"
+  "absbuiltins_test.pdb"
+  "absbuiltins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absbuiltins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

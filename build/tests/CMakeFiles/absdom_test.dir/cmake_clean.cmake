@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absdom_test.dir/AbsDomTest.cpp.o"
+  "CMakeFiles/absdom_test.dir/AbsDomTest.cpp.o.d"
+  "absdom_test"
+  "absdom_test.pdb"
+  "absdom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absdom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AbstractMachineTest.cpp" "tests/CMakeFiles/abstract_machine_test.dir/AbstractMachineTest.cpp.o" "gcc" "tests/CMakeFiles/abstract_machine_test.dir/AbstractMachineTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wam/CMakeFiles/awam_wam.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/awam_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/term/CMakeFiles/awam_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/awam_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/awam_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/absdom/CMakeFiles/awam_absdom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_machine_test.dir/AbstractMachineTest.cpp.o"
+  "CMakeFiles/abstract_machine_test.dir/AbstractMachineTest.cpp.o.d"
+  "abstract_machine_test"
+  "abstract_machine_test.pdb"
+  "abstract_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_golden_test.dir/BenchmarkGoldenTest.cpp.o"
+  "CMakeFiles/benchmark_golden_test.dir/BenchmarkGoldenTest.cpp.o.d"
+  "benchmark_golden_test"
+  "benchmark_golden_test.pdb"
+  "benchmark_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

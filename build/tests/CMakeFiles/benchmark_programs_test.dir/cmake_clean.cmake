@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_programs_test.dir/BenchmarkProgramsTest.cpp.o"
+  "CMakeFiles/benchmark_programs_test.dir/BenchmarkProgramsTest.cpp.o.d"
+  "benchmark_programs_test"
+  "benchmark_programs_test.pdb"
+  "benchmark_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

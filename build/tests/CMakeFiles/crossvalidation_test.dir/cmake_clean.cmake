@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossvalidation_test.dir/CrossValidationTest.cpp.o"
+  "CMakeFiles/crossvalidation_test.dir/CrossValidationTest.cpp.o.d"
+  "crossvalidation_test"
+  "crossvalidation_test.pdb"
+  "crossvalidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossvalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desugar_test.dir/DesugarTest.cpp.o"
+  "CMakeFiles/desugar_test.dir/DesugarTest.cpp.o.d"
+  "desugar_test"
+  "desugar_test.pdb"
+  "desugar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desugar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lattice_property_test.dir/LatticePropertyTest.cpp.o"
+  "CMakeFiles/lattice_property_test.dir/LatticePropertyTest.cpp.o.d"
+  "lattice_property_test"
+  "lattice_property_test.pdb"
+  "lattice_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lattice_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prolog_hosted_test.dir/PrologHostedTest.cpp.o"
+  "CMakeFiles/prolog_hosted_test.dir/PrologHostedTest.cpp.o.d"
+  "prolog_hosted_test"
+  "prolog_hosted_test.pdb"
+  "prolog_hosted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prolog_hosted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_support_test.dir/StoreSupportTest.cpp.o"
+  "CMakeFiles/store_support_test.dir/StoreSupportTest.cpp.o.d"
+  "store_support_test"
+  "store_support_test.pdb"
+  "store_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/absdom_test[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_test[1]_include.cmake")
+include("/root/repo/build/tests/crossvalidation_test[1]_include.cmake")
+include("/root/repo/build/tests/benchmark_programs_test[1]_include.cmake")
+include("/root/repo/build/tests/prolog_hosted_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/store_support_test[1]_include.cmake")
+include("/root/repo/build/tests/absbuiltins_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/desugar_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_property_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/prelude_test[1]_include.cmake")
+include("/root/repo/build/tests/benchmark_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/abstract_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_agreement_test[1]_include.cmake")
