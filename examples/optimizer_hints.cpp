@@ -50,8 +50,8 @@ bool nodeGround(const Pattern &P, int32_t Id, int Fuel = 64) {
   case PatKind::ListP:
   case PatKind::ConsP:
   case PatKind::StrP:
-    for (int32_t C : N.Children)
-      if (!nodeGround(P, C, Fuel - 1))
+    for (int32_t C = 0; C != N.ChildCount; ++C)
+      if (!nodeGround(P, P.child(N, C), Fuel - 1))
         return false;
     return true;
   default:

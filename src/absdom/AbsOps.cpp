@@ -342,18 +342,19 @@ bool absMeet(Store &St, DerefResult DA, DerefResult DB) {
 int64_t awam::copyAbs(Store &St, Cell C, int MaxDepth) {
   struct Copier {
     Store &St;
-    std::map<int64_t, int64_t> Memo;
+    // Copied values are depth-cut, so a linear scan over a flat vector
+    // beats a tree map (same reasoning as LubContext's memo).
+    std::vector<std::pair<int64_t, int64_t>> Memo;
 
     int64_t copy(Cell C, int Depth) {
       DerefResult D = St.deref(C);
-      if (D.Addr != kNoAddr) {
-        auto It = Memo.find(D.Addr);
-        if (It != Memo.end())
-          return It->second;
-      }
+      if (D.Addr != kNoAddr)
+        for (auto [Addr, Out] : Memo)
+          if (Addr == D.Addr)
+            return Out;
       int64_t Out = copyUncached(D, Depth);
       if (D.Addr != kNoAddr)
-        Memo.emplace(D.Addr, Out);
+        Memo.emplace_back(D.Addr, Out);
       return Out;
     }
 

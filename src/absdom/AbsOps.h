@@ -36,7 +36,6 @@
 
 #include "wam/Store.h"
 
-#include <map>
 #include <optional>
 
 namespace awam {

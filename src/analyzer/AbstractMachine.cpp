@@ -15,7 +15,8 @@ AbstractMachine::AbstractMachine(const CompiledProgram &Program,
                                  ExtensionTable &Table,
                                  AbsMachineOptions Options)
     : Program(Program), Module(*Program.Module), Table(Table),
-      Options(Options), X(std::max(Program.MaxXReg, 8)) {}
+      Interner(Table.interner()), Options(Options),
+      X(std::max(Program.MaxXReg, 8)) {}
 
 void AbstractMachine::machineError(std::string Message) {
   ErrorMsg = std::move(Message);
@@ -48,10 +49,27 @@ AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
   Table.beginIteration();
 
   bool Created = false;
-  ETEntry &TopEntry = Table.findOrCreate(PredId, Entry, Created);
+  // Entry patterns are hand-built (makeEntryPattern / parseEntrySpec), so
+  // the interned id comes from the normalizing intern.
+  ETEntry &TopEntry =
+      Interner ? Table.findOrCreate(PredId, Interner->internNormalized(Entry),
+                                    Created)
+               : Table.findOrCreate(PredId, Entry, Created);
   if (Created)
     Changed = true;
+
+  // Stable-subtree reuse: if nothing the previous run of this entry read
+  // has changed since, re-running it is a pure replay that cannot touch
+  // the table — the iteration is a no-op (this is how the final
+  // fixpoint-confirming iteration completes without re-executing code).
+  if (Interner && !Created && TopEntry.EverExplored &&
+      Table.subtreeStable(TopEntry)) {
+    TopEntry.Explored = true;
+    return AbsRunStatus::Completed;
+  }
   TopEntry.Explored = true;
+  if (Interner)
+    TopEntry.EverExplored = true;
 
   AnalysisFrame F;
   F.Entry = &TopEntry;
@@ -60,6 +78,12 @@ AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
     F.CallerArgs.push_back(Cell::ref(Addr));
   F.SavedCP = kHaltAddress;
   F.SavedE = -1;
+  // Fast path: the calling pattern is instantiated once per exploration,
+  // below the frame's marks; each clause attempt's unwind restores the
+  // cells to this pristine state (the trail records old values
+  // unconditionally), instead of re-instantiating per clause.
+  if (Interner)
+    instantiate(St, TopEntry.Call, CellOfBuf, F.CalleeArgs);
   F.TrailMark = St.trailMark();
   F.HeapMark = St.heapTop();
   F.EnvMark = 0;
@@ -76,9 +100,24 @@ AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
 void AbstractMachine::enterClause() {
   AnalysisFrame &F = Frames.back();
   const PredicateInfo &Pred = Module.predicate(F.PredId);
+  if (Interner) {
+    if (F.Entry->Clauses.size() < Pred.Clauses.size())
+      F.Entry->Clauses.resize(Pred.Clauses.size());
+    // Clause-level stable reuse: a clause whose recorded reads are all
+    // still current (and transitively stable) would replay exactly and
+    // contribute a success already absorbed by the summary — skip it.
+    while (F.ClauseIdx < Pred.Clauses.size() &&
+           Table.clauseReplayIsNoOp(F.Entry->Clauses[F.ClauseIdx]))
+      ++F.ClauseIdx;
+  }
   if (F.ClauseIdx >= Pred.Clauses.size()) {
     returnFromFrame();
     return;
+  }
+  if (Interner) {
+    ETEntry::ClauseDeps &CR = F.Entry->Clauses[F.ClauseIdx];
+    CR.EverRun = true;
+    CR.Deps.clear();
   }
   // Fresh attempt: discard the previous clause's bindings and allocations.
   St.unwind(F.TrailMark);
@@ -87,7 +126,10 @@ void AbstractMachine::enterClause() {
   E = F.SavedE;
   WriteMode = false;
 
-  F.CalleeArgs = instantiate(St, F.Entry->Call);
+  // Interned path: F.CalleeArgs was instantiated once at frame setup and
+  // the unwind above just restored those cells to their pristine state.
+  if (!Interner)
+    F.CalleeArgs = instantiate(St, F.Entry->Call);
   for (size_t I = 0; I != F.CalleeArgs.size(); ++I)
     X[I] = Cell::ref(F.CalleeArgs[I]);
   P = Pred.Clauses[F.ClauseIdx].Entry;
@@ -104,27 +146,60 @@ void AbstractMachine::failCurrent() {
 
 void AbstractMachine::clauseSucceeded() {
   AnalysisFrame &F = Frames.back();
-  std::vector<Cell> Cells;
-  Cells.reserve(F.CalleeArgs.size());
-  for (int64_t Addr : F.CalleeArgs)
-    Cells.push_back(Cell::ref(Addr));
-  Pattern SPat = canonicalize(St, Cells, Options.DepthLimit);
 
   // updateET: summarize success patterns with lub. The common case at the
-  // fixpoint is re-deriving an already-summarized pattern, so test
-  // equality before paying for a lub.
-  if (F.Entry->Success) {
-    if (!(SPat == *F.Entry->Success)) {
-      Pattern Merged =
-          lubPatterns(*F.Entry->Success, SPat, Options.DepthLimit);
-      if (!(Merged == *F.Entry->Success)) {
-        F.Entry->Success = std::move(Merged);
+  // fixpoint is re-deriving an already-summarized pattern; with interning
+  // that is one id comparison, and re-deriving a pattern already folded in
+  // hits the lub memo instead of re-running the instantiate/lub/
+  // re-canonicalize dance.
+  if (Interner) {
+    ArgsBuf.clear();
+    ArgsBuf.reserve(F.CalleeArgs.size());
+    for (int64_t Addr : F.CalleeArgs)
+      ArgsBuf.push_back(Cell::ref(Addr));
+    CanonCtx.canonicalizeInto(St, ArgsBuf, SPatBuf, Options.DepthLimit);
+    // Re-deriving the already-summarized success pattern is the common
+    // case at the fixpoint: detect it with one structural compare and
+    // skip the intern (hash + bucket probe) entirely.
+    if (F.Entry->SuccessId != kInvalidPatternId &&
+        SPatBuf == Interner->pattern(F.Entry->SuccessId)) {
+      // Summary unchanged; nothing to record.
+    } else {
+      PatternId SId = Interner->intern(SPatBuf);
+      if (F.Entry->SuccessId == kInvalidPatternId) {
+        F.Entry->SuccessId = SId;
+        F.Entry->Success.emplace(Interner->pattern(SId));
+        Table.noteSuccessChanged(*F.Entry);
         Changed = true;
+      } else if (SId != F.Entry->SuccessId) {
+        PatternId Merged = Interner->lub(F.Entry->SuccessId, SId);
+        if (Merged != F.Entry->SuccessId) {
+          F.Entry->SuccessId = Merged;
+          F.Entry->Success.emplace(Interner->pattern(Merged));
+          Table.noteSuccessChanged(*F.Entry);
+          Changed = true;
+        }
       }
     }
   } else {
-    F.Entry->Success = std::move(SPat);
-    Changed = true;
+    std::vector<Cell> Cells;
+    Cells.reserve(F.CalleeArgs.size());
+    for (int64_t Addr : F.CalleeArgs)
+      Cells.push_back(Cell::ref(Addr));
+    Pattern SPat = canonicalize(St, Cells, Options.DepthLimit);
+    if (F.Entry->Success) {
+      if (!(SPat == *F.Entry->Success)) {
+        Pattern Merged =
+            lubPatterns(*F.Entry->Success, SPat, Options.DepthLimit);
+        if (!(Merged == *F.Entry->Success)) {
+          F.Entry->Success = std::move(Merged);
+          Changed = true;
+        }
+      }
+    } else {
+      F.Entry->Success = std::move(SPat);
+      Changed = true;
+    }
   }
 
   AWAM_TRACE("proceed => updateET(" + Module.predicateLabel(F.PredId) +
@@ -151,12 +226,23 @@ void AbstractMachine::returnFromFrame() {
              (F.Entry->Success ? F.Entry->Success->str(Module.symbols())
                                : std::string("no success pattern")));
 
+  // The caller's continuation reads this entry's summarized success: that
+  // read is a dependency of the caller's currently-running clause.
+  if (Interner && !Frames.empty()) {
+    AnalysisFrame &Caller = Frames.back();
+    Caller.Entry->Clauses[Caller.ClauseIdx].Deps.emplace_back(
+        F.Entry, F.Entry->SuccessVersion);
+  }
+
   // lookupET: return the summarized success pattern, if any.
   if (F.Entry->Success) {
-    std::vector<int64_t> Roots = instantiate(St, *F.Entry->Success);
+    if (Interner)
+      instantiate(St, *F.Entry->Success, CellOfBuf, RootsBuf);
+    else
+      RootsBuf = instantiate(St, *F.Entry->Success);
     bool Ok = true;
-    for (size_t I = 0; I != Roots.size() && Ok; ++I)
-      Ok = absUnify(St, F.CallerArgs[I], Cell::ref(Roots[I]));
+    for (size_t I = 0; I != RootsBuf.size() && Ok; ++I)
+      Ok = absUnify(St, F.CallerArgs[I], Cell::ref(RootsBuf[I]));
     if (Ok) {
       P = F.SavedCP;
       return;
@@ -172,30 +258,57 @@ void AbstractMachine::returnFromFrame() {
 
 void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
   const PredicateInfo &Pred = Module.predicate(PredId);
-  std::vector<Cell> Args(X.begin(), X.begin() + Pred.Arity);
-  Pattern CPat = canonicalize(St, Args, Options.DepthLimit,
-                              /*WidenConstants=*/true);
+  ArgsBuf.assign(X.begin(), X.begin() + Pred.Arity);
 
   bool Created = false;
-  ETEntry &Entry = Table.findOrCreate(PredId, CPat, Created);
+  ETEntry *Found;
+  if (Interner) {
+    // Hash-consed path: canonicalize into the pooled scratch pattern and
+    // probe the table with one fused structural lookup; only a miss (a
+    // previously unseen calling pattern) pays for interning.
+    CanonCtx.canonicalizeInto(St, ArgsBuf, CPatBuf, Options.DepthLimit,
+                              /*WidenConstants=*/true);
+    Found = &Table.findOrCreateByPattern(PredId, CPatBuf, Created);
+  } else {
+    Pattern CPat = canonicalize(St, ArgsBuf, Options.DepthLimit,
+                                /*WidenConstants=*/true);
+    Found = &Table.findOrCreate(PredId, CPat, Created);
+  }
+  ETEntry &Entry = *Found;
   if (Created)
     Changed = true;
 
+  // Stable-subtree reuse: an unexplored entry whose last exploration's
+  // transitive reads are all still current would replay byte-for-byte and
+  // change nothing — answer from the memo as if it were already explored
+  // this iteration.
+  if (Interner && !Entry.Explored && Entry.EverExplored &&
+      Table.subtreeStable(Entry))
+    Entry.Explored = true;
+
   AWAM_TRACE("call " + Module.predicateLabel(PredId) + " with " +
-             CPat.str(Module.symbols()) +
+             Entry.Call.str(Module.symbols()) +
              (Entry.Explored ? " [explored: consult table]"
                              : " [unexplored: explore clauses]"));
 
   if (Entry.Explored) {
+    if (Interner) {
+      AnalysisFrame &Caller = Frames.back();
+      Caller.Entry->Clauses[Caller.ClauseIdx].Deps.emplace_back(
+          &Entry, Entry.SuccessVersion);
+    }
     // Memoized deterministic return (or failure if nothing is known yet —
     // the fixpoint iteration will come back).
     if (!Entry.Success) {
       failCurrent();
       return;
     }
-    std::vector<int64_t> Roots = instantiate(St, *Entry.Success);
-    for (size_t I = 0; I != Roots.size(); ++I)
-      if (!absUnify(St, Args[I], Cell::ref(Roots[I]))) {
+    if (Interner)
+      instantiate(St, *Entry.Success, CellOfBuf, RootsBuf);
+    else
+      RootsBuf = instantiate(St, *Entry.Success);
+    for (size_t I = 0; I != RootsBuf.size(); ++I)
+      if (!absUnify(St, ArgsBuf[I], Cell::ref(RootsBuf[I]))) {
         failCurrent();
         return;
       }
@@ -204,12 +317,18 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
   }
 
   Entry.Explored = true;
+  if (Interner)
+    Entry.EverExplored = true;
   AnalysisFrame F;
   F.Entry = &Entry;
   F.PredId = PredId;
-  F.CallerArgs = std::move(Args);
+  F.CallerArgs = ArgsBuf;
   F.SavedCP = ContinueAt;
   F.SavedE = E;
+  // See runIteration: instantiate the calling pattern once, below the
+  // marks, so every clause attempt reuses the restored cells.
+  if (Interner)
+    instantiate(St, Entry.Call, CellOfBuf, F.CalleeArgs);
   F.TrailMark = St.trailMark();
   F.HeapMark = St.heapTop();
   F.EnvMark = Envs.size();

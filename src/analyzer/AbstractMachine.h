@@ -115,10 +115,22 @@ private:
   const CompiledProgram &Program;
   const CodeModule &Module;
   ExtensionTable &Table;
+  /// Borrowed from the table; non-null enables the hash-consed fast path
+  /// (id-keyed table lookups, memoized lub, pooled scratch buffers).
+  PatternInterner *Interner;
   AbsMachineOptions Options;
 
   Store St;
   std::vector<Cell> X;
+  /// Pooled scratch for the fast path: argument snapshot, canonicalization
+  /// targets, and instantiate working vectors. Reused across every call
+  /// and proceed so the steady-state fixpoint loop allocates nothing.
+  std::vector<Cell> ArgsBuf;
+  CanonicalizeContext CanonCtx;
+  Pattern CPatBuf;
+  Pattern SPatBuf;
+  std::vector<int64_t> CellOfBuf;
+  std::vector<int64_t> RootsBuf;
   std::vector<EnvFrame> Envs;
   std::vector<AnalysisFrame> Frames;
 

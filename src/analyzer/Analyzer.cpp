@@ -5,6 +5,7 @@
 #include "support/StringUtil.h"
 
 #include <cctype>
+#include <memory>
 #include <set>
 
 using namespace awam;
@@ -18,7 +19,9 @@ Pattern awam::makeEntryPattern(const std::vector<PatKind> &ArgKinds) {
     if (K == PatKind::ListP) {
       PatNode Elem;
       Elem.K = PatKind::AnyP;
-      N.Children.push_back(Id + 1);
+      N.ChildBegin = static_cast<int32_t>(P.ChildStore.size());
+      N.ChildCount = 1;
+      P.ChildStore.push_back(Id + 1);
       P.Nodes.push_back(N);
       P.Nodes.push_back(Elem);
       P.Roots.push_back(Id);
@@ -90,7 +93,9 @@ awam::parseEntrySpec(std::string_view Spec) {
       if (!EK)
         return Fail("unknown list element type in '" + Arg + "'");
       N.K = PatKind::ListP;
-      N.Children.push_back(Id + 1);
+      N.ChildBegin = static_cast<int32_t>(P.ChildStore.size());
+      N.ChildCount = 1;
+      P.ChildStore.push_back(Id + 1);
       PatNode Elem;
       Elem.K = *EK;
       P.Nodes.push_back(N);
@@ -125,7 +130,10 @@ Result<AnalysisResult> Analyzer::analyze(std::string_view Name,
     return makeError("entry predicate " + std::string(Name) + "/" +
                      std::to_string(Arity) + " is not defined");
 
-  ExtensionTable Table(Options.TableImpl);
+  std::unique_ptr<PatternInterner> Interner;
+  if (Options.UseInterning)
+    Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
+  ExtensionTable Table(Options.TableImpl, Interner.get());
   AbsMachineOptions MachineOptions;
   MachineOptions.DepthLimit = Options.DepthLimit;
   MachineOptions.MaxSteps = Options.MaxSteps;
@@ -144,6 +152,18 @@ Result<AnalysisResult> Analyzer::analyze(std::string_view Name,
   }
   R.Instructions = Machine.stepsExecuted();
   R.TableProbes = Table.probeCount();
+  R.Counters.Instructions = R.Instructions;
+  R.Counters.ETProbes = R.TableProbes;
+  if (Interner) {
+    const InternerStats &S = Interner->stats();
+    R.Counters.InternHits = S.InternHits;
+    R.Counters.InternMisses = S.InternMisses;
+    R.Counters.LubCacheHits = S.LubCacheHits;
+    R.Counters.LubCacheMisses = S.LubCacheMisses;
+    R.Counters.LeqCacheHits = S.LeqCacheHits;
+    R.Counters.LeqCacheMisses = S.LeqCacheMisses;
+    R.Counters.DistinctPatterns = Interner->size();
+  }
   for (const ETEntry &E : Table.entries())
     R.Items.push_back(
         {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
@@ -192,8 +212,8 @@ bool isGroundNode(const Pattern &P, int32_t Id, int Fuel = 64) {
   case PatKind::ListP:
   case PatKind::ConsP:
   case PatKind::StrP:
-    for (int32_t C : N.Children)
-      if (!isGroundNode(P, C, Fuel - 1))
+    for (int32_t C = 0; C != N.ChildCount; ++C)
+      if (!isGroundNode(P, P.child(N, C), Fuel - 1))
         return false;
     return true;
   }
@@ -221,6 +241,7 @@ std::string rootText(const Pattern &P, size_t ArgIdx,
   // fragile; print a single-root sub-pattern instead.
   Pattern Sub;
   Sub.Nodes = P.Nodes;
+  Sub.ChildStore = P.ChildStore;
   Sub.Roots = {P.Roots[ArgIdx]};
   std::string S = Sub.str(Syms);
   // Strip the surrounding "( ... )".

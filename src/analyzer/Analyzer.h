@@ -25,9 +25,32 @@ namespace awam {
 /// Analyzer configuration.
 struct AnalyzerOptions {
   int DepthLimit = kDefaultDepthLimit;
-  ExtensionTable::Impl TableImpl = ExtensionTable::Impl::LinearList;
+  /// Lookup structure for the extension table. The hashed variant is the
+  /// default; the paper's linear list remains available for the ablation
+  /// benches (bench/ablation_et, bench/ablation_interning).
+  ExtensionTable::Impl TableImpl = ExtensionTable::Impl::HashMap;
+  /// Hash-cons patterns and memoize lub/leq by PatternId (the fast path).
+  /// Turning this off reproduces the seed analyzer byte-for-byte — the
+  /// "no interning" ablation baseline. The computed fixpoint (table and
+  /// iteration count) is identical either way.
+  bool UseInterning = true;
   int MaxIterations = 1000;
   uint64_t MaxSteps = 200'000'000;
+};
+
+/// Hot-path statistics of one analysis run (see DESIGN.md, "Performance
+/// architecture"). All counters are zero when interning is disabled except
+/// ETProbes and Instructions.
+struct PerfCounters {
+  uint64_t InternHits = 0;
+  uint64_t InternMisses = 0;      ///< == distinct patterns interned
+  uint64_t LubCacheHits = 0;
+  uint64_t LubCacheMisses = 0;    ///< lubs actually computed
+  uint64_t LeqCacheHits = 0;
+  uint64_t LeqCacheMisses = 0;
+  uint64_t ETProbes = 0;          ///< extension-table lookup probes
+  uint64_t Instructions = 0;      ///< abstract WAM instructions executed
+  uint64_t DistinctPatterns = 0;  ///< interner size at the fixpoint
 };
 
 /// Final analysis output: the extension table plus statistics.
@@ -43,6 +66,7 @@ struct AnalysisResult {
   bool Converged = false;
   uint64_t Instructions = 0; ///< abstract WAM instructions executed (Exec)
   uint64_t TableProbes = 0;
+  PerfCounters Counters;
 };
 
 /// Builds an entry calling pattern from per-argument simple kinds.

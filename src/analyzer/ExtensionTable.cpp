@@ -2,6 +2,8 @@
 
 #include "analyzer/ExtensionTable.h"
 
+#include <cassert>
+
 using namespace awam;
 
 ETEntry *ExtensionTable::find(int32_t PredId, const Pattern &Call) {
@@ -13,12 +15,31 @@ ETEntry *ExtensionTable::find(int32_t PredId, const Pattern &Call) {
     }
     return nullptr;
   }
+  if (Interner) {
+    // Interned tables index structurally through StructIndex only (one
+    // flat map instead of two parallel indexes).
+    ++Probes; // index consultation (counted on hits and misses alike)
+    bool First = true;
+    uint32_t V =
+        StructIndex.findIf(structKey(PredId, Call.hash()), [&](uint32_t Idx) {
+          if (!First)
+            ++Probes;
+          First = false;
+          const ETEntry &E = Entries[Idx];
+          return E.PredId == PredId && E.Call == Call;
+        });
+    return V == detail::FlatMap64::kEmpty ? nullptr : &Entries[V];
+  }
   uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
+  ++Probes; // index consultation (counted on hits and misses alike)
   auto It = Index.find(H);
   if (It == Index.end())
     return nullptr;
+  bool First = true;
   for (ETEntry *E : It->second) {
-    ++Probes;
+    if (!First)
+      ++Probes;
+    First = false;
     if (E->PredId == PredId && E->Call == Call)
       return E;
   }
@@ -33,11 +54,133 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, const Pattern &Call,
   }
   Created = true;
   ETEntry &E = Entries.emplace_back();
+  E.Idx = static_cast<int32_t>(Entries.size()) - 1;
   E.PredId = PredId;
   E.Call = Call;
+  if (Interner)
+    E.CallId = Interner->intern(Call);
   if (WhichImpl == Impl::HashMap) {
-    uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
-    Index[H].push_back(&E);
+    uint64_t H = Call.hash();
+    if (Interner) {
+      IdIndex.insert(idKey(PredId, E.CallId), static_cast<uint32_t>(E.Idx));
+      StructIndex.insert(structKey(PredId, H), static_cast<uint32_t>(E.Idx));
+    } else {
+      Index[(static_cast<uint64_t>(PredId) << 32) ^ H].push_back(&E);
+    }
   }
   return E;
+}
+
+ETEntry &ExtensionTable::findOrCreateByPattern(int32_t PredId,
+                                               const Pattern &Call,
+                                               bool &Created) {
+  assert(Interner && "fused lookup requires an interner");
+  if (WhichImpl == Impl::LinearList) {
+    // Ablation combination: same scan (and probe accounting) as the
+    // structural path; only a miss pays for interning.
+    if (ETEntry *E = find(PredId, Call)) {
+      Created = false;
+      return *E;
+    }
+  } else {
+    uint64_t K = structKey(PredId, Call.hash());
+    ++Probes; // index consultation (counted on hits and misses alike)
+    bool First = true;
+    uint32_t V = StructIndex.findIf(K, [&](uint32_t Idx) {
+      if (!First)
+        ++Probes;
+      First = false;
+      const ETEntry &E = Entries[Idx];
+      return E.PredId == PredId && E.Call == Call;
+    });
+    if (V != detail::FlatMap64::kEmpty) {
+      Created = false;
+      return Entries[V];
+    }
+  }
+  Created = true;
+  ETEntry &E = Entries.emplace_back();
+  E.Idx = static_cast<int32_t>(Entries.size()) - 1;
+  E.PredId = PredId;
+  E.Call = Call;
+  E.CallId = Interner->intern(Call);
+  if (WhichImpl == Impl::HashMap) {
+    uint64_t H = Call.hash();
+    IdIndex.insert(idKey(PredId, E.CallId), static_cast<uint32_t>(E.Idx));
+    StructIndex.insert(structKey(PredId, H), static_cast<uint32_t>(E.Idx));
+  }
+  return E;
+}
+
+ETEntry *ExtensionTable::find(int32_t PredId, PatternId CallId) {
+  assert(Interner && "id-keyed lookup requires an interner");
+  if (WhichImpl == Impl::LinearList) {
+    for (ETEntry &E : Entries) {
+      ++Probes;
+      if (E.PredId == PredId && E.CallId == CallId)
+        return &E;
+    }
+    return nullptr;
+  }
+  ++Probes;
+  uint32_t V = IdIndex.lookup(idKey(PredId, CallId));
+  return V == detail::FlatMap64::kEmpty ? nullptr : &Entries[V];
+}
+
+ETEntry &ExtensionTable::findOrCreate(int32_t PredId, PatternId CallId,
+                                      bool &Created) {
+  if (ETEntry *E = find(PredId, CallId)) {
+    Created = false;
+    return *E;
+  }
+  Created = true;
+  ETEntry &E = Entries.emplace_back();
+  E.Idx = static_cast<int32_t>(Entries.size()) - 1;
+  E.PredId = PredId;
+  E.CallId = CallId;
+  E.Call = Interner->pattern(CallId);
+  if (WhichImpl == Impl::HashMap) {
+    IdIndex.insert(idKey(PredId, CallId), static_cast<uint32_t>(E.Idx));
+    StructIndex.insert(structKey(PredId, E.Call.hash()),
+                       static_cast<uint32_t>(E.Idx));
+  }
+  return E;
+}
+
+void ExtensionTable::recomputeStable() {
+  size_t N = Entries.size();
+  Readers.resize(N);
+  for (std::vector<int32_t> &R : Readers)
+    R.clear();
+  Dirty.assign(N, 0);
+  Work.clear();
+
+  for (ETEntry &E : Entries) {
+    bool D = !E.EverExplored;
+    for (const ETEntry::ClauseDeps &CR : E.Clauses)
+      for (const auto &[Dep, Version] : CR.Deps) {
+        if (Dep->SuccessVersion != Version)
+          D = true;
+        Readers[Dep->Idx].push_back(E.Idx);
+      }
+    if (D) {
+      Dirty[E.Idx] = 1;
+      Work.push_back(E.Idx);
+    }
+  }
+  // Instability propagates to transitive readers; entries on cycles whose
+  // closure is fully current stay stable (the replay argument is
+  // coinductive: every read during the replay sees the recorded value).
+  while (!Work.empty()) {
+    int32_t C = Work.back();
+    Work.pop_back();
+    for (int32_t R : Readers[C])
+      if (!Dirty[R]) {
+        Dirty[R] = 1;
+        Work.push_back(R);
+      }
+  }
+  for (ETEntry &E : Entries)
+    E.Stable = !Dirty[E.Idx];
+  StableComputedAt = VersionEpoch;
 }

@@ -11,15 +11,25 @@
 /// the success patterns of one calling pattern are summarized by lub.
 ///
 /// The paper implements the table as a linear list of pairs (Section 6);
-/// we provide that implementation plus a hashed variant for the ablation
-/// bench (bench/ablation_et).
+/// we provide that implementation plus a hashed variant. When a
+/// PatternInterner is attached, entries are additionally keyed on
+/// (PredId, PatternId) and the HashMap variant becomes a single exact-key
+/// O(1) map lookup — the default fast path of the analyzer. The
+/// structural (pattern-compared) API remains as the ablation baseline.
+///
+/// Probe accounting (the ablation metric) is defined uniformly across both
+/// variants so their counts are comparable:
+///  * LinearList: one probe per entry examined by a lookup;
+///  * HashMap: one probe for the index consultation itself (counted even
+///    when it finds nothing — previously misses were invisible), plus one
+///    per additional candidate compared in the bucket.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AWAM_ANALYZER_EXTENSIONTABLE_H
 #define AWAM_ANALYZER_EXTENSIONTABLE_H
 
-#include "analyzer/Pattern.h"
+#include "analyzer/PatternInterner.h"
 
 #include <deque>
 #include <optional>
@@ -27,13 +37,38 @@
 
 namespace awam {
 
-/// One (calling pattern, success pattern) pair.
+/// One (calling pattern, success pattern) pair. The Pattern fields are
+/// always populated (reporting, tracing and clause re-entry read them);
+/// the id fields are valid only when the owning table has an interner and
+/// are the hot-path handles.
 struct ETEntry {
   int32_t PredId = -1;
   Pattern Call;
   std::optional<Pattern> Success;
+  PatternId CallId = kInvalidPatternId;
+  PatternId SuccessId = kInvalidPatternId;
   /// Set while / after the entry was explored in the current iteration.
   bool Explored = false;
+
+  // --- Stable-subtree reuse (interned path only; see subtreeStable) ----
+  /// Position in the entries deque (reverse-edge construction).
+  int32_t Idx = -1;
+  /// Bumped every time Success changes (first set included).
+  uint32_t SuccessVersion = 0;
+  /// True once the entry's clauses have been explored in some iteration.
+  bool EverExplored = false;
+  /// Cached result of the last stability recomputation.
+  bool Stable = false;
+  /// Table reads performed during one clause's last run under this entry:
+  /// each callee entry consulted (memoized or explored inline) with the
+  /// SuccessVersion observed. Re-running the clause is a pure replay
+  /// while every recorded version is current.
+  struct ClauseDeps {
+    bool EverRun = false;
+    std::vector<std::pair<ETEntry *, uint32_t>> Deps;
+  };
+  /// One record per clause of the predicate (sized on first exploration).
+  std::vector<ClauseDeps> Clauses;
 };
 
 /// The memo table.
@@ -42,35 +77,130 @@ public:
   /// Lookup structure used to find entries.
   enum class Impl {
     LinearList, ///< the paper's implementation: scan a list of pairs
-    HashMap,    ///< hash on (predicate, pattern)
+    HashMap,    ///< hash on (predicate, pattern) or exact (PredId, PatternId)
   };
 
-  explicit ExtensionTable(Impl I = Impl::LinearList) : WhichImpl(I) {}
+  explicit ExtensionTable(Impl I = Impl::LinearList,
+                          PatternInterner *In = nullptr)
+      : WhichImpl(I), Interner(In) {}
+
+  /// The attached interner (nullptr when the table runs the structural
+  /// baseline path).
+  PatternInterner *interner() const { return Interner; }
 
   /// Returns the entry for (\p PredId, \p Call), creating it if missing;
-  /// sets \p Created accordingly. Entry references are stable.
+  /// sets \p Created accordingly. Entry references are stable. Structural
+  /// comparison — the seed/ablation path.
   ETEntry &findOrCreate(int32_t PredId, const Pattern &Call, bool &Created);
 
-  /// Returns the entry if present.
+  /// Returns the entry if present (structural comparison).
   ETEntry *find(int32_t PredId, const Pattern &Call);
 
-  /// Clears the per-iteration Explored flags.
+  /// Id-keyed variants; require an attached interner. In HashMap mode the
+  /// lookup is one exact-key map probe.
+  ETEntry &findOrCreate(int32_t PredId, PatternId CallId, bool &Created);
+  ETEntry *find(int32_t PredId, PatternId CallId);
+
+  /// Fused lookup for the hot call path (requires an attached interner):
+  /// probes by (PredId, structural hash) directly, so a hit — the common
+  /// case after the first iteration — needs neither an interner probe nor
+  /// a second id-keyed probe. Only a miss interns \p Call (which is where
+  /// the entry's CallId comes from). Probe accounting matches the
+  /// structural HashMap path: one probe for the consultation plus one per
+  /// additional candidate compared.
+  ETEntry &findOrCreateByPattern(int32_t PredId, const Pattern &Call,
+                                 bool &Created);
+
+  /// Clears the per-iteration Explored flags. Also invalidates the
+  /// stability cache: dependency records rewritten during the previous
+  /// iteration can turn entries stable again, and the version-bump epoch
+  /// alone never notices that (it only tracks the unstable direction).
   void beginIteration() {
     for (ETEntry &E : Entries)
       E.Explored = false;
   }
 
+  /// Records that \p E's success pattern changed (invalidates stability).
+  void noteSuccessChanged(ETEntry &E) {
+    ++E.SuccessVersion;
+    ++VersionEpoch;
+  }
+
+  /// True if re-exploring \p E's clauses right now is guaranteed to be an
+  /// exact replay of its last exploration: every entry in E's transitive
+  /// dependency closure still has the success version that exploration
+  /// observed. Such an exploration cannot change the table, so the
+  /// abstract machine answers the call from the memo instead (identical
+  /// fixpoint and iteration count, far less work on late iterations).
+  bool subtreeStable(const ETEntry &E) {
+    if (StableComputedAt != VersionEpoch)
+      recomputeStable();
+    return E.Stable;
+  }
+
+  /// True if re-running the clause described by \p CR is guaranteed to be
+  /// an exact replay of its last run: every summary it read still has the
+  /// recorded version, and that version cannot silently move during the
+  /// replay. The latter holds when the dependency was already explored
+  /// this iteration (a call then takes the memo path and its summary is
+  /// frozen until its own exploration's clause completes — impossible
+  /// while the replayed clause is nested inside it), or when it is
+  /// subtree-stable (an inline exploration would itself be a no-op
+  /// replay). Such a clause run reads exactly what the seed machine would
+  /// read at this program point, so its success contribution is already
+  /// folded into the summary (lub is monotone) and skipping it changes
+  /// nothing — including the iteration count.
+  bool clauseReplayIsNoOp(const ETEntry::ClauseDeps &CR) {
+    if (!CR.EverRun)
+      return false;
+    for (const auto &[Dep, Version] : CR.Deps)
+      if (Dep->SuccessVersion != Version ||
+          !(Dep->Explored || subtreeStable(*Dep)))
+        return false;
+    return true;
+  }
+
   const std::deque<ETEntry> &entries() const { return Entries; }
   size_t size() const { return Entries.size(); }
 
-  /// Number of pattern comparisons performed by lookups (ablation metric).
+  /// Number of lookup probes performed (ablation metric; see file comment
+  /// for the per-variant definition).
   uint64_t probeCount() const { return Probes; }
 
 private:
+  static uint64_t idKey(int32_t PredId, PatternId CallId) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(PredId)) << 32) |
+           CallId;
+  }
+
+  static uint64_t structKey(int32_t PredId, uint64_t Hash) {
+    return Hash ^ (static_cast<uint64_t>(static_cast<uint32_t>(PredId)) *
+                   0x9e3779b97f4a7c15ull);
+  }
+
+  /// Recomputes every entry's Stable flag: an entry is unstable if it was
+  /// never explored or any recorded dependency version is outdated, and
+  /// instability propagates to every (transitive) reader.
+  void recomputeStable();
+
   Impl WhichImpl;
+  PatternInterner *Interner;
   std::deque<ETEntry> Entries; // stable addresses
-  std::unordered_map<uint64_t, std::vector<ETEntry *>> Index; // HashMap impl
+  /// HashMap impl, structural path: pattern hash -> candidates.
+  std::unordered_map<uint64_t, std::vector<ETEntry *>> Index;
+  /// HashMap impl, interned path: exact (PredId, PatternId) -> entry index.
+  detail::FlatMap64 IdIndex;
+  /// HashMap impl, interned path: (PredId, structural hash) -> entry index
+  /// for the fused one-probe call lookup.
+  detail::FlatMap64 StructIndex;
   uint64_t Probes = 0;
+  /// Bumped on every success-pattern change; stability caches key on it.
+  uint64_t VersionEpoch = 1;
+  uint64_t StableComputedAt = 0;
+  // Scratch for recomputeStable (kept to avoid per-call allocation).
+  std::vector<std::vector<int32_t>> Readers;
+  std::vector<char> Dirty;
+  std::vector<int32_t> Work;
 };
 
 } // namespace awam

@@ -9,41 +9,82 @@
 
 using namespace awam;
 
-size_t Pattern::hash() const {
-  size_t H = Nodes.size() * 1469598103934665603ull;
+size_t PatternRef::hash() const {
+  size_t H = NumNodes * 1469598103934665603ull;
   auto Mix = [&H](size_t V) {
     H ^= V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
   };
-  for (const PatNode &N : Nodes) {
-    Mix(static_cast<size_t>(N.K));
-    Mix(N.Sym);
-    Mix(static_cast<size_t>(N.Num));
-    for (int32_t C : N.Children)
-      Mix(static_cast<size_t>(C));
+  for (size_t I = 0; I != NumNodes; ++I) {
+    const PatNode &N = Nodes[I];
+    // One mix per node: kind, symbol and (truncated) number packed into a
+    // word. Collisions only cost an extra deep compare in the interner.
+    Mix(static_cast<size_t>(N.K) |
+        (static_cast<size_t>(static_cast<uint32_t>(N.Sym)) << 8) |
+        (static_cast<size_t>(static_cast<uint64_t>(N.Num)) << 40));
+    for (int32_t C = 0; C != N.ChildCount; ++C)
+      Mix(static_cast<size_t>(ChildStore[N.ChildBegin + C]));
   }
-  for (int32_t R : Roots)
-    Mix(static_cast<size_t>(R));
+  for (size_t I = 0; I != NumRoots; ++I)
+    Mix(static_cast<size_t>(Roots[I]));
   return H;
 }
+
+size_t Pattern::hash() const { return PatternRef(*this).hash(); }
 
 namespace {
 
 class Canonicalizer {
 public:
-  Canonicalizer(const Store &St, int DepthLimit, bool WidenConstants)
-      : St(St), DepthLimit(DepthLimit), WidenConstants(WidenConstants) {}
+  Canonicalizer(const Store &St, int DepthLimit, bool WidenConstants,
+                std::vector<std::pair<int64_t, int32_t>> &Seen,
+                std::vector<int64_t> &InProgress,
+                std::vector<int32_t> &ChildTmp)
+      : St(St), DepthLimit(DepthLimit), WidenConstants(WidenConstants),
+        Seen(Seen), InProgress(InProgress), ChildTmp(ChildTmp) {}
 
-  Pattern run(const std::vector<Cell> &Args) {
-    Pattern P;
-    P.Nodes.reserve(4 * Args.size() + 8);
-    P.Roots.reserve(Args.size());
+  /// Writes the canonical pattern into \p Out, reusing its node slots and
+  /// ChildStore capacity so steady-state canonicalization performs no heap
+  /// allocation. Node ids are assigned in the same first-visit order as
+  /// always, so the canonical form is unchanged.
+  void run(const std::vector<Cell> &Args, Pattern &Out) {
+    Used = 0;
+    Seen.clear();
+    InProgress.clear();
+    ChildTmp.clear();
+    Out.Nodes.reserve(4 * Args.size() + 8);
+    Out.ChildStore.clear();
+    Out.Roots.clear();
+    Out.Roots.reserve(Args.size());
     Seen.reserve(16);
     for (const Cell &A : Args)
-      P.Roots.push_back(visit(A, 0, P));
-    return P;
+      Out.Roots.push_back(visit(A, 0, Out));
+    Out.Nodes.resize(Used);
   }
 
 private:
+  /// Claims the next node slot in first-visit order, recycling a slot left
+  /// over from a previous pattern when one exists.
+  int32_t alloc(Pattern &P) {
+    int32_t Id = Used++;
+    if (static_cast<size_t>(Id) < P.Nodes.size())
+      P.Nodes[Id] = PatNode{};
+    else
+      P.Nodes.emplace_back();
+    return Id;
+  }
+
+  /// Commits the child ids pushed onto ChildTmp since \p Mark to node
+  /// \p Id (appended as a fresh ChildStore slice). Children are staged on
+  /// one shared stack because visiting a child may itself allocate nodes
+  /// (and grandchildren) in between.
+  void setChildren(int32_t Id, size_t Mark, Pattern &P) {
+    PatNode &N = P.Nodes[Id];
+    N.ChildBegin = static_cast<int32_t>(P.ChildStore.size());
+    N.ChildCount = static_cast<int32_t>(ChildTmp.size() - Mark);
+    P.ChildStore.insert(P.ChildStore.end(), ChildTmp.begin() + Mark,
+                        ChildTmp.end());
+    ChildTmp.resize(Mark);
+  }
   /// Node identity for sharing detection: structures and lists identify
   /// by their base block (several cells can hold the same Str/Lis value),
   /// other values by the cell that holds them.
@@ -67,98 +108,105 @@ private:
           // back-edge widens to a leaf (a cyclic term is always nonvar).
           for (int64_t Live : InProgress)
             if (Live == Key) {
-              int32_t Leaf = static_cast<int32_t>(P.Nodes.size());
-              PatNode N;
-              N.K = PatKind::NVP;
-              P.Nodes.push_back(N);
+              int32_t Leaf = alloc(P);
+              P.Nodes[Leaf].K = PatKind::NVP;
               return Leaf;
             }
           return Id;
         }
-    int32_t Id = static_cast<int32_t>(P.Nodes.size());
-    P.Nodes.emplace_back();
+    int32_t Id = alloc(P);
     if (Key != kNoAddr) {
       Seen.emplace_back(Key, Id);
       InProgress.push_back(Key);
     }
-    PatNode N = makeNode(D, Depth, P);
+    fill(Id, D, Depth, P);
     if (Key != kNoAddr)
       InProgress.pop_back();
-    P.Nodes[Id] = std::move(N);
     return Id;
   }
 
-  PatNode makeNode(const DerefResult &D, int Depth, Pattern &P) {
-    PatNode N;
+  // Fills node \p Id in place. References into P.Nodes must be re-fetched
+  // after any visit() call — visiting children may grow the node vector.
+  void fill(int32_t Id, const DerefResult &D, int Depth, Pattern &P) {
     switch (D.C.T) {
     case Tag::Ref:
-      N.K = PatKind::VarP;
-      return N;
+      P.Nodes[Id].K = PatKind::VarP;
+      return;
     case Tag::Con:
       // Call abstraction widens constants to their types; '[]' keeps its
       // list information.
       if (WidenConstants && D.C.V != SymbolTable::SymNil) {
-        N.K = PatKind::AtomTP;
-        return N;
+        P.Nodes[Id].K = PatKind::AtomTP;
+        return;
       }
-      N.K = PatKind::ConP;
-      N.Sym = static_cast<Symbol>(D.C.V);
-      return N;
+      P.Nodes[Id].K = PatKind::ConP;
+      P.Nodes[Id].Sym = static_cast<Symbol>(D.C.V);
+      return;
     case Tag::Int:
       if (WidenConstants) {
-        N.K = PatKind::IntTP;
-        return N;
+        P.Nodes[Id].K = PatKind::IntTP;
+        return;
       }
-      N.K = PatKind::IntP;
-      N.Num = D.C.V;
-      return N;
+      P.Nodes[Id].K = PatKind::IntP;
+      P.Nodes[Id].Num = D.C.V;
+      return;
     case Tag::Abs:
       switch (D.C.absKind()) {
-      case AbsKind::Any: N.K = PatKind::AnyP; return N;
-      case AbsKind::NV: N.K = PatKind::NVP; return N;
-      case AbsKind::Ground: N.K = PatKind::GroundP; return N;
-      case AbsKind::Const: N.K = PatKind::ConstP; return N;
-      case AbsKind::AtomT: N.K = PatKind::AtomTP; return N;
-      case AbsKind::IntT: N.K = PatKind::IntTP; return N;
-      case AbsKind::List:
-        N.K = PatKind::ListP;
-        N.Children.push_back(visit(Cell::ref(D.C.V), Depth + 1, P));
-        return N;
-      case AbsKind::Var: N.K = PatKind::VarP; return N;
+      case AbsKind::Any: P.Nodes[Id].K = PatKind::AnyP; return;
+      case AbsKind::NV: P.Nodes[Id].K = PatKind::NVP; return;
+      case AbsKind::Ground: P.Nodes[Id].K = PatKind::GroundP; return;
+      case AbsKind::Const: P.Nodes[Id].K = PatKind::ConstP; return;
+      case AbsKind::AtomT: P.Nodes[Id].K = PatKind::AtomTP; return;
+      case AbsKind::IntT: P.Nodes[Id].K = PatKind::IntTP; return;
+      case AbsKind::List: {
+        size_t Mark = ChildTmp.size();
+        ChildTmp.push_back(visit(Cell::ref(D.C.V), Depth + 1, P));
+        P.Nodes[Id].K = PatKind::ListP;
+        setChildren(Id, Mark, P);
+        return;
       }
-      N.K = PatKind::AnyP;
-      return N;
-    case Tag::Lis:
-      if (Depth + 1 >= DepthLimit)
-        return widened(D, P);
-      N.K = PatKind::ConsP;
-      N.Children.push_back(visit(Cell::ref(D.C.V), Depth + 1, P));
-      N.Children.push_back(visit(Cell::ref(D.C.V + 1), Depth + 1, P));
-      return N;
+      case AbsKind::Var: P.Nodes[Id].K = PatKind::VarP; return;
+      }
+      P.Nodes[Id].K = PatKind::AnyP;
+      return;
+    case Tag::Lis: {
+      if (Depth + 1 >= DepthLimit) {
+        widenInto(Id, D, P);
+        return;
+      }
+      size_t Mark = ChildTmp.size();
+      ChildTmp.push_back(visit(Cell::ref(D.C.V), Depth + 1, P));
+      ChildTmp.push_back(visit(Cell::ref(D.C.V + 1), Depth + 1, P));
+      P.Nodes[Id].K = PatKind::ConsP;
+      setChildren(Id, Mark, P);
+      return;
+    }
     case Tag::Str: {
-      if (Depth + 1 >= DepthLimit)
-        return widened(D, P);
+      if (Depth + 1 >= DepthLimit) {
+        widenInto(Id, D, P);
+        return;
+      }
       const Cell F = St.at(D.C.V);
-      N.K = PatKind::StrP;
-      N.Sym = static_cast<Symbol>(F.V);
+      size_t Mark = ChildTmp.size();
       for (int I = 1; I <= F.funArity(); ++I)
-        N.Children.push_back(visit(Cell::ref(D.C.V + I), Depth + 1, P));
-      return N;
+        ChildTmp.push_back(visit(Cell::ref(D.C.V + I), Depth + 1, P));
+      P.Nodes[Id].K = PatKind::StrP;
+      P.Nodes[Id].Sym = static_cast<Symbol>(F.V);
+      setChildren(Id, Mark, P);
+      return;
     }
     case Tag::Fun:
     case Tag::Ctl:
       assert(false && "non-term cell in pattern");
-      N.K = PatKind::AnyP;
-      return N;
+      P.Nodes[Id].K = PatKind::AnyP;
+      return;
     }
-    return N;
   }
 
   /// The term-depth restriction: a compound below the limit is simplified
   /// to a simple abstract type (Section 3). Alpha-lists count as simple
   /// elements, so a proper list widens to glist/anylist rather than g/nv.
-  PatNode widened(const DerefResult &D, Pattern &P) {
-    PatNode N;
+  void widenInto(int32_t Id, const DerefResult &D, Pattern &P) {
     if (D.C.T == Tag::Lis) {
       // Walk the spine to see whether this is a proper list.
       bool Proper = false;
@@ -181,39 +229,62 @@ private:
         Cur = Cell::ref(DC.C.V + 1);
       }
       if (Proper) {
+        int32_t Elem = alloc(P);
+        P.Nodes[Elem].K = Ground ? PatKind::GroundP : PatKind::AnyP;
+        PatNode &N = P.Nodes[Id];
         N.K = PatKind::ListP;
-        PatNode Elem;
-        Elem.K = Ground ? PatKind::GroundP : PatKind::AnyP;
-        N.Children.push_back(static_cast<int32_t>(P.Nodes.size()));
-        P.Nodes.push_back(Elem);
-        return N;
+        N.ChildBegin = static_cast<int32_t>(P.ChildStore.size());
+        N.ChildCount = 1;
+        P.ChildStore.push_back(Elem);
+        return;
       }
     }
-    N.K = isGroundCell(St, D.C) ? PatKind::GroundP : PatKind::NVP;
-    return N;
+    P.Nodes[Id].K =
+        isGroundCell(St, D.C) ? PatKind::GroundP : PatKind::NVP;
   }
 
   const Store &St;
   int DepthLimit;
   bool WidenConstants;
-  std::vector<std::pair<int64_t, int32_t>> Seen;
-  std::vector<int64_t> InProgress;
+  int32_t Used = 0;
+  std::vector<std::pair<int64_t, int32_t>> &Seen;
+  std::vector<int64_t> &InProgress;
+  std::vector<int32_t> &ChildTmp;
 };
 
 } // namespace
 
-Pattern awam::canonicalize(const Store &St, const std::vector<Cell> &Args,
-                           int DepthLimit, bool WidenConstants) {
-  return Canonicalizer(St, DepthLimit, WidenConstants).run(Args);
+void CanonicalizeContext::canonicalizeInto(const Store &St,
+                                           const std::vector<Cell> &Args,
+                                           Pattern &Out, int DepthLimit,
+                                           bool WidenConstants) {
+  Canonicalizer(St, DepthLimit, WidenConstants, Seen, InProgress, ChildTmp)
+      .run(Args, Out);
 }
 
-std::vector<int64_t> awam::instantiate(Store &St, const Pattern &P) {
-  std::vector<int64_t> CellOf(P.Nodes.size(), -1);
+Pattern awam::canonicalize(const Store &St, const std::vector<Cell> &Args,
+                           int DepthLimit, bool WidenConstants) {
+  Pattern P;
+  canonicalizeInto(St, Args, P, DepthLimit, WidenConstants);
+  return P;
+}
+
+void awam::canonicalizeInto(const Store &St, const std::vector<Cell> &Args,
+                            Pattern &Out, int DepthLimit,
+                            bool WidenConstants) {
+  CanonicalizeContext Ctx;
+  Ctx.canonicalizeInto(St, Args, Out, DepthLimit, WidenConstants);
+}
+
+void awam::instantiate(Store &St, const PatternRef &P,
+                       std::vector<int64_t> &CellOf,
+                       std::vector<int64_t> &Roots) {
+  CellOf.assign(P.NumNodes, -1);
 
   // Build nodes bottom-up with an explicit worklist (the DAG is acyclic).
   struct Builder {
     Store &St;
-    const Pattern &P;
+    const PatternRef &P;
     std::vector<int64_t> &CellOf;
 
     int64_t build(int32_t Id) {
@@ -234,13 +305,13 @@ std::vector<int64_t> awam::instantiate(Store &St, const Pattern &P) {
       case PatKind::ConP: Out = St.push(Cell::atom(N.Sym)); break;
       case PatKind::IntP: Out = St.push(Cell::integer(N.Num)); break;
       case PatKind::ListP: {
-        int64_t Elem = build(N.Children[0]);
+        int64_t Elem = build(P.child(N, 0));
         Out = St.push(Cell::abs(AbsKind::List, Elem));
         break;
       }
       case PatKind::ConsP: {
-        int64_t Car = build(N.Children[0]);
-        int64_t Cdr = build(N.Children[1]);
+        int64_t Car = build(P.child(N, 0));
+        int64_t Cdr = build(P.child(N, 1));
         int64_t Base = St.push(Cell::ref(Car));
         St.push(Cell::ref(Cdr));
         Out = St.push(Cell::lis(Base));
@@ -248,10 +319,10 @@ std::vector<int64_t> awam::instantiate(Store &St, const Pattern &P) {
       }
       case PatKind::StrP: {
         std::vector<int64_t> Args;
-        for (int32_t C : N.Children)
-          Args.push_back(build(C));
-        int64_t FunAddr = St.push(
-            Cell::fun(N.Sym, static_cast<int>(N.Children.size())));
+        for (int32_t C = 0; C != N.ChildCount; ++C)
+          Args.push_back(build(P.child(N, C)));
+        int64_t FunAddr =
+            St.push(Cell::fun(N.Sym, static_cast<int>(N.ChildCount)));
         for (int64_t A : Args)
           St.push(Cell::ref(A));
         Out = St.push(Cell::str(FunAddr));
@@ -263,17 +334,22 @@ std::vector<int64_t> awam::instantiate(Store &St, const Pattern &P) {
     }
   } B{St, P, CellOf};
 
-  std::vector<int64_t> Roots;
-  Roots.reserve(P.Roots.size());
-  for (int32_t R : P.Roots)
-    Roots.push_back(B.build(R));
+  Roots.clear();
+  Roots.reserve(P.NumRoots);
+  for (size_t I = 0; I != P.NumRoots; ++I)
+    Roots.push_back(B.build(P.Roots[I]));
+}
+
+std::vector<int64_t> awam::instantiate(Store &St, const PatternRef &P) {
+  std::vector<int64_t> CellOf, Roots;
+  instantiate(St, P, CellOf, Roots);
   return Roots;
 }
 
-Pattern awam::lubPatterns(const Pattern &A, const Pattern &B,
-                          int DepthLimit) {
+Pattern awam::lubPatterns(const Pattern &A, const Pattern &B, int DepthLimit,
+                          Store &Scratch) {
   assert(A.Roots.size() == B.Roots.size() && "arity mismatch in lub");
-  Store Scratch;
+  Scratch.reset();
   std::vector<int64_t> RA = instantiate(Scratch, A);
   std::vector<int64_t> RB = instantiate(Scratch, B);
   LubContext Ctx(Scratch);
@@ -283,6 +359,12 @@ Pattern awam::lubPatterns(const Pattern &A, const Pattern &B,
     Result.push_back(
         Cell::ref(Ctx.lub(Cell::ref(RA[I]), Cell::ref(RB[I]))));
   return canonicalize(Scratch, Result, DepthLimit);
+}
+
+Pattern awam::lubPatterns(const Pattern &A, const Pattern &B,
+                          int DepthLimit) {
+  Store Scratch;
+  return lubPatterns(A, B, DepthLimit, Scratch);
 }
 
 bool awam::patternLeq(const Pattern &A, const Pattern &B, int DepthLimit) {
@@ -297,8 +379,8 @@ std::string Pattern::str(const SymbolTable &Syms) const {
   for (int32_t R : Roots)
     ++RefCount[R];
   for (const PatNode &N : Nodes)
-    for (int32_t C : N.Children)
-      ++RefCount[C];
+    for (int32_t C = 0; C != N.ChildCount; ++C)
+      ++RefCount[child(N, C)];
 
   struct Printer {
     const Pattern &P;
@@ -331,11 +413,11 @@ std::string Pattern::str(const SymbolTable &Syms) const {
         Out += std::to_string(N.Num);
         return;
       case PatKind::ListP: {
-        const PatNode &E = P.Nodes[N.Children[0]];
+        const PatNode &E = P.Nodes[P.child(N, 0)];
         // "glist" style for simple element types, "(...)list" otherwise.
         std::string Elem;
-        print(N.Children[0], Elem);
-        if (E.Children.empty() && Elem.find('=') == std::string::npos)
+        print(P.child(N, 0), Elem);
+        if (E.ChildCount == 0 && Elem.find('=') == std::string::npos)
           Out += Elem + "list";
         else
           Out += "(" + Elem + ")list";
@@ -343,8 +425,8 @@ std::string Pattern::str(const SymbolTable &Syms) const {
       }
       case PatKind::ConsP: {
         Out += "[";
-        print(N.Children[0], Out);
-        int32_t Tail = N.Children[1];
+        print(P.child(N, 0), Out);
+        int32_t Tail = P.child(N, 1);
         for (;;) {
           const PatNode &T = P.Nodes[Tail];
           if (T.K == PatKind::ConP && T.Sym == SymbolTable::SymNil) {
@@ -353,8 +435,8 @@ std::string Pattern::str(const SymbolTable &Syms) const {
           }
           if (T.K == PatKind::ConsP && RefCount[Tail] <= 1) {
             Out += ",";
-            print(T.Children[0], Out);
-            Tail = T.Children[1];
+            print(P.child(T, 0), Out);
+            Tail = P.child(T, 1);
             continue;
           }
           Out += "|";
@@ -366,10 +448,10 @@ std::string Pattern::str(const SymbolTable &Syms) const {
       case PatKind::StrP: {
         Out += quoteAtom(Syms.name(N.Sym));
         Out += "(";
-        for (size_t I = 0; I != N.Children.size(); ++I) {
+        for (int32_t I = 0; I != N.ChildCount; ++I) {
           if (I)
             Out += ",";
-          print(N.Children[I], Out);
+          print(P.child(N, I), Out);
         }
         Out += ")";
         return;

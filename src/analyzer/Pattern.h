@@ -44,23 +44,46 @@ enum class PatKind : uint8_t {
   StrP,    ///< a structure; Sym/children
 };
 
-/// One pattern node.
+/// One pattern node. Child ids live in the owning Pattern's flat
+/// ChildStore (a [ChildBegin, ChildBegin+ChildCount) slice), so a node is
+/// a small POD and walking a pattern touches two contiguous arrays instead
+/// of one heap vector per node.
 struct PatNode {
   PatKind K = PatKind::AnyP;
   Symbol Sym = 0;
   int64_t Num = 0;
-  std::vector<int32_t> Children;
-
-  friend bool operator==(const PatNode &, const PatNode &) = default;
+  int32_t ChildBegin = 0;
+  int32_t ChildCount = 0;
 };
+
+struct PatternRef;
 
 /// A canonical pattern: nodes in first-visit order plus one root per
 /// argument position.
 struct Pattern {
   std::vector<PatNode> Nodes;
+  /// Flat storage for all nodes' child-id slices.
+  std::vector<int32_t> ChildStore;
   std::vector<int32_t> Roots;
 
-  friend bool operator==(const Pattern &, const Pattern &) = default;
+  Pattern() = default;
+  /// Materializes a copy of a (possibly arena-backed) pattern view.
+  explicit Pattern(const PatternRef &R);
+  Pattern &operator=(const PatternRef &R);
+
+  /// Id of \p N's \p I-th child.
+  int32_t child(const PatNode &N, int32_t I) const {
+    return ChildStore[N.ChildBegin + I];
+  }
+  /// Pointer to \p N's child-id slice (ChildCount entries).
+  const int32_t *childrenOf(const PatNode &N) const {
+    return ChildStore.data() + N.ChildBegin;
+  }
+
+  /// Structural equality. Child slices are compared by value, not by
+  /// ChildBegin, so patterns built with different ChildStore layouts (hand
+  /// construction vs canonicalization) still compare equal.
+  friend bool operator==(const Pattern &A, const Pattern &B);
 
   /// Stable hash for table lookup.
   size_t hash() const;
@@ -69,6 +92,88 @@ struct Pattern {
   /// "_S<n>" markers on repeated visits.
   std::string str(const SymbolTable &Syms) const;
 };
+
+/// A non-owning view of a pattern: the interner hands these out for its
+/// arena-backed storage, and the structural algorithms (equality, hash,
+/// instantiate) run on views so Pattern and arena storage share one
+/// implementation. A Pattern converts implicitly. Views are transient —
+/// interning can reallocate the arena, so never hold one across an
+/// intern/lub call; materialize with Pattern(ref) instead.
+struct PatternRef {
+  const PatNode *Nodes = nullptr;
+  size_t NumNodes = 0;
+  const int32_t *ChildStore = nullptr;
+  const int32_t *Roots = nullptr;
+  size_t NumRoots = 0;
+
+  PatternRef() = default;
+  PatternRef(const Pattern &P)
+      : Nodes(P.Nodes.data()), NumNodes(P.Nodes.size()),
+        ChildStore(P.ChildStore.data()), Roots(P.Roots.data()),
+        NumRoots(P.Roots.size()) {}
+  PatternRef(const PatNode *Nodes, size_t NumNodes,
+             const int32_t *ChildStore, const int32_t *Roots,
+             size_t NumRoots)
+      : Nodes(Nodes), NumNodes(NumNodes), ChildStore(ChildStore),
+        Roots(Roots), NumRoots(NumRoots) {}
+
+  /// Id of \p N's \p I-th child.
+  int32_t child(const PatNode &N, int32_t I) const {
+    return ChildStore[N.ChildBegin + I];
+  }
+
+  /// Structural equality with the same layout-independent semantics as
+  /// Pattern's operator==.
+  friend bool operator==(const PatternRef &A, const PatternRef &B) {
+    if (A.NumNodes != B.NumNodes || A.NumRoots != B.NumRoots)
+      return false;
+    for (size_t I = 0; I != A.NumRoots; ++I)
+      if (A.Roots[I] != B.Roots[I])
+        return false;
+    for (size_t I = 0; I != A.NumNodes; ++I) {
+      const PatNode &NA = A.Nodes[I], &NB = B.Nodes[I];
+      if (NA.K != NB.K || NA.Sym != NB.Sym || NA.Num != NB.Num ||
+          NA.ChildCount != NB.ChildCount)
+        return false;
+      for (int32_t C = 0; C != NA.ChildCount; ++C)
+        if (A.ChildStore[NA.ChildBegin + C] !=
+            B.ChildStore[NB.ChildBegin + C])
+          return false;
+    }
+    return true;
+  }
+
+  /// Same hash as Pattern::hash on an equal pattern.
+  size_t hash() const;
+};
+
+inline bool operator==(const Pattern &A, const Pattern &B) {
+  return PatternRef(A) == PatternRef(B);
+}
+
+/// Number of ChildStore slots a view spans (its slices start at offset 0).
+inline size_t childSlotsOf(const PatternRef &R) {
+  size_t N = 0;
+  for (size_t I = 0; I != R.NumNodes; ++I) {
+    size_t End = static_cast<size_t>(R.Nodes[I].ChildBegin) +
+                 static_cast<size_t>(R.Nodes[I].ChildCount);
+    if (End > N)
+      N = End;
+  }
+  return N;
+}
+
+inline Pattern::Pattern(const PatternRef &R)
+    : Nodes(R.Nodes, R.Nodes + R.NumNodes),
+      ChildStore(R.ChildStore, R.ChildStore + childSlotsOf(R)),
+      Roots(R.Roots, R.Roots + R.NumRoots) {}
+
+inline Pattern &Pattern::operator=(const PatternRef &R) {
+  Nodes.assign(R.Nodes, R.Nodes + R.NumNodes);
+  ChildStore.assign(R.ChildStore, R.ChildStore + childSlotsOf(R));
+  Roots.assign(R.Roots, R.Roots + R.NumRoots);
+  return *this;
+}
 
 /// Default term-depth restriction (the paper and Taylor's analyzer use 4).
 inline constexpr int kDefaultDepthLimit = 4;
@@ -86,15 +191,50 @@ Pattern canonicalize(const Store &St, const std::vector<Cell> &Args,
                      int DepthLimit = kDefaultDepthLimit,
                      bool WidenConstants = false);
 
+/// Allocation-poolable variant of canonicalize: writes the result into
+/// \p Out, reusing its node slots (and ChildStore capacity) from a
+/// previous call. The fixpoint loop canonicalizes on every call and every
+/// clause success, so reusing one scratch Pattern removes the dominant
+/// allocation on that path.
+void canonicalizeInto(const Store &St, const std::vector<Cell> &Args,
+                      Pattern &Out, int DepthLimit = kDefaultDepthLimit,
+                      bool WidenConstants = false);
+
+/// Reusable canonicalization scratch: owns the visitor's working vectors
+/// (sharing table, cycle stack, child staging), so a loop holding one
+/// context canonicalizes with zero steady-state allocation. The free
+/// canonicalize/canonicalizeInto functions build a fresh context per call.
+class CanonicalizeContext {
+public:
+  void canonicalizeInto(const Store &St, const std::vector<Cell> &Args,
+                        Pattern &Out, int DepthLimit = kDefaultDepthLimit,
+                        bool WidenConstants = false);
+
+private:
+  std::vector<std::pair<int64_t, int32_t>> Seen;
+  std::vector<int64_t> InProgress;
+  std::vector<int32_t> ChildTmp;
+};
+
 /// Builds fresh cells denoting \p P in \p St; returns one root address per
 /// argument position. Shared nodes become shared cells (aliasing).
-std::vector<int64_t> instantiate(Store &St, const Pattern &P);
+std::vector<int64_t> instantiate(Store &St, const PatternRef &P);
+
+/// Pooled variant of instantiate: \p CellOf is scratch (resized and reused
+/// across calls), \p Roots receives one root address per argument position.
+void instantiate(Store &St, const PatternRef &P,
+                 std::vector<int64_t> &CellOf, std::vector<int64_t> &Roots);
 
 /// Least upper bound of two patterns with the same arity, computed by
 /// instantiating both into a scratch store, lubbing cell-wise and
 /// re-canonicalizing.
 Pattern lubPatterns(const Pattern &A, const Pattern &B,
                     int DepthLimit = kDefaultDepthLimit);
+
+/// Pooled variant: \p Scratch is reset and reused as the working store, so
+/// repeated lubs do not construct (and re-grow) a fresh heap per call.
+Pattern lubPatterns(const Pattern &A, const Pattern &B, int DepthLimit,
+                    Store &Scratch);
 
 /// Partial order: A is at or below B (gamma(A) subset of gamma(B)),
 /// decided as lub(A, B) == B.

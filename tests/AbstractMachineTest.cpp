@@ -140,7 +140,7 @@ TEST_F(AbstractMachineTest, MakeEntryPatternShapes) {
   EXPECT_EQ(P.Roots.size(), 3u);
   EXPECT_EQ(P.Nodes[P.Roots[0]].K, PatKind::GroundP);
   EXPECT_EQ(P.Nodes[P.Roots[2]].K, PatKind::ListP);
-  ASSERT_EQ(P.Nodes[P.Roots[2]].Children.size(), 1u);
+  ASSERT_EQ(P.Nodes[P.Roots[2]].ChildCount, 1);
 }
 
 TEST_F(AbstractMachineTest, ParseEntrySpecForms) {

@@ -121,6 +121,47 @@ TEST_F(BenchmarkGoldenTest, Zebra) {
   EXPECT_TRUE(Found);
 }
 
+TEST_F(BenchmarkGoldenTest, SeedAndInternedConfigurationsAgree) {
+  // Cross-validation of the interning fast path: for every Table 1
+  // benchmark, the default configuration (id-keyed HashMap + interning +
+  // memoized lattice ops + stable-subtree reuse) must compute the exact
+  // fixpoint of the seed configuration (the paper's LinearList, no
+  // interning) — same calling/success pattern table AND same iteration
+  // count. The reuse machinery only skips work it can prove is a replay,
+  // so any divergence here is a bug, not an approximation.
+  AnalyzerOptions Seed;
+  Seed.TableImpl = ExtensionTable::Impl::LinearList;
+  Seed.UseInterning = false;
+  AnalyzerOptions Fast; // defaults
+
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    SymbolTable S;
+    TermArena A;
+    Result<CompiledProgram> P = compileSource(B.Source, S, A);
+    ASSERT_TRUE(P) << B.Name << ": " << P.diag().str();
+
+    Analyzer SeedAnalyzer(*P, Seed);
+    Result<AnalysisResult> RS = SeedAnalyzer.analyze(B.EntrySpec);
+    ASSERT_TRUE(RS) << B.Name << ": " << RS.diag().str();
+    Analyzer FastAnalyzer(*P, Fast);
+    Result<AnalysisResult> RF = FastAnalyzer.analyze(B.EntrySpec);
+    ASSERT_TRUE(RF) << B.Name << ": " << RF.diag().str();
+
+    auto Fingerprint = [&](const AnalysisResult &R) {
+      std::vector<std::string> Lines;
+      for (const AnalysisResult::Item &I : R.Items)
+        Lines.push_back(I.PredLabel + " " + I.Call.str(S) + " -> " +
+                        (I.Success ? I.Success->str(S) : "(fails)"));
+      std::sort(Lines.begin(), Lines.end());
+      return Lines;
+    };
+    EXPECT_EQ(Fingerprint(*RS), Fingerprint(*RF)) << B.Name;
+    EXPECT_EQ(RS->Iterations, RF->Iterations) << B.Name;
+    EXPECT_TRUE(RS->Converged);
+    EXPECT_TRUE(RF->Converged);
+  }
+}
+
 TEST_F(BenchmarkGoldenTest, AllBenchmarksProduceBoundedTables) {
   // Termination sanity: no benchmark's table explodes.
   for (const BenchmarkProgram &B : benchmarkPrograms()) {

@@ -1,0 +1,164 @@
+//===- tests/PatternInternerTest.cpp - Hash-consing invariants ------------===//
+//
+// The interner's contract: intern is idempotent, ids are equal iff the
+// patterns are structurally equal (including aliased/shared-node
+// patterns), and the memoized lattice operations agree with the uncached
+// lubPatterns/patternLeq on every pair of patterns an analysis produces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Analyzer.h"
+#include "analyzer/PatternInterner.h"
+#include "RandomProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+
+namespace {
+
+TEST(PatternInternerTest, InternIsIdempotent) {
+  PatternInterner In;
+  Pattern P = makeEntryPattern({PatKind::GroundP, PatKind::VarP});
+  PatternId A = In.intern(P);
+  PatternId B = In.intern(P);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(In.size(), 1u);
+  EXPECT_EQ(In.stats().InternMisses, 1u);
+  EXPECT_EQ(In.stats().InternHits, 1u);
+  EXPECT_TRUE(In.pattern(A) == PatternRef(P));
+}
+
+TEST(PatternInternerTest, DistinctPatternsGetDistinctIds) {
+  PatternInterner In;
+  PatternId A = In.intern(makeEntryPattern({PatKind::GroundP}));
+  PatternId B = In.intern(makeEntryPattern({PatKind::AnyP}));
+  PatternId C = In.intern(makeEntryPattern({PatKind::GroundP, PatKind::AnyP}));
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(B, C);
+  EXPECT_EQ(In.size(), 3u);
+}
+
+TEST(PatternInternerTest, AliasedPatternsInternByStructure) {
+  // (X, X) with both roots sharing one variable node is a different
+  // pattern from (X, Y) with two distinct variable nodes — and the same
+  // pattern as any other two-roots-one-shared-node variable pattern.
+  Pattern Shared;
+  Shared.Nodes.push_back({PatKind::VarP, 0, 0, 0, 0});
+  Shared.Roots = {0, 0};
+
+  Pattern Fresh;
+  Fresh.Nodes.push_back({PatKind::VarP, 0, 0, 0, 0});
+  Fresh.Nodes.push_back({PatKind::VarP, 0, 0, 0, 0});
+  Fresh.Roots = {0, 1};
+
+  PatternInterner In;
+  PatternId SId = In.intern(Shared);
+  PatternId FId = In.intern(Fresh);
+  EXPECT_NE(SId, FId);
+
+  Pattern Shared2;
+  Shared2.Nodes.push_back({PatKind::VarP, 0, 0, 0, 0});
+  Shared2.Roots = {0, 0};
+  EXPECT_EQ(In.intern(Shared2), SId);
+}
+
+TEST(PatternInternerTest, SharedNodeLayoutIndependence) {
+  // f(X) twice, sharing the argument node, built with two different
+  // ChildStore layouts: structural equality (and therefore interning)
+  // must not depend on ChildBegin placement.
+  Pattern A;
+  A.Nodes.push_back({PatKind::StrP, 7, 0, 0, 1}); // f/1, child slice [0,1)
+  A.Nodes.push_back({PatKind::VarP, 0, 0, 0, 0});
+  A.ChildStore = {1};
+  A.Roots = {0, 0};
+
+  Pattern B;
+  B.Nodes.push_back({PatKind::StrP, 7, 0, 1, 1}); // same, slice [1,2)
+  B.Nodes.push_back({PatKind::VarP, 0, 0, 0, 0});
+  B.ChildStore = {99, 1}; // slot 0 unused by any node
+  B.Roots = {0, 0};
+
+  ASSERT_TRUE(A == B);
+  PatternInterner In;
+  EXPECT_EQ(In.intern(A), In.intern(B));
+}
+
+/// Collects every distinct pattern an analysis of a random program
+/// produces (calling and success patterns of all entries).
+std::vector<Pattern> analysisPatterns(unsigned Seed) {
+  std::string Source = testgen::generateProgram(Seed);
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<ParsedProgram> Parsed = parseProgram(Source, Syms, Arena);
+  if (!Parsed)
+    return {};
+  Result<CompiledProgram> Compiled = compileProgram(*Parsed, Syms);
+  if (!Compiled)
+    return {};
+
+  std::vector<Pattern> Out;
+  for (const ParsedClause &C : Parsed->Clauses) {
+    std::string Name(Syms.name(C.Head->functor()));
+    if (Name.starts_with("$"))
+      continue;
+    int Arity = C.Head->isStruct() ? C.Head->arity() : 0;
+    Analyzer A(*Compiled);
+    Result<AnalysisResult> R = A.analyze(
+        Name, makeEntryPattern(std::vector<PatKind>(Arity, PatKind::AnyP)));
+    if (!R)
+      continue;
+    for (const AnalysisResult::Item &I : R->Items) {
+      Out.push_back(I.Call);
+      if (I.Success)
+        Out.push_back(*I.Success);
+    }
+  }
+  return Out;
+}
+
+class InternerAgreementTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(InternerAgreementTest, MemoizedLatticeOpsMatchUncached) {
+  std::vector<Pattern> Pats = analysisPatterns(GetParam());
+
+  PatternInterner In;
+  std::vector<PatternId> Ids;
+  for (const Pattern &P : Pats)
+    Ids.push_back(In.internNormalized(P));
+
+  // Id equality iff structural equality — on normalized patterns the
+  // interner sees, i.e. after the canonical re-run internNormalized does.
+  for (size_t I = 0; I != Pats.size(); ++I)
+    for (size_t J = 0; J != Pats.size(); ++J)
+      EXPECT_EQ(Ids[I] == Ids[J],
+                Pattern(In.pattern(Ids[I])) == Pattern(In.pattern(Ids[J])))
+          << "patterns " << I << " and " << J;
+
+  // Memoized lub/leq agree with the uncached reference implementation —
+  // queried twice, so the second round is answered from the memo.
+  for (int Round = 0; Round != 2; ++Round)
+    for (size_t I = 0; I != Pats.size(); ++I)
+      for (size_t J = 0; J != Pats.size(); ++J) {
+        Pattern A(In.pattern(Ids[I]));
+        Pattern B(In.pattern(Ids[J]));
+        if (A.Roots.size() != B.Roots.size())
+          continue; // lub requires equal arity
+        Pattern Ref = lubPatterns(A, B);
+        PatternId MemoId = In.lub(Ids[I], Ids[J]);
+        EXPECT_TRUE(Pattern(In.pattern(MemoId)) == Ref)
+            << "lub mismatch at " << I << ", " << J << " round " << Round;
+        EXPECT_EQ(In.leq(Ids[I], Ids[J]), patternLeq(A, B))
+            << "leq mismatch at " << I << ", " << J << " round " << Round;
+      }
+
+  // The second round hit the caches: misses cannot exceed one per
+  // distinct queried pair.
+  EXPECT_GE(In.stats().LubCacheHits, In.stats().LubCacheMisses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternerAgreementTest,
+                         ::testing::Range(0u, 12u));
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- tests/RandomProgramGen.h - Seeded random program source --*- C++ -*-===//
+//
+// Deterministic random Prolog program generator shared by the randomized
+// test suites (FuzzAgreementTest, PatternInternerTest): one seed, one
+// reproducible program covering calls, arithmetic, unification, tests,
+// cut and var/atom/integer type guards.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_TESTS_RANDOMPROGRAMGEN_H
+#define AWAM_TESTS_RANDOMPROGRAMGEN_H
+
+#include <functional>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace awam::testgen {
+
+/// Deterministic random program source for one seed.
+inline std::string generateProgram(unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  auto Pick = [&](int N) { return static_cast<int>(Rng() % N); };
+
+  int NumPreds = 2 + Pick(4);
+  std::vector<std::pair<std::string, int>> Preds; // name, arity
+  for (int I = 0; I != NumPreds; ++I)
+    Preds.emplace_back("p" + std::to_string(I), 1 + Pick(3));
+
+  auto VarName = [&](int I) { return "V" + std::to_string(I); };
+
+  // A random argument term; depth-limited.
+  std::function<std::string(int)> Term = [&](int Depth) -> std::string {
+    int Choice = Pick(Depth > 0 ? 8 : 5);
+    switch (Choice) {
+    case 0: return VarName(Pick(4));
+    case 1: return "k" + std::to_string(Pick(3));
+    case 2: return std::to_string(Pick(10));
+    case 3: return "[]";
+    case 4: return VarName(Pick(4));
+    case 5: return "f(" + Term(Depth - 1) + ")";
+    case 6:
+      return "[" + Term(Depth - 1) + "|" + Term(Depth - 1) + "]";
+    default:
+      return "g(" + Term(Depth - 1) + ", " + Term(Depth - 1) + ")";
+    }
+  };
+
+  std::string Out;
+  for (auto &[Name, Arity] : Preds) {
+    int NumClauses = 1 + Pick(3);
+    for (int C = 0; C != NumClauses; ++C) {
+      Out += Name + "(";
+      for (int A = 0; A != Arity; ++A)
+        Out += (A ? ", " : "") + Term(2);
+      Out += ")";
+      int NumGoals = Pick(3);
+      for (int G = 0; G != NumGoals; ++G) {
+        Out += G ? ", " : " :- ";
+        switch (Pick(6)) {
+        case 0: { // call another predicate
+          auto &[CalleeName, CalleeArity] = Preds[Pick(NumPreds)];
+          Out += CalleeName + "(";
+          for (int A = 0; A != CalleeArity; ++A)
+            Out += (A ? ", " : "") + Term(1);
+          Out += ")";
+          break;
+        }
+        case 1:
+          Out += VarName(Pick(4)) + " is " + std::to_string(Pick(5)) +
+                 " + " + std::to_string(Pick(5));
+          break;
+        case 2: {
+          // Avoid V = term-containing-V: rational (cyclic) terms are
+          // outside the paper's finite-tree domain; both analyzers widen
+          // them soundly but may unroll them differently.
+          std::string V = VarName(Pick(4));
+          std::string T = Term(2);
+          Out += T.find(V) == std::string::npos ? V + " = " + T
+                                                : V + " = " + V;
+          break;
+        }
+        case 3:
+          Out += std::to_string(Pick(9)) + " < " + std::to_string(Pick(9));
+          break;
+        case 4:
+          Out += (Pick(2) ? "atom(" : "integer(") + Term(1) + ")";
+          break;
+        default:
+          Out += Pick(2) ? "!" : "var(" + VarName(Pick(4)) + ")";
+          break;
+        }
+      }
+      Out += ".\n";
+    }
+  }
+  return Out;
+}
+
+} // namespace awam::testgen
+
+#endif // AWAM_TESTS_RANDOMPROGRAMGEN_H
