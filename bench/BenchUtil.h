@@ -14,7 +14,7 @@
 #ifndef AWAM_BENCH_BENCHUTIL_H
 #define AWAM_BENCH_BENCHUTIL_H
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "baseline/MetaAnalyzer.h"
 #include "baseline/PrologHosted.h"
 #include "programs/Benchmarks.h"
@@ -107,7 +107,7 @@ inline Table1Row measureBenchmark(const PreparedBenchmark &P,
 
   // Compiled analyzer.
   {
-    Analyzer A(*P.Compiled, Options);
+    AnalysisSession A(*P.Compiled, Options);
     Result<AnalysisResult> R = A.analyze(Spec);
     if (!R) {
       std::fprintf(stderr, "%s: analysis error: %s\n", Row.Name.c_str(),
@@ -118,16 +118,17 @@ inline Table1Row measureBenchmark(const PreparedBenchmark &P,
     Row.Exec = R->Instructions;
     Row.OursMs = measureMs(
         [&] {
-          Analyzer A2(*P.Compiled, Options);
+          AnalysisSession A2(*P.Compiled, Options);
           (void)A2.analyze(Spec);
         },
         MinTotalMs);
   }
 
-  // Baseline meta-interpreting analyzer (equal-host ablation).
+  // Baseline meta-interpreting analyzer (equal-host ablation), driven
+  // through the same session façade as the compiled analyzer.
   Row.BaselineMs = measureMs(
       [&] {
-        MetaAnalyzer B(*P.Parsed, *P.Syms, Options);
+        AnalysisSession B = makeBaselineSession(*P.Parsed, *P.Syms, Options);
         (void)B.analyze(Spec);
       },
       MinTotalMs);

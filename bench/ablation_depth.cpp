@@ -51,7 +51,7 @@ int main(int argc, char **argv) {
     int AnyArgs = 0, TotalArgs = 0;
     for (const BenchmarkProgram &B : benchmarkPrograms()) {
       PreparedBenchmark P = prepare(B);
-      Analyzer A(*P.Compiled, Options);
+      AnalysisSession A(*P.Compiled, Options);
       Result<AnalysisResult> R = A.analyze(B.EntrySpec);
       if (!R) {
         std::fprintf(stderr, "%s (k=%d): %s\n",
@@ -64,7 +64,7 @@ int main(int argc, char **argv) {
       precisionProxy(*R, AnyArgs, TotalArgs);
       TotalMs += measureMs(
           [&] {
-            Analyzer A2(*P.Compiled, Options);
+            AnalysisSession A2(*P.Compiled, Options);
             (void)A2.analyze(B.EntrySpec);
           },
           MinTotalMs);

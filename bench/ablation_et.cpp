@@ -30,9 +30,9 @@ int main(int argc, char **argv) {
     AnalyzerOptions Hash;
     Hash.TableImpl = ExtensionTable::Impl::HashMap;
 
-    Analyzer AL(*P.Compiled, Linear);
+    AnalysisSession AL(*P.Compiled, Linear);
     Result<AnalysisResult> RL = AL.analyze(B.EntrySpec);
-    Analyzer AH(*P.Compiled, Hash);
+    AnalysisSession AH(*P.Compiled, Hash);
     Result<AnalysisResult> RH = AH.analyze(B.EntrySpec);
     if (!RL || !RH) {
       std::fprintf(stderr, "%s: analysis error\n",
@@ -42,13 +42,13 @@ int main(int argc, char **argv) {
 
     double LinMs = measureMs(
         [&] {
-          Analyzer A(*P.Compiled, Linear);
+          AnalysisSession A(*P.Compiled, Linear);
           (void)A.analyze(B.EntrySpec);
         },
         MinTotalMs);
     double HashMs = measureMs(
         [&] {
-          Analyzer A(*P.Compiled, Hash);
+          AnalysisSession A(*P.Compiled, Hash);
           (void)A.analyze(B.EntrySpec);
         },
         MinTotalMs);

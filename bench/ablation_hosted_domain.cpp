@@ -66,7 +66,7 @@ int main(int argc, char **argv) {
         timeHosted(P, PrologDomain::Rich, MinTotalMs, RichInstr);
     double OursMs = measureMs(
         [&] {
-          Analyzer A(*P.Compiled);
+          AnalysisSession A(*P.Compiled);
           (void)A.analyze(B.EntrySpec);
         },
         MinTotalMs);

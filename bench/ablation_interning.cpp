@@ -5,9 +5,14 @@
 // lub/leq, and pooled scratch buffers — against the seed configuration
 // (the paper's linear-list table, no interning, per-call stores).
 //
-// For every Table 1 program the two configurations must compute the exact
-// same fixpoint (extension table and iteration count); the bench verifies
-// that before timing and exits nonzero on any divergence.
+// Also compares the two fixpoint drivers on the fast configuration: the
+// naive restart loop replays every activation per iteration, while the
+// dependency-driven worklist scheduler replays only activations whose
+// read-set changed. The driver columns record that ablation.
+//
+// For every Table 1 program all configurations must compute the exact
+// same fixpoint (extension table); the bench verifies that before timing
+// and exits nonzero on any divergence.
 //
 // Output: a human-readable table on stdout and machine-readable JSON in
 // BENCH_interning.json (written to the current directory) so the repo's
@@ -43,9 +48,13 @@ std::vector<std::string> fingerprint(const AnalysisResult &R,
 struct RowOut {
   std::string Name;
   double BaseMs = 0, FastMs = 0, SpeedUp = 0;
-  int Iterations = 0;
+  int NaiveIterations = 0; ///< naive driver restart iterations
+  int Sweeps = 0;          ///< worklist driver sweeps
   size_t Entries = 0;
   uint64_t BaseProbes = 0, FastProbes = 0;
+  uint64_t NaiveReplays = 0; ///< activation replays, naive driver
+  uint64_t WorkReplays = 0;  ///< activation replays, worklist driver
+  uint64_t DepEdges = 0;     ///< dependency edges the scheduler recorded
   PerfCounters Counters;
 };
 
@@ -59,15 +68,18 @@ int main(int argc, char **argv) {
               "uncached lub);\nfast = interning + id-keyed HashMap + "
               "lub/leq memo + pooled scratch (the default).\n\n");
 
-  AnalyzerOptions Base;
-  Base.TableImpl = ExtensionTable::Impl::LinearList;
-  Base.UseInterning = false;
+  // base: the seed configuration (paper setup, naive restart driver).
+  // fast: all analyzer defaults, including the worklist driver.
+  // naive-fast: the fast data structures on the naive driver, isolating
+  // the scheduler's replay savings in the driver columns.
+  AnalyzerOptions Base = seedAnalyzerOptions();
   AnalyzerOptions Fast;
-  Fast.TableImpl = ExtensionTable::Impl::HashMap;
-  Fast.UseInterning = true;
+  AnalyzerOptions NaiveFast;
+  NaiveFast.Driver = DriverKind::Naive;
 
-  TextTable T({"Benchmark", "base(ms)", "fast(ms)", "speedup", "iters",
-               "entries", "patterns", "lub hit/miss", "intern hit/miss",
+  TextTable T({"Benchmark", "base(ms)", "fast(ms)", "speedup",
+               "iters/sweeps", "replays n/w", "dep edges", "entries",
+               "patterns", "lub hit/miss", "intern hit/miss",
                "probes base/fast"});
 
   std::vector<RowOut> Rows;
@@ -78,21 +90,26 @@ int main(int argc, char **argv) {
   for (const BenchmarkProgram &B : benchmarkPrograms()) {
     PreparedBenchmark P = prepare(B);
 
-    Analyzer ABase(*P.Compiled, Base);
+    AnalysisSession ABase(*P.Compiled, Base);
     Result<AnalysisResult> RBase = ABase.analyze(B.EntrySpec);
-    Analyzer AFast(*P.Compiled, Fast);
+    AnalysisSession AFast(*P.Compiled, Fast);
     Result<AnalysisResult> RFast = AFast.analyze(B.EntrySpec);
-    if (!RBase || !RFast) {
+    AnalysisSession ANaive(*P.Compiled, NaiveFast);
+    Result<AnalysisResult> RNaive = ANaive.analyze(B.EntrySpec);
+    if (!RBase || !RFast || !RNaive) {
       std::fprintf(stderr, "%s: analysis error\n",
                    std::string(B.Name).c_str());
       return 1;
     }
 
-    // Cross-validation gate: identical fixpoint, identical iterations.
+    // Cross-validation gate: all three configurations compute the same
+    // fixpoint. (Iteration counts are comparable only between the naive
+    // configurations — the worklist driver converges in fewer sweeps.)
     if (fingerprint(*RBase, *P.Syms) != fingerprint(*RFast, *P.Syms) ||
-        RBase->Iterations != RFast->Iterations) {
-      std::fprintf(stderr, "%s: FIXPOINT DIVERGENCE between base and "
-                           "interned configurations\n",
+        fingerprint(*RBase, *P.Syms) != fingerprint(*RNaive, *P.Syms) ||
+        RBase->Iterations != RNaive->Iterations) {
+      std::fprintf(stderr, "%s: FIXPOINT DIVERGENCE between "
+                           "configurations\n",
                    std::string(B.Name).c_str());
       ++Divergences;
       continue;
@@ -100,10 +117,14 @@ int main(int argc, char **argv) {
 
     RowOut Row;
     Row.Name = std::string(B.Name);
-    Row.Iterations = RFast->Iterations;
+    Row.NaiveIterations = RNaive->Iterations;
+    Row.Sweeps = RFast->Iterations;
     Row.Entries = RFast->Items.size();
     Row.BaseProbes = RBase->TableProbes;
     Row.FastProbes = RFast->TableProbes;
+    Row.NaiveReplays = RNaive->Counters.ActivationRuns;
+    Row.WorkReplays = RFast->Counters.ActivationRuns;
+    Row.DepEdges = RFast->Counters.DepEdges;
     Row.Counters = RFast->Counters;
     // Noise-robust paired measurement: alternate base/fast rounds and keep
     // the fastest round of each mode. CPU frequency and scheduler noise
@@ -114,13 +135,13 @@ int main(int argc, char **argv) {
     for (int R = 0; R != Rounds; ++R) {
       Row.BaseMs = std::min(Row.BaseMs, measureMs(
                                             [&] {
-                                              Analyzer A(*P.Compiled, Base);
+                                              AnalysisSession A(*P.Compiled, Base);
                                               (void)A.analyze(B.EntrySpec);
                                             },
                                             MinTotalMs / Rounds));
       Row.FastMs = std::min(Row.FastMs, measureMs(
                                             [&] {
-                                              Analyzer A(*P.Compiled, Fast);
+                                              AnalysisSession A(*P.Compiled, Fast);
                                               (void)A.analyze(B.EntrySpec);
                                             },
                                             MinTotalMs / Rounds));
@@ -132,7 +153,11 @@ int main(int argc, char **argv) {
 
     T.addRow({Row.Name, formatDouble(Row.BaseMs, 3),
               formatDouble(Row.FastMs, 3), formatDouble(Row.SpeedUp, 2),
-              std::to_string(Row.Iterations), std::to_string(Row.Entries),
+              std::to_string(Row.NaiveIterations) + "/" +
+                  std::to_string(Row.Sweeps),
+              std::to_string(Row.NaiveReplays) + "/" +
+                  std::to_string(Row.WorkReplays),
+              std::to_string(Row.DepEdges), std::to_string(Row.Entries),
               std::to_string(Row.Counters.DistinctPatterns),
               std::to_string(Row.Counters.LubCacheHits) + "/" +
                   std::to_string(Row.Counters.LubCacheMisses),
@@ -146,7 +171,7 @@ int main(int argc, char **argv) {
   double GeoMean = Rows.empty() ? 0 : std::exp(LogSum / Rows.size());
   T.addSeparator();
   T.addRow({"geomean", "", "", formatDouble(GeoMean, 2), "", "", "", "", "",
-            ""});
+            "", "", ""});
   std::fputs(T.str().c_str(), stdout);
   std::printf("\n%d/%zu programs at >= 2x; fixpoints identical on all "
               "measured programs.\n",
@@ -159,10 +184,14 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::fprintf(J, "{\n  \"bench\": \"ablation_interning\",\n");
-  std::fprintf(J, "  \"base\": \"LinearList, no interning, uncached lub\",\n");
+  std::fprintf(J, "  \"base\": \"LinearList, no interning, uncached lub, "
+                  "naive driver\",\n");
   std::fprintf(J,
                "  \"fast\": \"HashMap id-keyed, interning, memoized "
-               "lub/leq, pooled scratch\",\n");
+               "lub/leq, pooled scratch, worklist driver\",\n");
+  std::fprintf(J, "  \"driver_comparison\": \"activation_runs_naive vs "
+                  "activation_runs_worklist on the fast data "
+                  "structures\",\n");
   std::fprintf(J, "  \"geomean_speedup\": %.3f,\n", GeoMean);
   std::fprintf(J, "  \"programs_at_2x\": %d,\n", AtLeast2x);
   std::fprintf(J, "  \"programs\": [\n");
@@ -171,12 +200,16 @@ int main(int argc, char **argv) {
     std::fprintf(
         J,
         "    {\"name\": \"%s\", \"base_ms\": %.4f, \"fast_ms\": %.4f, "
-        "\"speedup\": %.3f, \"iterations\": %d, \"et_entries\": %zu, "
+        "\"speedup\": %.3f, \"iterations\": %d, \"sweeps\": %d, "
+        "\"activation_runs_naive\": %llu, \"activation_runs_worklist\": "
+        "%llu, \"dep_edges\": %llu, \"et_entries\": %zu, "
         "\"distinct_patterns\": %llu, \"intern_hits\": %llu, "
         "\"intern_misses\": %llu, \"lub_hits\": %llu, \"lub_misses\": "
         "%llu, \"et_probes_base\": %llu, \"et_probes_fast\": %llu}%s\n",
-        R.Name.c_str(), R.BaseMs, R.FastMs, R.SpeedUp, R.Iterations,
-        R.Entries,
+        R.Name.c_str(), R.BaseMs, R.FastMs, R.SpeedUp, R.NaiveIterations,
+        R.Sweeps, static_cast<unsigned long long>(R.NaiveReplays),
+        static_cast<unsigned long long>(R.WorkReplays),
+        static_cast<unsigned long long>(R.DepEdges), R.Entries,
         static_cast<unsigned long long>(R.Counters.DistinctPatterns),
         static_cast<unsigned long long>(R.Counters.InternHits),
         static_cast<unsigned long long>(R.Counters.InternMisses),

@@ -12,7 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
@@ -49,7 +49,7 @@ int main() {
   };
 
   for (const Case &C : Cases) {
-    Analyzer A(*P);
+    AnalysisSession A(*P);
     Result<AnalysisResult> R = A.analyze(C.Spec);
     std::string Out = "(error)";
     if (R) {

@@ -9,7 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "absdom/AbsOps.h"
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "baseline/MetaAnalyzer.h"
 #include "programs/Benchmarks.h"
 #include "wam/Machine.h"
@@ -149,7 +149,7 @@ void BM_AnalyzeNreverse(benchmark::State &State) {
   TermArena Arena;
   Result<CompiledProgram> P = compileSource(B->Source, Syms, Arena);
   for (auto _ : State) {
-    Analyzer A(*P);
+    AnalysisSession A(*P);
     benchmark::DoNotOptimize(A.analyze("main"));
   }
 }

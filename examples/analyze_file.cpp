@@ -16,7 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/AbstractMachine.h"
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "baseline/MetaAnalyzer.h"
 #include "compiler/Disasm.h"
 #include "programs/Benchmarks.h"
@@ -114,7 +114,7 @@ int main(int argc, char **argv) {
 
   Result<AnalysisResult> R = makeError("unreachable");
   if (UseBaseline) {
-    MetaAnalyzer B(*Parsed, Syms, Options);
+    AnalysisSession B = makeBaselineSession(*Parsed, Syms, Options);
     R = B.analyze(Entry);
   } else if (Trace) {
     Result<std::pair<std::string, Pattern>> Spec = parseEntrySpec(Entry);
@@ -137,20 +137,26 @@ int main(int argc, char **argv) {
     MachineOptions.DepthLimit = Depth;
     MachineOptions.TraceLog = &Lines;
     AbstractMachine Machine(*Compiled, Table, MachineOptions);
+    AnalysisResult Out;
     while (Machine.runIteration(Pid, Spec->second) ==
-               AbsRunStatus::Completed &&
-           Machine.changedSinceLastRun())
+               AbsRunStatus::Completed) {
+      ++Out.Iterations;
+      if (!Machine.changedSinceLastRun()) {
+        Out.Converged = true;
+        break;
+      }
       Lines.push_back("---- next iteration ----");
+    }
     for (const std::string &L : Lines)
       std::printf("%s\n", L.c_str());
-    AnalysisResult Out;
+    Out.Instructions = Machine.stepsExecuted();
     for (const ETEntry &E : Table.entries())
       Out.Items.push_back({E.PredId,
                            Compiled->Module->predicateLabel(E.PredId),
                            E.Call, E.Success});
     R = std::move(Out);
   } else {
-    Analyzer A(*Compiled, Options);
+    AnalysisSession A(*Compiled, Options);
     R = A.analyze(Entry);
   }
   if (!R) {

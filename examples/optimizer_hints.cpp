@@ -17,7 +17,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "compiler/Disasm.h"
 #include "programs/Benchmarks.h"
 
@@ -78,7 +78,7 @@ int main(int argc, char **argv) {
   }
   CodeModule &M = *Program->Module;
 
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   Result<AnalysisResult> R = A.analyze(B->EntrySpec);
   if (!R) {
     std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());

@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "term/TermWriter.h"
 #include "wam/Machine.h"
 
@@ -47,7 +47,7 @@ int main() {
 
   // 4. Analyze: what happens when nrev is called with a ground list and a
   // free result variable?
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   Result<AnalysisResult> R = A.analyze("nrev(glist, var)");
   if (!R) {
     std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());

@@ -31,8 +31,7 @@ void AbstractMachine::machineError(std::string Message) {
       Options.TraceLog->push_back(Text);                                     \
   } while (false)
 
-AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
-                                           const Pattern &Entry) {
+void AbstractMachine::resetRun() {
   St.reset();
   Envs.clear();
   Frames.clear();
@@ -45,7 +44,22 @@ AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
   Changed = false;
   HasError = false;
   ErrorMsg.clear();
+}
 
+AbsRunStatus AbstractMachine::driveToCompletion() {
+  Running = true;
+  enterClause();
+  while (Running && !HasError)
+    if (!step())
+      break;
+  return HasError ? AbsRunStatus::Error : AbsRunStatus::Completed;
+}
+
+AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
+                                           const Pattern &Entry) {
+  assert(!Deps && "runIteration is the naive protocol; use runActivation "
+                  "with a dependency sink");
+  resetRun();
   Table.beginIteration();
 
   bool Created = false;
@@ -57,19 +71,8 @@ AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
                : Table.findOrCreate(PredId, Entry, Created);
   if (Created)
     Changed = true;
-
-  // Stable-subtree reuse: if nothing the previous run of this entry read
-  // has changed since, re-running it is a pure replay that cannot touch
-  // the table — the iteration is a no-op (this is how the final
-  // fixpoint-confirming iteration completes without re-executing code).
-  if (Interner && !Created && TopEntry.EverExplored &&
-      Table.subtreeStable(TopEntry)) {
-    TopEntry.Explored = true;
-    return AbsRunStatus::Completed;
-  }
   TopEntry.Explored = true;
-  if (Interner)
-    TopEntry.EverExplored = true;
+  ++Activations;
 
   AnalysisFrame F;
   F.Entry = &TopEntry;
@@ -89,35 +92,40 @@ AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
   F.EnvMark = 0;
   Frames.push_back(std::move(F));
 
-  Running = true;
-  enterClause();
-  while (Running && !HasError)
-    if (!step())
-      break;
-  return HasError ? AbsRunStatus::Error : AbsRunStatus::Completed;
+  return driveToCompletion();
+}
+
+AbsRunStatus AbstractMachine::runActivation(ETEntry &Root) {
+  assert(Deps && "runActivation needs a dependency sink (worklist mode)");
+  resetRun();
+
+  Deps->beginActivation(Root);
+  Root.EverExplored = true;
+  ++Activations;
+
+  AnalysisFrame F;
+  F.Entry = &Root;
+  F.PredId = Root.PredId;
+  for (int64_t Addr : instantiate(St, Root.Call))
+    F.CallerArgs.push_back(Cell::ref(Addr));
+  F.SavedCP = kHaltAddress;
+  F.SavedE = -1;
+  if (Interner)
+    instantiate(St, Root.Call, CellOfBuf, F.CalleeArgs);
+  F.TrailMark = St.trailMark();
+  F.HeapMark = St.heapTop();
+  F.EnvMark = 0;
+  Frames.push_back(std::move(F));
+
+  return driveToCompletion();
 }
 
 void AbstractMachine::enterClause() {
   AnalysisFrame &F = Frames.back();
   const PredicateInfo &Pred = Module.predicate(F.PredId);
-  if (Interner) {
-    if (F.Entry->Clauses.size() < Pred.Clauses.size())
-      F.Entry->Clauses.resize(Pred.Clauses.size());
-    // Clause-level stable reuse: a clause whose recorded reads are all
-    // still current (and transitively stable) would replay exactly and
-    // contribute a success already absorbed by the summary — skip it.
-    while (F.ClauseIdx < Pred.Clauses.size() &&
-           Table.clauseReplayIsNoOp(F.Entry->Clauses[F.ClauseIdx]))
-      ++F.ClauseIdx;
-  }
   if (F.ClauseIdx >= Pred.Clauses.size()) {
     returnFromFrame();
     return;
-  }
-  if (Interner) {
-    ETEntry::ClauseDeps &CR = F.Entry->Clauses[F.ClauseIdx];
-    CR.EverRun = true;
-    CR.Deps.clear();
   }
   // Fresh attempt: discard the previous clause's bindings and allocations.
   St.unwind(F.TrailMark);
@@ -142,6 +150,15 @@ void AbstractMachine::failCurrent() {
   assert(!Frames.empty() && "failure with no analysis frame");
   ++Frames.back().ClauseIdx;
   enterClause();
+}
+
+/// updateET grew \p Entry's summary: bump its version (readers compare
+/// against it) and tell the scheduler, which re-enqueues stale readers.
+void AbstractMachine::summaryGrew(ETEntry &Entry) {
+  Table.noteSuccessChanged(Entry);
+  Changed = true;
+  if (Deps)
+    Deps->noteChanged(Entry);
 }
 
 void AbstractMachine::clauseSucceeded() {
@@ -169,15 +186,13 @@ void AbstractMachine::clauseSucceeded() {
       if (F.Entry->SuccessId == kInvalidPatternId) {
         F.Entry->SuccessId = SId;
         F.Entry->Success.emplace(Interner->pattern(SId));
-        Table.noteSuccessChanged(*F.Entry);
-        Changed = true;
+        summaryGrew(*F.Entry);
       } else if (SId != F.Entry->SuccessId) {
         PatternId Merged = Interner->lub(F.Entry->SuccessId, SId);
         if (Merged != F.Entry->SuccessId) {
           F.Entry->SuccessId = Merged;
           F.Entry->Success.emplace(Interner->pattern(Merged));
-          Table.noteSuccessChanged(*F.Entry);
-          Changed = true;
+          summaryGrew(*F.Entry);
         }
       }
     }
@@ -193,12 +208,12 @@ void AbstractMachine::clauseSucceeded() {
             lubPatterns(*F.Entry->Success, SPat, Options.DepthLimit);
         if (!(Merged == *F.Entry->Success)) {
           F.Entry->Success = std::move(Merged);
-          Changed = true;
+          summaryGrew(*F.Entry);
         }
       }
     } else {
       F.Entry->Success = std::move(SPat);
-      Changed = true;
+      summaryGrew(*F.Entry);
     }
   }
 
@@ -226,13 +241,10 @@ void AbstractMachine::returnFromFrame() {
              (F.Entry->Success ? F.Entry->Success->str(Module.symbols())
                                : std::string("no success pattern")));
 
-  // The caller's continuation reads this entry's summarized success: that
-  // read is a dependency of the caller's currently-running clause.
-  if (Interner && !Frames.empty()) {
-    AnalysisFrame &Caller = Frames.back();
-    Caller.Entry->Clauses[Caller.ClauseIdx].Deps.emplace_back(
-        F.Entry, F.Entry->SuccessVersion);
-  }
+  // The caller's continuation reads this entry's final summary: that read
+  // is a dependency of the caller's activation.
+  if (Deps && !Frames.empty())
+    Deps->noteRead(*Frames.back().Entry, *F.Entry, F.Entry->SuccessVersion);
 
   // lookupET: return the summarized success pattern, if any.
   if (F.Entry->Success) {
@@ -278,27 +290,26 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
   if (Created)
     Changed = true;
 
-  // Stable-subtree reuse: an unexplored entry whose last exploration's
-  // transitive reads are all still current would replay byte-for-byte and
-  // change nothing — answer from the memo as if it were already explored
-  // this iteration.
-  if (Interner && !Entry.Explored && Entry.EverExplored &&
-      Table.subtreeStable(Entry))
-    Entry.Explored = true;
+  // Memo-vs-explore decision. Naive protocol: explore each entry once per
+  // iteration (the Explored flag, reset by beginIteration). Activation
+  // protocol: explore a new entry inline; an already-explored entry
+  // answers from the memo unless the scheduler has a pending run for it,
+  // in which case it is re-explored inline (mirroring where the naive
+  // driver's DFS would re-explore it, which keeps the two drivers'
+  // intermediate tables — and hence their fixpoints — identical).
+  bool Memo = Deps ? (Entry.EverExplored && !Deps->shouldReexplore(Entry))
+                   : Entry.Explored;
 
   AWAM_TRACE("call " + Module.predicateLabel(PredId) + " with " +
              Entry.Call.str(Module.symbols()) +
-             (Entry.Explored ? " [explored: consult table]"
-                             : " [unexplored: explore clauses]"));
+             (Memo ? " [explored: consult table]"
+                   : " [unexplored: explore clauses]"));
 
-  if (Entry.Explored) {
-    if (Interner) {
-      AnalysisFrame &Caller = Frames.back();
-      Caller.Entry->Clauses[Caller.ClauseIdx].Deps.emplace_back(
-          &Entry, Entry.SuccessVersion);
-    }
+  if (Memo) {
+    if (Deps)
+      Deps->noteRead(*Frames.back().Entry, Entry, Entry.SuccessVersion);
     // Memoized deterministic return (or failure if nothing is known yet —
-    // the fixpoint iteration will come back).
+    // the driver will come back).
     if (!Entry.Success) {
       failCurrent();
       return;
@@ -316,9 +327,13 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
     return;
   }
 
-  Entry.Explored = true;
-  if (Interner)
+  if (Deps) {
+    Deps->beginActivation(Entry);
     Entry.EverExplored = true;
+  } else {
+    Entry.Explored = true;
+  }
+  ++Activations;
   AnalysisFrame F;
   F.Entry = &Entry;
   F.PredId = PredId;

@@ -50,32 +50,85 @@ enum class AbsRunStatus {
 /// Resource limits for the abstract machine.
 struct AbsMachineOptions {
   int DepthLimit = kDefaultDepthLimit; ///< term-depth restriction k
-  uint64_t MaxSteps = 200'000'000;     ///< per-iteration instruction budget
+  uint64_t MaxSteps = 200'000'000;     ///< total instruction budget
   /// When non-null, control events (call / lookup / updateET / return) are
   /// appended as human-readable lines — used to regenerate the paper's
   /// Figure 5 annotations.
   std::vector<std::string> *TraceLog = nullptr;
 };
 
-/// One iteration of extension-table-based abstract interpretation over the
-/// compiled code. The ExtensionTable is owned by the caller (the Analyzer
-/// driver) and persists across iterations.
+/// Observer of the machine's extension-table traffic — the worklist
+/// scheduler's dependency feed (analyzer/Scheduler.h implements it).
+///
+/// Installing a sink (setDependencySink) switches the machine's call rule
+/// from the naive per-iteration protocol (explore each entry once per
+/// iteration, as flagged by ETEntry::Explored) to the activation protocol:
+/// an entry whose clauses were ever explored answers calls from the memo
+/// unless the sink asks for an inline re-exploration, and every memo read
+/// is reported with the success version it observed.
+class DependencySink {
+public:
+  virtual ~DependencySink() = default;
+
+  /// Asked on a call to an already-explored \p E: return true to re-run
+  /// its clauses inline (consuming any pending scheduled run), false to
+  /// answer from the memo.
+  virtual bool shouldReexplore(const ETEntry &E) = 0;
+
+  /// \p E's clauses are about to be (re)explored — whether inline at a
+  /// call site or as the activation the scheduler launched.
+  virtual void beginActivation(const ETEntry &E) = 0;
+
+  /// \p Reader consumed \p Dep's summarized success pattern, observing
+  /// \p VersionSeen (== Dep.SuccessVersion at read time).
+  virtual void noteRead(const ETEntry &Reader, const ETEntry &Dep,
+                        uint32_t VersionSeen) = 0;
+
+  /// \p E's success pattern just changed (SuccessVersion already bumped).
+  virtual void noteChanged(const ETEntry &E) = 0;
+};
+
+/// The activation executor: extension-table-based abstract interpretation
+/// over the compiled code. The ExtensionTable is owned by the caller (the
+/// AnalysisSession) and persists across runs. Two driving protocols:
+///
+///  * runIteration — the paper's naive loop body: restart the entry goal,
+///    re-exploring every reachable activation once;
+///  * runActivation — replay exactly one (PredId, PatternId) activation
+///    for the worklist scheduler, reporting table reads and success
+///    changes through the installed DependencySink.
 class AbstractMachine {
 public:
   AbstractMachine(const CompiledProgram &Program, ExtensionTable &Table,
                   AbsMachineOptions Options = {});
 
-  /// Runs one iteration from entry predicate \p PredId with calling
+  /// Installs (or clears) the scheduler's dependency feed. A non-null sink
+  /// switches doCall to the activation protocol; runIteration requires the
+  /// sink to be null.
+  void setDependencySink(DependencySink *S) { Deps = S; }
+
+  /// Runs one naive iteration from entry predicate \p PredId with calling
   /// pattern \p Entry. Returns Completed normally; table growth is
   /// reported via changedSinceLastRun().
   AbsRunStatus runIteration(int32_t PredId, const Pattern &Entry);
 
-  /// True if the last runIteration added entries or grew a success pattern.
+  /// Replays the single activation \p Root: re-explores its clauses
+  /// against the current table, answering nested calls from the memo
+  /// (or exploring them inline when the sink requests it / the callee is
+  /// new). Requires an installed DependencySink.
+  AbsRunStatus runActivation(ETEntry &Root);
+
+  /// True if the last run added entries or grew a success pattern.
   bool changedSinceLastRun() const { return Changed; }
 
-  /// Abstract WAM instructions executed, accumulated over all iterations
+  /// Abstract WAM instructions executed, accumulated over all runs
   /// (the paper's "Exec" column in Table 1).
   uint64_t stepsExecuted() const { return Steps; }
+
+  /// Activation replays: how many times some entry's clause list was
+  /// (re)explored, accumulated over all runs. The driver-comparison
+  /// metric — the worklist scheduler exists to shrink this number.
+  uint64_t activationsExplored() const { return Activations; }
 
   const std::string &errorMessage() const { return ErrorMsg; }
 
@@ -101,10 +154,13 @@ private:
     std::vector<Cell> Y;
   };
 
+  void resetRun();                   // clears store/registers/frames
+  AbsRunStatus driveToCompletion();  // step() until halt or error
   bool step();                       // executes one instruction
   void doCall(int32_t PredId, int32_t ContinueAt);
   void enterClause();                // (re)start current frame's clause
   void clauseSucceeded();            // proceed: updateET + artificial fail
+  void summaryGrew(ETEntry &Entry);  // version bump + sink notification
   void failCurrent();                // failure inside the current clause
   void returnFromFrame();            // clauses exhausted: lookupET
   bool runAbsBuiltin(int Id, int Arity);
@@ -118,6 +174,8 @@ private:
   /// Borrowed from the table; non-null enables the hash-consed fast path
   /// (id-keyed table lookups, memoized lub, pooled scratch buffers).
   PatternInterner *Interner;
+  /// Non-null switches doCall to the activation protocol (worklist mode).
+  DependencySink *Deps = nullptr;
   AbsMachineOptions Options;
 
   Store St;
@@ -143,6 +201,7 @@ private:
   bool Changed = false;
   bool HasError = false;
   uint64_t Steps = 0;
+  uint64_t Activations = 0;
   std::string ErrorMsg;
 };
 

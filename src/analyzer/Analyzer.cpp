@@ -33,148 +33,168 @@ Pattern awam::makeEntryPattern(const std::vector<PatKind> &ArgKinds) {
   return P;
 }
 
+namespace {
+
+std::string_view trimSpaces(std::string_view S) {
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.front())))
+    S.remove_prefix(1);
+  while (!S.empty() && std::isspace(static_cast<unsigned char>(S.back())))
+    S.remove_suffix(1);
+  return S;
+}
+
+std::optional<PatKind> simpleKind(std::string_view S) {
+  if (S == "any") return PatKind::AnyP;
+  if (S == "nv") return PatKind::NVP;
+  if (S == "g" || S == "ground") return PatKind::GroundP;
+  if (S == "const") return PatKind::ConstP;
+  if (S == "atom") return PatKind::AtomTP;
+  if (S == "int" || S == "integer") return PatKind::IntTP;
+  if (S == "var") return PatKind::VarP;
+  return std::nullopt;
+}
+
+/// Parses a decimal literal without stoll's exception/overflow hazards.
+/// 18 digits keep the value well inside int64.
+bool parseIntLiteral(std::string_view S, int64_t &Out) {
+  bool Neg = !S.empty() && S.front() == '-';
+  std::string_view Digits = Neg ? S.substr(1) : S;
+  if (Digits.empty() || Digits.size() > 18)
+    return false;
+  int64_t V = 0;
+  for (char C : Digits) {
+    if (!std::isdigit(static_cast<unsigned char>(C)))
+      return false;
+    V = V * 10 + (C - '0');
+  }
+  Out = Neg ? -V : V;
+  return true;
+}
+
+/// Validates a predicate name from a spec; returns an error message or
+/// nothing.
+std::optional<std::string> checkSpecName(std::string_view Name) {
+  if (Name.empty())
+    return "missing predicate name";
+  for (char C : Name)
+    if (std::isspace(static_cast<unsigned char>(C)))
+      return "predicate name '" + std::string(Name) +
+             "' contains whitespace";
+  if (Name.find(',') != std::string_view::npos ||
+      Name.find('/') != std::string_view::npos)
+    return "unexpected '" +
+           std::string(1, Name[Name.find_first_of(",/")]) +
+           "' in predicate name '" + std::string(Name) + "'";
+  return std::nullopt;
+}
+
+/// Appends one parsed argument to \p P; returns an error message or
+/// nothing.
+std::optional<std::string> appendSpecArg(Pattern &P, std::string_view Arg,
+                                         int ArgNo) {
+  auto Err = [&](std::string Msg) {
+    return "argument " + std::to_string(ArgNo) + ": " + Msg;
+  };
+  if (Arg.empty())
+    return Err("is empty (doubled or trailing comma?)");
+  int32_t Id = static_cast<int32_t>(P.Nodes.size());
+  PatNode N;
+  if (std::optional<PatKind> K = simpleKind(Arg)) {
+    N.K = *K;
+    P.Nodes.push_back(N);
+    P.Roots.push_back(Id);
+    return std::nullopt;
+  }
+  if (Arg.size() > 4 && Arg.ends_with("list")) {
+    std::optional<PatKind> EK = simpleKind(Arg.substr(0, Arg.size() - 4));
+    if (!EK)
+      return Err("unknown list element type in '" + std::string(Arg) + "'");
+    N.K = PatKind::ListP;
+    N.ChildBegin = static_cast<int32_t>(P.ChildStore.size());
+    N.ChildCount = 1;
+    P.ChildStore.push_back(Id + 1);
+    PatNode Elem;
+    Elem.K = *EK;
+    P.Nodes.push_back(N);
+    P.Nodes.push_back(Elem);
+    P.Roots.push_back(Id);
+    return std::nullopt;
+  }
+  int64_t Num = 0;
+  if (parseIntLiteral(Arg, Num)) {
+    N.K = PatKind::IntP;
+    N.Num = Num;
+    P.Nodes.push_back(N);
+    P.Roots.push_back(Id);
+    return std::nullopt;
+  }
+  return Err("unknown form '" + std::string(Arg) +
+             "' (expected any, nv, g, ground, const, atom, int, integer, "
+             "var, a <kind>list, or an integer literal; named atoms are "
+             "not supported in entry specs)");
+}
+
+} // namespace
+
 Result<std::pair<std::string, Pattern>>
 awam::parseEntrySpec(std::string_view Spec) {
   auto Fail = [&](std::string Msg) {
     return makeError("bad entry spec '" + std::string(Spec) + "': " + Msg);
   };
-  size_t Paren = Spec.find('(');
-  std::string Name(Spec.substr(0, Paren));
-  while (!Name.empty() && std::isspace(static_cast<unsigned char>(
-                              Name.back())))
-    Name.pop_back();
-  if (Name.empty())
-    return Fail("missing predicate name");
+  std::string_view Text = trimSpaces(Spec);
+  if (Text.empty())
+    return Fail("empty spec");
+
+  size_t Paren = Text.find('(');
+  if (Paren == std::string_view::npos) {
+    // "name" (arity 0) or the "name/arity" shorthand (all-any arguments).
+    std::string_view NameView = Text;
+    size_t Slash = NameView.rfind('/');
+    int64_t Arity = 0;
+    if (Slash != std::string_view::npos) {
+      std::string_view ArityText = trimSpaces(NameView.substr(Slash + 1));
+      NameView = trimSpaces(NameView.substr(0, Slash));
+      if (!parseIntLiteral(ArityText, Arity) || Arity < 0 || Arity > 255)
+        return Fail("arity in '" + std::string(Text) +
+                    "' must be an integer in [0, 255]");
+    }
+    if (std::optional<std::string> Err = checkSpecName(NameView))
+      return Fail(*Err);
+    return std::make_pair(
+        std::string(NameView),
+        makeEntryPattern(std::vector<PatKind>(static_cast<size_t>(Arity),
+                                              PatKind::AnyP)));
+  }
+
+  std::string_view NameView = trimSpaces(Text.substr(0, Paren));
+  if (std::optional<std::string> Err = checkSpecName(NameView))
+    return Fail(*Err);
+  if (Text.back() != ')')
+    return Fail("missing ')' at the end");
+  std::string_view ArgText = Text.substr(Paren + 1, Text.size() - Paren - 2);
+  if (ArgText.find('(') != std::string_view::npos ||
+      ArgText.find(')') != std::string_view::npos)
+    return Fail("nested terms are not supported in entry specs");
 
   Pattern P;
-  if (Paren == std::string_view::npos)
-    return std::make_pair(Name, P);
-  if (Spec.back() != ')')
-    return Fail("missing ')'");
-
-  std::string_view ArgText = Spec.substr(Paren + 1, Spec.size() - Paren - 2);
-  size_t Pos = 0;
-  auto nextArg = [&]() -> std::string {
-    std::string Out;
-    while (Pos < ArgText.size() && ArgText[Pos] != ',')
-      Out.push_back(ArgText[Pos++]);
-    if (Pos < ArgText.size())
-      ++Pos; // skip ','
-    // trim
-    size_t B = Out.find_first_not_of(" \t");
-    size_t End = Out.find_last_not_of(" \t");
-    return B == std::string::npos ? "" : Out.substr(B, End - B + 1);
-  };
-
-  while (Pos < ArgText.size()) {
-    std::string Arg = nextArg();
-    if (Arg.empty())
-      return Fail("empty argument");
-    int32_t Id = static_cast<int32_t>(P.Nodes.size());
-    PatNode N;
-    auto simpleKind = [](const std::string &S) -> std::optional<PatKind> {
-      if (S == "any") return PatKind::AnyP;
-      if (S == "nv") return PatKind::NVP;
-      if (S == "g" || S == "ground") return PatKind::GroundP;
-      if (S == "const") return PatKind::ConstP;
-      if (S == "atom") return PatKind::AtomTP;
-      if (S == "int" || S == "integer") return PatKind::IntTP;
-      if (S == "var") return PatKind::VarP;
-      return std::nullopt;
-    };
-    if (auto K = simpleKind(Arg)) {
-      N.K = *K;
-      P.Nodes.push_back(N);
-      P.Roots.push_back(Id);
-      continue;
-    }
-    if (Arg.size() > 4 && Arg.ends_with("list")) {
-      auto EK = simpleKind(Arg.substr(0, Arg.size() - 4));
-      if (!EK)
-        return Fail("unknown list element type in '" + Arg + "'");
-      N.K = PatKind::ListP;
-      N.ChildBegin = static_cast<int32_t>(P.ChildStore.size());
-      N.ChildCount = 1;
-      P.ChildStore.push_back(Id + 1);
-      PatNode Elem;
-      Elem.K = *EK;
-      P.Nodes.push_back(N);
-      P.Nodes.push_back(Elem);
-      P.Roots.push_back(Id);
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(Arg[0])) ||
-        (Arg[0] == '-' && Arg.size() > 1)) {
-      N.K = PatKind::IntP;
-      N.Num = std::stoll(Arg);
-      P.Nodes.push_back(N);
-      P.Roots.push_back(Id);
-      continue;
-    }
-    return Fail("unknown argument form '" + Arg +
-                "' (atoms need interning; use kinds)");
-  }
-  return std::make_pair(Name, P);
-}
-
-Analyzer::Analyzer(const CompiledProgram &Program, AnalyzerOptions Options)
-    : Program(Program), Options(Options) {}
-
-Result<AnalysisResult> Analyzer::analyze(std::string_view Name,
-                                         const Pattern &Entry) {
-  CodeModule &M = *Program.Module;
-  Symbol S = M.symbols().lookup(Name);
-  int Arity = static_cast<int>(Entry.Roots.size());
-  int32_t Pid = S == ~0u ? -1 : M.findPredicate(S, Arity);
-  if (Pid < 0)
-    return makeError("entry predicate " + std::string(Name) + "/" +
-                     std::to_string(Arity) + " is not defined");
-
-  std::unique_ptr<PatternInterner> Interner;
-  if (Options.UseInterning)
-    Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
-  ExtensionTable Table(Options.TableImpl, Interner.get());
-  AbsMachineOptions MachineOptions;
-  MachineOptions.DepthLimit = Options.DepthLimit;
-  MachineOptions.MaxSteps = Options.MaxSteps;
-  AbstractMachine Machine(Program, Table, MachineOptions);
-
-  AnalysisResult R;
-  for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
-    AbsRunStatus Status = Machine.runIteration(Pid, Entry);
-    ++R.Iterations;
-    if (Status == AbsRunStatus::Error)
-      return makeError("abstract machine error: " + Machine.errorMessage());
-    if (!Machine.changedSinceLastRun()) {
-      R.Converged = true;
-      break;
+  if (!trimSpaces(ArgText).empty()) {
+    size_t Start = 0;
+    int ArgNo = 1;
+    for (;;) {
+      size_t Comma = ArgText.find(',', Start);
+      std::string_view Arg =
+          trimSpaces(Comma == std::string_view::npos
+                         ? ArgText.substr(Start)
+                         : ArgText.substr(Start, Comma - Start));
+      if (std::optional<std::string> Err = appendSpecArg(P, Arg, ArgNo))
+        return Fail(*Err);
+      if (Comma == std::string_view::npos)
+        break;
+      Start = Comma + 1;
+      ++ArgNo;
     }
   }
-  R.Instructions = Machine.stepsExecuted();
-  R.TableProbes = Table.probeCount();
-  R.Counters.Instructions = R.Instructions;
-  R.Counters.ETProbes = R.TableProbes;
-  if (Interner) {
-    const InternerStats &S = Interner->stats();
-    R.Counters.InternHits = S.InternHits;
-    R.Counters.InternMisses = S.InternMisses;
-    R.Counters.LubCacheHits = S.LubCacheHits;
-    R.Counters.LubCacheMisses = S.LubCacheMisses;
-    R.Counters.LeqCacheHits = S.LeqCacheHits;
-    R.Counters.LeqCacheMisses = S.LeqCacheMisses;
-    R.Counters.DistinctPatterns = Interner->size();
-  }
-  for (const ETEntry &E : Table.entries())
-    R.Items.push_back(
-        {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
-  return R;
-}
-
-Result<AnalysisResult> Analyzer::analyze(std::string_view EntrySpec) {
-  Result<std::pair<std::string, Pattern>> Parsed = parseEntrySpec(EntrySpec);
-  if (!Parsed)
-    return Parsed.diag();
-  return analyze(Parsed->first, Parsed->second);
+  return std::make_pair(std::string(NameView), std::move(P));
 }
 
 std::string awam::formatAnalysis(const AnalysisResult &R,

@@ -1,46 +1,75 @@
-//===- analyzer/Analyzer.h - Fixpoint driver and results --------*- C++ -*-===//
+//===- analyzer/Analyzer.h - Analysis options and results -------*- C++ -*-===//
 //
 // Part of the AWAM project (PLDI 1992 reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The top-level dataflow analyzer: drives the abstract machine to the
-/// least fixpoint by iterating the entry goal until the extension table
-/// stops changing (the paper's "iterative deepening" over iterations,
-/// Section 2.2), and packages the result for reporting.
+/// Shared vocabulary of the analysis drivers: configuration
+/// (AnalyzerOptions), results (AnalysisResult, PerfCounters), entry-goal
+/// specs (parseEntrySpec), and report formatting. The drivers themselves
+/// live behind the AnalysisSession façade (analyzer/Session.h) — the naive
+/// restart loop of the paper and the dependency-driven worklist scheduler
+/// (analyzer/Scheduler.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AWAM_ANALYZER_ANALYZER_H
 #define AWAM_ANALYZER_ANALYZER_H
 
-#include "analyzer/AbstractMachine.h"
+#include "analyzer/ExtensionTable.h"
+#include "compiler/ProgramCompiler.h"
 
 #include <string>
 #include <vector>
 
 namespace awam {
 
+/// Which fixpoint driver runs the abstract machine.
+enum class DriverKind {
+  /// The paper's loop (Section 2.2): restart the entry goal, re-exploring
+  /// every reachable activation, until an iteration changes nothing.
+  Naive,
+  /// Semi-naive worklist (analyzer/Scheduler.h): re-run exactly the
+  /// activations whose recorded table reads changed. Identical fixpoint,
+  /// far fewer activation replays.
+  Worklist,
+};
+
 /// Analyzer configuration.
 struct AnalyzerOptions {
   int DepthLimit = kDefaultDepthLimit;
+  /// Fixpoint driver. Naive is the paper-faithful ablation baseline.
+  DriverKind Driver = DriverKind::Worklist;
   /// Lookup structure for the extension table. The hashed variant is the
   /// default; the paper's linear list remains available for the ablation
   /// benches (bench/ablation_et, bench/ablation_interning).
   ExtensionTable::Impl TableImpl = ExtensionTable::Impl::HashMap;
   /// Hash-cons patterns and memoize lub/leq by PatternId (the fast path).
   /// Turning this off reproduces the seed analyzer byte-for-byte — the
-  /// "no interning" ablation baseline. The computed fixpoint (table and
-  /// iteration count) is identical either way.
+  /// "no interning" ablation baseline. The computed fixpoint table is
+  /// identical either way.
   bool UseInterning = true;
+  /// Driver budget: naive iterations, or worklist sweeps (the worklist
+  /// analogue of an iteration — see Scheduler.h). Exceeding it yields a
+  /// sound partial table with Converged = false.
   int MaxIterations = 1000;
   uint64_t MaxSteps = 200'000'000;
 };
 
+/// The paper-faithful seed configuration — naive restart loop over a
+/// LinearList table without interning — kept as the ablation baseline.
+inline AnalyzerOptions seedAnalyzerOptions() {
+  AnalyzerOptions O;
+  O.Driver = DriverKind::Naive;
+  O.TableImpl = ExtensionTable::Impl::LinearList;
+  O.UseInterning = false;
+  return O;
+}
+
 /// Hot-path statistics of one analysis run (see DESIGN.md, "Performance
-/// architecture"). All counters are zero when interning is disabled except
-/// ETProbes and Instructions.
+/// architecture"). The interner counters are zero when interning is
+/// disabled; the scheduler counters are zero under the naive driver.
 struct PerfCounters {
   uint64_t InternHits = 0;
   uint64_t InternMisses = 0;      ///< == distinct patterns interned
@@ -51,6 +80,12 @@ struct PerfCounters {
   uint64_t ETProbes = 0;          ///< extension-table lookup probes
   uint64_t Instructions = 0;      ///< abstract WAM instructions executed
   uint64_t DistinctPatterns = 0;  ///< interner size at the fixpoint
+  /// Activation replays: explorations of some entry's clause list, over
+  /// the whole analysis. The driver-comparison metric (the worklist
+  /// scheduler exists to shrink it).
+  uint64_t ActivationRuns = 0;
+  uint64_t SchedulerRuns = 0;     ///< activations launched from the queue
+  uint64_t DepEdges = 0;          ///< dependency edges recorded
 };
 
 /// Final analysis output: the extension table plus statistics.
@@ -62,6 +97,7 @@ struct AnalysisResult {
     std::optional<Pattern> Success;
   };
   std::vector<Item> Items;
+  /// Naive driver: restart iterations run. Worklist driver: sweeps run.
   int Iterations = 0;
   bool Converged = false;
   uint64_t Instructions = 0; ///< abstract WAM instructions executed (Exec)
@@ -72,30 +108,16 @@ struct AnalysisResult {
 /// Builds an entry calling pattern from per-argument simple kinds.
 Pattern makeEntryPattern(const std::vector<PatKind> &ArgKinds);
 
-/// Parses an entry goal specification like "qsort(glist, var, var)" or
-/// "main" into (name, pattern). Recognized argument forms: any, nv, g,
-/// ground, const, atom, int, var, Klist (e.g. glist, anylist), and
-/// integers/atoms as themselves.
+/// Parses an entry goal specification into (name, pattern). Accepted
+/// forms (whitespace is insignificant around the name and arguments):
+///  * "main"                     — arity 0;
+///  * "qsort/3"                  — name/arity shorthand, all-any arguments;
+///  * "qsort(glist, var, var)"   — one form per argument: any, nv,
+///    g/ground, const, atom, int/integer, var, a Klist (e.g. glist,
+///    anylist), or an integer literal.
+/// Errors name the offending argument.
 Result<std::pair<std::string, Pattern>>
 parseEntrySpec(std::string_view Spec);
-
-/// The compiled dataflow analyzer (the paper's system).
-class Analyzer {
-public:
-  Analyzer(const CompiledProgram &Program, AnalyzerOptions Options = {});
-
-  /// Analyzes the program from entry predicate \p Name / arity implied by
-  /// \p Entry. Returns the fixpoint table.
-  Result<AnalysisResult> analyze(std::string_view Name,
-                                 const Pattern &Entry);
-
-  /// Convenience: analyze from a spec string (see parseEntrySpec).
-  Result<AnalysisResult> analyze(std::string_view EntrySpec);
-
-private:
-  const CompiledProgram &Program;
-  AnalyzerOptions Options;
-};
 
 /// Renders the analysis result as a table of calling / success patterns.
 std::string formatAnalysis(const AnalysisResult &R,

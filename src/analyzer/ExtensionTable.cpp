@@ -146,41 +146,3 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, PatternId CallId,
   }
   return E;
 }
-
-void ExtensionTable::recomputeStable() {
-  size_t N = Entries.size();
-  Readers.resize(N);
-  for (std::vector<int32_t> &R : Readers)
-    R.clear();
-  Dirty.assign(N, 0);
-  Work.clear();
-
-  for (ETEntry &E : Entries) {
-    bool D = !E.EverExplored;
-    for (const ETEntry::ClauseDeps &CR : E.Clauses)
-      for (const auto &[Dep, Version] : CR.Deps) {
-        if (Dep->SuccessVersion != Version)
-          D = true;
-        Readers[Dep->Idx].push_back(E.Idx);
-      }
-    if (D) {
-      Dirty[E.Idx] = 1;
-      Work.push_back(E.Idx);
-    }
-  }
-  // Instability propagates to transitive readers; entries on cycles whose
-  // closure is fully current stay stable (the replay argument is
-  // coinductive: every read during the replay sees the recorded value).
-  while (!Work.empty()) {
-    int32_t C = Work.back();
-    Work.pop_back();
-    for (int32_t R : Readers[C])
-      if (!Dirty[R]) {
-        Dirty[R] = 1;
-        Work.push_back(R);
-      }
-  }
-  for (ETEntry &E : Entries)
-    E.Stable = !Dirty[E.Idx];
-  StableComputedAt = VersionEpoch;
-}

@@ -17,6 +17,12 @@
 /// O(1) map lookup — the default fast path of the analyzer. The
 /// structural (pattern-compared) API remains as the ablation baseline.
 ///
+/// The table itself is a passive memo. Scheduling state lives elsewhere:
+/// the naive driver uses the per-iteration Explored flags (reset by
+/// beginIteration), the worklist driver (analyzer/Scheduler.h) keys its
+/// dependency graph on each entry's dense Idx and watches SuccessVersion
+/// to detect stale reads.
+///
 /// Probe accounting (the ablation metric) is defined uniformly across both
 /// variants so their counts are comparable:
 ///  * LinearList: one probe per entry examined by a lookup;
@@ -47,28 +53,21 @@ struct ETEntry {
   std::optional<Pattern> Success;
   PatternId CallId = kInvalidPatternId;
   PatternId SuccessId = kInvalidPatternId;
-  /// Set while / after the entry was explored in the current iteration.
-  bool Explored = false;
-
-  // --- Stable-subtree reuse (interned path only; see subtreeStable) ----
-  /// Position in the entries deque (reverse-edge construction).
+  /// Position in the entries deque: a dense key for per-entry side tables
+  /// (the worklist scheduler's dependency graph) and the creation order
+  /// (which for the naive driver is the DFS first-call order).
   int32_t Idx = -1;
-  /// Bumped every time Success changes (first set included).
-  uint32_t SuccessVersion = 0;
-  /// True once the entry's clauses have been explored in some iteration.
+  /// Naive driver: set while / after the entry was explored in the current
+  /// iteration (reset by beginIteration).
+  bool Explored = false;
+  /// Worklist driver: true once the entry's clauses have been explored by
+  /// some activation run. Such entries answer calls from the memo unless
+  /// the scheduler asks for an inline re-exploration.
   bool EverExplored = false;
-  /// Cached result of the last stability recomputation.
-  bool Stable = false;
-  /// Table reads performed during one clause's last run under this entry:
-  /// each callee entry consulted (memoized or explored inline) with the
-  /// SuccessVersion observed. Re-running the clause is a pure replay
-  /// while every recorded version is current.
-  struct ClauseDeps {
-    bool EverRun = false;
-    std::vector<std::pair<ETEntry *, uint32_t>> Deps;
-  };
-  /// One record per clause of the predicate (sized on first exploration).
-  std::vector<ClauseDeps> Clauses;
+  /// Bumped every time Success changes (the first set included). Readers
+  /// record the version they observed; the scheduler re-enqueues a reader
+  /// when a recorded version is no longer current.
+  uint32_t SuccessVersion = 0;
 };
 
 /// The memo table.
@@ -111,57 +110,20 @@ public:
   ETEntry &findOrCreateByPattern(int32_t PredId, const Pattern &Call,
                                  bool &Created);
 
-  /// Clears the per-iteration Explored flags. Also invalidates the
-  /// stability cache: dependency records rewritten during the previous
-  /// iteration can turn entries stable again, and the version-bump epoch
-  /// alone never notices that (it only tracks the unstable direction).
+  /// Clears the per-iteration Explored flags (naive driver only).
   void beginIteration() {
     for (ETEntry &E : Entries)
       E.Explored = false;
   }
 
-  /// Records that \p E's success pattern changed (invalidates stability).
-  void noteSuccessChanged(ETEntry &E) {
-    ++E.SuccessVersion;
-    ++VersionEpoch;
-  }
-
-  /// True if re-exploring \p E's clauses right now is guaranteed to be an
-  /// exact replay of its last exploration: every entry in E's transitive
-  /// dependency closure still has the success version that exploration
-  /// observed. Such an exploration cannot change the table, so the
-  /// abstract machine answers the call from the memo instead (identical
-  /// fixpoint and iteration count, far less work on late iterations).
-  bool subtreeStable(const ETEntry &E) {
-    if (StableComputedAt != VersionEpoch)
-      recomputeStable();
-    return E.Stable;
-  }
-
-  /// True if re-running the clause described by \p CR is guaranteed to be
-  /// an exact replay of its last run: every summary it read still has the
-  /// recorded version, and that version cannot silently move during the
-  /// replay. The latter holds when the dependency was already explored
-  /// this iteration (a call then takes the memo path and its summary is
-  /// frozen until its own exploration's clause completes — impossible
-  /// while the replayed clause is nested inside it), or when it is
-  /// subtree-stable (an inline exploration would itself be a no-op
-  /// replay). Such a clause run reads exactly what the seed machine would
-  /// read at this program point, so its success contribution is already
-  /// folded into the summary (lub is monotone) and skipping it changes
-  /// nothing — including the iteration count.
-  bool clauseReplayIsNoOp(const ETEntry::ClauseDeps &CR) {
-    if (!CR.EverRun)
-      return false;
-    for (const auto &[Dep, Version] : CR.Deps)
-      if (Dep->SuccessVersion != Version ||
-          !(Dep->Explored || subtreeStable(*Dep)))
-        return false;
-    return true;
-  }
+  /// Records that \p E's success pattern changed.
+  void noteSuccessChanged(ETEntry &E) { ++E.SuccessVersion; }
 
   const std::deque<ETEntry> &entries() const { return Entries; }
   size_t size() const { return Entries.size(); }
+
+  /// The entry with dense index \p Idx (scheduler handle -> entry).
+  ETEntry &entryAt(size_t Idx) { return Entries[Idx]; }
 
   /// Number of lookup probes performed (ablation metric; see file comment
   /// for the per-variant definition).
@@ -178,11 +140,6 @@ private:
                    0x9e3779b97f4a7c15ull);
   }
 
-  /// Recomputes every entry's Stable flag: an entry is unstable if it was
-  /// never explored or any recorded dependency version is outdated, and
-  /// instability propagates to every (transitive) reader.
-  void recomputeStable();
-
   Impl WhichImpl;
   PatternInterner *Interner;
   std::deque<ETEntry> Entries; // stable addresses
@@ -194,13 +151,6 @@ private:
   /// for the fused one-probe call lookup.
   detail::FlatMap64 StructIndex;
   uint64_t Probes = 0;
-  /// Bumped on every success-pattern change; stability caches key on it.
-  uint64_t VersionEpoch = 1;
-  uint64_t StableComputedAt = 0;
-  // Scratch for recomputeStable (kept to avoid per-call allocation).
-  std::vector<std::vector<int32_t>> Readers;
-  std::vector<char> Dirty;
-  std::vector<int32_t> Work;
 };
 
 } // namespace awam

@@ -1,0 +1,127 @@
+//===- analyzer/Scheduler.cpp - Semi-naive worklist evaluation ------------===//
+
+#include "analyzer/Scheduler.h"
+
+#include <cassert>
+
+using namespace awam;
+
+void WorklistScheduler::ensure(size_t N) {
+  if (Readers.size() >= N)
+    return;
+  Readers.resize(N);
+  RunSeq.resize(N, 0);
+  QueuedSweep.resize(N, 0);
+  InQueue.resize(N, 0);
+  LastRunSweep.resize(N, 0);
+}
+
+void WorklistScheduler::enqueue(int32_t Idx, uint64_t Sweep) {
+  ensure(static_cast<size_t>(Idx) + 1);
+  if (InQueue[Idx] && QueuedSweep[Idx] <= Sweep)
+    return; // already queued at least as early
+  InQueue[Idx] = 1;
+  QueuedSweep[Idx] = Sweep;
+  ++S.Enqueues;
+  Heap.emplace(Sweep, Idx);
+}
+
+bool WorklistScheduler::shouldReexplore(const ETEntry &E) {
+  // Re-explore inline only when a run is pending for the current sweep:
+  // that is where the naive driver's DFS would re-explore the entry this
+  // iteration. A run queued for a later sweep stays queued — the naive
+  // driver would answer this call from the memo too.
+  return static_cast<size_t>(E.Idx) < InQueue.size() && InQueue[E.Idx] &&
+         QueuedSweep[E.Idx] <= CurSweep;
+}
+
+void WorklistScheduler::beginActivation(const ETEntry &E) {
+  ensure(static_cast<size_t>(E.Idx) + 1);
+  InQueue[E.Idx] = 0; // any pending run is consumed by this one
+  LastRunSweep[E.Idx] = CurSweep;
+  // Supersede the previous run's reads: it is being redone from scratch,
+  // so its recorded edges no longer describe a live read.
+  ++RunSeq[E.Idx];
+}
+
+void WorklistScheduler::noteRead(const ETEntry &Reader, const ETEntry &Dep,
+                                 uint32_t VersionSeen) {
+  ensure(static_cast<size_t>(Dep.Idx) + 1);
+  std::vector<Edge> &Vec = Readers[Dep.Idx];
+  // A clause body often reads the same summary several times in a row
+  // (one call per clause trial); collapse trivially repeated edges.
+  if (!Vec.empty() && Vec.back().Reader == Reader.Idx &&
+      Vec.back().ReaderRun == RunSeq[Reader.Idx] &&
+      Vec.back().VersionSeen == VersionSeen)
+    return;
+  Vec.push_back({Reader.Idx, RunSeq[Reader.Idx], VersionSeen});
+  ++S.EdgesRecorded;
+}
+
+void WorklistScheduler::noteChanged(const ETEntry &E) {
+  ensure(static_cast<size_t>(E.Idx) + 1);
+  std::vector<Edge> &Vec = Readers[E.Idx];
+  for (size_t I = 0; I < Vec.size();) {
+    const Edge &Ed = Vec[I];
+    if (RunSeq[Ed.Reader] != Ed.ReaderRun) {
+      // Superseded: the reader re-ran since this edge was recorded.
+      Vec[I] = Vec.back();
+      Vec.pop_back();
+      ++S.EdgesRetired;
+      continue;
+    }
+    if (Ed.VersionSeen != E.SuccessVersion) {
+      // Stale read. A reader positioned after the change that has not run
+      // this sweep still gets its turn in the current sweep (the naive
+      // DFS would reach it after the update); anything else waits for the
+      // next sweep, like a naive restart.
+      uint64_t Target =
+          (LastRunSweep[Ed.Reader] == CurSweep || Ed.Reader <= E.Idx)
+              ? CurSweep + 1
+              : CurSweep;
+      enqueue(Ed.Reader, Target);
+      // The re-run re-reads and re-records; drop the consumed edge.
+      Vec[I] = Vec.back();
+      Vec.pop_back();
+      ++S.EdgesRetired;
+      continue;
+    }
+    ++I;
+  }
+}
+
+WorklistScheduler::Status WorklistScheduler::run(ETEntry &Root,
+                                                 int MaxSweeps) {
+  assert(Root.Idx >= 0 && "root entry must live in the table");
+  Machine.setDependencySink(this);
+  CurSweep = 1;
+  Status Out = Status::Converged;
+  if (MaxSweeps < 1) {
+    Out = Status::BudgetHit;
+  } else {
+    ensure(Table.size());
+    enqueue(Root.Idx, CurSweep);
+    while (!Heap.empty()) {
+      auto [Sweep, Idx] = Heap.top();
+      Heap.pop();
+      if (!InQueue[Idx] || QueuedSweep[Idx] != Sweep)
+        continue; // consumed inline or re-queued; lazy deletion
+      if (Sweep > CurSweep) {
+        if (Sweep > static_cast<uint64_t>(MaxSweeps)) {
+          Out = Status::BudgetHit;
+          break;
+        }
+        CurSweep = Sweep;
+      }
+      ++S.Runs;
+      if (Machine.runActivation(Table.entryAt(static_cast<size_t>(Idx))) ==
+          AbsRunStatus::Error) {
+        Out = Status::Error;
+        break;
+      }
+    }
+  }
+  S.Sweeps = MaxSweeps < 1 ? 0 : CurSweep; // sweeps actually executed
+  Machine.setDependencySink(nullptr);
+  return Out;
+}

@@ -1,0 +1,133 @@
+//===- analyzer/Scheduler.h - Dependency-driven worklist driver -*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worklist fixpoint driver. Where the paper's naive loop (and our
+/// DriverKind::Naive) restarts the entry goal and re-explores every
+/// reachable activation each iteration, this scheduler owns an explicit
+/// reverse-dependency graph over extension-table entries and re-runs only
+/// the activations whose recorded table reads changed — semi-naive
+/// evaluation in the style of generic Prolog abstract-interpretation
+/// fixpoint engines (Le Charlier / Van Hentenryck).
+///
+/// The scheduler is the machine's DependencySink: every memo read is
+/// recorded as an edge (Reader, RunSeq, VersionSeen) on the dependency's
+/// reader list, and every summary change scans that list, re-enqueueing
+/// readers whose recorded version went stale. Edges are invalidated
+/// lazily: an edge whose RunSeq no longer matches its reader's current
+/// run sequence belongs to a superseded run of the reader (which re-reads
+/// and re-records everything when it re-runs) and is retired on sight.
+///
+/// Scheduling order deliberately mirrors the naive driver so both compute
+/// not just the same least fixpoint of the summaries but the *identical
+/// table* (the same set of calling patterns — chaotic iteration makes the
+/// summaries order-insensitive, but which intermediate calling patterns
+/// arise is order-sensitive):
+///
+///  * runs are grouped into sweeps, the worklist analogue of the naive
+///    iterations, and drained in creation order (ETEntry::Idx) within a
+///    sweep — the naive DFS's first-call order;
+///  * a call to an entry with a pending run in the current sweep
+///    re-explores it inline at the call site (shouldReexplore), exactly
+///    where the naive DFS would, so nested update visibility matches;
+///  * a reader invalidated "behind the cursor" (its sweep position is at
+///    or before the change, or it already ran this sweep) is deferred to
+///    the next sweep, matching the naive driver, which only re-reads on
+///    the next restart of the entry goal.
+///
+/// Invariants:
+///  * an activation runs at most once per sweep;
+///  * every run of an activation bumps its RunSeq, retiring all edges its
+///    previous run recorded;
+///  * an edge's VersionSeen equals the dependency's SuccessVersion at
+///    read time; a mismatch at change time means the reader consumed a
+///    summary that has since grown and must re-run;
+///  * an entry is enqueued for at most one sweep at a time (the earliest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_SCHEDULER_H
+#define AWAM_ANALYZER_SCHEDULER_H
+
+#include "analyzer/AbstractMachine.h"
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace awam {
+
+/// Semi-naive worklist driver over the extension table (DriverKind::
+/// Worklist). One instance drives one analysis run to its fixpoint.
+class WorklistScheduler final : public DependencySink {
+public:
+  struct Stats {
+    uint64_t Sweeps = 0;       ///< sweeps executed (naive-iteration analogue)
+    uint64_t Runs = 0;         ///< activations launched from the queue
+    uint64_t Enqueues = 0;     ///< re-enqueue requests accepted
+    uint64_t EdgesRecorded = 0;///< dependency edges recorded
+    uint64_t EdgesRetired = 0; ///< edges dropped as superseded or consumed
+  };
+
+  enum class Status {
+    Converged, ///< worklist drained: least fixpoint reached
+    BudgetHit, ///< sweep budget exhausted; table is a sound partial result
+    Error,     ///< the machine reported an error (message on the machine)
+  };
+
+  WorklistScheduler(ExtensionTable &Table, AbstractMachine &Machine)
+      : Table(Table), Machine(Machine) {}
+
+  /// Drains the worklist starting from \p Root's activation, running at
+  /// most \p MaxSweeps sweeps. Installs itself as the machine's
+  /// dependency sink for the duration.
+  Status run(ETEntry &Root, int MaxSweeps);
+
+  const Stats &stats() const { return S; }
+
+  // --- DependencySink (called by the machine during activation runs) ---
+  bool shouldReexplore(const ETEntry &E) override;
+  void beginActivation(const ETEntry &E) override;
+  void noteRead(const ETEntry &Reader, const ETEntry &Dep,
+                uint32_t VersionSeen) override;
+  void noteChanged(const ETEntry &E) override;
+
+private:
+  /// One recorded memo read of a dependency's summary.
+  struct Edge {
+    int32_t Reader;      ///< reading entry (ETEntry::Idx)
+    uint32_t ReaderRun;  ///< reader's RunSeq when the edge was recorded
+    uint32_t VersionSeen;///< dependency's SuccessVersion at read time
+  };
+
+  /// Grows the per-entry side tables to cover \p N entries.
+  void ensure(size_t N);
+  /// Schedules entry \p Idx to run in \p Sweep (keeps the earliest if
+  /// already queued).
+  void enqueue(int32_t Idx, uint64_t Sweep);
+
+  ExtensionTable &Table;
+  AbstractMachine &Machine;
+
+  // Per-entry state, indexed by ETEntry::Idx.
+  std::vector<std::vector<Edge>> Readers; ///< reverse-dependency edges
+  std::vector<uint32_t> RunSeq;           ///< bumped per run (edge validity)
+  std::vector<uint64_t> QueuedSweep;      ///< target sweep while InQueue
+  std::vector<char> InQueue;
+  std::vector<uint64_t> LastRunSweep;     ///< sweep of the last run (0 = never)
+
+  /// Min-heap of (sweep, Idx) with lazy deletion: a popped node is live
+  /// only if the entry is still queued for exactly that sweep.
+  using QNode = std::pair<uint64_t, int32_t>;
+  std::priority_queue<QNode, std::vector<QNode>, std::greater<QNode>> Heap;
+
+  uint64_t CurSweep = 1;
+  Stats S;
+};
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_SCHEDULER_H

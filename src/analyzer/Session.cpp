@@ -1,0 +1,114 @@
+//===- analyzer/Session.cpp - Driver wiring -------------------------------===//
+
+#include "analyzer/Session.h"
+
+using namespace awam;
+
+AnalysisSession::AnalysisSession(const CompiledProgram &Program,
+                                 AnalyzerOptions Options)
+    : Program(&Program), Options(Options) {}
+
+AnalysisSession::AnalysisSession(std::unique_ptr<Backend> Custom,
+                                 AnalyzerOptions Options)
+    : Custom(std::move(Custom)), Options(Options) {}
+
+AnalysisSession::AnalysisSession(AnalysisSession &&) noexcept = default;
+AnalysisSession &
+AnalysisSession::operator=(AnalysisSession &&) noexcept = default;
+AnalysisSession::~AnalysisSession() = default;
+
+const WorklistScheduler::Stats *AnalysisSession::schedulerStats() const {
+  return Scheduler ? &Scheduler->stats() : nullptr;
+}
+
+Result<AnalysisResult> AnalysisSession::analyze(std::string_view EntrySpec) {
+  Result<std::pair<std::string, Pattern>> Parsed = parseEntrySpec(EntrySpec);
+  if (!Parsed)
+    return Parsed.diag();
+  return analyze(Parsed->first, Parsed->second);
+}
+
+Result<AnalysisResult> AnalysisSession::analyze(std::string_view Name,
+                                                const Pattern &Entry) {
+  if (Custom)
+    return Custom->analyze(Name, Entry);
+  return analyzeCompiled(Name, Entry);
+}
+
+Result<AnalysisResult>
+AnalysisSession::analyzeCompiled(std::string_view Name,
+                                 const Pattern &Entry) {
+  CodeModule &M = *Program->Module;
+  Symbol Sym = M.symbols().lookup(Name);
+  int Arity = static_cast<int>(Entry.Roots.size());
+  int32_t Pid = Sym == ~0u ? -1 : M.findPredicate(Sym, Arity);
+  if (Pid < 0)
+    return makeError("entry predicate " + std::string(Name) + "/" +
+                     std::to_string(Arity) + " is not defined");
+
+  // Fresh run state: each analyze() computes its fixpoint from scratch.
+  Interner.reset();
+  Scheduler.reset();
+  if (Options.UseInterning)
+    Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
+  Table = std::make_unique<ExtensionTable>(Options.TableImpl,
+                                           Interner.get());
+  AbsMachineOptions MachineOptions;
+  MachineOptions.DepthLimit = Options.DepthLimit;
+  MachineOptions.MaxSteps = Options.MaxSteps;
+  Machine = std::make_unique<AbstractMachine>(*Program, *Table,
+                                              MachineOptions);
+
+  AnalysisResult R;
+  if (Options.Driver == DriverKind::Naive) {
+    for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
+      AbsRunStatus Status = Machine->runIteration(Pid, Entry);
+      ++R.Iterations;
+      if (Status == AbsRunStatus::Error)
+        return makeError("abstract machine error: " +
+                         Machine->errorMessage());
+      if (!Machine->changedSinceLastRun()) {
+        R.Converged = true;
+        break;
+      }
+    }
+  } else {
+    // Worklist driver: create the entry activation, then let the
+    // scheduler drain the dependency-directed queue.
+    bool Created = false;
+    ETEntry &Root =
+        Interner ? Table->findOrCreate(
+                       Pid, Interner->internNormalized(Entry), Created)
+                 : Table->findOrCreate(Pid, Entry, Created);
+    Scheduler = std::make_unique<WorklistScheduler>(*Table, *Machine);
+    WorklistScheduler::Status Status =
+        Scheduler->run(Root, Options.MaxIterations);
+    if (Status == WorklistScheduler::Status::Error)
+      return makeError("abstract machine error: " +
+                       Machine->errorMessage());
+    R.Converged = Status == WorklistScheduler::Status::Converged;
+    R.Iterations = static_cast<int>(Scheduler->stats().Sweeps);
+    R.Counters.SchedulerRuns = Scheduler->stats().Runs;
+    R.Counters.DepEdges = Scheduler->stats().EdgesRecorded;
+  }
+
+  R.Instructions = Machine->stepsExecuted();
+  R.TableProbes = Table->probeCount();
+  R.Counters.Instructions = R.Instructions;
+  R.Counters.ETProbes = R.TableProbes;
+  R.Counters.ActivationRuns = Machine->activationsExplored();
+  if (Interner) {
+    const InternerStats &IS = Interner->stats();
+    R.Counters.InternHits = IS.InternHits;
+    R.Counters.InternMisses = IS.InternMisses;
+    R.Counters.LubCacheHits = IS.LubCacheHits;
+    R.Counters.LubCacheMisses = IS.LubCacheMisses;
+    R.Counters.LeqCacheHits = IS.LeqCacheHits;
+    R.Counters.LeqCacheMisses = IS.LeqCacheMisses;
+    R.Counters.DistinctPatterns = Interner->size();
+  }
+  for (const ETEntry &E : Table->entries())
+    R.Items.push_back(
+        {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
+  return R;
+}

@@ -1,0 +1,102 @@
+//===- analyzer/Session.h - Analysis session façade -------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single entry point of the analyzer. An AnalysisSession owns the
+/// pieces one analysis run wires together — compiled program, pattern
+/// interner, extension table, abstract machine, fixpoint driver, counters,
+/// options — and exposes the two-line API every client (bench/, tests/,
+/// examples/) uses:
+///
+///   AnalysisSession S(Compiled);            // or (Compiled, Options)
+///   Result<AnalysisResult> R = S.analyze("qsort(glist, var, var)");
+///
+/// Which fixpoint driver runs is an option (AnalyzerOptions::Driver): the
+/// paper's naive restart loop, or the dependency-driven worklist scheduler
+/// (the default; see analyzer/Scheduler.h). Both compute the identical
+/// extension-table fixpoint.
+///
+/// Alternative analyzers plug in through the Backend interface — the
+/// meta-interpreting baseline wraps itself as one (see
+/// baseline/MetaAnalyzer.h, makeBaselineSession) so cross-validation runs
+/// both analyzers through this same façade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_SESSION_H
+#define AWAM_ANALYZER_SESSION_H
+
+#include "analyzer/Analyzer.h"
+#include "analyzer/Scheduler.h"
+
+#include <memory>
+
+namespace awam {
+
+/// One analysis setup over a program; analyze() may be called repeatedly
+/// (each call computes a fresh fixpoint).
+class AnalysisSession {
+public:
+  /// A pluggable analysis engine. The compiled abstract machine is the
+  /// built-in one; baseline analyzers adapt themselves to this interface
+  /// so every client drives them through the same façade.
+  class Backend {
+  public:
+    virtual ~Backend() = default;
+    virtual Result<AnalysisResult> analyze(std::string_view Name,
+                                           const Pattern &Entry) = 0;
+  };
+
+  /// Session over the compiled abstract machine (the paper's system).
+  explicit AnalysisSession(const CompiledProgram &Program,
+                           AnalyzerOptions Options = {});
+
+  /// Session over a custom backend (see baseline/MetaAnalyzer.h,
+  /// makeBaselineSession).
+  explicit AnalysisSession(std::unique_ptr<Backend> Custom,
+                           AnalyzerOptions Options = {});
+
+  AnalysisSession(AnalysisSession &&) noexcept;
+  AnalysisSession &operator=(AnalysisSession &&) noexcept;
+  ~AnalysisSession();
+
+  /// Analyzes from entry predicate \p Name with calling pattern \p Entry
+  /// (arity = Entry's root count). Returns the fixpoint table.
+  Result<AnalysisResult> analyze(std::string_view Name,
+                                 const Pattern &Entry);
+
+  /// Analyzes from a spec string; both overloads share this one parse and
+  /// entry-resolution path (see parseEntrySpec for the accepted forms).
+  Result<AnalysisResult> analyze(std::string_view EntrySpec);
+
+  const AnalyzerOptions &options() const { return Options; }
+
+  /// The extension table of the most recent analyze() over the compiled
+  /// machine (nullptr before the first run or on a custom backend).
+  const ExtensionTable *table() const { return Table.get(); }
+
+  /// Scheduler statistics of the most recent worklist run (nullptr under
+  /// the naive driver or a custom backend).
+  const WorklistScheduler::Stats *schedulerStats() const;
+
+private:
+  Result<AnalysisResult> analyzeCompiled(std::string_view Name,
+                                         const Pattern &Entry);
+
+  const CompiledProgram *Program = nullptr;
+  std::unique_ptr<Backend> Custom;
+  AnalyzerOptions Options;
+
+  // Rebuilt per analyze() call; kept alive for post-run inspection.
+  std::unique_ptr<PatternInterner> Interner;
+  std::unique_ptr<ExtensionTable> Table;
+  std::unique_ptr<AbstractMachine> Machine;
+  std::unique_ptr<WorklistScheduler> Scheduler;
+};
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_SESSION_H

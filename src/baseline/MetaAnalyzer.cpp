@@ -52,6 +52,7 @@ bool MetaAnalyzer::analyzeCall(int PredIdx, const std::vector<Cell> &Args) {
   if (Entry.Explored)
     return returnViaTable();
   Entry.Explored = true;
+  ++Activations;
 
   int64_t TrailMark = St.trailMark();
   int64_t HeapMark = St.heapTop();
@@ -164,6 +165,7 @@ Result<AnalysisResult> MetaAnalyzer::analyze(std::string_view Name,
                      std::to_string(Arity) + " is not defined");
 
   Table = ExtensionTable(Options.TableImpl);
+  Activations = 0;
   AnalysisResult R;
   uint64_t TotalReductions = 0;
   for (int Iter = 0; Iter != Options.MaxIterations; ++Iter) {
@@ -181,6 +183,9 @@ Result<AnalysisResult> MetaAnalyzer::analyze(std::string_view Name,
   Reductions = TotalReductions;
   R.Instructions = TotalReductions;
   R.TableProbes = Table.probeCount();
+  R.Counters.Instructions = R.Instructions;
+  R.Counters.ETProbes = R.TableProbes;
+  R.Counters.ActivationRuns = Activations;
   for (const ETEntry &E : Table.entries())
     R.Items.push_back({-1, Preds[E.PredId].Label, E.Call, E.Success});
   return R;
@@ -191,4 +196,30 @@ Result<AnalysisResult> MetaAnalyzer::analyze(std::string_view EntrySpec) {
   if (!Parsed)
     return Parsed.diag();
   return analyze(Parsed->first, Parsed->second);
+}
+
+namespace {
+/// The baseline as a session backend (see makeBaselineSession).
+class MetaBackend final : public AnalysisSession::Backend {
+public:
+  MetaBackend(const ParsedProgram &Program, SymbolTable &Syms,
+              AnalyzerOptions Options)
+      : Meta(Program, Syms, Options) {}
+
+  Result<AnalysisResult> analyze(std::string_view Name,
+                                 const Pattern &Entry) override {
+    return Meta.analyze(Name, Entry);
+  }
+
+private:
+  MetaAnalyzer Meta;
+};
+} // namespace
+
+AnalysisSession awam::makeBaselineSession(const ParsedProgram &Program,
+                                          SymbolTable &Syms,
+                                          AnalyzerOptions Options) {
+  return AnalysisSession(std::make_unique<MetaBackend>(Program, Syms,
+                                                       Options),
+                         Options);
 }

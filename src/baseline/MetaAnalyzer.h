@@ -26,7 +26,7 @@
 #ifndef AWAM_BASELINE_METAANALYZER_H
 #define AWAM_BASELINE_METAANALYZER_H
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "term/Parser.h"
 
 namespace awam {
@@ -49,6 +49,10 @@ public:
 
   /// Number of goal reductions performed (all iterations).
   uint64_t reductions() const { return Reductions; }
+
+  /// Activation replays performed (all iterations) — comparable to the
+  /// compiled machine's activationsExplored().
+  uint64_t activations() const { return Activations; }
 
 private:
   struct PredClauses {
@@ -74,8 +78,17 @@ private:
   bool Changed = false;
   bool BudgetExceeded = false;
   uint64_t Reductions = 0;
+  uint64_t Activations = 0;
   uint64_t IterationBudget = 0;
 };
+
+/// Wraps the meta-interpreting baseline as an AnalysisSession so every
+/// client drives both analyzers through the same façade. The referenced
+/// program and symbol table must outlive the session. The Driver option
+/// is ignored — the baseline is inherently the naive restart loop.
+AnalysisSession makeBaselineSession(const ParsedProgram &Program,
+                                    SymbolTable &Syms,
+                                    AnalyzerOptions Options = {});
 
 } // namespace awam
 

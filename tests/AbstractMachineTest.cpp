@@ -7,7 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/AbstractMachine.h"
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -127,7 +127,7 @@ TEST_F(AbstractMachineTest, TraceShowsControlProtocol) {
 
 TEST_F(AbstractMachineTest, EntrySpecErrors) {
   compile("p(a).");
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   EXPECT_FALSE(A.analyze("missing(var)"));
   EXPECT_FALSE(A.analyze("p(var, var)")); // wrong arity
   EXPECT_FALSE(A.analyze("p(banana)"));   // unknown kind
@@ -156,6 +156,52 @@ TEST_F(AbstractMachineTest, ParseEntrySpecForms) {
   EXPECT_TRUE(parseEntrySpec("main"));
   EXPECT_FALSE(parseEntrySpec("f(unknownkind)"));
   EXPECT_FALSE(parseEntrySpec("(g)"));
+}
+
+TEST_F(AbstractMachineTest, ParseEntrySpecWhitespaceAndArity) {
+  // Whitespace around the name, the arguments, and the whole spec.
+  Result<std::pair<std::string, Pattern>> S =
+      parseEntrySpec("  p ( g , var ) ");
+  ASSERT_TRUE(S) << S.diag().str();
+  EXPECT_EQ(S->first, "p");
+  ASSERT_EQ(S->second.Roots.size(), 2u);
+  EXPECT_EQ(S->second.Nodes[S->second.Roots[0]].K, PatKind::GroundP);
+  EXPECT_EQ(S->second.Nodes[S->second.Roots[1]].K, PatKind::VarP);
+
+  // Missing-arity shorthand: name/arity means all-any arguments.
+  Result<std::pair<std::string, Pattern>> T = parseEntrySpec("qsort/3");
+  ASSERT_TRUE(T) << T.diag().str();
+  EXPECT_EQ(T->first, "qsort");
+  ASSERT_EQ(T->second.Roots.size(), 3u);
+  EXPECT_EQ(T->second.Nodes[T->second.Roots[2]].K, PatKind::AnyP);
+
+  // An empty (even blank) argument list is arity 0.
+  Result<std::pair<std::string, Pattern>> Z = parseEntrySpec("main( )");
+  ASSERT_TRUE(Z) << Z.diag().str();
+  EXPECT_EQ(Z->second.Roots.size(), 0u);
+
+  // Negative integer literals parse as themselves.
+  Result<std::pair<std::string, Pattern>> Neg = parseEntrySpec("f(-12)");
+  ASSERT_TRUE(Neg) << Neg.diag().str();
+  EXPECT_EQ(Neg->second.Nodes[Neg->second.Roots[0]].Num, -12);
+}
+
+TEST_F(AbstractMachineTest, ParseEntrySpecDescriptiveErrors) {
+  auto expectError = [](std::string_view Spec, std::string_view Needle) {
+    Result<std::pair<std::string, Pattern>> R = parseEntrySpec(Spec);
+    ASSERT_FALSE(R) << "'" << Spec << "' parsed unexpectedly";
+    EXPECT_NE(R.diag().str().find(Needle), std::string::npos)
+        << "'" << Spec << "' error was: " << R.diag().str();
+  };
+  expectError("", "empty");
+  expectError("p(g,)", "argument 2");
+  expectError("p(-a)", "argument 1"); // previously crashed in std::stoll
+  expectError("p q(g)", "whitespace");
+  expectError("p(var", "missing ')'");
+  expectError("foo/x", "arity");
+  expectError("foo/-1", "arity");
+  expectError("p(f(g))", "nested");
+  expectError("p(99999999999999999999)", "argument 1"); // would overflow
 }
 
 } // namespace

@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 
 #include <gtest/gtest.h>
 
@@ -24,7 +24,7 @@ protected:
   /// Runs the analyzer; fails the test on analysis error.
   AnalysisResult analyze(std::string_view EntrySpec,
                          AnalyzerOptions Options = {}) {
-    Analyzer A(*Program, Options);
+    AnalysisSession A(*Program, Options);
     Result<AnalysisResult> R = A.analyze(EntrySpec);
     EXPECT_TRUE(R) << R.diag().str();
     return R ? R.take() : AnalysisResult{};
@@ -241,7 +241,15 @@ TEST_F(AnalyzerTest, ExecCountsAccumulate) {
   compile("p(a).");
   AnalysisResult R = analyze("p(var)");
   EXPECT_GT(R.Instructions, 0u);
-  EXPECT_GE(R.Iterations, 2); // at least one change + one quiescent run
+  EXPECT_GE(R.Iterations, 1);
+  EXPECT_GT(R.Counters.ActivationRuns, 0u);
+
+  // The naive driver needs a final quiescent restart to prove the
+  // fixpoint (at least one change + one no-change iteration); the
+  // worklist driver proves it by draining the queue and replays less.
+  AnalysisResult RN = analyze("p(var)", seedAnalyzerOptions());
+  EXPECT_GE(RN.Iterations, 2);
+  EXPECT_GT(RN.Counters.ActivationRuns, R.Counters.ActivationRuns);
 }
 
 } // namespace

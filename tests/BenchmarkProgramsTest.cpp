@@ -47,7 +47,7 @@ TEST_P(BenchmarkProgramsTest, AnalyzesToFixpoint) {
   Result<CompiledProgram> P = compileSource(bench().Source, Syms, Arena);
   ASSERT_TRUE(P) << P.diag().str();
 
-  Analyzer A(*P);
+  AnalysisSession A(*P);
   Result<AnalysisResult> R = A.analyze(bench().EntrySpec);
   ASSERT_TRUE(R) << R.diag().str();
   EXPECT_TRUE(R->Converged) << bench().Name;
@@ -69,11 +69,11 @@ TEST_P(BenchmarkProgramsTest, BaselineAgreesWithCompiledAnalyzer) {
   Result<CompiledProgram> Compiled = compileProgram(*Parsed, Syms);
   ASSERT_TRUE(Compiled) << Compiled.diag().str();
 
-  Analyzer A(*Compiled);
+  AnalysisSession A(*Compiled);
   Result<AnalysisResult> RC = A.analyze(bench().EntrySpec);
   ASSERT_TRUE(RC) << RC.diag().str();
 
-  MetaAnalyzer B(*Parsed, Syms);
+  AnalysisSession B = makeBaselineSession(*Parsed, Syms);
   Result<AnalysisResult> RB = B.analyze(bench().EntrySpec);
   ASSERT_TRUE(RB) << RB.diag().str();
 

@@ -7,7 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "baseline/MetaAnalyzer.h"
 
 #include <gtest/gtest.h>
@@ -29,11 +29,11 @@ protected:
     Result<CompiledProgram> Compiled = compileProgram(*Parsed, Syms);
     ASSERT_TRUE(Compiled) << Compiled.diag().str();
 
-    Analyzer CompiledAnalyzer(*Compiled);
+    AnalysisSession CompiledAnalyzer(*Compiled);
     Result<AnalysisResult> RC = CompiledAnalyzer.analyze(EntrySpec);
     ASSERT_TRUE(RC) << RC.diag().str();
 
-    MetaAnalyzer Baseline(*Parsed, Syms);
+    AnalysisSession Baseline = makeBaselineSession(*Parsed, Syms);
     Result<AnalysisResult> RB = Baseline.analyze(EntrySpec);
     ASSERT_TRUE(RB) << RB.diag().str();
 

@@ -6,7 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "term/TermWriter.h"
 #include "wam/Machine.h"
 
@@ -118,7 +118,7 @@ TEST_F(DesugarTest, NestedControl) {
 
 TEST_F(DesugarTest, AnalyzerHandlesDesugaredControl) {
   compile("sign(X, S) :- (X >= 0 -> S = nonneg ; S = neg).");
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   Result<AnalysisResult> R = A.analyze("sign(int, var)");
   ASSERT_TRUE(R) << R.diag().str();
   for (const AnalysisResult::Item &I : R->Items)

@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "baseline/MetaAnalyzer.h"
 #include "RandomProgramGen.h"
 
@@ -44,11 +44,11 @@ TEST_P(FuzzAgreementTest, CompiledAndBaselineAgree) {
     Pattern Entry = makeEntryPattern(
         std::vector<PatKind>(Arity, PatKind::AnyP));
 
-    Analyzer A(*Compiled);
+    AnalysisSession A(*Compiled);
     Result<AnalysisResult> RC = A.analyze(Name, Entry);
     ASSERT_TRUE(RC) << Name << ": " << RC.diag().str();
 
-    MetaAnalyzer B(*Parsed, Syms);
+    AnalysisSession B = makeBaselineSession(*Parsed, Syms);
     Result<AnalysisResult> RB = B.analyze(Name, Entry);
     ASSERT_TRUE(RB) << Name << ": " << RB.diag().str();
 

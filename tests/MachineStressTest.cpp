@@ -6,7 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "term/TermWriter.h"
 #include "wam/Machine.h"
 
@@ -191,7 +191,7 @@ TEST_F(MachineStressTest, ReachabilityReportFindsDeadCode) {
   compile("main :- used(1).\n"
           "used(_).\n"
           "never(_) :- used(2).\n");
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   Result<AnalysisResult> R = A.analyze("main");
   ASSERT_TRUE(R) << R.diag().str();
   std::string Report = formatReachability(*R, *Program);
@@ -204,7 +204,7 @@ TEST_F(MachineStressTest, ReachabilityReportFindsDeadCode) {
 TEST_F(MachineStressTest, ReachabilityReportNeverSucceeds) {
   compile("main :- broken(_).\n"
           "broken(X) :- integer(X), atom(X).");
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   Result<AnalysisResult> R = A.analyze("main");
   ASSERT_TRUE(R) << R.diag().str();
   std::string Report = formatReachability(*R, *Program);

@@ -7,7 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "analyzer/PatternInterner.h"
 #include "RandomProgramGen.h"
 
@@ -104,7 +104,7 @@ std::vector<Pattern> analysisPatterns(unsigned Seed) {
     if (Name.starts_with("$"))
       continue;
     int Arity = C.Head->isStruct() ? C.Head->arity() : 0;
-    Analyzer A(*Compiled);
+    AnalysisSession A(*Compiled);
     Result<AnalysisResult> R = A.analyze(
         Name, makeEntryPattern(std::vector<PatKind>(Arity, PatKind::AnyP)));
     if (!R)

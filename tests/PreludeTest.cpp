@@ -5,7 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "programs/Prelude.h"
 #include "term/TermWriter.h"
 #include "wam/Machine.h"
@@ -132,7 +132,7 @@ TEST_F(PreludeTest, Permutation) {
 }
 
 TEST_F(PreludeTest, AnalyzesCleanly) {
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   Result<AnalysisResult> R = A.analyze("reverse(glist, var)");
   ASSERT_TRUE(R) << R.diag().str();
   EXPECT_TRUE(R->Converged);

@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Analyzer.h"
+#include "analyzer/Session.h"
 #include "wam/Machine.h"
 
 #include <gtest/gtest.h>
@@ -80,7 +80,7 @@ TEST_P(SoundnessTest, ConcreteSolutionsContainedInSuccessPattern) {
   ASSERT_TRUE(Program) << Program.diag().str();
 
   // Analyze.
-  Analyzer A(*Program);
+  AnalysisSession A(*Program);
   Result<AnalysisResult> R = A.analyze(S.EntrySpec);
   ASSERT_TRUE(R) << R.diag().str();
   Result<std::pair<std::string, Pattern>> Spec =
