@@ -1,0 +1,219 @@
+//===- bench/ablation_parallel.cpp - Parallel driver thread sweep ---------===//
+//
+// Measures the speculative parallel worklist driver against the
+// sequential one across a 1/2/4/8-thread sweep on every Table 1 program.
+//
+// The parallel driver's contract is that parallelism is *observationally
+// free*: the extension table, entry creation order, and every
+// committed-work counter are byte-identical at every thread count. The
+// bench verifies that (diffing the full formatted analysis report)
+// before timing and exits nonzero on any divergence — the same check the
+// CI determinism gate performs via examples/analyze_file.
+//
+// Timing protocol: per thread count, the session (and its thread pool)
+// is created once and reused across analyze() calls — pool spawn costs
+// ~100us+ which would otherwise dwarf these sub-millisecond analyses —
+// and the fastest of several alternating rounds is kept, as in the other
+// ablations. Speedup is wall-clock of 1 thread over N threads.
+//
+// NOTE on hosts: speedup columns are only meaningful on multi-core
+// machines. The JSON records "host_cpus" so a 1-CPU container run (where
+// speculation adds overhead and speedup <= 1 is expected) is not misread
+// as a regression. The speculation columns (batches, commit rate) are
+// machine-independent evidence that the driver actually overlaps work.
+//
+// Output: a human-readable table on stdout and BENCH_parallel.json in
+// the current directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace awam;
+using namespace awam::bench;
+
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+struct SweepPoint {
+  double Ms = 0;
+  double SpeedUp = 0; ///< 1-thread ms / this ms
+  uint64_t Batches = 0, Speculated = 0, Committed = 0, Discarded = 0;
+};
+
+struct RowOut {
+  std::string Name;
+  SweepPoint Points[4];
+  int Sweeps = 0;
+  uint64_t Runs = 0; ///< scheduler replays (identical at every N)
+  size_t Entries = 0;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double MinTotalMs = argc > 1 ? std::atof(argv[1]) : 400.0;
+  unsigned HostCpus = std::thread::hardware_concurrency();
+
+  std::printf("Ablation A5: speculative parallel worklist driver\n");
+  std::printf("host cpus: %u  (speedups need >1; the table is "
+              "byte-identical at every thread count regardless)\n\n",
+              HostCpus);
+
+  TextTable T({"Benchmark", "1t(ms)", "2t(ms)", "4t(ms)", "8t(ms)",
+               "speedup 2/4/8", "commit% 2/4/8", "batches@4", "runs",
+               "entries"});
+
+  std::vector<RowOut> Rows;
+  int Divergences = 0;
+  double LogSum4 = 0;
+
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    PreparedBenchmark P = prepare(B);
+
+    RowOut Row;
+    Row.Name = std::string(B.Name);
+
+    // Determinism gate first: the full formatted report (table in
+    // creation order + iteration/instruction counters) must be
+    // byte-identical across the whole sweep.
+    std::string Reference;
+    bool Diverged = false;
+    for (int TI = 0; TI != 4; ++TI) {
+      AnalyzerOptions O;
+      O.NumThreads = kThreadCounts[TI];
+      AnalysisSession A(*P.Compiled, O);
+      Result<AnalysisResult> R = A.analyze(B.EntrySpec);
+      if (!R) {
+        std::fprintf(stderr, "%s: analysis error at %d threads: %s\n",
+                     Row.Name.c_str(), kThreadCounts[TI],
+                     R.diag().str().c_str());
+        return 1;
+      }
+      std::string Report = formatAnalysis(*R, *P.Syms);
+      if (TI == 0) {
+        Reference = Report;
+        Row.Sweeps = R->Iterations;
+        Row.Runs = R->Counters.SchedulerRuns;
+        Row.Entries = R->Items.size();
+      } else if (Report != Reference) {
+        std::fprintf(stderr,
+                     "%s: TABLE DIVERGENCE at %d threads vs 1 thread\n",
+                     Row.Name.c_str(), kThreadCounts[TI]);
+        Diverged = true;
+      }
+      Row.Points[TI].Batches = R->Counters.SpecBatches;
+      Row.Points[TI].Speculated = R->Counters.SpecRuns;
+      Row.Points[TI].Committed = R->Counters.SpecCommitted;
+      Row.Points[TI].Discarded = R->Counters.SpecDiscarded;
+    }
+    if (Diverged) {
+      ++Divergences;
+      continue;
+    }
+
+    // Paired-min timing: alternate thread counts within each round so
+    // machine noise hits all configurations alike; keep the fastest
+    // round per configuration. One session per configuration keeps the
+    // pool warm across analyze() calls.
+    const int Rounds = 7;
+    AnalysisSession *Sessions[4];
+    std::vector<std::unique_ptr<AnalysisSession>> Owned;
+    for (int TI = 0; TI != 4; ++TI) {
+      AnalyzerOptions O;
+      O.NumThreads = kThreadCounts[TI];
+      Owned.push_back(std::make_unique<AnalysisSession>(*P.Compiled, O));
+      Sessions[TI] = Owned.back().get();
+      Row.Points[TI].Ms = 1e300;
+    }
+    for (int R = 0; R != Rounds; ++R)
+      for (int TI = 0; TI != 4; ++TI)
+        Row.Points[TI].Ms = std::min(
+            Row.Points[TI].Ms,
+            measureMs([&] { (void)Sessions[TI]->analyze(B.EntrySpec); },
+                      MinTotalMs / (Rounds * 4)));
+    for (int TI = 0; TI != 4; ++TI)
+      Row.Points[TI].SpeedUp =
+          Row.Points[TI].Ms > 0 ? Row.Points[0].Ms / Row.Points[TI].Ms : 0;
+    LogSum4 += std::log(Row.Points[2].SpeedUp);
+
+    auto CommitPct = [](const SweepPoint &Pt) {
+      return Pt.Speculated
+                 ? formatDouble(100.0 * Pt.Committed / Pt.Speculated, 0)
+                 : std::string("-");
+    };
+    T.addRow({Row.Name, formatDouble(Row.Points[0].Ms, 3),
+              formatDouble(Row.Points[1].Ms, 3),
+              formatDouble(Row.Points[2].Ms, 3),
+              formatDouble(Row.Points[3].Ms, 3),
+              formatDouble(Row.Points[1].SpeedUp, 2) + "/" +
+                  formatDouble(Row.Points[2].SpeedUp, 2) + "/" +
+                  formatDouble(Row.Points[3].SpeedUp, 2),
+              CommitPct(Row.Points[1]) + "/" + CommitPct(Row.Points[2]) +
+                  "/" + CommitPct(Row.Points[3]),
+              std::to_string(Row.Points[2].Batches),
+              std::to_string(Row.Runs), std::to_string(Row.Entries)});
+    Rows.push_back(Row);
+  }
+
+  double GeoMean4 = Rows.empty() ? 0 : std::exp(LogSum4 / Rows.size());
+  T.addSeparator();
+  T.addRow({"geomean", "", "", "", "", "-/" + formatDouble(GeoMean4, 2) +
+                                          "/-",
+            "", "", "", ""});
+  std::fputs(T.str().c_str(), stdout);
+  std::printf("\ntables byte-identical across {1,2,4,8} threads on all "
+              "%zu measured programs.\n",
+              Rows.size());
+
+  FILE *J = std::fopen("BENCH_parallel.json", "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"bench\": \"ablation_parallel\",\n");
+  std::fprintf(J, "  \"host_cpus\": %u,\n", HostCpus);
+  std::fprintf(J, "  \"note\": \"speedups are wall-clock and only "
+                  "meaningful when host_cpus > threads; commit rates and "
+                  "batch counts are machine-independent\",\n");
+  std::fprintf(J, "  \"geomean_speedup_4t\": %.3f,\n", GeoMean4);
+  std::fprintf(J, "  \"programs\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const RowOut &R = Rows[I];
+    std::fprintf(J,
+                 "    {\"name\": \"%s\", \"sweeps\": %d, "
+                 "\"scheduler_runs\": %llu, \"et_entries\": %zu,\n",
+                 R.Name.c_str(), R.Sweeps,
+                 static_cast<unsigned long long>(R.Runs), R.Entries);
+    std::fprintf(J, "     \"threads\": [\n");
+    for (int TI = 0; TI != 4; ++TI) {
+      const SweepPoint &Pt = R.Points[TI];
+      std::fprintf(
+          J,
+          "      {\"n\": %d, \"ms\": %.4f, \"speedup\": %.3f, "
+          "\"spec_batches\": %llu, \"spec_runs\": %llu, "
+          "\"spec_committed\": %llu, \"spec_discarded\": %llu}%s\n",
+          kThreadCounts[TI], Pt.Ms, Pt.SpeedUp,
+          static_cast<unsigned long long>(Pt.Batches),
+          static_cast<unsigned long long>(Pt.Speculated),
+          static_cast<unsigned long long>(Pt.Committed),
+          static_cast<unsigned long long>(Pt.Discarded),
+          TI == 3 ? "" : ",");
+    }
+    std::fprintf(J, "     ]}%s\n", I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(J, "  ]\n}\n");
+  std::fclose(J);
+  std::printf("wrote BENCH_parallel.json\n");
+
+  return Divergences ? 1 : 0;
+}

@@ -7,6 +7,9 @@
 //   --entry SPEC   entry goal, e.g. "main" or "qsort(glist, var, var)"
 //                  (default: main)
 //   --depth K      term-depth restriction (default 4)
+//   --threads N    worklist driver threads (default 1; the table is
+//                  byte-identical for every N — the CI determinism gate
+//                  diffs this tool's output across thread counts)
 //   --wam          print the compiled WAM code
 //   --modes        print the mode report (default prints patterns)
 //   --baseline     use the meta-interpreting analyzer instead
@@ -34,8 +37,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: analyze_file (<file.pl> | bench:<name>) [--entry SPEC] "
-      "[--depth K]\n                    [--wam] [--modes] [--baseline] "
-      "[--trace]\n");
+      "[--depth K]\n                    [--threads N] [--wam] [--modes] "
+      "[--baseline] [--trace]\n");
   return 2;
 }
 
@@ -48,6 +51,7 @@ int main(int argc, char **argv) {
   std::string Input = argv[1];
   std::string Entry = "main";
   int Depth = kDefaultDepthLimit;
+  int Threads = 1;
   bool ShowWam = false, ShowModes = false, UseBaseline = false,
        Trace = false, ShowDead = false;
   for (int I = 2; I < argc; ++I) {
@@ -56,6 +60,8 @@ int main(int argc, char **argv) {
       Entry = argv[++I];
     else if (Arg == "--depth" && I + 1 < argc)
       Depth = std::atoi(argv[++I]);
+    else if (Arg == "--threads" && I + 1 < argc)
+      Threads = std::atoi(argv[++I]);
     else if (Arg == "--wam")
       ShowWam = true;
     else if (Arg == "--modes")
@@ -111,6 +117,7 @@ int main(int argc, char **argv) {
 
   AnalyzerOptions Options;
   Options.DepthLimit = Depth;
+  Options.NumThreads = Threads;
 
   Result<AnalysisResult> R = makeError("unreachable");
   if (UseBaseline) {

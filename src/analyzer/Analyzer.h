@@ -55,6 +55,11 @@ struct AnalyzerOptions {
   /// sound partial table with Converged = false.
   int MaxIterations = 1000;
   uint64_t MaxSteps = 200'000'000;
+  /// Worklist driver only: total threads running activations (the calling
+  /// thread included). 1 = the sequential WorklistScheduler; > 1 = the
+  /// deterministic speculative ParallelScheduler, which computes the
+  /// byte-identical table (see analyzer/ParallelScheduler.h).
+  int NumThreads = 1;
 };
 
 /// The paper-faithful seed configuration — naive restart loop over a
@@ -86,6 +91,13 @@ struct PerfCounters {
   uint64_t ActivationRuns = 0;
   uint64_t SchedulerRuns = 0;     ///< activations launched from the queue
   uint64_t DepEdges = 0;          ///< dependency edges recorded
+  // Parallel driver only (zero otherwise). Unlike everything above, these
+  // depend on the thread count — they measure speculation effectiveness,
+  // not the (thread-count-invariant) committed schedule.
+  uint64_t SpecBatches = 0;   ///< speculation fan-outs
+  uint64_t SpecRuns = 0;      ///< activation runs executed speculatively
+  uint64_t SpecCommitted = 0; ///< speculations committed by replay
+  uint64_t SpecDiscarded = 0; ///< speculations invalidated or orphaned
 };
 
 /// Final analysis output: the extension table plus statistics.

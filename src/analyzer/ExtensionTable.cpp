@@ -6,6 +6,10 @@
 
 using namespace awam;
 
+// Index maps store deque *positions*. On ordinary tables position == Idx;
+// overlays decouple them (shadows keep their base Idx, locally created
+// entries get Idx values past the base size).
+
 ETEntry *ExtensionTable::find(int32_t PredId, const Pattern &Call) {
   if (WhichImpl == Impl::LinearList) {
     for (ETEntry &E : Entries) {
@@ -13,36 +17,65 @@ ETEntry *ExtensionTable::find(int32_t PredId, const Pattern &Call) {
       if (E.PredId == PredId && E.Call == Call)
         return &E;
     }
-    return nullptr;
-  }
-  if (Interner) {
+  } else if (Interner) {
     // Interned tables index structurally through StructIndex only (one
     // flat map instead of two parallel indexes).
     ++Probes; // index consultation (counted on hits and misses alike)
     bool First = true;
     uint32_t V =
-        StructIndex.findIf(structKey(PredId, Call.hash()), [&](uint32_t Idx) {
+        StructIndex.findIf(structKey(PredId, Call.hash()), [&](uint32_t Pos) {
           if (!First)
             ++Probes;
           First = false;
-          const ETEntry &E = Entries[Idx];
+          const ETEntry &E = Entries[Pos];
+          return E.PredId == PredId && E.Call == Call;
+        });
+    if (V != detail::FlatMap64::kEmpty)
+      return &Entries[V];
+  } else {
+    uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
+    ++Probes; // index consultation (counted on hits and misses alike)
+    auto It = Index.find(H);
+    if (It != Index.end()) {
+      bool First = true;
+      for (ETEntry *E : It->second) {
+        if (!First)
+          ++Probes;
+        First = false;
+        if (E->PredId == PredId && E->Call == Call)
+          return E;
+      }
+    }
+  }
+  // Local miss; an overlay consults its frozen base and shadows any hit.
+  if (Base)
+    if (const ETEntry *BE = Base->findExisting(PredId, Call))
+      return &installShadow(*BE);
+  return nullptr;
+}
+
+const ETEntry *ExtensionTable::findExisting(int32_t PredId,
+                                            const Pattern &Call) const {
+  if (WhichImpl == Impl::LinearList) {
+    for (const ETEntry &E : Entries)
+      if (E.PredId == PredId && E.Call == Call)
+        return &E;
+    return nullptr;
+  }
+  if (Interner) {
+    uint32_t V =
+        StructIndex.findIf(structKey(PredId, Call.hash()), [&](uint32_t Pos) {
+          const ETEntry &E = Entries[Pos];
           return E.PredId == PredId && E.Call == Call;
         });
     return V == detail::FlatMap64::kEmpty ? nullptr : &Entries[V];
   }
-  uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
-  ++Probes; // index consultation (counted on hits and misses alike)
-  auto It = Index.find(H);
+  auto It = Index.find((static_cast<uint64_t>(PredId) << 32) ^ Call.hash());
   if (It == Index.end())
     return nullptr;
-  bool First = true;
-  for (ETEntry *E : It->second) {
-    if (!First)
-      ++Probes;
-    First = false;
+  for (const ETEntry *E : It->second)
     if (E->PredId == PredId && E->Call == Call)
       return E;
-  }
   return nullptr;
 }
 
@@ -54,7 +87,9 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, const Pattern &Call,
   }
   Created = true;
   ETEntry &E = Entries.emplace_back();
-  E.Idx = static_cast<int32_t>(Entries.size()) - 1;
+  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
+  E.Idx = Base ? static_cast<int32_t>(BaseSize + NewCount++)
+               : static_cast<int32_t>(Pos);
   E.PredId = PredId;
   E.Call = Call;
   if (Interner)
@@ -62,8 +97,8 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, const Pattern &Call,
   if (WhichImpl == Impl::HashMap) {
     uint64_t H = Call.hash();
     if (Interner) {
-      IdIndex.insert(idKey(PredId, E.CallId), static_cast<uint32_t>(E.Idx));
-      StructIndex.insert(structKey(PredId, H), static_cast<uint32_t>(E.Idx));
+      IdIndex.insert(idKey(PredId, E.CallId), Pos);
+      StructIndex.insert(structKey(PredId, H), Pos);
     } else {
       Index[(static_cast<uint64_t>(PredId) << 32) ^ H].push_back(&E);
     }
@@ -86,34 +121,42 @@ ETEntry &ExtensionTable::findOrCreateByPattern(int32_t PredId,
     uint64_t K = structKey(PredId, Call.hash());
     ++Probes; // index consultation (counted on hits and misses alike)
     bool First = true;
-    uint32_t V = StructIndex.findIf(K, [&](uint32_t Idx) {
+    uint32_t V = StructIndex.findIf(K, [&](uint32_t Pos) {
       if (!First)
         ++Probes;
       First = false;
-      const ETEntry &E = Entries[Idx];
+      const ETEntry &E = Entries[Pos];
       return E.PredId == PredId && E.Call == Call;
     });
     if (V != detail::FlatMap64::kEmpty) {
       Created = false;
       return Entries[V];
     }
+    if (Base)
+      if (const ETEntry *BE = Base->findExisting(PredId, Call)) {
+        Created = false;
+        return installShadow(*BE);
+      }
   }
   Created = true;
   ETEntry &E = Entries.emplace_back();
-  E.Idx = static_cast<int32_t>(Entries.size()) - 1;
+  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
+  E.Idx = Base ? static_cast<int32_t>(BaseSize + NewCount++)
+               : static_cast<int32_t>(Pos);
   E.PredId = PredId;
   E.Call = Call;
   E.CallId = Interner->intern(Call);
   if (WhichImpl == Impl::HashMap) {
     uint64_t H = Call.hash();
-    IdIndex.insert(idKey(PredId, E.CallId), static_cast<uint32_t>(E.Idx));
-    StructIndex.insert(structKey(PredId, H), static_cast<uint32_t>(E.Idx));
+    IdIndex.insert(idKey(PredId, E.CallId), Pos);
+    StructIndex.insert(structKey(PredId, H), Pos);
   }
   return E;
 }
 
 ETEntry *ExtensionTable::find(int32_t PredId, PatternId CallId) {
   assert(Interner && "id-keyed lookup requires an interner");
+  assert(!Base && "id-keyed lookup is not defined across interner spaces");
   if (WhichImpl == Impl::LinearList) {
     for (ETEntry &E : Entries) {
       ++Probes;
@@ -135,14 +178,69 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, PatternId CallId,
   }
   Created = true;
   ETEntry &E = Entries.emplace_back();
-  E.Idx = static_cast<int32_t>(Entries.size()) - 1;
+  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
+  E.Idx = static_cast<int32_t>(Pos); // find() asserted !Base
   E.PredId = PredId;
   E.CallId = CallId;
   E.Call = Interner->pattern(CallId);
   if (WhichImpl == Impl::HashMap) {
-    IdIndex.insert(idKey(PredId, CallId), static_cast<uint32_t>(E.Idx));
-    StructIndex.insert(structKey(PredId, E.Call.hash()),
-                       static_cast<uint32_t>(E.Idx));
+    IdIndex.insert(idKey(PredId, CallId), Pos);
+    StructIndex.insert(structKey(PredId, E.Call.hash()), Pos);
   }
   return E;
+}
+
+void ExtensionTable::attachBase(const ExtensionTable &B) {
+  assert(Entries.empty() && "attachBase requires an empty overlay");
+  assert(B.WhichImpl == WhichImpl && "overlay must mirror the base impl");
+  assert(&B != this);
+  Base = &B;
+  BaseSize = B.size();
+}
+
+void ExtensionTable::resetOverlay() {
+  assert(Base && "resetOverlay is an overlay operation");
+  Entries.clear();
+  Index.clear();
+  IdIndex.clear();
+  StructIndex.clear();
+  TouchLog.clear();
+  NewCount = 0;
+  BaseSize = Base->size();
+}
+
+ETEntry &ExtensionTable::installShadow(const ETEntry &BaseE) {
+  TouchLog.push_back({BaseE.Idx, BaseE.SuccessVersion, BaseE.EverExplored});
+  Entries.push_back(BaseE);
+  ETEntry &E = Entries.back();
+  // The base's pattern ids belong to the base interner's id space; remap
+  // them into the overlay's own interner (base patterns are canonical, so
+  // plain interning suffices).
+  if (Interner) {
+    E.CallId = Interner->intern(E.Call);
+    E.SuccessId =
+        E.Success ? Interner->intern(*E.Success) : kInvalidPatternId;
+  } else {
+    E.CallId = kInvalidPatternId;
+    E.SuccessId = kInvalidPatternId;
+  }
+  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
+  if (WhichImpl == Impl::HashMap) {
+    uint64_t H = E.Call.hash();
+    if (Interner) {
+      IdIndex.insert(idKey(E.PredId, E.CallId), Pos);
+      StructIndex.insert(structKey(E.PredId, H), Pos);
+    } else {
+      Index[(static_cast<uint64_t>(E.PredId) << 32) ^ H].push_back(&E);
+    }
+  }
+  return E;
+}
+
+ETEntry &ExtensionTable::shadowForBase(int32_t BaseIdx) {
+  assert(Base && BaseIdx >= 0 && static_cast<size_t>(BaseIdx) < BaseSize);
+  const ETEntry &BE = Base->Entries[BaseIdx];
+  if (const ETEntry *E = findExisting(BE.PredId, BE.Call))
+    return const_cast<ETEntry &>(*E);
+  return installShadow(BE);
 }

@@ -37,9 +37,11 @@
 
 #include "analyzer/PatternInterner.h"
 
+#include <cassert>
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 namespace awam {
 
@@ -71,6 +73,18 @@ struct ETEntry {
 };
 
 /// The memo table.
+///
+/// Overlay mode (the parallel driver's snapshot-read discipline): a table
+/// may be attached to a frozen base table with attachBase. Lookups that
+/// miss locally fall through to the base *read-only*; the first touch of a
+/// base entry installs a local mutable shadow copy that keeps the base
+/// entry's Idx, and every touch is recorded (Idx, SuccessVersion,
+/// EverExplored at copy time) so a speculative run can later be validated
+/// against the live table. Entries created by the overlay get Idx values
+/// continuing past the base size, i.e. exactly the indices the live table
+/// would assign if the speculation committed first. The base table is
+/// never written through — concurrent overlay readers over one frozen
+/// base are safe by construction.
 class ExtensionTable {
 public:
   /// Lookup structure used to find entries.
@@ -86,6 +100,44 @@ public:
   /// The attached interner (nullptr when the table runs the structural
   /// baseline path).
   PatternInterner *interner() const { return Interner; }
+
+  /// The lookup structure this table was built with.
+  Impl impl() const { return WhichImpl; }
+
+  /// A base-entry access recorded by an overlay (see class comment): the
+  /// summary state the speculation observed when it first touched Idx.
+  struct BaseTouch {
+    int32_t Idx;
+    uint32_t SuccessVersion;
+    bool EverExplored;
+  };
+
+  /// Turns this (empty) table into an overlay of \p B. The base must use
+  /// the same Impl; pattern ids are remapped into this table's own
+  /// interner, so base and overlay interners are independent (which is
+  /// what makes concurrent overlays over one base thread-safe without
+  /// sharding the interner). The base must not be mutated while the
+  /// overlay reads it.
+  void attachBase(const ExtensionTable &B);
+
+  /// Drops all local entries, shadows and touch records and re-snapshots
+  /// the base size. Called between speculations; the attached base and
+  /// interner are kept.
+  void resetOverlay();
+
+  const ExtensionTable *base() const { return Base; }
+  size_t baseSize() const { return BaseSize; }
+  const std::vector<BaseTouch> &touchLog() const { return TouchLog; }
+
+  /// The local shadow of base entry \p BaseIdx, installing it on first
+  /// use. Overlay mode only — the parallel driver uses this to hand a
+  /// speculative activation its root entry.
+  ETEntry &shadowForBase(int32_t BaseIdx);
+
+  /// Structural lookup that neither creates, installs shadows, nor counts
+  /// probes. This is the read-only path overlays use to consult their
+  /// frozen base from worker threads.
+  const ETEntry *findExisting(int32_t PredId, const Pattern &Call) const;
 
   /// Returns the entry for (\p PredId, \p Call), creating it if missing;
   /// sets \p Created accordingly. Entry references are stable. Structural
@@ -122,14 +174,27 @@ public:
   const std::deque<ETEntry> &entries() const { return Entries; }
   size_t size() const { return Entries.size(); }
 
-  /// The entry with dense index \p Idx (scheduler handle -> entry).
-  ETEntry &entryAt(size_t Idx) { return Entries[Idx]; }
+  /// The entry with dense index \p Idx (scheduler handle -> entry). Not
+  /// meaningful on overlays, whose deque positions are decoupled from Idx.
+  ETEntry &entryAt(size_t Idx) {
+    assert(!Base && "entryAt is position-keyed; overlays decouple Idx");
+    return Entries[Idx];
+  }
 
   /// Number of lookup probes performed (ablation metric; see file comment
-  /// for the per-variant definition).
+  /// for the per-variant definition). Under the parallel driver the count
+  /// is approximate: committed speculations charge their overlay probes
+  /// here, whose bucket layout need not match the live table's.
   uint64_t probeCount() const { return Probes; }
 
+  /// Adds externally performed probes (overlay commit accounting).
+  void chargeProbes(uint64_t N) { Probes += N; }
+
 private:
+  /// Copies base entry \p BaseE into the overlay (first touch): remaps its
+  /// pattern ids into the local interner, records the touch, and indexes
+  /// the shadow locally under its original Idx.
+  ETEntry &installShadow(const ETEntry &BaseE);
   static uint64_t idKey(int32_t PredId, PatternId CallId) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(PredId)) << 32) |
            CallId;
@@ -151,6 +216,12 @@ private:
   /// for the fused one-probe call lookup.
   detail::FlatMap64 StructIndex;
   uint64_t Probes = 0;
+
+  // Overlay state (see class comment); null/empty on ordinary tables.
+  const ExtensionTable *Base = nullptr;
+  size_t BaseSize = 0;             ///< base size at the last resetOverlay
+  uint32_t NewCount = 0;           ///< entries created by this overlay
+  std::vector<BaseTouch> TouchLog; ///< base entries shadowed, in touch order
 };
 
 } // namespace awam

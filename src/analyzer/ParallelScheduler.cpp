@@ -1,0 +1,441 @@
+//===- analyzer/ParallelScheduler.cpp - Deterministic parallel driver -----===//
+
+#include "analyzer/ParallelScheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace awam;
+
+//===----------------------------------------------------------------------===//
+// SpecPool
+//===----------------------------------------------------------------------===//
+
+SpecPool::SpecPool(int Threads) : NumThreads(Threads < 1 ? 1 : Threads) {
+  Helpers.reserve(static_cast<size_t>(NumThreads) - 1);
+  for (int Id = 1; Id < NumThreads; ++Id)
+    Helpers.emplace_back([this, Id] { helperMain(Id); });
+}
+
+SpecPool::~SpecPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &T : Helpers)
+    T.join();
+}
+
+void SpecPool::runBatch(const std::function<void(int)> &Fn) {
+  if (Helpers.empty()) {
+    Fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Job = &Fn;
+    ++Generation;
+    Outstanding = static_cast<int>(Helpers.size());
+  }
+  WakeCV.notify_all();
+  Fn(0); // the caller is worker 0
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCV.wait(Lock, [this] { return Outstanding == 0; });
+  Job = nullptr;
+}
+
+void SpecPool::helperMain(int Id) {
+  uint64_t SeenGen = 0;
+  for (;;) {
+    const std::function<void(int)> *MyJob;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WakeCV.wait(Lock,
+                  [&] { return Stopping || Generation != SeenGen; });
+      if (Stopping)
+        return;
+      SeenGen = Generation;
+      MyJob = Job;
+    }
+    (*MyJob)(Id);
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      --Outstanding;
+    }
+    DoneCV.notify_one();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Speculation records
+//===----------------------------------------------------------------------===//
+
+/// One dependency-sink event of a speculative activation run, in the order
+/// the machine produced it. Replaying the sequence of events against the
+/// live master core and table *is* the commit: each kind corresponds 1:1
+/// to what the sequential run would have done at that point.
+struct ParallelScheduler::Event {
+  enum Kind : uint8_t {
+    Begin, ///< beginActivation(A); A >= BaseSize means "create, then begin"
+    Read,  ///< noteRead(reader A, dep B, version Ver)
+    Grow,  ///< A's summary grew to Success, version Ver
+    Query, ///< shouldReexplore(A) was answered with Answer
+  };
+  Kind K;
+  int32_t A = -1;
+  int32_t B = -1;
+  uint32_t Ver = 0;
+  bool Answer = false;
+  Pattern Success; ///< Grow only: the grown summary, materialized
+};
+
+/// A completed speculation: the event log plus everything needed to decide
+/// whether the sequential run at commit time would have done the same.
+struct ParallelScheduler::Spec {
+  int32_t RootIdx = -1;
+  size_t BaseSize = 0; ///< master table size at the freeze
+  std::vector<Event> Log;
+  /// Base entries read (shadowed), with the summary state observed — all
+  /// must be unchanged at commit time.
+  std::vector<ExtensionTable::BaseTouch> Touched;
+  /// Entries created, in creation order (their Idx values are BaseSize,
+  /// BaseSize+1, ...).
+  std::vector<std::pair<int32_t, Pattern>> Created;
+  uint64_t Steps = 0;
+  uint64_t Activations = 0;
+  uint64_t Probes = 0;
+  bool MachineError = false;
+};
+
+/// The worker-side dependency sink: answers the machine's scheduling
+/// queries from a private clone of the frozen master core (so inline
+/// re-exploration decisions match the sequential schedule exactly) and
+/// records every event for validation and commit.
+struct ParallelScheduler::SpecSink final : DependencySink {
+  SchedulerCore Local;
+  Spec *Out = nullptr;
+
+  bool shouldReexplore(const ETEntry &E) override {
+    bool Answer = Local.shouldReexplore(E.Idx);
+    Event Ev;
+    Ev.K = Event::Query;
+    Ev.A = E.Idx;
+    Ev.Answer = Answer;
+    Out->Log.push_back(std::move(Ev));
+    return Answer;
+  }
+  void beginActivation(const ETEntry &E) override {
+    Local.beginActivation(E.Idx);
+    Event Ev;
+    Ev.K = Event::Begin;
+    Ev.A = E.Idx;
+    Out->Log.push_back(std::move(Ev));
+  }
+  void noteRead(const ETEntry &Reader, const ETEntry &Dep,
+                uint32_t VersionSeen) override {
+    Local.noteRead(Reader.Idx, Dep.Idx, VersionSeen);
+    Event Ev;
+    Ev.K = Event::Read;
+    Ev.A = Reader.Idx;
+    Ev.B = Dep.Idx;
+    Ev.Ver = VersionSeen;
+    Out->Log.push_back(std::move(Ev));
+  }
+  void noteChanged(const ETEntry &E) override {
+    Local.noteChanged(E.Idx, E.SuccessVersion);
+    Event Ev;
+    Ev.K = Event::Grow;
+    Ev.A = E.Idx;
+    Ev.Ver = E.SuccessVersion;
+    Ev.Success = *E.Success;
+    Out->Log.push_back(std::move(Ev));
+  }
+};
+
+/// One speculation worker: a private interner (separate id space — ids
+/// never cross threads; patterns cross as materialized values), an overlay
+/// table over the frozen master, a machine bound to that overlay, and the
+/// recording sink.
+struct ParallelScheduler::Worker {
+  std::unique_ptr<PatternInterner> Interner;
+  ExtensionTable Overlay;
+  AbstractMachine Machine;
+  SpecSink Sink;
+
+  Worker(const ExtensionTable &Master, const CompiledProgram &Program,
+         const AbsMachineOptions &Options)
+      : Interner(Master.interner()
+                     ? std::make_unique<PatternInterner>(Options.DepthLimit)
+                     : nullptr),
+        Overlay(Master.impl(), Interner.get()),
+        Machine(Program, Overlay, Options) {
+    Overlay.attachBase(Master);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// ParallelScheduler
+//===----------------------------------------------------------------------===//
+
+ParallelScheduler::ParallelScheduler(ExtensionTable &Table,
+                                     AbstractMachine &Machine,
+                                     const CompiledProgram &Program,
+                                     const AbsMachineOptions &MachineOptions,
+                                     SpecPool &Pool)
+    : Table(Table), Machine(Machine), Pool(Pool) {
+  AbsMachineOptions WorkerOptions = MachineOptions;
+  WorkerOptions.TraceLog = nullptr; // tracing is a sequential-only feature
+  Workers.reserve(static_cast<size_t>(Pool.threads()));
+  for (int I = 0; I < Pool.threads(); ++I)
+    Workers.push_back(
+        std::make_unique<Worker>(Table, Program, WorkerOptions));
+  MaxSteps = MachineOptions.MaxSteps;
+}
+
+ParallelScheduler::~ParallelScheduler() = default;
+
+void ParallelScheduler::speculateOne(Worker &W, int32_t RootIdx, Spec &Out) {
+  W.Overlay.resetOverlay();
+  W.Sink.Local = Core; // frozen-schedule clone (master is quiescent here)
+  W.Sink.Out = &Out;
+  Out.RootIdx = RootIdx;
+  Out.BaseSize = W.Overlay.baseSize();
+
+  uint64_t Steps0 = W.Machine.stepsExecuted();
+  uint64_t Acts0 = W.Machine.activationsExplored();
+  uint64_t Probes0 = W.Overlay.probeCount();
+
+  W.Machine.setDependencySink(&W.Sink);
+  ETEntry &Root = W.Overlay.shadowForBase(RootIdx);
+  AbsRunStatus RunStatus = W.Machine.runActivation(Root);
+  W.Machine.setDependencySink(nullptr);
+
+  Out.Steps = W.Machine.stepsExecuted() - Steps0;
+  Out.Activations = W.Machine.activationsExplored() - Acts0;
+  Out.Probes = W.Overlay.probeCount() - Probes0;
+  Out.MachineError = RunStatus == AbsRunStatus::Error;
+  Out.Touched = W.Overlay.touchLog();
+  for (const ETEntry &E : W.Overlay.entries())
+    if (E.Idx >= static_cast<int32_t>(Out.BaseSize))
+      Out.Created.emplace_back(E.PredId, E.Call);
+}
+
+void ParallelScheduler::speculateBatch(const std::vector<int32_t> &Batch) {
+  ++SStats.Batches;
+  SStats.Speculated += Batch.size();
+  BatchSpecs.clear();
+  BatchSpecs.resize(Batch.size());
+  std::atomic<size_t> Next{0};
+  Pool.runBatch([&](int WorkerId) {
+    for (size_t I = Next.fetch_add(1); I < Batch.size();
+         I = Next.fetch_add(1))
+      speculateOne(*Workers[static_cast<size_t>(WorkerId)], Batch[I],
+                   BatchSpecs[I]);
+  });
+}
+
+bool ParallelScheduler::validate(const Spec &S) const {
+  // A speculation that errored is re-run live so the error surfaces with
+  // sequential-identical state and accounting.
+  if (S.MachineError)
+    return false;
+  // Creations claim the Idx range [BaseSize, BaseSize + Created); if the
+  // live table has grown past the freeze point those indices are taken.
+  if (!S.Created.empty() && Table.size() != S.BaseSize)
+    return false;
+  // Every base summary the run observed must be untouched.
+  for (const ExtensionTable::BaseTouch &T : S.Touched) {
+    const ETEntry &E = Table.entries()[static_cast<size_t>(T.Idx)];
+    if (E.SuccessVersion != T.SuccessVersion ||
+        E.EverExplored != T.EverExplored)
+      return false;
+  }
+  // Replay the schedule interactions against a clone of the *live* core:
+  // every inline re-exploration decision the speculation took must be the
+  // decision the sequential run would take now. (Queue state can drift
+  // without any summary changing — e.g. an earlier commit consumed a
+  // pending run this speculation also consumed inline.)
+  bool AnyQuery = false;
+  for (const Event &Ev : S.Log)
+    if (Ev.K == Event::Query) {
+      AnyQuery = true;
+      break;
+    }
+  if (!AnyQuery)
+    return true;
+  SchedulerCore Clone = Core;
+  Clone.statsMut() = {}; // scratch replay; keep real stats unperturbed
+  for (const Event &Ev : S.Log) {
+    switch (Ev.K) {
+    case Event::Begin:
+      Clone.beginActivation(Ev.A);
+      break;
+    case Event::Read:
+      Clone.noteRead(Ev.A, Ev.B, Ev.Ver);
+      break;
+    case Event::Grow:
+      Clone.noteChanged(Ev.A, Ev.Ver);
+      break;
+    case Event::Query:
+      if (Clone.shouldReexplore(Ev.A) != Ev.Answer)
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+void ParallelScheduler::commit(Spec &S) {
+  PatternInterner *Interner = Table.interner();
+  for (Event &Ev : S.Log) {
+    switch (Ev.K) {
+    case Event::Begin: {
+      ETEntry *E;
+      if (Ev.A >= static_cast<int32_t>(S.BaseSize)) {
+        // Creation replay: validated to land at exactly the speculated Idx.
+        auto &[PredId, Call] =
+            S.Created[static_cast<size_t>(Ev.A) - S.BaseSize];
+        bool Created = false;
+        E = Interner ? &Table.findOrCreateByPattern(PredId, Call, Created)
+                     : &Table.findOrCreate(PredId, Call, Created);
+        assert(Created && E->Idx == Ev.A &&
+               "validated creation must be fresh and in sequence");
+        Core.ensure(Table.size());
+      } else {
+        E = &Table.entryAt(static_cast<size_t>(Ev.A));
+      }
+      Core.beginActivation(E->Idx);
+      E->EverExplored = true;
+      break;
+    }
+    case Event::Read:
+      Core.noteRead(Ev.A, Ev.B, Ev.Ver);
+      break;
+    case Event::Grow: {
+      ETEntry &E = Table.entryAt(static_cast<size_t>(Ev.A));
+      E.Success = std::move(Ev.Success);
+      if (Interner)
+        E.SuccessId = Interner->intern(*E.Success);
+      Table.noteSuccessChanged(E);
+      assert(E.SuccessVersion == Ev.Ver &&
+             "committed version bump must match the speculated one");
+      Core.noteChanged(E.Idx, E.SuccessVersion);
+      break;
+    }
+    case Event::Query:
+      break;
+    }
+  }
+  // Counters reflect committed work only, so they are thread-count
+  // invariant (identical to the sequential run).
+  Machine.charge(S.Steps, S.Activations);
+  Table.chargeProbes(S.Probes);
+}
+
+bool ParallelScheduler::takeCached(int32_t RootIdx, Spec &Out) {
+  for (size_t I = 0; I != Cache.size(); ++I)
+    if (Cache[I].RootIdx == RootIdx) {
+      Out = std::move(Cache[I]);
+      Cache.erase(Cache.begin() + static_cast<long>(I));
+      return true;
+    }
+  return false;
+}
+
+void ParallelScheduler::purgeDeadCache() {
+  // A speculation whose root's pending run was consumed inline by a
+  // committed (or live) run will never be popped; drop it so a stale
+  // cache cannot block further batching.
+  for (size_t I = 0; I != Cache.size();) {
+    if (!Core.isQueued(Cache[I].RootIdx)) {
+      Cache.erase(Cache.begin() + static_cast<long>(I));
+      ++SStats.Discarded;
+      continue;
+    }
+    ++I;
+  }
+}
+
+ParallelScheduler::Status ParallelScheduler::run(ETEntry &Root,
+                                                 int MaxSweeps) {
+  assert(Root.Idx >= 0 && "root entry must live in the table");
+  Machine.setDependencySink(this);
+  Core.setCurrentSweep(1);
+  Status Out = Status::Converged;
+  if (MaxSweeps < 1) {
+    Out = Status::BudgetHit;
+  } else {
+    Core.ensure(Table.size());
+    Core.enqueue(Root.Idx, Core.currentSweep());
+    while (std::optional<SchedulerCore::QNode> N = Core.popLive()) {
+      auto [Sweep, Idx] = *N;
+      if (Sweep > Core.currentSweep()) {
+        if (Sweep > static_cast<uint64_t>(MaxSweeps)) {
+          Out = Status::BudgetHit;
+          break;
+        }
+        Core.setCurrentSweep(Sweep);
+      }
+
+      bool Committed = false;
+      Spec Cached;
+      if (takeCached(Idx, Cached)) {
+        if (validate(Cached)) {
+          ++Core.statsMut().Runs;
+          commit(Cached);
+          ++SStats.Committed;
+          Committed = true;
+        } else {
+          ++SStats.Discarded;
+        }
+      } else if (Cache.empty() && Pool.threads() > 1) {
+        // No usable speculation in flight: freeze here and fan out the
+        // sweep's ready set, headed by the popped entry itself (whose
+        // speculation runs against exactly the state it will commit
+        // into, so each batch is guaranteed to make progress).
+        std::vector<int32_t> Batch =
+            Core.collectReady(Core.currentSweep(), kMaxBatch - 1);
+        Batch.erase(std::remove(Batch.begin(), Batch.end(), Idx),
+                    Batch.end());
+        Batch.insert(Batch.begin(), Idx);
+        speculateBatch(Batch);
+        if (validate(BatchSpecs[0])) {
+          ++Core.statsMut().Runs;
+          commit(BatchSpecs[0]);
+          ++SStats.Committed;
+          Committed = true;
+        } else {
+          ++SStats.Discarded; // machine error: re-run live to surface it
+        }
+        for (size_t I = 1; I < BatchSpecs.size(); ++I)
+          Cache.push_back(std::move(BatchSpecs[I]));
+        BatchSpecs.clear();
+      }
+
+      if (!Committed) {
+        ++Core.statsMut().Runs;
+        if (Machine.runActivation(Table.entryAt(static_cast<size_t>(
+                Idx))) == AbsRunStatus::Error) {
+          Out = Status::Error;
+          ErrMsg = Machine.errorMessage();
+          break;
+        }
+      } else if (Machine.stepsExecuted() > MaxSteps) {
+        // A committed speculation pushed the charged total past the
+        // budget; the sequential run would have errored inside this very
+        // activation.
+        Out = Status::Error;
+        ErrMsg = "abstract instruction budget exceeded";
+        break;
+      }
+      purgeDeadCache();
+    }
+  }
+  Core.statsMut().Sweeps = MaxSweeps < 1 ? 0 : Core.currentSweep();
+  SStats.Discarded += Cache.size(); // orphaned in-flight speculations
+  Cache.clear();
+  Machine.setDependencySink(nullptr);
+  return Out;
+}

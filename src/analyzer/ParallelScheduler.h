@@ -1,0 +1,181 @@
+//===- analyzer/ParallelScheduler.h - Deterministic parallel driver -*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-threaded worklist driver. It produces tables *byte-identical*
+/// to the sequential WorklistScheduler (and hence the naive driver) on
+/// every input, for every thread count, by keeping the commit order
+/// exactly the sequential drain order and treating parallel work as pure
+/// speculation:
+///
+///  1. The master thread pops ready activations from one SchedulerCore in
+///     precisely the sequential (sweep, Idx) order.
+///  2. On a pop with no usable speculation, it freezes the master state
+///     and fans the entire ready set of the current sweep — the popped
+///     entry plus the entries the sequential drain would run next — out
+///     to a fixed thread pool. Each worker runs AbstractMachine::
+///     runActivation on its own machine against an *overlay*
+///     ExtensionTable (read-snapshot of the frozen master plus local
+///     copy-on-first-touch shadows; see ExtensionTable overlay mode),
+///     with its own PatternInterner (so no interner sharding or locking
+///     is needed at all) and a cloned SchedulerCore that answers the
+///     machine's shouldReexplore queries exactly as the sequential
+///     schedule would have. Every sink event is recorded in an ordered
+///     log; nothing escapes the worker.
+///  3. Back on the master thread, each subsequent pop validates the
+///     entry's cached speculation against the *live* state: every base
+///     entry the speculation touched must still have the SuccessVersion /
+///     EverExplored it observed, entry creations must not race with
+///     entries created since the freeze, and every recorded
+///     shouldReexplore answer must replay identically against a clone of
+///     the live core. A valid speculation commits by replaying its event
+///     log — summary growth lands in ascending-use order, creations get
+///     exactly the Idx the sequential run would have assigned — and a
+///     failed validation simply falls back to running the activation
+///     live on the master machine. Batch item 0 is the popped entry
+///     itself, whose speculation ran against the very state it commits
+///     into, so every batch makes progress.
+///
+/// Counters (instructions, activations, scheduler stats) are charged for
+/// *committed* runs only, so they too are independent of the thread count;
+/// discarded speculation is reported separately through SpecStats. Only
+/// the table probe counter is approximate under this driver.
+///
+/// See DESIGN.md §11 for the protocol write-up and the argument that a
+/// committed speculation is indistinguishable from a sequential run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_PARALLELSCHEDULER_H
+#define AWAM_ANALYZER_PARALLELSCHEDULER_H
+
+#include "analyzer/Scheduler.h"
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace awam {
+
+/// A fixed-size pool of speculation workers. The pool owns Threads - 1
+/// helper threads; the caller of runBatch participates as worker 0, so
+/// `Threads` is the total parallelism. Kept separate from the scheduler
+/// (and owned by the AnalysisSession) so repeated analyze() calls reuse
+/// the threads instead of paying spawn latency per run.
+class SpecPool {
+public:
+  explicit SpecPool(int Threads);
+  ~SpecPool();
+
+  SpecPool(const SpecPool &) = delete;
+  SpecPool &operator=(const SpecPool &) = delete;
+
+  /// Total workers, including the calling thread.
+  int threads() const { return NumThreads; }
+
+  /// Runs \p Fn(workerId) on every worker (ids 0..threads()-1; the caller
+  /// runs id 0) and returns when all are done. Not reentrant.
+  void runBatch(const std::function<void(int)> &Fn);
+
+private:
+  void helperMain(int Id);
+
+  int NumThreads;
+  std::vector<std::thread> Helpers;
+  std::mutex M;
+  std::condition_variable WakeCV; ///< helpers: a new batch is available
+  std::condition_variable DoneCV; ///< caller: all helpers finished
+  const std::function<void(int)> *Job = nullptr;
+  uint64_t Generation = 0;
+  int Outstanding = 0;
+  bool Stopping = false;
+};
+
+/// The deterministic speculative parallel driver (see file comment).
+/// Drives the same SchedulerCore state machine as WorklistScheduler; one
+/// instance drives one analysis run.
+class ParallelScheduler final : public DependencySink {
+public:
+  using Stats = SchedulerCore::Stats;
+  using Status = WorklistScheduler::Status;
+
+  /// Speculation effectiveness counters (thread-count dependent, unlike
+  /// Stats, which reflects only the committed — sequential-identical —
+  /// schedule).
+  struct SpecStats {
+    uint64_t Batches = 0;    ///< speculation fan-outs performed
+    uint64_t Speculated = 0; ///< activation runs executed speculatively
+    uint64_t Committed = 0;  ///< speculations replayed into the master
+    uint64_t Discarded = 0;  ///< speculations invalidated or orphaned
+  };
+
+  ParallelScheduler(ExtensionTable &Table, AbstractMachine &Machine,
+                    const CompiledProgram &Program,
+                    const AbsMachineOptions &MachineOptions, SpecPool &Pool);
+  ~ParallelScheduler() override;
+
+  /// Drains the worklist from \p Root exactly like WorklistScheduler::run,
+  /// interleaving speculative batches. Installs itself as the master
+  /// machine's dependency sink for the duration.
+  Status run(ETEntry &Root, int MaxSweeps);
+
+  const Stats &stats() const { return Core.stats(); }
+  const SpecStats &specStats() const { return SStats; }
+
+  /// On Status::Error: the machine's message, or the driver's own budget
+  /// message when a committed speculation exhausted the step budget.
+  const std::string &errorMessage() const { return ErrMsg; }
+
+  // --- DependencySink (master machine, live fallback runs) ---
+  bool shouldReexplore(const ETEntry &E) override {
+    return Core.shouldReexplore(E.Idx);
+  }
+  void beginActivation(const ETEntry &E) override {
+    Core.beginActivation(E.Idx);
+  }
+  void noteRead(const ETEntry &Reader, const ETEntry &Dep,
+                uint32_t VersionSeen) override {
+    Core.noteRead(Reader.Idx, Dep.Idx, VersionSeen);
+  }
+  void noteChanged(const ETEntry &E) override {
+    Core.noteChanged(E.Idx, E.SuccessVersion);
+  }
+
+private:
+  struct Event;
+  struct Spec;
+  struct SpecSink;
+  struct Worker;
+
+  void speculateBatch(const std::vector<int32_t> &Batch);
+  void speculateOne(Worker &W, int32_t RootIdx, Spec &Out);
+  bool validate(const Spec &S) const;
+  void commit(Spec &S);
+  bool takeCached(int32_t RootIdx, Spec &Out);
+  void purgeDeadCache();
+
+  ExtensionTable &Table;
+  AbstractMachine &Machine;
+  SpecPool &Pool;
+  SchedulerCore Core;
+  SpecStats SStats;
+  std::string ErrMsg;
+  uint64_t MaxSteps = 0;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  std::vector<Spec> Cache;      ///< pending speculations from the last batch
+  std::vector<Spec> BatchSpecs; ///< per-batch result slots (index = batch pos)
+  /// Largest ready-set prefix speculated per batch; bounds wasted work
+  /// when early commits invalidate the tail.
+  static constexpr size_t kMaxBatch = 32;
+};
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_PARALLELSCHEDULER_H

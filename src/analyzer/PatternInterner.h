@@ -82,6 +82,14 @@ public:
 
   size_t size() const { return Count; }
 
+  /// Drops every entry, releasing the storage (overlay tables rebuild
+  /// their indexes from scratch each speculation).
+  void clear() {
+    Keys.clear();
+    Vals.clear();
+    Count = 0;
+  }
+
 private:
   static size_t mix(uint64_t K) {
     // splitmix64 finalizer.

@@ -3,10 +3,11 @@
 #include "analyzer/Scheduler.h"
 
 #include <cassert>
+#include <functional>
 
 using namespace awam;
 
-void WorklistScheduler::ensure(size_t N) {
+void SchedulerCore::ensure(size_t N) {
   if (Readers.size() >= N)
     return;
   Readers.resize(N);
@@ -16,51 +17,55 @@ void WorklistScheduler::ensure(size_t N) {
   LastRunSweep.resize(N, 0);
 }
 
-void WorklistScheduler::enqueue(int32_t Idx, uint64_t Sweep) {
+void SchedulerCore::enqueue(int32_t Idx, uint64_t Sweep) {
   ensure(static_cast<size_t>(Idx) + 1);
   if (InQueue[Idx] && QueuedSweep[Idx] <= Sweep)
     return; // already queued at least as early
   InQueue[Idx] = 1;
   QueuedSweep[Idx] = Sweep;
   ++S.Enqueues;
-  Heap.emplace(Sweep, Idx);
+  Heap.emplace_back(Sweep, Idx);
+  std::push_heap(Heap.begin(), Heap.end(), std::greater<>());
 }
 
-bool WorklistScheduler::shouldReexplore(const ETEntry &E) {
-  // Re-explore inline only when a run is pending for the current sweep:
-  // that is where the naive driver's DFS would re-explore the entry this
-  // iteration. A run queued for a later sweep stays queued — the naive
-  // driver would answer this call from the memo too.
-  return static_cast<size_t>(E.Idx) < InQueue.size() && InQueue[E.Idx] &&
-         QueuedSweep[E.Idx] <= CurSweep;
+std::optional<SchedulerCore::QNode> SchedulerCore::popLive() {
+  while (!Heap.empty()) {
+    QNode N = Heap.front();
+    std::pop_heap(Heap.begin(), Heap.end(), std::greater<>());
+    Heap.pop_back();
+    if (InQueue[N.second] && QueuedSweep[N.second] == N.first)
+      return N;
+    // else: consumed inline or re-queued; lazy deletion
+  }
+  return std::nullopt;
 }
 
-void WorklistScheduler::beginActivation(const ETEntry &E) {
-  ensure(static_cast<size_t>(E.Idx) + 1);
-  InQueue[E.Idx] = 0; // any pending run is consumed by this one
-  LastRunSweep[E.Idx] = CurSweep;
+void SchedulerCore::beginActivation(int32_t Idx) {
+  ensure(static_cast<size_t>(Idx) + 1);
+  InQueue[Idx] = 0; // any pending run is consumed by this one
+  LastRunSweep[Idx] = CurSweep;
   // Supersede the previous run's reads: it is being redone from scratch,
   // so its recorded edges no longer describe a live read.
-  ++RunSeq[E.Idx];
+  ++RunSeq[Idx];
 }
 
-void WorklistScheduler::noteRead(const ETEntry &Reader, const ETEntry &Dep,
-                                 uint32_t VersionSeen) {
-  ensure(static_cast<size_t>(Dep.Idx) + 1);
-  std::vector<Edge> &Vec = Readers[Dep.Idx];
+void SchedulerCore::noteRead(int32_t Reader, int32_t Dep,
+                             uint32_t VersionSeen) {
+  ensure(static_cast<size_t>(Dep) + 1);
+  std::vector<Edge> &Vec = Readers[Dep];
   // A clause body often reads the same summary several times in a row
   // (one call per clause trial); collapse trivially repeated edges.
-  if (!Vec.empty() && Vec.back().Reader == Reader.Idx &&
-      Vec.back().ReaderRun == RunSeq[Reader.Idx] &&
+  if (!Vec.empty() && Vec.back().Reader == Reader &&
+      Vec.back().ReaderRun == RunSeq[Reader] &&
       Vec.back().VersionSeen == VersionSeen)
     return;
-  Vec.push_back({Reader.Idx, RunSeq[Reader.Idx], VersionSeen});
+  Vec.push_back({Reader, RunSeq[Reader], VersionSeen});
   ++S.EdgesRecorded;
 }
 
-void WorklistScheduler::noteChanged(const ETEntry &E) {
-  ensure(static_cast<size_t>(E.Idx) + 1);
-  std::vector<Edge> &Vec = Readers[E.Idx];
+void SchedulerCore::noteChanged(int32_t Idx, uint32_t SuccessVersion) {
+  ensure(static_cast<size_t>(Idx) + 1);
+  std::vector<Edge> &Vec = Readers[Idx];
   for (size_t I = 0; I < Vec.size();) {
     const Edge &Ed = Vec[I];
     if (RunSeq[Ed.Reader] != Ed.ReaderRun) {
@@ -70,13 +75,13 @@ void WorklistScheduler::noteChanged(const ETEntry &E) {
       ++S.EdgesRetired;
       continue;
     }
-    if (Ed.VersionSeen != E.SuccessVersion) {
+    if (Ed.VersionSeen != SuccessVersion) {
       // Stale read. A reader positioned after the change that has not run
       // this sweep still gets its turn in the current sweep (the naive
       // DFS would reach it after the update); anything else waits for the
       // next sweep, like a naive restart.
       uint64_t Target =
-          (LastRunSweep[Ed.Reader] == CurSweep || Ed.Reader <= E.Idx)
+          (LastRunSweep[Ed.Reader] == CurSweep || Ed.Reader <= Idx)
               ? CurSweep + 1
               : CurSweep;
       enqueue(Ed.Reader, Target);
@@ -90,30 +95,40 @@ void WorklistScheduler::noteChanged(const ETEntry &E) {
   }
 }
 
+std::vector<int32_t> SchedulerCore::collectReady(uint64_t Sweep,
+                                                 size_t Max) const {
+  std::vector<int32_t> Ready;
+  for (const QNode &N : Heap)
+    if (N.first == Sweep && InQueue[N.second] && QueuedSweep[N.second] == Sweep)
+      Ready.push_back(N.second);
+  std::sort(Ready.begin(), Ready.end());
+  Ready.erase(std::unique(Ready.begin(), Ready.end()), Ready.end());
+  if (Ready.size() > Max)
+    Ready.resize(Max);
+  return Ready;
+}
+
 WorklistScheduler::Status WorklistScheduler::run(ETEntry &Root,
                                                  int MaxSweeps) {
   assert(Root.Idx >= 0 && "root entry must live in the table");
   Machine.setDependencySink(this);
-  CurSweep = 1;
+  Core.setCurrentSweep(1);
   Status Out = Status::Converged;
   if (MaxSweeps < 1) {
     Out = Status::BudgetHit;
   } else {
-    ensure(Table.size());
-    enqueue(Root.Idx, CurSweep);
-    while (!Heap.empty()) {
-      auto [Sweep, Idx] = Heap.top();
-      Heap.pop();
-      if (!InQueue[Idx] || QueuedSweep[Idx] != Sweep)
-        continue; // consumed inline or re-queued; lazy deletion
-      if (Sweep > CurSweep) {
+    Core.ensure(Table.size());
+    Core.enqueue(Root.Idx, Core.currentSweep());
+    while (std::optional<SchedulerCore::QNode> N = Core.popLive()) {
+      auto [Sweep, Idx] = *N;
+      if (Sweep > Core.currentSweep()) {
         if (Sweep > static_cast<uint64_t>(MaxSweeps)) {
           Out = Status::BudgetHit;
           break;
         }
-        CurSweep = Sweep;
+        Core.setCurrentSweep(Sweep);
       }
-      ++S.Runs;
+      ++Core.statsMut().Runs;
       if (Machine.runActivation(Table.entryAt(static_cast<size_t>(Idx))) ==
           AbsRunStatus::Error) {
         Out = Status::Error;
@@ -121,7 +136,8 @@ WorklistScheduler::Status WorklistScheduler::run(ETEntry &Root,
       }
     }
   }
-  S.Sweeps = MaxSweeps < 1 ? 0 : CurSweep; // sweeps actually executed
+  // sweeps actually executed
+  Core.statsMut().Sweeps = MaxSweeps < 1 ? 0 : Core.currentSweep();
   Machine.setDependencySink(nullptr);
   return Out;
 }

@@ -47,6 +47,15 @@
 ///    summary that has since grown and must re-run;
 ///  * an entry is enqueued for at most one sweep at a time (the earliest).
 ///
+/// The queue/edge state machine lives in SchedulerCore, a plain value
+/// type keyed on ETEntry::Idx. WorklistScheduler drives one core
+/// sequentially; the parallel driver (analyzer/ParallelScheduler.h)
+/// clones cores so speculative activation runs can emulate — and later
+/// validate against — the exact transitions the sequential drain would
+/// perform. Every behavioural decision (inline re-exploration, dirty
+/// targeting, edge retirement) is a core method, so both drivers share
+/// one definition of the schedule.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AWAM_ANALYZER_SCHEDULER_H
@@ -54,15 +63,19 @@
 
 #include "analyzer/AbstractMachine.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace awam {
 
-/// Semi-naive worklist driver over the extension table (DriverKind::
-/// Worklist). One instance drives one analysis run to its fixpoint.
-class WorklistScheduler final : public DependencySink {
+/// The worklist state machine: per-entry scheduling state, the reverse
+/// dependency edges, and the ready heap, with one method per transition.
+/// Copyable by design — a copy is an independent simulation of the same
+/// schedule, which is what speculative execution validates against.
+class SchedulerCore {
 public:
   struct Stats {
     uint64_t Sweeps = 0;       ///< sweeps executed (naive-iteration analogue)
@@ -71,6 +84,91 @@ public:
     uint64_t EdgesRecorded = 0;///< dependency edges recorded
     uint64_t EdgesRetired = 0; ///< edges dropped as superseded or consumed
   };
+
+  /// A ready-heap node: (sweep, entry Idx).
+  using QNode = std::pair<uint64_t, int32_t>;
+
+  /// Grows the per-entry side tables to cover \p N entries.
+  void ensure(size_t N);
+
+  /// Schedules entry \p Idx to run in \p Sweep (keeps the earliest if
+  /// already queued).
+  void enqueue(int32_t Idx, uint64_t Sweep);
+
+  /// Pops the next live ready node in (sweep, Idx) order, skipping nodes
+  /// retired by lazy deletion (consumed inline or re-queued). The entry
+  /// stays marked queued — the run's beginActivation consumes it.
+  std::optional<QNode> popLive();
+
+  /// True when a call to explored entry \p Idx must re-explore it inline:
+  /// a run is pending for the current sweep, which is where the naive
+  /// driver's DFS would re-explore the entry this iteration. A run queued
+  /// for a later sweep stays queued — the naive driver would answer this
+  /// call from the memo too.
+  bool shouldReexplore(int32_t Idx) const {
+    return static_cast<size_t>(Idx) < InQueue.size() && InQueue[Idx] &&
+           QueuedSweep[Idx] <= CurSweep;
+  }
+
+  /// True while entry \p Idx has a pending queued run (for any sweep).
+  bool isQueued(int32_t Idx) const {
+    return static_cast<size_t>(Idx) < InQueue.size() && InQueue[Idx];
+  }
+
+  /// Entry \p Idx's clauses are about to be (re)explored: consumes any
+  /// pending queued run and supersedes the previous run's recorded reads.
+  void beginActivation(int32_t Idx);
+
+  /// Entry \p Reader consumed \p Dep's summary, observing \p VersionSeen.
+  void noteRead(int32_t Reader, int32_t Dep, uint32_t VersionSeen);
+
+  /// Entry \p Idx's summary changed; \p SuccessVersion is its new (already
+  /// bumped) version. Re-enqueues readers whose recorded version went
+  /// stale, targeting the current sweep only for readers the naive DFS
+  /// would still reach after the update.
+  void noteChanged(int32_t Idx, uint32_t SuccessVersion);
+
+  /// Collects the live ready set of \p Sweep in ascending Idx order —
+  /// the prefix of the drain order the sequential driver would execute
+  /// next, which is exactly what the parallel driver speculates on.
+  /// Duplicate heap nodes are deduplicated; at most \p Max are returned.
+  std::vector<int32_t> collectReady(uint64_t Sweep, size_t Max) const;
+
+  uint64_t currentSweep() const { return CurSweep; }
+  void setCurrentSweep(uint64_t S) { CurSweep = S; }
+
+  const Stats &stats() const { return S; }
+  Stats &statsMut() { return S; }
+
+private:
+  /// One recorded memo read of a dependency's summary.
+  struct Edge {
+    int32_t Reader;      ///< reading entry (ETEntry::Idx)
+    uint32_t ReaderRun;  ///< reader's RunSeq when the edge was recorded
+    uint32_t VersionSeen;///< dependency's SuccessVersion at read time
+  };
+
+  // Per-entry state, indexed by ETEntry::Idx.
+  std::vector<std::vector<Edge>> Readers; ///< reverse-dependency edges
+  std::vector<uint32_t> RunSeq;           ///< bumped per run (edge validity)
+  std::vector<uint64_t> QueuedSweep;      ///< target sweep while InQueue
+  std::vector<char> InQueue;
+  std::vector<uint64_t> LastRunSweep;     ///< sweep of the last run (0 = never)
+
+  /// Min-heap on (sweep, Idx) with lazy deletion, kept as a raw vector
+  /// (std::push_heap/pop_heap with std::greater) so collectReady can scan
+  /// the pending nodes without draining them.
+  std::vector<QNode> Heap;
+
+  uint64_t CurSweep = 1;
+  Stats S;
+};
+
+/// Semi-naive worklist driver over the extension table (DriverKind::
+/// Worklist). One instance drives one analysis run to its fixpoint.
+class WorklistScheduler final : public DependencySink {
+public:
+  using Stats = SchedulerCore::Stats;
 
   enum class Status {
     Converged, ///< worklist drained: least fixpoint reached
@@ -86,46 +184,27 @@ public:
   /// dependency sink for the duration.
   Status run(ETEntry &Root, int MaxSweeps);
 
-  const Stats &stats() const { return S; }
+  const Stats &stats() const { return Core.stats(); }
 
   // --- DependencySink (called by the machine during activation runs) ---
-  bool shouldReexplore(const ETEntry &E) override;
-  void beginActivation(const ETEntry &E) override;
+  bool shouldReexplore(const ETEntry &E) override {
+    return Core.shouldReexplore(E.Idx);
+  }
+  void beginActivation(const ETEntry &E) override {
+    Core.beginActivation(E.Idx);
+  }
   void noteRead(const ETEntry &Reader, const ETEntry &Dep,
-                uint32_t VersionSeen) override;
-  void noteChanged(const ETEntry &E) override;
+                uint32_t VersionSeen) override {
+    Core.noteRead(Reader.Idx, Dep.Idx, VersionSeen);
+  }
+  void noteChanged(const ETEntry &E) override {
+    Core.noteChanged(E.Idx, E.SuccessVersion);
+  }
 
 private:
-  /// One recorded memo read of a dependency's summary.
-  struct Edge {
-    int32_t Reader;      ///< reading entry (ETEntry::Idx)
-    uint32_t ReaderRun;  ///< reader's RunSeq when the edge was recorded
-    uint32_t VersionSeen;///< dependency's SuccessVersion at read time
-  };
-
-  /// Grows the per-entry side tables to cover \p N entries.
-  void ensure(size_t N);
-  /// Schedules entry \p Idx to run in \p Sweep (keeps the earliest if
-  /// already queued).
-  void enqueue(int32_t Idx, uint64_t Sweep);
-
   ExtensionTable &Table;
   AbstractMachine &Machine;
-
-  // Per-entry state, indexed by ETEntry::Idx.
-  std::vector<std::vector<Edge>> Readers; ///< reverse-dependency edges
-  std::vector<uint32_t> RunSeq;           ///< bumped per run (edge validity)
-  std::vector<uint64_t> QueuedSweep;      ///< target sweep while InQueue
-  std::vector<char> InQueue;
-  std::vector<uint64_t> LastRunSweep;     ///< sweep of the last run (0 = never)
-
-  /// Min-heap of (sweep, Idx) with lazy deletion: a popped node is live
-  /// only if the entry is still queued for exactly that sweep.
-  using QNode = std::pair<uint64_t, int32_t>;
-  std::priority_queue<QNode, std::vector<QNode>, std::greater<QNode>> Heap;
-
-  uint64_t CurSweep = 1;
-  Stats S;
+  SchedulerCore Core;
 };
 
 } // namespace awam

@@ -18,7 +18,13 @@ AnalysisSession::operator=(AnalysisSession &&) noexcept = default;
 AnalysisSession::~AnalysisSession() = default;
 
 const WorklistScheduler::Stats *AnalysisSession::schedulerStats() const {
+  if (ParSched)
+    return &ParSched->stats();
   return Scheduler ? &Scheduler->stats() : nullptr;
+}
+
+const ParallelScheduler::SpecStats *AnalysisSession::specStats() const {
+  return ParSched ? &ParSched->specStats() : nullptr;
 }
 
 Result<AnalysisResult> AnalysisSession::analyze(std::string_view EntrySpec) {
@@ -49,6 +55,7 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
   // Fresh run state: each analyze() computes its fixpoint from scratch.
   Interner.reset();
   Scheduler.reset();
+  ParSched.reset();
   if (Options.UseInterning)
     Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
   Table = std::make_unique<ExtensionTable>(Options.TableImpl,
@@ -80,16 +87,38 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
         Interner ? Table->findOrCreate(
                        Pid, Interner->internNormalized(Entry), Created)
                  : Table->findOrCreate(Pid, Entry, Created);
-    Scheduler = std::make_unique<WorklistScheduler>(*Table, *Machine);
-    WorklistScheduler::Status Status =
-        Scheduler->run(Root, Options.MaxIterations);
-    if (Status == WorklistScheduler::Status::Error)
-      return makeError("abstract machine error: " +
-                       Machine->errorMessage());
+    WorklistScheduler::Status Status;
+    if (Options.NumThreads > 1) {
+      // Parallel driver: speculative execution with sequential-order
+      // commits — the table (and every committed-work counter) is
+      // byte-identical to the one-thread run.
+      if (!Pool || Pool->threads() != Options.NumThreads)
+        Pool = std::make_unique<SpecPool>(Options.NumThreads);
+      ParSched = std::make_unique<ParallelScheduler>(
+          *Table, *Machine, *Program, MachineOptions, *Pool);
+      Status = ParSched->run(Root, Options.MaxIterations);
+      if (Status == WorklistScheduler::Status::Error)
+        return makeError("abstract machine error: " +
+                         ParSched->errorMessage());
+    } else {
+      Scheduler = std::make_unique<WorklistScheduler>(*Table, *Machine);
+      Status = Scheduler->run(Root, Options.MaxIterations);
+      if (Status == WorklistScheduler::Status::Error)
+        return makeError("abstract machine error: " +
+                         Machine->errorMessage());
+    }
+    const WorklistScheduler::Stats &SS = *schedulerStats();
     R.Converged = Status == WorklistScheduler::Status::Converged;
-    R.Iterations = static_cast<int>(Scheduler->stats().Sweeps);
-    R.Counters.SchedulerRuns = Scheduler->stats().Runs;
-    R.Counters.DepEdges = Scheduler->stats().EdgesRecorded;
+    R.Iterations = static_cast<int>(SS.Sweeps);
+    R.Counters.SchedulerRuns = SS.Runs;
+    R.Counters.DepEdges = SS.EdgesRecorded;
+    if (ParSched) {
+      const ParallelScheduler::SpecStats &PS = ParSched->specStats();
+      R.Counters.SpecBatches = PS.Batches;
+      R.Counters.SpecRuns = PS.Speculated;
+      R.Counters.SpecCommitted = PS.Committed;
+      R.Counters.SpecDiscarded = PS.Discarded;
+    }
   }
 
   R.Instructions = Machine->stepsExecuted();

@@ -30,6 +30,7 @@
 #define AWAM_ANALYZER_SESSION_H
 
 #include "analyzer/Analyzer.h"
+#include "analyzer/ParallelScheduler.h"
 #include "analyzer/Scheduler.h"
 
 #include <memory>
@@ -78,9 +79,13 @@ public:
   /// machine (nullptr before the first run or on a custom backend).
   const ExtensionTable *table() const { return Table.get(); }
 
-  /// Scheduler statistics of the most recent worklist run (nullptr under
-  /// the naive driver or a custom backend).
+  /// Scheduler statistics of the most recent worklist run — sequential or
+  /// parallel (nullptr under the naive driver or a custom backend).
   const WorklistScheduler::Stats *schedulerStats() const;
+
+  /// Speculation statistics of the most recent parallel run (nullptr when
+  /// the last run used one thread, the naive driver, or a custom backend).
+  const ParallelScheduler::SpecStats *specStats() const;
 
 private:
   Result<AnalysisResult> analyzeCompiled(std::string_view Name,
@@ -95,6 +100,11 @@ private:
   std::unique_ptr<ExtensionTable> Table;
   std::unique_ptr<AbstractMachine> Machine;
   std::unique_ptr<WorklistScheduler> Scheduler;
+  std::unique_ptr<ParallelScheduler> ParSched;
+  /// Worker threads, created on the first NumThreads > 1 analyze() and
+  /// reused across analyze() calls (thread spawn costs would otherwise
+  /// dwarf these sub-millisecond analyses).
+  std::unique_ptr<SpecPool> Pool;
 };
 
 } // namespace awam

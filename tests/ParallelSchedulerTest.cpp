@@ -1,0 +1,269 @@
+//===- tests/ParallelSchedulerTest.cpp - Parallel driver determinism ------===//
+//
+// The parallel worklist driver is speculation plus a sequential-order
+// commit protocol (see analyzer/ParallelScheduler.h): its observable
+// results must be *byte-identical* to the one-thread worklist driver —
+// same table, same entry creation order, same iteration/instruction/
+// replay counters — at every thread count, on every input. This suite
+// pins that on all Table 1 benchmarks and a seeded random-program sweep,
+// plus the budget and error contracts and the speculation accounting
+// invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Session.h"
+#include "programs/Benchmarks.h"
+#include "RandomProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace awam;
+using awam::testgen::generateProgram;
+
+namespace {
+
+/// "pred call -> success" lines in creation order — unsorted, so equality
+/// pins entry creation order too.
+std::vector<std::string> tableLines(const AnalysisResult &R,
+                                    const SymbolTable &Syms) {
+  std::vector<std::string> Lines;
+  for (const AnalysisResult::Item &I : R.Items)
+    Lines.push_back(I.PredLabel + " " + I.Call.str(Syms) + " -> " +
+                    (I.Success ? I.Success->str(Syms) : "(fails)"));
+  return Lines;
+}
+
+AnalyzerOptions threadedOptions(int Threads) {
+  AnalyzerOptions O;
+  O.NumThreads = Threads;
+  return O;
+}
+
+TEST(ParallelSchedulerTest, BenchmarksByteIdenticalAcrossThreadCounts) {
+  // Acceptance criterion: tables byte-identical across 1/2/4/8 threads on
+  // all 11 Table 1 benchmarks — and not just the tables: every counter
+  // that describes the committed schedule must match too, so the
+  // formatted report (what the CI determinism gate diffs) is identical.
+  uint64_t TotalCommitted = 0;
+  int Checked = 0;
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    SymbolTable S;
+    TermArena A;
+    Result<CompiledProgram> P = compileSource(B.Source, S, A);
+    ASSERT_TRUE(P) << B.Name << ": " << P.diag().str();
+
+    AnalysisSession Seq(*P, threadedOptions(1));
+    Result<AnalysisResult> RS = Seq.analyze(B.EntrySpec);
+    ASSERT_TRUE(RS) << B.Name << ": " << RS.diag().str();
+    std::string SeqReport = formatAnalysis(*RS, S);
+
+    for (int Threads : {2, 4, 8}) {
+      AnalysisSession Par(*P, threadedOptions(Threads));
+      Result<AnalysisResult> RP = Par.analyze(B.EntrySpec);
+      ASSERT_TRUE(RP) << B.Name << " T=" << Threads << ": "
+                      << RP.diag().str();
+      EXPECT_EQ(tableLines(*RS, S), tableLines(*RP, S))
+          << B.Name << " T=" << Threads;
+      EXPECT_EQ(SeqReport, formatAnalysis(*RP, S))
+          << B.Name << " T=" << Threads;
+      EXPECT_EQ(RS->Iterations, RP->Iterations) << B.Name;
+      EXPECT_EQ(RS->Instructions, RP->Instructions) << B.Name;
+      EXPECT_EQ(RS->Counters.ActivationRuns, RP->Counters.ActivationRuns)
+          << B.Name;
+      EXPECT_EQ(RS->Counters.SchedulerRuns, RP->Counters.SchedulerRuns)
+          << B.Name;
+      EXPECT_EQ(RS->Counters.DepEdges, RP->Counters.DepEdges) << B.Name;
+      TotalCommitted += RP->Counters.SpecCommitted;
+    }
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 11);
+  // The parallel driver must actually commit speculative work somewhere in
+  // the sweep — otherwise this suite would be testing the live fallback
+  // path only.
+  EXPECT_GT(TotalCommitted, 0u);
+}
+
+TEST(ParallelSchedulerTest, RandomProgramStressAcrossThreadCounts) {
+  // Satellite: N seeded random programs, table identity across thread
+  // counts {1, 2, 8}, with replay counts recorded for every run.
+  for (unsigned Seed = 0; Seed != 30; ++Seed) {
+    std::string Source = generateProgram(Seed);
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+
+    SymbolTable Syms;
+    TermArena Arena;
+    Result<ParsedProgram> Parsed = parseProgram(Source, Syms, Arena);
+    ASSERT_TRUE(Parsed) << Parsed.diag().str();
+    Result<CompiledProgram> Compiled = compileProgram(*Parsed, Syms);
+    ASSERT_TRUE(Compiled) << Compiled.diag().str();
+
+    // One entry per generated predicate, all-any calling pattern.
+    for (const ParsedClause &C : Parsed->Clauses) {
+      std::string Name(Syms.name(C.Head->functor()));
+      if (Name.starts_with("$"))
+        continue; // desugaring artifacts analyzed transitively
+      int Arity = C.Head->isStruct() ? C.Head->arity() : 0;
+      Pattern Entry =
+          makeEntryPattern(std::vector<PatKind>(Arity, PatKind::AnyP));
+
+      AnalysisSession Seq(*Compiled, threadedOptions(1));
+      Result<AnalysisResult> RS = Seq.analyze(Name, Entry);
+      ASSERT_TRUE(RS) << Name << ": " << RS.diag().str();
+      EXPECT_GT(RS->Counters.SchedulerRuns, 0u) << Name;
+
+      for (int Threads : {2, 8}) {
+        AnalysisSession Par(*Compiled, threadedOptions(Threads));
+        Result<AnalysisResult> RP = Par.analyze(Name, Entry);
+        ASSERT_TRUE(RP) << Name << " T=" << Threads << ": "
+                        << RP.diag().str();
+        EXPECT_EQ(tableLines(*RS, Syms), tableLines(*RP, Syms))
+            << Name << " T=" << Threads;
+        // Replay counts are recorded per run and must be the sequential
+        // schedule's counts exactly.
+        EXPECT_EQ(RS->Counters.SchedulerRuns, RP->Counters.SchedulerRuns)
+            << Name << " T=" << Threads;
+        EXPECT_EQ(RS->Counters.ActivationRuns,
+                  RP->Counters.ActivationRuns)
+            << Name << " T=" << Threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelSchedulerTest, SpeculationAccountingInvariants) {
+  SymbolTable Syms;
+  TermArena Arena;
+  // Mutual recursion with several interdependent predicates: enough sweep
+  // width for batches to form.
+  Result<CompiledProgram> P = compileSource(
+      "even(0). even(s(N)) :- odd(N).\n"
+      "odd(s(N)) :- even(N).\n"
+      "both(N) :- even(N), odd(N).\n"
+      "len([], 0). len([_|T], s(N)) :- len(T, N).\n"
+      "main :- both(s(0)), len([a,b,c], _).",
+      Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+
+  AnalysisSession Par(*P, threadedOptions(4));
+  Result<AnalysisResult> R = Par.analyze("main");
+  ASSERT_TRUE(R) << R.diag().str();
+  ASSERT_NE(Par.specStats(), nullptr);
+  const ParallelScheduler::SpecStats &S = *Par.specStats();
+  // Every speculation either committed or was discarded — none leak.
+  EXPECT_EQ(S.Speculated, S.Committed + S.Discarded);
+  EXPECT_EQ(R->Counters.SpecRuns, S.Speculated);
+  // The scheduler stats surface through the same accessor as sequential.
+  ASSERT_NE(Par.schedulerStats(), nullptr);
+  EXPECT_EQ(R->Counters.SchedulerRuns, Par.schedulerStats()->Runs);
+
+  // One-thread runs build the sequential scheduler: no spec stats.
+  AnalysisSession Seq(*P, threadedOptions(1));
+  ASSERT_TRUE(Seq.analyze("main"));
+  EXPECT_EQ(Seq.specStats(), nullptr);
+  ASSERT_NE(Seq.schedulerStats(), nullptr);
+}
+
+TEST(ParallelSchedulerTest, SessionReusesPoolAcrossAnalyses) {
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P = compileSource(
+      "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).\n"
+      "nrev([], []). nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).",
+      Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+  AnalysisSession A(*P, threadedOptions(4));
+  Result<AnalysisResult> R1 = A.analyze("nrev(glist, var)");
+  ASSERT_TRUE(R1) << R1.diag().str();
+  Result<AnalysisResult> R2 = A.analyze("nrev(glist, var)");
+  ASSERT_TRUE(R2) << R2.diag().str();
+  EXPECT_EQ(tableLines(*R1, Syms), tableLines(*R2, Syms));
+  EXPECT_EQ(R1->Instructions, R2->Instructions);
+}
+
+TEST(ParallelSchedulerTest, BudgetHitParityWithSequential) {
+  // The sweep budget must trip at the same point with the same partial
+  // table regardless of thread count.
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P =
+      compileSource("count(zero). count(s(N)) :- count(N).", Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+
+  for (int Budget : {0, 1, 2}) {
+    AnalyzerOptions SeqO = threadedOptions(1);
+    SeqO.MaxIterations = Budget;
+    AnalysisSession Seq(*P, SeqO);
+    Result<AnalysisResult> RS = Seq.analyze("count(var)");
+    ASSERT_TRUE(RS) << RS.diag().str();
+
+    AnalyzerOptions ParO = threadedOptions(4);
+    ParO.MaxIterations = Budget;
+    AnalysisSession Par(*P, ParO);
+    Result<AnalysisResult> RP = Par.analyze("count(var)");
+    ASSERT_TRUE(RP) << RP.diag().str();
+
+    EXPECT_EQ(RS->Converged, RP->Converged) << "budget " << Budget;
+    EXPECT_EQ(RS->Iterations, RP->Iterations) << "budget " << Budget;
+    EXPECT_EQ(tableLines(*RS, Syms), tableLines(*RP, Syms))
+        << "budget " << Budget;
+  }
+}
+
+TEST(ParallelSchedulerTest, StepBudgetErrorParityWithSequential) {
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P =
+      compileSource("count(zero). count(s(N)) :- count(N).", Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+
+  AnalyzerOptions SeqO = threadedOptions(1);
+  SeqO.MaxSteps = 10;
+  AnalysisSession Seq(*P, SeqO);
+  Result<AnalysisResult> RS = Seq.analyze("count(var)");
+  ASSERT_FALSE(RS);
+
+  AnalyzerOptions ParO = threadedOptions(4);
+  ParO.MaxSteps = 10;
+  AnalysisSession Par(*P, ParO);
+  Result<AnalysisResult> RP = Par.analyze("count(var)");
+  ASSERT_FALSE(RP);
+  EXPECT_EQ(RS.diag().str(), RP.diag().str());
+}
+
+TEST(ParallelSchedulerTest, WorksWithoutInterningAndOnLinearList) {
+  // The overlay/commit protocol must hold on every table configuration,
+  // not just the fast path.
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P = compileSource(
+      "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).\n"
+      "nrev([], []). nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).",
+      Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+
+  for (bool Interning : {false, true}) {
+    for (ExtensionTable::Impl Impl :
+         {ExtensionTable::Impl::LinearList, ExtensionTable::Impl::HashMap}) {
+      AnalyzerOptions SeqO = threadedOptions(1);
+      SeqO.UseInterning = Interning;
+      SeqO.TableImpl = Impl;
+      AnalysisSession Seq(*P, SeqO);
+      Result<AnalysisResult> RS = Seq.analyze("nrev(glist, var)");
+      ASSERT_TRUE(RS) << RS.diag().str();
+
+      AnalyzerOptions ParO = SeqO;
+      ParO.NumThreads = 4;
+      AnalysisSession Par(*P, ParO);
+      Result<AnalysisResult> RP = Par.analyze("nrev(glist, var)");
+      ASSERT_TRUE(RP) << RP.diag().str();
+      EXPECT_EQ(tableLines(*RS, Syms), tableLines(*RP, Syms))
+          << "interning=" << Interning
+          << " impl=" << (Impl == ExtensionTable::Impl::HashMap ? "hash"
+                                                                : "list");
+      EXPECT_EQ(RS->Instructions, RP->Instructions);
+    }
+  }
+}
+
+} // namespace
