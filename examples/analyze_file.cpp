@@ -6,10 +6,14 @@
 //
 //   --entry SPEC   entry goal, e.g. "main" or "qsort(glist, var, var)"
 //                  (default: main)
-//   --depth K      term-depth restriction (default 4)
-//   --threads N    worklist driver threads (default 1; the table is
-//                  byte-identical for every N — the CI determinism gate
-//                  diffs this tool's output across thread counts)
+//   --depth K      term-depth restriction (default 4, K >= 1)
+//   --threads N    worklist driver threads (default 1, N >= 1; the table
+//                  is byte-identical for every N — the CI determinism
+//                  gate diffs this tool's output across thread counts)
+//   --edit P/A     mark predicate P/A edited and re-analyze incrementally
+//                  after the initial run; repeatable (one chained
+//                  reanalyze per flag). The final report is byte-identical
+//                  to the plain run — the CI incremental gate diffs it.
 //   --wam          print the compiled WAM code
 //   --modes        print the mode report (default prints patterns)
 //   --baseline     use the meta-interpreting analyzer instead
@@ -24,9 +28,12 @@
 #include "compiler/Disasm.h"
 #include "programs/Benchmarks.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 using namespace awam;
@@ -37,9 +44,38 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: analyze_file (<file.pl> | bench:<name>) [--entry SPEC] "
-      "[--depth K]\n                    [--threads N] [--wam] [--modes] "
-      "[--baseline] [--trace]\n");
+      "[--depth K]\n                    [--threads N] [--edit P/A]... "
+      "[--wam] [--modes] [--baseline]\n                    [--trace] "
+      "[--dead]\n");
   return 2;
+}
+
+/// Parses \p Text as an integer in [\p Min, INT_MAX]; false on trailing
+/// garbage, empty input, out-of-range values, or anything below Min
+/// (std::atoi would silently yield 0 — and UB — on all of those).
+bool parseIntArg(const char *Text, int Min, int &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || V < Min ||
+      V > std::numeric_limits<int>::max())
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
+/// Parses a --edit operand of the form "name/arity".
+bool parseEditArg(const char *Text, PredSig &Out) {
+  std::string_view S = Text;
+  size_t Slash = S.rfind('/');
+  if (Slash == std::string_view::npos || Slash == 0)
+    return false;
+  int Arity = 0;
+  if (!parseIntArg(std::string(S.substr(Slash + 1)).c_str(), 0, Arity))
+    return false;
+  Out.Name = std::string(S.substr(0, Slash));
+  Out.Arity = Arity;
+  return true;
 }
 
 } // namespace
@@ -54,15 +90,32 @@ int main(int argc, char **argv) {
   int Threads = 1;
   bool ShowWam = false, ShowModes = false, UseBaseline = false,
        Trace = false, ShowDead = false;
+  std::vector<PredSig> Edits;
   for (int I = 2; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--entry" && I + 1 < argc)
       Entry = argv[++I];
-    else if (Arg == "--depth" && I + 1 < argc)
-      Depth = std::atoi(argv[++I]);
-    else if (Arg == "--threads" && I + 1 < argc)
-      Threads = std::atoi(argv[++I]);
-    else if (Arg == "--wam")
+    else if (Arg == "--depth" && I + 1 < argc) {
+      if (!parseIntArg(argv[++I], 1, Depth)) {
+        std::fprintf(stderr, "bad --depth '%s': expected an integer >= 1\n",
+                     argv[I]);
+        return usage();
+      }
+    } else if (Arg == "--threads" && I + 1 < argc) {
+      if (!parseIntArg(argv[++I], 1, Threads)) {
+        std::fprintf(stderr, "bad --threads '%s': expected an integer >= 1\n",
+                     argv[I]);
+        return usage();
+      }
+    } else if (Arg == "--edit" && I + 1 < argc) {
+      PredSig Sig;
+      if (!parseEditArg(argv[++I], Sig)) {
+        std::fprintf(stderr, "bad --edit '%s': expected name/arity\n",
+                     argv[I]);
+        return usage();
+      }
+      Edits.push_back(std::move(Sig));
+    } else if (Arg == "--wam")
       ShowWam = true;
     else if (Arg == "--modes")
       ShowModes = true;
@@ -118,6 +171,14 @@ int main(int argc, char **argv) {
   AnalyzerOptions Options;
   Options.DepthLimit = Depth;
   Options.NumThreads = Threads;
+  Options.Incremental = !Edits.empty();
+
+  if (!Edits.empty() && (UseBaseline || Trace)) {
+    std::fprintf(stderr,
+                 "--edit requires the compiled worklist analyzer (no "
+                 "--baseline / --trace)\n");
+    return usage();
+  }
 
   Result<AnalysisResult> R = makeError("unreachable");
   if (UseBaseline) {
@@ -165,6 +226,14 @@ int main(int argc, char **argv) {
   } else {
     AnalysisSession A(*Compiled, Options);
     R = A.analyze(Entry);
+    // Chained incremental re-analyses: each --edit marks its predicate
+    // edited and replays the rest of the previous run. The final report
+    // must be byte-identical to the plain run (the program is unchanged).
+    for (const PredSig &Sig : Edits) {
+      if (!R)
+        break;
+      R = A.reanalyze({Sig});
+    }
   }
   if (!R) {
     std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());

@@ -2,6 +2,8 @@
 
 #include "analyzer/AbstractMachine.h"
 
+#include "analyzer/RunJournal.h"
+
 #include "absdom/AbsBuiltins.h"
 #include "absdom/AbsOps.h"
 #include "compiler/Builtins.h"
@@ -99,6 +101,14 @@ AbsRunStatus AbstractMachine::runActivation(ETEntry &Root) {
   assert(Deps && "runActivation needs a dependency sink (worklist mode)");
   resetRun();
 
+  // Journal recording brackets the run: beginRun snapshots the root's
+  // pre-run summary (before any updateET can grow it), endRun stores the
+  // run's own step/activation cost.
+  uint64_t Steps0 = Steps;
+  uint64_t Acts0 = Activations;
+  if (Journal)
+    Journal->beginRun(Root);
+
   Deps->beginActivation(Root);
   Root.EverExplored = true;
   ++Activations;
@@ -117,7 +127,11 @@ AbsRunStatus AbstractMachine::runActivation(ETEntry &Root) {
   F.EnvMark = 0;
   Frames.push_back(std::move(F));
 
-  return driveToCompletion();
+  AbsRunStatus Status = driveToCompletion();
+  if (Journal)
+    Journal->endRun(Steps - Steps0, Activations - Acts0,
+                    Status == AbsRunStatus::Error);
+  return Status;
 }
 
 void AbstractMachine::enterClause() {
@@ -157,8 +171,11 @@ void AbstractMachine::failCurrent() {
 void AbstractMachine::summaryGrew(ETEntry &Entry) {
   Table.noteSuccessChanged(Entry);
   Changed = true;
-  if (Deps)
+  if (Deps) {
+    if (Journal)
+      Journal->noteGrow(Entry);
     Deps->noteChanged(Entry);
+  }
 }
 
 void AbstractMachine::clauseSucceeded() {
@@ -243,6 +260,8 @@ void AbstractMachine::returnFromFrame() {
 
   // The caller's continuation reads this entry's final summary: that read
   // is a dependency of the caller's activation.
+  if (Deps && Journal)
+    Journal->exitCall();
   if (Deps && !Frames.empty())
     Deps->noteRead(*Frames.back().Entry, *F.Entry, F.Entry->SuccessVersion);
 
@@ -306,8 +325,11 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
                    : " [unexplored: explore clauses]"));
 
   if (Memo) {
-    if (Deps)
+    if (Deps) {
+      if (Journal)
+        Journal->noteMemo(Entry);
       Deps->noteRead(*Frames.back().Entry, Entry, Entry.SuccessVersion);
+    }
     // Memoized deterministic return (or failure if nothing is known yet —
     // the driver will come back).
     if (!Entry.Success) {
@@ -328,6 +350,8 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
   }
 
   if (Deps) {
+    if (Journal)
+      Journal->enterCall(Entry, Created);
     Deps->beginActivation(Entry);
     Entry.EverExplored = true;
   } else {

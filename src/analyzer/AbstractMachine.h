@@ -41,6 +41,8 @@
 
 namespace awam {
 
+class RunJournal;
+
 /// Outcome of one abstract-interpretation iteration.
 enum class AbsRunStatus {
   Completed, ///< ran to completion (top goal succeeded or finitely failed)
@@ -106,6 +108,12 @@ public:
   /// switches doCall to the activation protocol; runIteration requires the
   /// sink to be null.
   void setDependencySink(DependencySink *S) { Deps = S; }
+
+  /// Attaches (or clears) a trace journal: every runActivation then
+  /// records a replayable RunTrace of its table interactions (the
+  /// incremental re-analysis feed; see analyzer/RunJournal.h). Activation
+  /// protocol only — runIteration ignores the journal.
+  void setRunJournal(RunJournal *J) { Journal = J; }
 
   /// Runs one naive iteration from entry predicate \p PredId with calling
   /// pattern \p Entry. Returns Completed normally; table growth is
@@ -186,6 +194,8 @@ private:
   PatternInterner *Interner;
   /// Non-null switches doCall to the activation protocol (worklist mode).
   DependencySink *Deps = nullptr;
+  /// Non-null records a RunTrace per activation run (incremental mode).
+  RunJournal *Journal = nullptr;
   AbsMachineOptions Options;
 
   Store St;

@@ -58,8 +58,15 @@ struct AnalyzerOptions {
   /// Worklist driver only: total threads running activations (the calling
   /// thread included). 1 = the sequential WorklistScheduler; > 1 = the
   /// deterministic speculative ParallelScheduler, which computes the
-  /// byte-identical table (see analyzer/ParallelScheduler.h).
+  /// byte-identical table (see analyzer/ParallelScheduler.h). Values < 1
+  /// behave like 1 (the pool clamps); the CLI rejects them up front.
   int NumThreads = 1;
+  /// Record a replayable trace of every activation run (worklist driver
+  /// only), enabling AnalysisSession::reanalyze() afterwards. Off by
+  /// default: recording copies calling/success patterns per table event,
+  /// which perturbs the timing benches. The computed result is identical
+  /// either way.
+  bool Incremental = false;
 };
 
 /// The paper-faithful seed configuration — naive restart loop over a

@@ -1,0 +1,350 @@
+//===- analyzer/Incremental.cpp - Incremental re-analysis driver ----------===//
+//
+// Validated journal replay: see the protocol description in Incremental.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Incremental.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace awam;
+
+namespace {
+
+/// Group key for (root pid, calling pattern) — same mixing constant as the
+/// table's structural index.
+uint64_t groupKey(int32_t Pid, const Pattern &Call) {
+  return static_cast<uint64_t>(Call.hash()) ^
+         (static_cast<uint64_t>(static_cast<uint32_t>(Pid)) *
+          0x9e3779b97f4a7c15ull);
+}
+
+int32_t resolveSig(const CodeModule &M, const PredSig &Sig) {
+  Symbol Sym = M.symbols().lookup(Sig.Name);
+  return Sym == ~0u ? -1 : M.findPredicate(Sym, Sig.Arity);
+}
+
+} // namespace
+
+IncrementalScheduler::IncrementalScheduler(
+    ExtensionTable &Table, AbstractMachine &Machine, const CodeModule &Module,
+    const RunJournal &Prev, const std::vector<PredSig> &Edited,
+    RunJournal *Out, uint64_t MaxSteps)
+    : Table(Table), Machine(Machine), Module(Module), Prev(Prev),
+      OutJournal(Out), MaxSteps(MaxSteps) {
+  // Resolve every recorded predicate id against the (possibly recompiled)
+  // module by name/arity. Ids that no longer resolve stay -1: their traces
+  // can never replay, and roots keyed on them can never be popped either.
+  int32_t MaxOld = -1;
+  for (const auto &KV : Prev.sigs())
+    MaxOld = std::max(MaxOld, KV.first);
+  PidMap.assign(static_cast<size_t>(MaxOld + 1), -1);
+  for (const auto &KV : Prev.sigs())
+    PidMap[KV.first] = resolveSig(Module, KV.second);
+
+  EditedNew.assign(static_cast<size_t>(Module.numPredicates()), 0);
+  for (const PredSig &Sig : Edited) {
+    int32_t Pid = resolveSig(Module, Sig);
+    if (Pid >= 0)
+      EditedNew[Pid] = 1;
+  }
+
+  // Group the traces by root key in recording order. Every root-resolvable
+  // trace is registered — even unusable ones — so the Nth pop of a key
+  // consumes the trace of the Nth committed run of that key; replays and
+  // executions interleave without sliding the correspondence.
+  const auto &Runs = Prev.runs();
+  Usable.assign(Runs.size(), 0);
+  for (size_t I = 0; I != Runs.size(); ++I) {
+    const RunTrace &T = *Runs[I];
+    int32_t RootPid = resolvePid(T.Pred);
+    if (RootPid < 0)
+      continue;
+    std::vector<RootGroup> &Bucket = Groups[groupKey(RootPid, T.Call)];
+    RootGroup *G = nullptr;
+    for (RootGroup &Cand : Bucket)
+      if (Cand.Pid == RootPid && *Cand.Call == T.Call) {
+        G = &Cand;
+        break;
+      }
+    if (!G) {
+      Bucket.push_back(RootGroup{RootPid, &T.Call, {}, 0});
+      G = &Bucket.back();
+    }
+    G->TraceIdx.push_back(I);
+
+    // Structural usability: errored/unbalanced runs never replay; a run
+    // that *executed* an edited predicate's clauses (as root or inline) is
+    // stale by definition; and every referenced predicate must resolve, so
+    // the trace's effects — and its carry-over into the next journal — are
+    // expressible in the new module. Memo reads of edited predicates are
+    // fine: validation compares the summary value, which is what the
+    // recorded execution actually consumed.
+    bool OK = !T.Error && !EditedNew[RootPid];
+    for (const TraceOp &Op : T.Ops) {
+      if (!OK)
+        break;
+      if (Op.Pred < 0)
+        continue;
+      int32_t NewPid = resolvePid(Op.Pred);
+      if (NewPid < 0 || (Op.K == TraceOp::Enter && EditedNew[NewPid]))
+        OK = false;
+    }
+    Usable[I] = OK ? 1 : 0;
+  }
+}
+
+const RunTrace *IncrementalScheduler::takeTrace(const ETEntry &Root,
+                                                size_t &TraceIdxOut) {
+  auto It = Groups.find(groupKey(Root.PredId, Root.Call));
+  if (It == Groups.end())
+    return nullptr;
+  for (RootGroup &G : It->second) {
+    if (G.Pid != Root.PredId || !(*G.Call == Root.Call))
+      continue;
+    if (G.Cursor >= G.TraceIdx.size())
+      return nullptr;
+    TraceIdxOut = G.TraceIdx[G.Cursor++];
+    return Prev.runs()[TraceIdxOut].get();
+  }
+  return nullptr;
+}
+
+bool IncrementalScheduler::tryReplay(ETEntry &Root) {
+  size_t TI = 0;
+  const RunTrace *T = takeTrace(Root, TI);
+  if (!T || !Usable[TI])
+    return false;
+  // A run that would trip the instruction budget errors partway through
+  // with partial effects; only real execution reproduces that exactly.
+  if (Machine.stepsExecuted() + T->Steps > MaxSteps)
+    return false;
+  if (!(Root.Success == T->PreSuccess))
+    return false;
+
+  // --- Pass 1: validate by simulation, emitting an apply plan. ----------
+  //
+  // The simulation overlays the live table (never written) with the
+  // effects the trace would apply, and drives a clone of the live core
+  // through the schedule transitions, so memo-vs-explore decisions are
+  // answered exactly as the machine's shouldReexplore query would be.
+  const size_t LiveSize = Table.size();
+  SchedulerCore Clone = Core;
+
+  struct SimNew {
+    int32_t Pid;
+    const Pattern *Call;
+  };
+  std::vector<SimNew> SimCreated;
+  std::unordered_map<int32_t, const Pattern *> SuccOverride;
+  std::unordered_map<int32_t, uint32_t> VerOverride;
+  std::unordered_map<int32_t, char> ExplOverride;
+
+  auto FindSim = [&](int32_t Pid, const Pattern &Call) -> int32_t {
+    if (const ETEntry *E = Table.findExisting(Pid, Call))
+      return E->Idx;
+    for (size_t I = 0; I != SimCreated.size(); ++I)
+      if (SimCreated[I].Pid == Pid && *SimCreated[I].Call == Call)
+        return static_cast<int32_t>(LiveSize + I);
+    return -1;
+  };
+  auto SimSuccess = [&](int32_t Idx) -> const Pattern * {
+    auto It = SuccOverride.find(Idx);
+    if (It != SuccOverride.end())
+      return It->second;
+    if (static_cast<size_t>(Idx) < LiveSize) {
+      const std::optional<Pattern> &S = Table.entryAt(Idx).Success;
+      return S ? &*S : nullptr;
+    }
+    return nullptr; // created this run: no summary until it grows
+  };
+  auto SimVer = [&](int32_t Idx) -> uint32_t {
+    auto It = VerOverride.find(Idx);
+    if (It != VerOverride.end())
+      return It->second;
+    return static_cast<size_t>(Idx) < LiveSize
+               ? Table.entryAt(Idx).SuccessVersion
+               : 0;
+  };
+  auto SimExplored = [&](int32_t Idx) -> bool {
+    auto It = ExplOverride.find(Idx);
+    if (It != ExplOverride.end())
+      return It->second != 0;
+    return static_cast<size_t>(Idx) < LiveSize && Table.entryAt(Idx).EverExplored;
+  };
+  auto SummaryMatches = [&](int32_t Idx, const std::optional<Pattern> &Want) {
+    const Pattern *Have = SimSuccess(Idx);
+    if (!Have || !Want)
+      return !Have && !Want;
+    return *Have == *Want;
+  };
+
+  struct PlanOp {
+    enum Kind : uint8_t {
+      Begin,  ///< A = entry idx: beginActivation + EverExplored
+      Create, ///< A = pid, B = expected idx, Pat = calling pattern
+      Read,   ///< A = reader idx, B = dep idx (version read live at apply)
+      Grow,   ///< A = entry idx, Pat = new summary
+    } K;
+    int32_t A = -1;
+    int32_t B = -1;
+    const Pattern *Pat = nullptr;
+  };
+  std::vector<PlanOp> Plan;
+  std::vector<int32_t> Stack;
+
+  // runActivation's preamble: the root activation begins.
+  Clone.beginActivation(Root.Idx);
+  ExplOverride[Root.Idx] = 1;
+  Plan.push_back({PlanOp::Begin, Root.Idx, -1, nullptr});
+  Stack.push_back(Root.Idx);
+
+  for (const TraceOp &Op : T->Ops) {
+    switch (Op.K) {
+    case TraceOp::Memo: {
+      int32_t Idx = FindSim(resolvePid(Op.Pred), Op.Call);
+      if (Idx < 0)
+        return false; // execution would create-and-explore, not memo
+      if (!SimExplored(Idx) || Clone.shouldReexplore(Idx))
+        return false; // execution would explore inline here
+      if (!SummaryMatches(Idx, Op.Summary))
+        return false; // the summary the run consumed has changed
+      Clone.noteRead(Stack.back(), Idx, SimVer(Idx));
+      Plan.push_back({PlanOp::Read, Stack.back(), Idx, nullptr});
+      break;
+    }
+    case TraceOp::Enter: {
+      int32_t Pid = resolvePid(Op.Pred);
+      int32_t Idx = FindSim(Pid, Op.Call);
+      if (Op.Created) {
+        if (Idx >= 0)
+          return false; // execution would find the entry, not create it
+        Idx = static_cast<int32_t>(LiveSize + SimCreated.size());
+        SimCreated.push_back({Pid, &Op.Call});
+        Plan.push_back({PlanOp::Create, Pid, Idx, &Op.Call});
+      } else {
+        if (Idx < 0)
+          return false; // execution would create it (Created mismatch)
+        if (SimExplored(Idx) && !Clone.shouldReexplore(Idx))
+          return false; // execution would answer from the memo here
+      }
+      if (!SummaryMatches(Idx, Op.Summary))
+        return false; // pre-exploration memo differs: clause runs diverge
+      Clone.beginActivation(Idx);
+      ExplOverride[Idx] = 1;
+      Plan.push_back({PlanOp::Begin, Idx, -1, nullptr});
+      Stack.push_back(Idx);
+      break;
+    }
+    case TraceOp::Exit: {
+      assert(!Stack.empty() && "balanced trace (unbalanced are unusable)");
+      int32_t Child = Stack.back();
+      Stack.pop_back();
+      // returnFromFrame: the parent's continuation reads the child's final
+      // summary. The root's own exit has no parent and records no read.
+      if (!Stack.empty()) {
+        Clone.noteRead(Stack.back(), Child, SimVer(Child));
+        Plan.push_back({PlanOp::Read, Stack.back(), Child, nullptr});
+      }
+      break;
+    }
+    case TraceOp::Grow: {
+      assert(!Stack.empty() && Op.Summary && "grow applies to the open frame");
+      int32_t Idx = Stack.back();
+      SuccOverride[Idx] = &*Op.Summary;
+      uint32_t NewVer = SimVer(Idx) + 1;
+      VerOverride[Idx] = NewVer;
+      Clone.noteChanged(Idx, NewVer);
+      Plan.push_back({PlanOp::Grow, Idx, -1, &*Op.Summary});
+      break;
+    }
+    }
+  }
+  if (!Stack.empty())
+    return false;
+
+  // --- Pass 2: apply the validated plan to the live state. --------------
+  for (const PlanOp &Op : Plan) {
+    switch (Op.K) {
+    case PlanOp::Begin: {
+      ETEntry &E = Table.entryAt(static_cast<size_t>(Op.A));
+      Core.beginActivation(E.Idx);
+      E.EverExplored = true;
+      break;
+    }
+    case PlanOp::Create: {
+      bool Created = false;
+      ETEntry &E = Table.interner()
+                       ? Table.findOrCreateByPattern(Op.A, *Op.Pat, Created)
+                       : Table.findOrCreate(Op.A, *Op.Pat, Created);
+      assert(Created && E.Idx == Op.B && "validated creation must hold");
+      (void)E;
+      (void)Created;
+      Core.ensure(Table.size());
+      break;
+    }
+    case PlanOp::Read:
+      Core.noteRead(Op.A, Op.B,
+                    Table.entryAt(static_cast<size_t>(Op.B)).SuccessVersion);
+      break;
+    case PlanOp::Grow: {
+      ETEntry &E = Table.entryAt(static_cast<size_t>(Op.A));
+      E.Success.emplace(*Op.Pat);
+      if (PatternInterner *In = Table.interner())
+        E.SuccessId = In->intern(*E.Success);
+      Table.noteSuccessChanged(E);
+      Core.noteChanged(E.Idx, E.SuccessVersion);
+      break;
+    }
+    }
+  }
+  Machine.charge(T->Steps, T->Activations);
+  if (OutJournal)
+    OutJournal->appendRemapped(Prev.runs()[TI], PidMap);
+  ++RStats.ReplayedRuns;
+  RStats.ReplayedActivations += T->Activations;
+  return true;
+}
+
+IncrementalScheduler::Status IncrementalScheduler::run(ETEntry &Root,
+                                                       int MaxSweeps) {
+  assert(Root.Idx >= 0 && "root entry must live in the table");
+  // The sink stays installed for the whole drain: executed fallbacks run
+  // on the machine, which reports through it (and records fresh traces
+  // into the session's attached journal).
+  Machine.setDependencySink(this);
+  Core.setCurrentSweep(1);
+  Status Out = Status::Converged;
+  if (MaxSweeps < 1) {
+    Out = Status::BudgetHit;
+  } else {
+    Core.ensure(Table.size());
+    Core.enqueue(Root.Idx, Core.currentSweep());
+    while (std::optional<SchedulerCore::QNode> N = Core.popLive()) {
+      auto [Sweep, Idx] = *N;
+      if (Sweep > Core.currentSweep()) {
+        if (Sweep > static_cast<uint64_t>(MaxSweeps)) {
+          Out = Status::BudgetHit;
+          break;
+        }
+        Core.setCurrentSweep(Sweep);
+      }
+      ++Core.statsMut().Runs;
+      ETEntry &E = Table.entryAt(static_cast<size_t>(Idx));
+      if (tryReplay(E))
+        continue;
+      uint64_t Acts0 = Machine.activationsExplored();
+      if (Machine.runActivation(E) == AbsRunStatus::Error) {
+        Out = Status::Error;
+        break;
+      }
+      ++RStats.ExecutedRuns;
+      RStats.ExecutedActivations += Machine.activationsExplored() - Acts0;
+    }
+  }
+  Core.statsMut().Sweeps = MaxSweeps < 1 ? 0 : Core.currentSweep();
+  Machine.setDependencySink(nullptr);
+  return Out;
+}

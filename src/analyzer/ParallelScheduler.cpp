@@ -2,6 +2,8 @@
 
 #include "analyzer/ParallelScheduler.h"
 
+#include "analyzer/RunJournal.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cassert>
@@ -107,6 +109,9 @@ struct ParallelScheduler::Spec {
   uint64_t Activations = 0;
   uint64_t Probes = 0;
   bool MachineError = false;
+  /// Incremental mode only: the replayable trace the worker recorded for
+  /// this run, handed to the master journal if the speculation commits.
+  std::shared_ptr<const RunTrace> Trace;
 };
 
 /// The worker-side dependency sink: answers the machine's scheduling
@@ -163,6 +168,10 @@ struct ParallelScheduler::Worker {
   ExtensionTable Overlay;
   AbstractMachine Machine;
   SpecSink Sink;
+  /// Per-worker trace recorder (incremental mode): the worker machine
+  /// records into it, speculateOne harvests one trace per run. Same module
+  /// as the master, so harvested traces share the master's pid space.
+  RunJournal Journal;
 
   Worker(const ExtensionTable &Master, const CompiledProgram &Program,
          const AbsMachineOptions &Options)
@@ -170,7 +179,7 @@ struct ParallelScheduler::Worker {
                      ? std::make_unique<PatternInterner>(Options.DepthLimit)
                      : nullptr),
         Overlay(Master.impl(), Interner.get()),
-        Machine(Program, Overlay, Options) {
+        Machine(Program, Overlay, Options), Journal(*Program.Module) {
     Overlay.attachBase(Master);
   }
 };
@@ -183,8 +192,8 @@ ParallelScheduler::ParallelScheduler(ExtensionTable &Table,
                                      AbstractMachine &Machine,
                                      const CompiledProgram &Program,
                                      const AbsMachineOptions &MachineOptions,
-                                     SpecPool &Pool)
-    : Table(Table), Machine(Machine), Pool(Pool) {
+                                     SpecPool &Pool, RunJournal *Journal)
+    : Table(Table), Machine(Machine), Pool(Pool), MasterJournal(Journal) {
   AbsMachineOptions WorkerOptions = MachineOptions;
   WorkerOptions.TraceLog = nullptr; // tracing is a sequential-only feature
   Workers.reserve(static_cast<size_t>(Pool.threads()));
@@ -208,9 +217,14 @@ void ParallelScheduler::speculateOne(Worker &W, int32_t RootIdx, Spec &Out) {
   uint64_t Probes0 = W.Overlay.probeCount();
 
   W.Machine.setDependencySink(&W.Sink);
+  if (MasterJournal)
+    W.Machine.setRunJournal(&W.Journal);
   ETEntry &Root = W.Overlay.shadowForBase(RootIdx);
   AbsRunStatus RunStatus = W.Machine.runActivation(Root);
+  W.Machine.setRunJournal(nullptr);
   W.Machine.setDependencySink(nullptr);
+  if (MasterJournal)
+    Out.Trace = W.Journal.takeLast();
 
   Out.Steps = W.Machine.stepsExecuted() - Steps0;
   Out.Activations = W.Machine.activationsExplored() - Acts0;
@@ -332,6 +346,10 @@ void ParallelScheduler::commit(Spec &S) {
   // invariant (identical to the sequential run).
   Machine.charge(S.Steps, S.Activations);
   Table.chargeProbes(S.Probes);
+  // Committed runs are the sequential schedule; their traces land in the
+  // master journal in commit order, just as a one-thread run records them.
+  if (MasterJournal && S.Trace)
+    MasterJournal->append(std::move(S.Trace));
 }
 
 bool ParallelScheduler::takeCached(int32_t RootIdx, Spec &Out) {

@@ -116,9 +116,16 @@ public:
     uint64_t Discarded = 0;  ///< speculations invalidated or orphaned
   };
 
+  /// \p Journal, when non-null, receives one replayable trace per
+  /// *committed* activation run, in commit (= sequential) order: committed
+  /// speculations hand over the trace their worker recorded, live fallback
+  /// runs record straight into it through the master machine (the session
+  /// attaches it there). The journal therefore matches the one-thread
+  /// recording byte-for-byte, like every other committed-schedule output.
   ParallelScheduler(ExtensionTable &Table, AbstractMachine &Machine,
                     const CompiledProgram &Program,
-                    const AbsMachineOptions &MachineOptions, SpecPool &Pool);
+                    const AbsMachineOptions &MachineOptions, SpecPool &Pool,
+                    RunJournal *Journal = nullptr);
   ~ParallelScheduler() override;
 
   /// Drains the worklist from \p Root exactly like WorklistScheduler::run,
@@ -128,6 +135,10 @@ public:
 
   const Stats &stats() const { return Core.stats(); }
   const SpecStats &specStats() const { return SStats; }
+
+  /// The core after the drain — the dependency-edge set an incremental
+  /// session snapshots for its invalidation cone.
+  const SchedulerCore &core() const { return Core; }
 
   /// On Status::Error: the machine's message, or the driver's own budget
   /// message when a committed speculation exhausted the step budget.
@@ -164,6 +175,7 @@ private:
   ExtensionTable &Table;
   AbstractMachine &Machine;
   SpecPool &Pool;
+  RunJournal *MasterJournal = nullptr;
   SchedulerCore Core;
   SpecStats SStats;
   std::string ErrMsg;

@@ -128,6 +128,14 @@ public:
   /// would still reach after the update.
   void noteChanged(int32_t Idx, uint32_t SuccessVersion);
 
+  /// Transitive reverse closure over the recorded reader edges: marks
+  /// every entry that (transitively) read a seed entry's summary, seeds
+  /// included. Conservative — edges of superseded runs still count, since
+  /// such a reader re-reads everything when it next runs anyway. This is
+  /// the incremental driver's invalidation cone (analyzer/Incremental.h):
+  /// the entries whose recorded inputs could reach an edited predicate.
+  std::vector<char> reverseClosure(const std::vector<int32_t> &Seeds) const;
+
   /// Collects the live ready set of \p Sweep in ascending Idx order —
   /// the prefix of the drain order the sequential driver would execute
   /// next, which is exactly what the parallel driver speculates on.
@@ -185,6 +193,10 @@ public:
   Status run(ETEntry &Root, int MaxSweeps);
 
   const Stats &stats() const { return Core.stats(); }
+
+  /// The core after the drain — the dependency-edge set an incremental
+  /// session snapshots for its invalidation cone.
+  const SchedulerCore &core() const { return Core; }
 
   // --- DependencySink (called by the machine during activation runs) ---
   bool shouldReexplore(const ETEntry &E) override {

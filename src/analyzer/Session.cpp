@@ -2,6 +2,8 @@
 
 #include "analyzer/Session.h"
 
+#include <algorithm>
+
 using namespace awam;
 
 AnalysisSession::AnalysisSession(const CompiledProgram &Program,
@@ -18,6 +20,8 @@ AnalysisSession::operator=(AnalysisSession &&) noexcept = default;
 AnalysisSession::~AnalysisSession() = default;
 
 const WorklistScheduler::Stats *AnalysisSession::schedulerStats() const {
+  if (IncSched)
+    return &IncSched->stats();
   if (ParSched)
     return &ParSched->stats();
   return Scheduler ? &Scheduler->stats() : nullptr;
@@ -25,6 +29,19 @@ const WorklistScheduler::Stats *AnalysisSession::schedulerStats() const {
 
 const ParallelScheduler::SpecStats *AnalysisSession::specStats() const {
   return ParSched ? &ParSched->specStats() : nullptr;
+}
+
+const IncrementalScheduler::ReanalyzeStats *
+AnalysisSession::reanalyzeStats() const {
+  return IncSched ? &IncSched->reanalyzeStats() : nullptr;
+}
+
+const SchedulerCore *AnalysisSession::lastCore() const {
+  if (IncSched)
+    return &IncSched->core();
+  if (ParSched)
+    return &ParSched->core();
+  return Scheduler ? &Scheduler->core() : nullptr;
 }
 
 Result<AnalysisResult> AnalysisSession::analyze(std::string_view EntrySpec) {
@@ -51,11 +68,15 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
   if (Pid < 0)
     return makeError("entry predicate " + std::string(Name) + "/" +
                      std::to_string(Arity) + " is not defined");
+  LastEntryName.assign(Name);
+  LastEntry = Entry;
+  HaveEntry = true;
 
   // Fresh run state: each analyze() computes its fixpoint from scratch.
   Interner.reset();
   Scheduler.reset();
   ParSched.reset();
+  IncSched.reset();
   if (Options.UseInterning)
     Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
   Table = std::make_unique<ExtensionTable>(Options.TableImpl,
@@ -65,6 +86,12 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
   MachineOptions.MaxSteps = Options.MaxSteps;
   Machine = std::make_unique<AbstractMachine>(*Program, *Table,
                                               MachineOptions);
+  // Trace recording is a worklist-protocol feature (runActivation); the
+  // naive driver's runIteration never journals.
+  Journal.reset();
+  if (Options.Incremental && Options.Driver == DriverKind::Worklist)
+    Journal = std::make_unique<RunJournal>(M);
+  Machine->setRunJournal(Journal.get());
 
   AnalysisResult R;
   if (Options.Driver == DriverKind::Naive) {
@@ -95,7 +122,7 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
       if (!Pool || Pool->threads() != Options.NumThreads)
         Pool = std::make_unique<SpecPool>(Options.NumThreads);
       ParSched = std::make_unique<ParallelScheduler>(
-          *Table, *Machine, *Program, MachineOptions, *Pool);
+          *Table, *Machine, *Program, MachineOptions, *Pool, Journal.get());
       Status = ParSched->run(Root, Options.MaxIterations);
       if (Status == WorklistScheduler::Status::Error)
         return makeError("abstract machine error: " +
@@ -121,6 +148,222 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
     }
   }
 
+  finishResult(R);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental re-analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Do two instructions perform the same operation, with pool/table indices
+/// resolved to their meaning? Both modules must share one SymbolTable (the
+/// callers guarantee it), so Symbol values compare directly. Address-typed
+/// operands (try/retry/trust chains, switches, jumps) are conservatively
+/// unequal — clause code blocks never contain them, so this only fires if
+/// that invariant ever changes, and it fails safe (pred counted edited).
+bool instrEquiv(const CodeModule &MA, const Instruction &A,
+                const CodeModule &MB, const Instruction &B) {
+  if (A.Op != B.Op)
+    return false;
+  switch (A.Op) {
+  case Opcode::GetConst:
+  case Opcode::PutConst:
+  case Opcode::UnifyConst:
+    return A.B == B.B && MA.constAt(A.A) == MB.constAt(B.A);
+  case Opcode::GetStructure:
+  case Opcode::PutStructure:
+    return A.B == B.B && MA.functorAt(A.A) == MB.functorAt(B.A);
+  case Opcode::Call:
+  case Opcode::Execute: {
+    const PredicateInfo &PA = MA.predicate(A.A);
+    const PredicateInfo &PB = MB.predicate(B.A);
+    return PA.Name == PB.Name && PA.Arity == PB.Arity;
+  }
+  case Opcode::Try:
+  case Opcode::Retry:
+  case Opcode::Trust:
+  case Opcode::Jump:
+  case Opcode::SwitchOnTerm:
+  case Opcode::SwitchOnConstant:
+  case Opcode::SwitchOnStructure:
+    return false;
+  default:
+    return A.A == B.A && A.B == B.B;
+  }
+}
+
+/// The predicates whose *clause code* differs between \p Old and \p New,
+/// by name/arity: changed bodies, changed clause counts, additions, and
+/// removals. With distinct symbol tables the comparison is meaningless
+/// (Symbols and hence patterns are incomparable), so every predicate of
+/// both programs is reported — reanalyze then (correctly) replays nothing.
+std::vector<PredSig> diffPrograms(const CompiledProgram &Old,
+                                  const CompiledProgram &New) {
+  const CodeModule &MO = *Old.Module;
+  const CodeModule &MN = *New.Module;
+  std::vector<PredSig> Edited;
+  auto sigOf = [](const CodeModule &M, const PredicateInfo &P) {
+    return PredSig{std::string(M.symbols().name(P.Name)), P.Arity};
+  };
+  if (&MO.symbols() != &MN.symbols()) {
+    for (int32_t I = 0; I != MO.numPredicates(); ++I)
+      Edited.push_back(sigOf(MO, MO.predicate(I)));
+    for (int32_t I = 0; I != MN.numPredicates(); ++I)
+      Edited.push_back(sigOf(MN, MN.predicate(I)));
+    return Edited;
+  }
+  for (int32_t I = 0; I != MN.numPredicates(); ++I) {
+    const PredicateInfo &PN = MN.predicate(I);
+    int32_t OldId = MO.findPredicate(PN.Name, PN.Arity);
+    if (OldId < 0) {
+      if (!PN.Clauses.empty()) // newly defined
+        Edited.push_back(sigOf(MN, PN));
+      continue;
+    }
+    const PredicateInfo &PO = MO.predicate(OldId);
+    bool Same = PO.Clauses.size() == PN.Clauses.size();
+    for (size_t C = 0; Same && C != PN.Clauses.size(); ++C) {
+      const ClauseInfo &CO = PO.Clauses[C];
+      const ClauseInfo &CN = PN.Clauses[C];
+      Same = CO.NumInstr == CN.NumInstr;
+      for (int32_t K = 0; Same && K != CN.NumInstr; ++K)
+        Same = instrEquiv(MO, MO.at(CO.Entry + K), MN, MN.at(CN.Entry + K));
+    }
+    if (!Same)
+      Edited.push_back(sigOf(MN, PN));
+  }
+  for (int32_t I = 0; I != MO.numPredicates(); ++I) {
+    const PredicateInfo &PO = MO.predicate(I);
+    if (PO.Clauses.empty())
+      continue;
+    int32_t NewId = MN.findPredicate(PO.Name, PO.Arity);
+    if (NewId < 0 || MN.predicate(NewId).Clauses.empty()) // removed
+      Edited.push_back(sigOf(MO, PO));
+  }
+  return Edited;
+}
+
+} // namespace
+
+uint64_t AnalysisSession::coneSize(
+    const std::vector<PredSig> &Edited) const {
+  const SchedulerCore *Core = lastCore();
+  if (!Core || !Table || !Program)
+    return 0;
+  const CodeModule &M = *Program->Module;
+  std::vector<char> IsEdited(static_cast<size_t>(M.numPredicates()), 0);
+  for (const PredSig &Sig : Edited) {
+    Symbol Sym = M.symbols().lookup(Sig.Name);
+    int32_t Pid = Sym == ~0u ? -1 : M.findPredicate(Sym, Sig.Arity);
+    if (Pid >= 0)
+      IsEdited[Pid] = 1;
+  }
+  std::vector<int32_t> Seeds;
+  for (const ETEntry &E : Table->entries())
+    if (static_cast<size_t>(E.PredId) < IsEdited.size() &&
+        IsEdited[E.PredId])
+      Seeds.push_back(E.Idx);
+  std::vector<char> Mark = Core->reverseClosure(Seeds);
+  return static_cast<uint64_t>(
+      std::count(Mark.begin(), Mark.end(), char(1)));
+}
+
+Result<AnalysisResult>
+AnalysisSession::reanalyze(const std::vector<PredSig> &EditedPreds) {
+  if (Custom)
+    return makeError("reanalyze requires the compiled backend");
+  if (!HaveEntry)
+    return makeError("reanalyze requires a prior analyze()");
+  uint64_t Cone = coneSize(EditedPreds);
+  return reanalyzeCompiled(EditedPreds, Cone);
+}
+
+Result<AnalysisResult>
+AnalysisSession::reanalyze(const CompiledProgram &Edited) {
+  if (Custom)
+    return makeError("reanalyze requires the compiled backend");
+  if (!HaveEntry)
+    return makeError("reanalyze requires a prior analyze()");
+  // Diff and cone are computed against the outgoing program/core, before
+  // the edited program is installed.
+  std::vector<PredSig> Edits = diffPrograms(*Program, Edited);
+  uint64_t Cone = coneSize(Edits);
+  Program = &Edited;
+  return reanalyzeCompiled(Edits, Cone);
+}
+
+Result<AnalysisResult>
+AnalysisSession::reanalyzeCompiled(const std::vector<PredSig> &Edited,
+                                   uint64_t ConeEntries) {
+  // Nothing recorded to replay (Incremental off, naive driver, or the
+  // previous run predates the feature): a fresh analysis of the current
+  // program is trivially byte-identical to itself.
+  if (!Journal || Options.Driver != DriverKind::Worklist)
+    return analyzeCompiled(LastEntryName, LastEntry);
+
+  CodeModule &M = *Program->Module;
+  Symbol Sym = M.symbols().lookup(LastEntryName);
+  int Arity = static_cast<int>(LastEntry.Roots.size());
+  int32_t Pid = Sym == ~0u ? -1 : M.findPredicate(Sym, Arity);
+  if (Pid < 0)
+    return makeError("entry predicate " + LastEntryName + "/" +
+                     std::to_string(Arity) + " is not defined");
+
+  // The outgoing run's journal feeds this drain; a fresh journal records
+  // it in turn (replays carry their traces over) for the next link of the
+  // chain.
+  std::unique_ptr<RunJournal> PrevJournal = std::move(Journal);
+  uint64_t PrevEntries = Table ? Table->size() : 0;
+
+  // Fresh run state, exactly as analyzeCompiled builds it: replay
+  // validation reconstructs everything the edit left valid.
+  Interner.reset();
+  Scheduler.reset();
+  ParSched.reset();
+  IncSched.reset();
+  if (Options.UseInterning)
+    Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
+  Table = std::make_unique<ExtensionTable>(Options.TableImpl,
+                                           Interner.get());
+  AbsMachineOptions MachineOptions;
+  MachineOptions.DepthLimit = Options.DepthLimit;
+  MachineOptions.MaxSteps = Options.MaxSteps;
+  Machine = std::make_unique<AbstractMachine>(*Program, *Table,
+                                              MachineOptions);
+  Journal = std::make_unique<RunJournal>(M);
+  Machine->setRunJournal(Journal.get());
+
+  bool Created = false;
+  ETEntry &Root =
+      Interner ? Table->findOrCreate(Pid, Interner->internNormalized(LastEntry),
+                                     Created)
+               : Table->findOrCreate(Pid, LastEntry, Created);
+  // The re-drain itself is sequential at any NumThreads: its output is
+  // thread-invariant by the same argument that makes the parallel driver
+  // byte-identical, and replay leaves little to overlap.
+  IncSched = std::make_unique<IncrementalScheduler>(
+      *Table, *Machine, M, *PrevJournal, Edited, Journal.get(),
+      Options.MaxSteps);
+  IncSched->reanalyzeStats().PrevEntries = PrevEntries;
+  IncSched->reanalyzeStats().ConeEntries = ConeEntries;
+  WorklistScheduler::Status Status = IncSched->run(Root, Options.MaxIterations);
+  if (Status == WorklistScheduler::Status::Error)
+    return makeError("abstract machine error: " + Machine->errorMessage());
+
+  AnalysisResult R;
+  const WorklistScheduler::Stats &SS = IncSched->stats();
+  R.Converged = Status == WorklistScheduler::Status::Converged;
+  R.Iterations = static_cast<int>(SS.Sweeps);
+  R.Counters.SchedulerRuns = SS.Runs;
+  R.Counters.DepEdges = SS.EdgesRecorded;
+  finishResult(R);
+  return R;
+}
+
+void AnalysisSession::finishResult(AnalysisResult &R) {
   R.Instructions = Machine->stepsExecuted();
   R.TableProbes = Table->probeCount();
   R.Counters.Instructions = R.Instructions;
@@ -136,8 +379,8 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
     R.Counters.LeqCacheMisses = IS.LeqCacheMisses;
     R.Counters.DistinctPatterns = Interner->size();
   }
+  const CodeModule &M = *Program->Module;
   for (const ETEntry &E : Table->entries())
     R.Items.push_back(
         {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
-  return R;
 }

@@ -30,10 +30,12 @@
 #define AWAM_ANALYZER_SESSION_H
 
 #include "analyzer/Analyzer.h"
+#include "analyzer/Incremental.h"
 #include "analyzer/ParallelScheduler.h"
 #include "analyzer/Scheduler.h"
 
 #include <memory>
+#include <string>
 
 namespace awam {
 
@@ -73,6 +75,24 @@ public:
   /// entry-resolution path (see parseEntrySpec for the accepted forms).
   Result<AnalysisResult> analyze(std::string_view EntrySpec);
 
+  /// Re-analyzes the session's program from the last analyze() entry goal
+  /// after the clauses of \p EditedPreds changed, replaying the previous
+  /// run's recorded activation traces wherever they still validate (see
+  /// analyzer/Incremental.h). The result — table, counters, formatted
+  /// report — is byte-identical to a fresh analyze() of the edited
+  /// program. Requires a prior analyze(); without recorded traces (
+  /// AnalyzerOptions::Incremental off, or the naive driver) it degrades to
+  /// that fresh analyze(). Chains: each reanalyze records for the next.
+  Result<AnalysisResult> reanalyze(const std::vector<PredSig> &EditedPreds);
+
+  /// Convenience overload: diffs \p Edited against the current program
+  /// clause-by-clause to find the edited predicates, then re-analyzes with
+  /// \p Edited installed as the session's program. \p Edited must outlive
+  /// the session (like the constructor's program) and should be compiled
+  /// against the same SymbolTable — with a different table every predicate
+  /// is conservatively treated as edited (patterns embed symbol ids).
+  Result<AnalysisResult> reanalyze(const CompiledProgram &Edited);
+
   const AnalyzerOptions &options() const { return Options; }
 
   /// The extension table of the most recent analyze() over the compiled
@@ -87,9 +107,23 @@ public:
   /// the last run used one thread, the naive driver, or a custom backend).
   const ParallelScheduler::SpecStats *specStats() const;
 
+  /// Replay statistics of the most recent reanalyze() (nullptr when the
+  /// last run was a plain analyze() or fell back to one).
+  const IncrementalScheduler::ReanalyzeStats *reanalyzeStats() const;
+
 private:
   Result<AnalysisResult> analyzeCompiled(std::string_view Name,
                                          const Pattern &Entry);
+  Result<AnalysisResult> reanalyzeCompiled(const std::vector<PredSig> &Edited,
+                                           uint64_t ConeEntries);
+  /// Fills the statistics tail (instructions, probes, counters, items)
+  /// shared by analyzeCompiled and reanalyzeCompiled.
+  void finishResult(AnalysisResult &R);
+  /// The dependency core of the most recent drain, whichever driver ran it.
+  const SchedulerCore *lastCore() const;
+  /// Entries of the current table in the reverse-dependency closure of
+  /// \p Edited — the invalidation cone the upcoming reanalyze reports.
+  uint64_t coneSize(const std::vector<PredSig> &Edited) const;
 
   const CompiledProgram *Program = nullptr;
   std::unique_ptr<Backend> Custom;
@@ -101,6 +135,14 @@ private:
   std::unique_ptr<AbstractMachine> Machine;
   std::unique_ptr<WorklistScheduler> Scheduler;
   std::unique_ptr<ParallelScheduler> ParSched;
+  std::unique_ptr<IncrementalScheduler> IncSched;
+  /// Trace log of the most recent run (AnalyzerOptions::Incremental under
+  /// the worklist driver only) — what the next reanalyze() replays from.
+  std::unique_ptr<RunJournal> Journal;
+  /// Entry goal of the most recent analyze(), re-resolved by reanalyze().
+  std::string LastEntryName;
+  Pattern LastEntry;
+  bool HaveEntry = false;
   /// Worker threads, created on the first NumThreads > 1 analyze() and
   /// reused across analyze() calls (thread spawn costs would otherwise
   /// dwarf these sub-millisecond analyses).

@@ -141,9 +141,19 @@ Token Lexer::lex() {
 
   if (std::isdigit(static_cast<unsigned char>(C))) {
     int64_t Value = 0;
+    bool Overflow = false;
     while (std::isdigit(static_cast<unsigned char>(cur()))) {
-      Value = Value * 10 + (cur() - '0');
+      // Accumulate with overflow checks (signed overflow is UB); keep
+      // consuming the remaining digits either way so the error token
+      // covers the whole literal.
+      Overflow |= __builtin_mul_overflow(Value, 10, &Value) ||
+                  __builtin_add_overflow(Value, cur() - '0', &Value);
       advance();
+    }
+    if (Overflow) {
+      T.Kind = TokenKind::Error;
+      T.Text = "integer literal overflows 64 bits";
+      return T;
     }
     T.Kind = TokenKind::Int;
     T.IntVal = Value;

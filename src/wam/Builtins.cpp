@@ -10,6 +10,8 @@
 #include "term/TermWriter.h"
 #include "wam/Machine.h"
 
+#include <limits>
+
 using namespace awam;
 
 bool Machine::evalArith(Cell C, int64_t &Result) {
@@ -34,8 +36,17 @@ bool Machine::evalArith(Cell C, int64_t &Result) {
       return false;
     if (Arity == 2 && !evalArith(Cell::ref(D.C.V + 2), B_))
       return false;
+    // Every signed-overflow / bad-shift case below is undefined behavior
+    // in C++; all of them surface as machine errors instead (ISO Prolog
+    // would raise evaluation_error — this machine's error channel is the
+    // equivalent).
+    constexpr int64_t IntMin = std::numeric_limits<int64_t>::min();
     if (Arity == 1) {
       if (Name == "-") {
+        if (A == IntMin) {
+          machineError("integer overflow");
+          return false;
+        }
         Result = -A;
         return true;
       }
@@ -44,16 +55,42 @@ bool Machine::evalArith(Cell C, int64_t &Result) {
         return true;
       }
       if (Name == "abs") {
+        if (A == IntMin) {
+          machineError("integer overflow");
+          return false;
+        }
         Result = A < 0 ? -A : A;
         return true;
       }
     } else if (Arity == 2) {
-      if (Name == "+") { Result = A + B_; return true; }
-      if (Name == "-") { Result = A - B_; return true; }
-      if (Name == "*") { Result = A * B_; return true; }
+      if (Name == "+") {
+        if (__builtin_add_overflow(A, B_, &Result)) {
+          machineError("integer overflow");
+          return false;
+        }
+        return true;
+      }
+      if (Name == "-") {
+        if (__builtin_sub_overflow(A, B_, &Result)) {
+          machineError("integer overflow");
+          return false;
+        }
+        return true;
+      }
+      if (Name == "*") {
+        if (__builtin_mul_overflow(A, B_, &Result)) {
+          machineError("integer overflow");
+          return false;
+        }
+        return true;
+      }
       if (Name == "//" || Name == "/") {
         if (B_ == 0) {
           machineError("division by zero");
+          return false;
+        }
+        if (A == IntMin && B_ == -1) {
+          machineError("integer overflow");
           return false;
         }
         Result = A / B_;
@@ -64,6 +101,10 @@ bool Machine::evalArith(Cell C, int64_t &Result) {
           machineError("division by zero");
           return false;
         }
+        if (A == IntMin && B_ == -1) {
+          machineError("integer overflow");
+          return false;
+        }
         Result = ((A % B_) + B_) % B_;
         return true;
       }
@@ -72,13 +113,31 @@ bool Machine::evalArith(Cell C, int64_t &Result) {
           machineError("division by zero");
           return false;
         }
+        if (A == IntMin && B_ == -1) {
+          machineError("integer overflow");
+          return false;
+        }
         Result = A % B_;
         return true;
       }
       if (Name == "min") { Result = std::min(A, B_); return true; }
       if (Name == "max") { Result = std::max(A, B_); return true; }
-      if (Name == ">>") { Result = A >> B_; return true; }
-      if (Name == "<<") { Result = A << B_; return true; }
+      if (Name == ">>") {
+        if (B_ < 0 || B_ >= 64) {
+          machineError("bad shift count");
+          return false;
+        }
+        Result = A >> B_;
+        return true;
+      }
+      if (Name == "<<") {
+        if (B_ < 0 || B_ >= 64) {
+          machineError("bad shift count");
+          return false;
+        }
+        Result = static_cast<int64_t>(static_cast<uint64_t>(A) << B_);
+        return true;
+      }
       if (Name == "/\\") { Result = A & B_; return true; }
       if (Name == "\\/") { Result = A | B_; return true; }
     }

@@ -1,0 +1,310 @@
+//===- tests/IncrementalTest.cpp - Incremental re-analysis tests ----------===//
+//
+// AnalysisSession::reanalyze() must be invisible in the result: on every
+// edit, the re-analysis — table, counters, formatted report — is
+// byte-identical to a from-scratch analyze() of the edited program, at
+// one thread and under the parallel driver, while replaying (not
+// executing) the activations the edit did not disturb. This suite pins
+// that identity on all Table 1 benchmarks, on chained edits, and on
+// randomized clause-level edit sequences, plus the replay-savings
+// acceptance bar (strictly fewer executed activations than scratch on
+// most benchmarks).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Session.h"
+#include "programs/Benchmarks.h"
+#include "RandomProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace awam;
+
+namespace {
+
+AnalyzerOptions incOptions(int Threads) {
+  AnalyzerOptions O;
+  O.Incremental = true;
+  O.NumThreads = Threads;
+  return O;
+}
+
+/// Everything the identity contract covers: the formatted reports plus
+/// the thread-count-invariant counters. Probe and interner statistics are
+/// deliberately absent (replay probes the table less; the report does not
+/// print them).
+std::string fingerprint(const AnalysisResult &R, const SymbolTable &Syms) {
+  std::string F = formatAnalysis(R, Syms);
+  F += formatModes(R, Syms);
+  F += "\niters=" + std::to_string(R.Iterations);
+  F += " conv=" + std::to_string(R.Converged);
+  F += " instr=" + std::to_string(R.Instructions);
+  F += " acts=" + std::to_string(R.Counters.ActivationRuns);
+  F += " runs=" + std::to_string(R.Counters.SchedulerRuns);
+  F += " edges=" + std::to_string(R.Counters.DepEdges);
+  return F;
+}
+
+std::unique_ptr<CompiledProgram> compileOrDie(const std::string &Source,
+                                              SymbolTable &Syms,
+                                              TermArena &Arena) {
+  Result<CompiledProgram> P = compileSource(Source, Syms, Arena);
+  EXPECT_TRUE(P) << P.diag().str() << "\n--- source ---\n" << Source;
+  if (!P)
+    return nullptr;
+  return std::make_unique<CompiledProgram>(P.take());
+}
+
+class IncrementalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalTest, TouchEditIdentityOnAllBenchmarks) {
+  // Re-analysis after marking main/0 edited (every benchmark defines it)
+  // with the program unchanged: the report and counters must match the
+  // original run exactly, and — since only main's own traces invalidate —
+  // most of the drain must replay.
+  const int Threads = GetParam();
+  int Checked = 0, StrictlyFewer = 0;
+  uint64_t TotalReplayed = 0;
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    SymbolTable Syms;
+    TermArena Arena;
+    std::unique_ptr<CompiledProgram> P =
+        compileOrDie(std::string(B.Source), Syms, Arena);
+    ASSERT_NE(P, nullptr) << B.Name;
+
+    AnalysisSession S(*P, incOptions(Threads));
+    Result<AnalysisResult> R0 = S.analyze(B.EntrySpec);
+    ASSERT_TRUE(R0) << B.Name << ": " << R0.diag().str();
+
+    Result<AnalysisResult> R1 = S.reanalyze({PredSig{"main", 0}});
+    ASSERT_TRUE(R1) << B.Name << ": " << R1.diag().str();
+    EXPECT_EQ(fingerprint(*R0, Syms), fingerprint(*R1, Syms)) << B.Name;
+
+    ASSERT_NE(S.reanalyzeStats(), nullptr) << B.Name;
+    const IncrementalScheduler::ReanalyzeStats &RS = *S.reanalyzeStats();
+    EXPECT_EQ(RS.ExecutedActivations + RS.ReplayedActivations,
+              R0->Counters.ActivationRuns)
+        << B.Name;
+    EXPECT_EQ(RS.PrevEntries, R0->Items.size()) << B.Name;
+    if (RS.ExecutedActivations < R0->Counters.ActivationRuns)
+      ++StrictlyFewer;
+    TotalReplayed += RS.ReplayedRuns;
+    ++Checked;
+  }
+  EXPECT_EQ(Checked, 11);
+  // The acceptance bar: strictly fewer re-executed activations than a
+  // from-scratch run on at least 9 of the 11 benchmarks.
+  EXPECT_GE(StrictlyFewer, 9);
+  EXPECT_GT(TotalReplayed, 0u);
+}
+
+TEST_P(IncrementalTest, RealEditIdentityOnAllBenchmarks) {
+  // Append a clause to main/0 of every benchmark and reanalyze through
+  // the program-diffing overload; must match a scratch session on the
+  // edited program byte-for-byte.
+  const int Threads = GetParam();
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    SymbolTable Syms;
+    TermArena Arena;
+    std::unique_ptr<CompiledProgram> P0 =
+        compileOrDie(std::string(B.Source), Syms, Arena);
+    ASSERT_NE(P0, nullptr) << B.Name;
+
+    AnalysisSession S(*P0, incOptions(Threads));
+    Result<AnalysisResult> R0 = S.analyze(B.EntrySpec);
+    ASSERT_TRUE(R0) << B.Name << ": " << R0.diag().str();
+
+    std::string EditedSrc = std::string(B.Source) + "\nmain.\n";
+    TermArena Arena1;
+    std::unique_ptr<CompiledProgram> P1 =
+        compileOrDie(EditedSrc, Syms, Arena1);
+    ASSERT_NE(P1, nullptr) << B.Name;
+
+    Result<AnalysisResult> RInc = S.reanalyze(*P1);
+    ASSERT_TRUE(RInc) << B.Name << ": " << RInc.diag().str();
+
+    AnalysisSession Scratch(*P1, incOptions(Threads));
+    Result<AnalysisResult> RScr = Scratch.analyze(B.EntrySpec);
+    ASSERT_TRUE(RScr) << B.Name << ": " << RScr.diag().str();
+    EXPECT_EQ(fingerprint(*RScr, Syms), fingerprint(*RInc, Syms)) << B.Name;
+  }
+}
+
+TEST_P(IncrementalTest, UneditedRecompileReplaysEverything) {
+  // Recompiling the identical source against the same symbol table diffs
+  // to an empty edit set; every single pop must then replay.
+  SymbolTable Syms;
+  TermArena A0, A1;
+  const std::string Src =
+      "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).\n"
+      "nrev([], []). nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n";
+  std::unique_ptr<CompiledProgram> P0 = compileOrDie(Src, Syms, A0);
+  std::unique_ptr<CompiledProgram> P1 = compileOrDie(Src, Syms, A1);
+  ASSERT_NE(P0, nullptr);
+  ASSERT_NE(P1, nullptr);
+
+  AnalysisSession S(*P0, incOptions(GetParam()));
+  Result<AnalysisResult> R0 = S.analyze("nrev(glist, var)");
+  ASSERT_TRUE(R0) << R0.diag().str();
+
+  Result<AnalysisResult> R1 = S.reanalyze(*P1);
+  ASSERT_TRUE(R1) << R1.diag().str();
+  EXPECT_EQ(fingerprint(*R0, Syms), fingerprint(*R1, Syms));
+  ASSERT_NE(S.reanalyzeStats(), nullptr);
+  EXPECT_EQ(S.reanalyzeStats()->ExecutedRuns, 0u);
+  EXPECT_GT(S.reanalyzeStats()->ReplayedRuns, 0u);
+  EXPECT_EQ(S.reanalyzeStats()->ConeEntries, 0u);
+}
+
+TEST_P(IncrementalTest, ChainedEditsMatchScratchEachStep) {
+  // A chain of reanalyze() calls, each recording for the next: every step
+  // must match a scratch analysis of that step's program.
+  SymbolTable Syms;
+  std::vector<std::unique_ptr<TermArena>> Arenas;
+  std::vector<std::unique_ptr<CompiledProgram>> Programs;
+  auto compileKeep = [&](const std::string &Src) -> CompiledProgram * {
+    Arenas.push_back(std::make_unique<TermArena>());
+    std::unique_ptr<CompiledProgram> P =
+        compileOrDie(Src, Syms, *Arenas.back());
+    if (!P)
+      return nullptr;
+    Programs.push_back(std::move(P));
+    return Programs.back().get();
+  };
+
+  const std::string Base = "len([], 0). len([_|T], N) :- len(T, M), N is M + 1.\n"
+                           "dup([], []). dup([H|T], [H, H|R]) :- dup(T, R).\n"
+                           "main(L, N) :- dup(L, D), len(D, N).\n";
+  CompiledProgram *P0 = compileKeep(Base);
+  ASSERT_NE(P0, nullptr);
+  AnalysisSession S(*P0, incOptions(GetParam()));
+  Result<AnalysisResult> R = S.analyze("main(glist, var)");
+  ASSERT_TRUE(R) << R.diag().str();
+
+  const std::string Edits[] = {
+      // Step 1: extra dup clause (reachable predicate changes).
+      Base + "dup([X], [X]).\n",
+      // Step 2: on top of step 1, len gains a shortcut clause.
+      Base + "dup([X], [X]).\nlen([_], 1).\n",
+      // Step 3: main itself changes.
+      Base + "dup([X], [X]).\nlen([_], 1).\nmain(L, N) :- len(L, N).\n",
+  };
+  for (const std::string &Src : Edits) {
+    CompiledProgram *P = compileKeep(Src);
+    ASSERT_NE(P, nullptr);
+    Result<AnalysisResult> RInc = S.reanalyze(*P);
+    ASSERT_TRUE(RInc) << RInc.diag().str();
+
+    AnalysisSession Scratch(*P, incOptions(GetParam()));
+    Result<AnalysisResult> RScr = Scratch.analyze("main(glist, var)");
+    ASSERT_TRUE(RScr) << RScr.diag().str();
+    EXPECT_EQ(fingerprint(*RScr, Syms), fingerprint(*RInc, Syms)) << Src;
+  }
+}
+
+TEST_P(IncrementalTest, ReanalyzeWithoutJournalFallsBackToScratch) {
+  // Incremental off: reanalyze() must still give the right (scratch)
+  // answer — just without replay savings.
+  SymbolTable Syms;
+  TermArena Arena;
+  std::unique_ptr<CompiledProgram> P =
+      compileOrDie("p(a). q(X) :- p(X).\n", Syms, Arena);
+  ASSERT_NE(P, nullptr);
+  AnalyzerOptions O;
+  O.NumThreads = GetParam(); // Incremental left off
+  AnalysisSession S(*P, O);
+  Result<AnalysisResult> R0 = S.analyze("q(var)");
+  ASSERT_TRUE(R0) << R0.diag().str();
+  Result<AnalysisResult> R1 = S.reanalyze({PredSig{"p", 1}});
+  ASSERT_TRUE(R1) << R1.diag().str();
+  EXPECT_EQ(fingerprint(*R0, Syms), fingerprint(*R1, Syms));
+  EXPECT_EQ(S.reanalyzeStats(), nullptr);
+}
+
+TEST(IncrementalErrorTest, ReanalyzeBeforeAnalyzeIsAnError) {
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P = compileSource("p(a).\n", Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+  AnalysisSession S(*P, incOptions(1));
+  Result<AnalysisResult> R = S.reanalyze({PredSig{"p", 1}});
+  EXPECT_FALSE(R);
+}
+
+TEST_P(IncrementalTest, RandomEditSequencesMatchScratch) {
+  // >= 30 random clause-level edit sequences: generate a program, chain
+  // three mutations through one incremental session, and require
+  // byte-identity with a scratch session at every step.
+  const int Threads = GetParam();
+  int Sequences = 0;
+  uint64_t TotalReplayed = 0;
+  for (unsigned Seed = 0; Seed != 12; ++Seed) {
+    SymbolTable Syms;
+    std::vector<std::unique_ptr<TermArena>> Arenas;
+    std::vector<std::unique_ptr<CompiledProgram>> Programs;
+
+    std::string Src = testgen::generateProgram(Seed);
+    Arenas.push_back(std::make_unique<TermArena>());
+    std::unique_ptr<CompiledProgram> P0 =
+        compileOrDie(Src, Syms, *Arenas.back());
+    ASSERT_NE(P0, nullptr);
+    Programs.push_back(std::move(P0));
+
+    // Entry: p0 at whatever arity this seed generated, all-any arguments.
+    int Arity = -1;
+    const Symbol P0Sym = Syms.lookup("p0");
+    for (int32_t I = 0; I != Programs.back()->Module->numPredicates(); ++I) {
+      const PredicateInfo &PI = Programs.back()->Module->predicate(I);
+      if (PI.Name == P0Sym)
+        Arity = PI.Arity;
+    }
+    ASSERT_GE(Arity, 1) << "seed " << Seed;
+    const std::string Entry = "p0/" + std::to_string(Arity);
+
+    AnalysisSession S(*Programs.back(), incOptions(Threads));
+    Result<AnalysisResult> R = S.analyze(Entry);
+    ASSERT_TRUE(R) << "seed " << Seed << ": " << R.diag().str();
+
+    for (unsigned Step = 0; Step != 3; ++Step, ++Sequences) {
+      testgen::ProgramMutation Mut =
+          testgen::mutateProgram(Src, Seed * 31 + Step + 1);
+      Src = Mut.Source;
+      Arenas.push_back(std::make_unique<TermArena>());
+      std::unique_ptr<CompiledProgram> P =
+          compileOrDie(Src, Syms, *Arenas.back());
+      ASSERT_NE(P, nullptr) << "seed " << Seed << " step " << Step;
+      Programs.push_back(std::move(P));
+
+      Result<AnalysisResult> RInc = S.reanalyze(*Programs.back());
+      ASSERT_TRUE(RInc) << "seed " << Seed << " step " << Step << " (edit "
+                        << Mut.Pred << "/" << Mut.Arity
+                        << "): " << RInc.diag().str();
+      ASSERT_NE(S.reanalyzeStats(), nullptr);
+      TotalReplayed += S.reanalyzeStats()->ReplayedRuns;
+
+      AnalysisSession Scratch(*Programs.back(), incOptions(Threads));
+      Result<AnalysisResult> RScr = Scratch.analyze(Entry);
+      ASSERT_TRUE(RScr) << "seed " << Seed << " step " << Step << ": "
+                        << RScr.diag().str();
+      EXPECT_EQ(fingerprint(*RScr, Syms), fingerprint(*RInc, Syms))
+          << "seed " << Seed << " step " << Step << " (edit " << Mut.Pred
+          << "/" << Mut.Arity << ")\n--- source ---\n"
+          << Src;
+    }
+  }
+  EXPECT_GE(Sequences, 30);
+  EXPECT_GT(TotalReplayed, 0u);
+}
+
+std::string threadName(const ::testing::TestParamInfo<int> &Info) {
+  return "Threads" + std::to_string(Info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(SequentialAndParallel, IncrementalTest,
+                         ::testing::Values(1, 4), threadName);
+
+} // namespace

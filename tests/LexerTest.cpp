@@ -44,6 +44,30 @@ TEST(LexerTest, Integers) {
   EXPECT_EQ(Ts[2].IntVal, 123456);
 }
 
+TEST(LexerTest, IntegerLiteralAtInt64Max) {
+  auto Ts = lexAll("9223372036854775807");
+  ASSERT_EQ(Ts.size(), 1u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Int);
+  EXPECT_EQ(Ts[0].IntVal, 9223372036854775807LL);
+}
+
+TEST(LexerTest, IntegerLiteralOverflowIsAnError) {
+  // One past INT64_MAX used to wrap silently (signed-overflow UB).
+  auto Ts = lexAll("9223372036854775808");
+  ASSERT_EQ(Ts.size(), 1u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Error);
+  EXPECT_EQ(Ts[0].Text, "integer literal overflows 64 bits");
+}
+
+TEST(LexerTest, HugeIntegerLiteralIsAnError) {
+  auto Ts = lexAll("123456789012345678901234567890 foo");
+  // The whole literal is consumed before the error token is emitted, and
+  // lexing stops at the error.
+  ASSERT_EQ(Ts.size(), 1u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Error);
+  EXPECT_EQ(Ts[0].Text, "integer literal overflows 64 bits");
+}
+
 TEST(LexerTest, CharacterCodes) {
   auto Ts = lexAll("0'a 0'  0'\\n");
   ASSERT_EQ(Ts.size(), 3u);

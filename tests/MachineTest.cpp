@@ -320,6 +320,79 @@ TEST_F(MachineTest, ArithmeticErrorReported) {
   EXPECT_NE(M->errorMessage().find("unbound"), std::string::npos);
 }
 
+/// Shared program for the signed-overflow / shift-guard suite: min/1
+/// binds INT64_MIN (which has no literal spelling — its magnitude
+/// overflows the lexer), max/1 binds INT64_MAX.
+constexpr std::string_view kBoundaryProgram =
+    "min(M) :- M is 0 - 9223372036854775807 - 1.\n"
+    "max(M) :- M is 9223372036854775807.\n";
+
+TEST_F(MachineTest, ArithmeticOverflowIsAnError) {
+  // Every case here is signed-overflow UB in C++ if evaluated naively;
+  // the machine must turn each into a reported error instead.
+  compile(std::string(kBoundaryProgram) +
+          "negmin(R) :- min(M), R is - M.\n"
+          "absmin(R) :- min(M), R is abs(M).\n"
+          "divmin(R) :- min(M), R is M / -1.\n"
+          "idivmin(R) :- min(M), R is M // -1.\n"
+          "modmin(R) :- min(M), R is M mod -1.\n"
+          "remmin(R) :- min(M), R is M rem -1.\n"
+          "addmax(R) :- max(M), R is M + 1.\n"
+          "submin(R) :- min(M), R is M - 1.\n"
+          "mulmax(R) :- max(M), R is M * 2.\n");
+  for (std::string_view G :
+       {"negmin(_)", "absmin(_)", "divmin(_)", "idivmin(_)", "modmin(_)",
+        "remmin(_)", "addmax(_)", "submin(_)", "mulmax(_)"}) {
+    int NumVars = 0;
+    const Term *T = goal(G, &NumVars);
+    std::vector<Solution> Sols;
+    TermArena SolArena;
+    EXPECT_EQ(M->solve(T, NumVars, SolArena, Sols, 1), RunStatus::Error)
+        << G;
+    EXPECT_NE(M->errorMessage().find("integer overflow"), std::string::npos)
+        << G << ": " << M->errorMessage();
+  }
+}
+
+TEST_F(MachineTest, ShiftCountOutOfRangeIsAnError) {
+  // Shifting by a negative count or by >= the operand width is UB; the
+  // machine reports it. Left-shifting bits out the top is well-defined
+  // here (it wraps through the unsigned representation).
+  compile("s(R, A, B) :- R is A << B.\n"
+          "t(R, A, B) :- R is A >> B.\n");
+  for (std::string_view G :
+       {"s(_, 1, 64)", "s(_, 1, -1)", "t(_, 1, 64)", "t(_, 8, -2)"}) {
+    int NumVars = 0;
+    const Term *T = goal(G, &NumVars);
+    std::vector<Solution> Sols;
+    TermArena SolArena;
+    EXPECT_EQ(M->solve(T, NumVars, SolArena, Sols, 1), RunStatus::Error)
+        << G;
+    EXPECT_NE(M->errorMessage().find("bad shift count"), std::string::npos)
+        << G << ": " << M->errorMessage();
+  }
+  EXPECT_EQ(firstSolution("s(R, 1, 62)"), "4611686018427387904");
+  EXPECT_EQ(firstSolution("s(R, 1, 63)"),
+            "-9223372036854775808"); // wraps, not UB
+  EXPECT_EQ(firstSolution("t(R, 8, 2)"), "2");
+  EXPECT_EQ(firstSolution("t(R, -8, 1)"), "-4"); // arithmetic shift
+}
+
+TEST_F(MachineTest, BoundaryArithmeticStillWorks) {
+  // The guards must not reject legal boundary results.
+  compile(std::string(kBoundaryProgram) +
+          "divok(R) :- min(M), R is M / 1.\n"
+          "modok(R) :- min(M), R is M mod 3.\n"
+          "negmax(R) :- max(M), R is - M.\n"
+          "absneg(R) :- max(M), N is - M, R is abs(N).\n"
+          "roundtrip(R) :- min(M), R is M + 1 - 1.\n");
+  EXPECT_EQ(firstSolution("divok(R)"), "-9223372036854775808");
+  EXPECT_EQ(firstSolution("modok(R)"), "1");
+  EXPECT_EQ(firstSolution("negmax(R)"), "-9223372036854775807");
+  EXPECT_EQ(firstSolution("absneg(R)"), "9223372036854775807");
+  EXPECT_EQ(firstSolution("roundtrip(R)"), "-9223372036854775808");
+}
+
 TEST_F(MachineTest, FirstArgIndexingSelectsClause) {
   compile("t(a, 1). t(b, 2). t(c, 3). t([X|_], X). t(f(X), X). t(7, seven).");
   EXPECT_EQ(firstSolution("t(a, V)"), "1");

@@ -1,15 +1,17 @@
 //===- tests/RandomProgramGen.h - Seeded random program source --*- C++ -*-===//
 //
 // Deterministic random Prolog program generator shared by the randomized
-// test suites (FuzzAgreementTest, PatternInternerTest): one seed, one
-// reproducible program covering calls, arithmetic, unification, tests,
-// cut and var/atom/integer type guards.
+// test suites (FuzzAgreementTest, PatternInternerTest, IncrementalTest):
+// one seed, one reproducible program covering calls, arithmetic,
+// unification, tests, cut and var/atom/integer type guards — plus a
+// clause-level mutator for incremental re-analysis testing.
 //
 //===----------------------------------------------------------------------===//
 
 #ifndef AWAM_TESTS_RANDOMPROGRAMGEN_H
 #define AWAM_TESTS_RANDOMPROGRAMGEN_H
 
+#include <cctype>
 #include <functional>
 #include <random>
 #include <string>
@@ -95,6 +97,111 @@ inline std::string generateProgram(unsigned Seed) {
       Out += ".\n";
     }
   }
+  return Out;
+}
+
+/// One clause-level edit of a generated program: the new source plus the
+/// head predicate whose clause list changed (what a caller hands to
+/// AnalysisSession::reanalyze as the edited set).
+struct ProgramMutation {
+  std::string Source;
+  std::string Pred; ///< edited predicate name
+  int Arity = 0;    ///< edited predicate arity
+};
+
+/// Applies one random clause-level edit to \p Source (one clause per
+/// line, as generateProgram emits): duplicate a clause, delete one from
+/// a multi-clause predicate, append a ground fact, or swap two adjacent
+/// differing clauses of the same predicate. Never removes a predicate
+/// entirely, so entry points stay resolvable across a mutation chain.
+inline ProgramMutation mutateProgram(const std::string &Source,
+                                     unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  auto Pick = [&](int N) { return static_cast<int>(Rng() % N); };
+
+  std::vector<std::string> Clauses;
+  for (size_t Pos = 0; Pos < Source.size();) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    if (End > Pos)
+      Clauses.push_back(Source.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+
+  // Head predicate of a clause line, by paren-depth-aware comma count.
+  auto HeadOf = [](const std::string &L) {
+    size_t I = 0;
+    while (I < L.size() &&
+           (std::isalnum(static_cast<unsigned char>(L[I])) || L[I] == '_'))
+      ++I;
+    std::pair<std::string, int> Head(L.substr(0, I), 0);
+    if (I < L.size() && L[I] == '(') {
+      Head.second = 1;
+      int Depth = 0;
+      for (size_t J = I; J < L.size(); ++J) {
+        if (L[J] == '(' || L[J] == '[')
+          ++Depth;
+        else if (L[J] == ')' || L[J] == ']') {
+          if (--Depth == 0)
+            break;
+        } else if (L[J] == ',' && Depth == 1)
+          ++Head.second;
+      }
+    }
+    return Head;
+  };
+
+  ProgramMutation Out;
+  // Retry until a legal edit applies; every program admits duplication,
+  // so this terminates.
+  for (;;) {
+    int C = Pick(static_cast<int>(Clauses.size()));
+    auto [Name, Arity] = HeadOf(Clauses[C]);
+    switch (Pick(4)) {
+    case 0: // duplicate clause C in place
+      Clauses.insert(Clauses.begin() + C, Clauses[C]);
+      break;
+    case 1: { // delete clause C if its predicate keeps another clause
+      int Others = 0;
+      for (size_t J = 0; J != Clauses.size(); ++J)
+        if (J != static_cast<size_t>(C) && HeadOf(Clauses[J]).first == Name &&
+            HeadOf(Clauses[J]).second == Arity)
+          ++Others;
+      if (!Others)
+        continue;
+      Clauses.erase(Clauses.begin() + C);
+      break;
+    }
+    case 2: { // append a ground fact for the predicate
+      std::string Fact = Name;
+      if (Arity) {
+        Fact += "(";
+        for (int A = 0; A != Arity; ++A)
+          Fact += (A ? ", k" : "k") + std::to_string(Pick(3));
+        Fact += ")";
+      }
+      Clauses.insert(Clauses.begin() + C, Fact + ".");
+      break;
+    }
+    default: { // swap clause C with the next one if same pred, different body
+      if (static_cast<size_t>(C) + 1 >= Clauses.size())
+        continue;
+      auto Next = HeadOf(Clauses[C + 1]);
+      if (Next.first != Name || Next.second != Arity ||
+          Clauses[C] == Clauses[C + 1])
+        continue;
+      std::swap(Clauses[C], Clauses[C + 1]);
+      break;
+    }
+    }
+    Out.Pred = Name;
+    Out.Arity = Arity;
+    break;
+  }
+
+  for (const std::string &L : Clauses)
+    Out.Source += L + "\n";
   return Out;
 }
 
