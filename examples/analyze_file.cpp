@@ -5,7 +5,15 @@
 //   analyze_file (<file.pl> | bench:<name>) [options]
 //
 //   --entry SPEC   entry goal, e.g. "main" or "qsort(glist, var, var)"
-//                  (default: main)
+//                  (default: main). Repeatable: with several entries the
+//                  queries share one persistent analysis store — later
+//                  entries warm-start from the table work of earlier ones,
+//                  and each report is byte-identical to a single-entry run
+//                  of that spec (the CI batch gate diffs exactly this).
+//   --entries FILE batch file of entry specs, one per line; blank lines
+//                  and lines starting with '#' are skipped. Combines with
+//                  --entry (file specs run after the flag specs). All
+//                  specs are validated before any analysis runs.
 //   --depth K      term-depth restriction (default 4, K >= 1)
 //   --threads N    worklist driver threads (default 1, N >= 1; the table
 //                  is byte-identical for every N — the CI determinism
@@ -43,10 +51,10 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: analyze_file (<file.pl> | bench:<name>) [--entry SPEC] "
-      "[--depth K]\n                    [--threads N] [--edit P/A]... "
-      "[--wam] [--modes] [--baseline]\n                    [--trace] "
-      "[--dead]\n");
+      "usage: analyze_file (<file.pl> | bench:<name>) [--entry SPEC]... "
+      "[--entries FILE]\n                    [--depth K] [--threads N] "
+      "[--edit P/A]... [--wam] [--modes]\n                    [--baseline] "
+      "[--trace] [--dead]\n");
   return 2;
 }
 
@@ -85,7 +93,8 @@ int main(int argc, char **argv) {
     return usage();
 
   std::string Input = argv[1];
-  std::string Entry = "main";
+  std::vector<std::string> Entries;
+  bool UsedEntriesFile = false;
   int Depth = kDefaultDepthLimit;
   int Threads = 1;
   bool ShowWam = false, ShowModes = false, UseBaseline = false,
@@ -94,8 +103,26 @@ int main(int argc, char **argv) {
   for (int I = 2; I < argc; ++I) {
     std::string_view Arg = argv[I];
     if (Arg == "--entry" && I + 1 < argc)
-      Entry = argv[++I];
-    else if (Arg == "--depth" && I + 1 < argc) {
+      Entries.push_back(argv[++I]);
+    else if (Arg == "--entries" && I + 1 < argc) {
+      std::ifstream EF(argv[++I]);
+      if (!EF) {
+        std::fprintf(stderr, "cannot open %s\n", argv[I]);
+        return 1;
+      }
+      UsedEntriesFile = true;
+      std::string Line;
+      while (std::getline(EF, Line)) {
+        size_t B = Line.find_first_not_of(" \t\r");
+        if (B == std::string::npos)
+          continue;
+        size_t E = Line.find_last_not_of(" \t\r");
+        Line = Line.substr(B, E - B + 1);
+        if (Line[0] == '#')
+          continue;
+        Entries.push_back(Line);
+      }
+    } else if (Arg == "--depth" && I + 1 < argc) {
       if (!parseIntArg(argv[++I], 1, Depth)) {
         std::fprintf(stderr, "bad --depth '%s': expected an integer >= 1\n",
                      argv[I]);
@@ -179,6 +206,43 @@ int main(int argc, char **argv) {
                  "--baseline / --trace)\n");
     return usage();
   }
+
+  // Batch mode: several entry goals through one persistent store. Every
+  // spec is validated before any analysis runs (analyzeBatch's contract),
+  // so a typo late in an --entries file fails fast with the usual spec
+  // error. The single-entry path below is untouched — the CI determinism
+  // and incremental gates diff its exact output.
+  if (UsedEntriesFile || Entries.size() > 1) {
+    if (UseBaseline || Trace || !Edits.empty()) {
+      std::fprintf(stderr, "multiple entries require the compiled worklist "
+                           "analyzer (no --baseline / --trace / --edit)\n");
+      return usage();
+    }
+    if (Entries.empty()) {
+      std::fprintf(stderr, "--entries file contains no entry specs\n");
+      return 1;
+    }
+    Options.Persistent = true;
+    AnalysisSession A(*Compiled, Options);
+    Result<std::vector<AnalysisResult>> Batch = A.analyzeBatch(Entries);
+    if (!Batch) {
+      std::fprintf(stderr, "analysis error: %s\n",
+                   Batch.diag().str().c_str());
+      return 1;
+    }
+    for (size_t I = 0; I != Entries.size(); ++I) {
+      std::printf("== entry %s ==\n", Entries[I].c_str());
+      const AnalysisResult &BR = (*Batch)[I];
+      std::fputs(
+          (ShowModes ? formatModes(BR, Syms) : formatAnalysis(BR, Syms))
+              .c_str(),
+          stdout);
+      if (ShowDead)
+        std::fputs(formatReachability(BR, *Compiled).c_str(), stdout);
+    }
+    return 0;
+  }
+  const std::string Entry = Entries.empty() ? "main" : Entries.front();
 
   Result<AnalysisResult> R = makeError("unreachable");
   if (UseBaseline) {

@@ -1,0 +1,293 @@
+//===- examples/analyze_server.cpp - Persistent analysis server -----------===//
+//
+// A line-oriented analysis service over the persistent store: load a
+// program once, then answer any number of entry-goal queries against one
+// warm AnalysisStore. Commands on stdin, one per line; results on stdout,
+// prompts and errors on stderr — so piping a command script through the
+// server yields a clean, diffable transcript (the CI smoke does exactly
+// that).
+//
+//   load (<file.pl> | bench:<name>)   compile and select a program
+//   entry SPEC                        analyze, e.g. entry qsort(glist,var,var)
+//   batch SPEC; SPEC; ...             several entries, all validated first
+//   edit NAME/ARITY                   mark a predicate edited; re-analyze
+//                                     the last entry incrementally
+//   modes                             toggle mode report vs pattern table
+//   dump                              canonical per-root store projection
+//   stats                             cumulative store statistics
+//   help, quit
+//
+// Loaded programs are keyed by CodeModule::fingerprint(): re-loading a
+// module whose compiled code is semantically identical (same predicates,
+// same clause code) switches back to the existing warm store instead of
+// starting cold, so a client that round-trips an unchanged file keeps all
+// of its memoized summaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Session.h"
+#include "programs/Benchmarks.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+using namespace awam;
+
+namespace {
+
+/// One loaded program and its warm analysis state. The symbol table and
+/// arena live here because the compiled program borrows both.
+struct Workspace {
+  std::string Label;
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> Program = makeError("unloaded");
+  std::unique_ptr<AnalysisSession> Session;
+};
+
+/// Compiles \p Source into a fresh workspace; null + stderr message on
+/// parse/compile errors.
+std::unique_ptr<Workspace> compileWorkspace(const std::string &Source,
+                                            std::string Label) {
+  auto W = std::make_unique<Workspace>();
+  W->Label = std::move(Label);
+  W->Program = compileSource(Source, W->Syms, W->Arena);
+  if (!W->Program) {
+    std::fprintf(stderr, "error: %s\n", W->Program.diag().str().c_str());
+    return nullptr;
+  }
+  AnalyzerOptions Options;
+  Options.Persistent = true;
+  W->Session = std::make_unique<AnalysisSession>(*W->Program, Options);
+  return W;
+}
+
+/// Parses a NAME/ARITY operand (shared with analyze_file's --edit).
+bool parseSig(std::string_view S, PredSig &Out) {
+  size_t Slash = S.rfind('/');
+  if (Slash == std::string_view::npos || Slash == 0)
+    return false;
+  int Arity = 0;
+  for (char C : S.substr(Slash + 1)) {
+    if (C < '0' || C > '9')
+      return false;
+    Arity = Arity * 10 + (C - '0');
+  }
+  if (Slash + 1 == S.size())
+    return false;
+  Out.Name = std::string(S.substr(0, Slash));
+  Out.Arity = Arity;
+  return true;
+}
+
+std::string trim(std::string_view S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string_view::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return std::string(S.substr(B, E - B + 1));
+}
+
+void help() {
+  std::fprintf(stderr,
+               "commands:\n"
+               "  load (<file.pl> | bench:<name>)\n"
+               "  entry SPEC          e.g. entry qsort(glist, var, var)\n"
+               "  batch SPEC; SPEC    several entries through the warm store\n"
+               "  edit NAME/ARITY     incremental re-analysis after an edit\n"
+               "  modes               toggle mode report / pattern table\n"
+               "  dump                canonical per-root store projection\n"
+               "  stats               cumulative store statistics\n"
+               "  help, quit\n");
+}
+
+} // namespace
+
+int main() {
+  // Warm stores keyed by module fingerprint; Current points into the map.
+  std::map<uint64_t, std::unique_ptr<Workspace>> Stores;
+  Workspace *Current = nullptr;
+  bool ShowModes = false;
+
+  std::string Line;
+  while (std::fputs("awam> ", stderr), std::fflush(stderr),
+         std::getline(std::cin, Line)) {
+    std::string Cmd = trim(Line);
+    if (Cmd.empty() || Cmd[0] == '#')
+      continue;
+    size_t Sp = Cmd.find(' ');
+    std::string Verb = Cmd.substr(0, Sp);
+    std::string Rest = Sp == std::string::npos ? "" : trim(Cmd.substr(Sp + 1));
+
+    if (Verb == "quit" || Verb == "exit")
+      break;
+    if (Verb == "help") {
+      help();
+      continue;
+    }
+    if (Verb == "modes") {
+      ShowModes = !ShowModes;
+      std::fprintf(stderr, "report: %s\n",
+                   ShowModes ? "modes" : "patterns");
+      continue;
+    }
+    if (Verb == "load") {
+      if (Rest.empty()) {
+        std::fprintf(stderr, "load what? (load <file.pl> | load bench:<name>)\n");
+        continue;
+      }
+      std::string Source;
+      if (Rest.starts_with("bench:")) {
+        const BenchmarkProgram *B = findBenchmark(Rest.substr(6));
+        if (!B) {
+          std::fprintf(stderr, "unknown benchmark '%s'\n", Rest.c_str() + 6);
+          continue;
+        }
+        Source = B->Source;
+      } else {
+        std::ifstream In(Rest);
+        if (!In) {
+          std::fprintf(stderr, "cannot open %s\n", Rest.c_str());
+          continue;
+        }
+        std::ostringstream Buf;
+        Buf << In.rdbuf();
+        Source = Buf.str();
+      }
+      std::unique_ptr<Workspace> W = compileWorkspace(Source, Rest);
+      if (!W)
+        continue;
+      uint64_t Key = W->Program->Module->fingerprint();
+      auto It = Stores.find(Key);
+      if (It != Stores.end()) {
+        // Semantically identical module already loaded: keep its warm
+        // store (and all memoized summaries), drop the fresh compile.
+        Current = It->second.get();
+        std::fprintf(stderr, "reusing warm store for %s (loaded as %s)\n",
+                     Rest.c_str(), Current->Label.c_str());
+      } else {
+        Current = W.get();
+        Stores.emplace(Key, std::move(W));
+        std::fprintf(stderr, "loaded %s\n", Rest.c_str());
+      }
+      continue;
+    }
+
+    // Every remaining command needs a loaded program.
+    if (!Current) {
+      std::fprintf(stderr, "no program loaded (try: load bench:qsort)\n");
+      continue;
+    }
+
+    if (Verb == "entry" || Verb == "edit") {
+      Result<AnalysisResult> R = makeError("unreachable");
+      if (Verb == "entry") {
+        if (Rest.empty()) {
+          std::fprintf(stderr, "entry what? (entry qsort(glist, var, var))\n");
+          continue;
+        }
+        R = Current->Session->analyze(Rest);
+      } else {
+        PredSig Sig;
+        if (!parseSig(Rest, Sig)) {
+          std::fprintf(stderr, "bad edit '%s': expected name/arity\n",
+                       Rest.c_str());
+          continue;
+        }
+        R = Current->Session->reanalyze({Sig});
+      }
+      if (!R) {
+        std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());
+        continue;
+      }
+      std::fputs((ShowModes ? formatModes(*R, Current->Syms)
+                            : formatAnalysis(*R, Current->Syms))
+                     .c_str(),
+                 stdout);
+      std::fflush(stdout);
+      continue;
+    }
+    if (Verb == "batch") {
+      std::vector<std::string> Specs;
+      std::stringstream SS(Rest);
+      std::string Part;
+      while (std::getline(SS, Part, ';')) {
+        Part = trim(Part);
+        if (!Part.empty())
+          Specs.push_back(Part);
+      }
+      if (Specs.empty()) {
+        std::fprintf(stderr, "batch what? (batch main; app(glist, var, var))\n");
+        continue;
+      }
+      Result<std::vector<AnalysisResult>> Batch =
+          Current->Session->analyzeBatch(Specs);
+      if (!Batch) {
+        std::fprintf(stderr, "analysis error: %s\n",
+                     Batch.diag().str().c_str());
+        continue;
+      }
+      for (size_t I = 0; I != Specs.size(); ++I) {
+        std::printf("== entry %s ==\n", Specs[I].c_str());
+        std::fputs((ShowModes ? formatModes((*Batch)[I], Current->Syms)
+                              : formatAnalysis((*Batch)[I], Current->Syms))
+                       .c_str(),
+                   stdout);
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    if (Verb == "dump") {
+      const AnalysisStore *S = Current->Session->store();
+      if (!S) {
+        std::fprintf(stderr, "no store yet (run an entry first)\n");
+        continue;
+      }
+      std::string D = S->canonicalDump(Current->Syms);
+      std::fputs(D.c_str(), stdout);
+      if (!D.empty() && D.back() != '\n')
+        std::fputs("\n", stdout);
+      std::fflush(stdout);
+      continue;
+    }
+    if (Verb == "stats") {
+      const AnalysisStore *S = Current->Session->store();
+      if (!S) {
+        std::fprintf(stderr, "no store yet (run an entry first)\n");
+        continue;
+      }
+      const AnalysisStore::Stats &St = S->stats();
+      std::printf("queries: %llu (cache hits %llu, cold %llu, warm %llu)\n"
+                  "runs: %llu replayed, %llu executed; activations: %llu "
+                  "replayed, %llu executed\n"
+                  "store: %llu roots, %llu entries (%llu new, %llu shared)\n"
+                  "reanalyses: %llu (roots invalidated %llu, entries "
+                  "invalidated %llu, last cone %llu)\n",
+                  (unsigned long long)St.Queries,
+                  (unsigned long long)St.CacheHits,
+                  (unsigned long long)St.ColdQueries,
+                  (unsigned long long)St.WarmQueries,
+                  (unsigned long long)St.ReplayedRuns,
+                  (unsigned long long)St.ExecutedRuns,
+                  (unsigned long long)St.ReplayedActivations,
+                  (unsigned long long)St.ExecutedActivations,
+                  (unsigned long long)S->numRoots(),
+                  (unsigned long long)S->table().size(),
+                  (unsigned long long)St.NewEntries,
+                  (unsigned long long)St.SharedEntries,
+                  (unsigned long long)St.Reanalyses,
+                  (unsigned long long)St.InvalidatedRoots,
+                  (unsigned long long)St.InvalidatedEntries,
+                  (unsigned long long)St.LastConeEntries);
+      std::fflush(stdout);
+      continue;
+    }
+    std::fprintf(stderr, "unknown command '%s' (try: help)\n", Verb.c_str());
+  }
+  return 0;
+}

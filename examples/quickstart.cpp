@@ -5,7 +5,9 @@
 //   2. compile it to WAM code,
 //   3. run a query on the concrete machine,
 //   4. run the compiled dataflow analysis and print the inferred
-//      mode/type information.
+//      mode/type information,
+//   5. ask a second question of the same persistent session — the store
+//      warm-starts it from the first query's memoized summaries.
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,8 +48,12 @@ int main() {
                 writeTerm(Solutions[0].Bindings[0], Syms).c_str());
 
   // 4. Analyze: what happens when nrev is called with a ground list and a
-  // free result variable?
-  AnalysisSession A(*Program);
+  // free result variable? A persistent session keeps the analysis store
+  // alive between queries, so this is also how a long-lived service would
+  // hold the analyzer.
+  AnalyzerOptions Options;
+  Options.Persistent = true;
+  AnalysisSession A(*Program, Options);
   Result<AnalysisResult> R = A.analyze("nrev(glist, var)");
   if (!R) {
     std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());
@@ -55,5 +61,16 @@ int main() {
   }
   std::printf("%s\n", formatAnalysis(*R, Syms).c_str());
   std::printf("%s", formatModes(*R, Syms).c_str());
+
+  // 5. A second question against the warm store. The nrev query above
+  // already tabled every app summary this entry needs, so the drain
+  // replays those memo hits instead of re-running the abstract machine —
+  // while the report stays byte-identical to a from-scratch analysis.
+  Result<AnalysisResult> R2 = A.analyze("app(glist, glist, var)");
+  if (!R2) {
+    std::fprintf(stderr, "analysis error: %s\n", R2.diag().str().c_str());
+    return 1;
+  }
+  std::printf("\n%s", formatModes(*R2, Syms).c_str());
   return 0;
 }

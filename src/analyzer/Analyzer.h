@@ -67,6 +67,15 @@ struct AnalyzerOptions {
   /// which perturbs the timing benches. The computed result is identical
   /// either way.
   bool Incremental = false;
+  /// Keep a long-lived AnalysisStore behind the session (analyzer/Store.h):
+  /// repeated analyze() calls share one interner + multi-root table +
+  /// dependency graph, repeat queries are answered from the store's result
+  /// cache, and new entries warm-start from the accumulated run journals —
+  /// with each query's per-root projection byte-identical to a scratch
+  /// analyze() of that entry at every thread count. reanalyze() then
+  /// invalidates only the edit's reverse-dependency cone inside the store.
+  /// Requires the worklist driver with interning on the compiled backend.
+  bool Persistent = false;
 };
 
 /// The paper-faithful seed configuration — naive restart loop over a

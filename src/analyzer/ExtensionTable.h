@@ -70,6 +70,11 @@ struct ETEntry {
   /// record the version they observed; the scheduler re-enqueues a reader
   /// when a recorded version is no longer current.
   uint32_t SuccessVersion = 0;
+  /// Multi-root tables only (analyzer/Store.h): ordinals of the store
+  /// roots whose query drains introduced or reached this entry, in merge
+  /// order. Maintained by the AnalysisStore; always empty in the per-query
+  /// scratch tables the drivers operate on.
+  std::vector<int32_t> Roots;
 };
 
 /// The memo table.

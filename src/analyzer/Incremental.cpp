@@ -6,10 +6,99 @@
 
 #include "analyzer/Incremental.h"
 
+#include "compiler/ProgramCompiler.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace awam;
+
+namespace {
+
+/// Do two instructions perform the same operation, with pool/table indices
+/// resolved to their meaning? Both modules must share one SymbolTable (the
+/// callers guarantee it), so Symbol values compare directly. Address-typed
+/// operands (try/retry/trust chains, switches, jumps) are conservatively
+/// unequal — clause code blocks never contain them, so this only fires if
+/// that invariant ever changes, and it fails safe (pred counted edited).
+bool instrEquiv(const CodeModule &MA, const Instruction &A,
+                const CodeModule &MB, const Instruction &B) {
+  if (A.Op != B.Op)
+    return false;
+  switch (A.Op) {
+  case Opcode::GetConst:
+  case Opcode::PutConst:
+  case Opcode::UnifyConst:
+    return A.B == B.B && MA.constAt(A.A) == MB.constAt(B.A);
+  case Opcode::GetStructure:
+  case Opcode::PutStructure:
+    return A.B == B.B && MA.functorAt(A.A) == MB.functorAt(B.A);
+  case Opcode::Call:
+  case Opcode::Execute: {
+    const PredicateInfo &PA = MA.predicate(A.A);
+    const PredicateInfo &PB = MB.predicate(B.A);
+    return PA.Name == PB.Name && PA.Arity == PB.Arity;
+  }
+  case Opcode::Try:
+  case Opcode::Retry:
+  case Opcode::Trust:
+  case Opcode::Jump:
+  case Opcode::SwitchOnTerm:
+  case Opcode::SwitchOnConstant:
+  case Opcode::SwitchOnStructure:
+    return false;
+  default:
+    return A.A == B.A && A.B == B.B;
+  }
+}
+
+} // namespace
+
+std::vector<PredSig> awam::diffPrograms(const CompiledProgram &Old,
+                                        const CompiledProgram &New) {
+  const CodeModule &MO = *Old.Module;
+  const CodeModule &MN = *New.Module;
+  std::vector<PredSig> Edited;
+  auto sigOf = [](const CodeModule &M, const PredicateInfo &P) {
+    return PredSig{std::string(M.symbols().name(P.Name)), P.Arity};
+  };
+  if (&MO.symbols() != &MN.symbols()) {
+    for (int32_t I = 0; I != MO.numPredicates(); ++I)
+      Edited.push_back(sigOf(MO, MO.predicate(I)));
+    for (int32_t I = 0; I != MN.numPredicates(); ++I)
+      Edited.push_back(sigOf(MN, MN.predicate(I)));
+    return Edited;
+  }
+  for (int32_t I = 0; I != MN.numPredicates(); ++I) {
+    const PredicateInfo &PN = MN.predicate(I);
+    int32_t OldId = MO.findPredicate(PN.Name, PN.Arity);
+    if (OldId < 0) {
+      if (!PN.Clauses.empty()) // newly defined
+        Edited.push_back(sigOf(MN, PN));
+      continue;
+    }
+    const PredicateInfo &PO = MO.predicate(OldId);
+    bool Same = PO.Clauses.size() == PN.Clauses.size();
+    for (size_t C = 0; Same && C != PN.Clauses.size(); ++C) {
+      const ClauseInfo &CO = PO.Clauses[C];
+      const ClauseInfo &CN = PN.Clauses[C];
+      Same = CO.NumInstr == CN.NumInstr;
+      for (int32_t K = 0; Same && K != CN.NumInstr; ++K)
+        Same = instrEquiv(MO, MO.at(CO.Entry + K), MN, MN.at(CN.Entry + K));
+    }
+    if (!Same)
+      Edited.push_back(sigOf(MN, PN));
+  }
+  for (int32_t I = 0; I != MO.numPredicates(); ++I) {
+    const PredicateInfo &PO = MO.predicate(I);
+    if (PO.Clauses.empty())
+      continue;
+    int32_t NewId = MN.findPredicate(PO.Name, PO.Arity);
+    if (NewId < 0 || MN.predicate(NewId).Clauses.empty()) // removed
+      Edited.push_back(sigOf(MO, PO));
+  }
+  return Edited;
+}
 
 namespace {
 

@@ -69,6 +69,19 @@
 
 namespace awam {
 
+struct CompiledProgram;
+
+/// The predicates whose *clause code* differs between \p Old and \p New,
+/// by name/arity: changed bodies, changed clause counts, additions, and
+/// removals. Both modules should share one SymbolTable; with distinct
+/// tables the comparison is meaningless (Symbols and hence patterns are
+/// incomparable), so every predicate of both programs is reported — a
+/// re-drain then (correctly) replays nothing and a persistent store
+/// invalidates everything. Used by AnalysisSession::reanalyze and the
+/// AnalysisStore's cone invalidation.
+std::vector<PredSig> diffPrograms(const CompiledProgram &Old,
+                                  const CompiledProgram &New);
+
 /// Worklist driver that satisfies activations from a previous run's
 /// journal where valid and executes the rest. One instance drives one
 /// reanalyze() to its fixpoint.

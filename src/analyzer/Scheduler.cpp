@@ -116,6 +116,14 @@ SchedulerCore::reverseClosure(const std::vector<int32_t> &Seeds) const {
   return Mark;
 }
 
+std::vector<std::pair<int32_t, int32_t>> SchedulerCore::edgePairs() const {
+  std::vector<std::pair<int32_t, int32_t>> Out;
+  for (size_t Dep = 0; Dep != Readers.size(); ++Dep)
+    for (const Edge &Ed : Readers[Dep])
+      Out.emplace_back(static_cast<int32_t>(Dep), Ed.Reader);
+  return Out;
+}
+
 std::vector<int32_t> SchedulerCore::collectReady(uint64_t Sweep,
                                                  size_t Max) const {
   std::vector<int32_t> Ready;

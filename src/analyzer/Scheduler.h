@@ -136,6 +136,12 @@ public:
   /// the entries whose recorded inputs could reach an edited predicate.
   std::vector<char> reverseClosure(const std::vector<int32_t> &Seeds) const;
 
+  /// All recorded reader edges, as (Dep, Reader) pairs in no particular
+  /// order. Superseded runs' edges are included, matching reverseClosure's
+  /// conservative semantics — this is what the persistent AnalysisStore
+  /// merges into its long-lived dependency graph after each query drain.
+  std::vector<std::pair<int32_t, int32_t>> edgePairs() const;
+
   /// Collects the live ready set of \p Sweep in ascending Idx order —
   /// the prefix of the drain order the sequential driver would execute
   /// next, which is exactly what the parallel driver speculates on.

@@ -55,7 +55,76 @@ Result<AnalysisResult> AnalysisSession::analyze(std::string_view Name,
                                                 const Pattern &Entry) {
   if (Custom)
     return Custom->analyze(Name, Entry);
+  if (Options.Persistent) {
+    Result<AnalysisStore *> S = ensureStore();
+    if (!S)
+      return S.diag();
+    return (*S)->query(Name, Entry);
+  }
   return analyzeCompiled(Name, Entry);
+}
+
+Result<AnalysisStore *> AnalysisSession::ensureStore() {
+  if (PStore)
+    return PStore.get();
+  if (!Program)
+    return makeError("persistent sessions require the compiled backend");
+  if (Options.Driver != DriverKind::Worklist || !Options.UseInterning)
+    return makeError(
+        "persistent sessions require the worklist driver with interning");
+  PStore = std::make_unique<AnalysisStore>(*Program, Options);
+  return PStore.get();
+}
+
+Result<std::vector<AnalysisResult>>
+AnalysisSession::analyzeBatch(const std::vector<std::string> &EntrySpecs) {
+  // Validate the whole batch before running anything: parse every spec and
+  // resolve every entry predicate, so a typo at position N cannot waste
+  // the N-1 analyses before it (or leave a store mid-list).
+  std::vector<std::pair<std::string, Pattern>> Parsed;
+  Parsed.reserve(EntrySpecs.size());
+  for (const std::string &Spec : EntrySpecs) {
+    Result<std::pair<std::string, Pattern>> P = parseEntrySpec(Spec);
+    if (!P)
+      return P.diag();
+    if (Program) {
+      const CodeModule &M = *Program->Module;
+      Symbol Sym = M.symbols().lookup(P->first);
+      int Arity = static_cast<int>(P->second.Roots.size());
+      if (Sym == ~0u || M.findPredicate(Sym, Arity) < 0)
+        return makeError("entry predicate " + P->first + "/" +
+                         std::to_string(Arity) + " is not defined");
+    }
+    Parsed.push_back(std::move(*P));
+  }
+  // One warm store across the batch whenever the configuration can back
+  // one; otherwise (custom backend, naive driver, no interning) each spec
+  // runs as an independent scratch analysis.
+  AnalysisStore *Batch = nullptr;
+  if (Program && Options.Driver == DriverKind::Worklist &&
+      Options.UseInterning) {
+    Result<AnalysisStore *> S = ensureStore();
+    if (!S)
+      return S.diag();
+    Batch = *S;
+  }
+  std::vector<AnalysisResult> Out;
+  Out.reserve(Parsed.size());
+  for (const auto &[Name, Entry] : Parsed) {
+    Result<AnalysisResult> R =
+        Batch ? Batch->query(Name, Entry) : analyze(Name, Entry);
+    if (!R)
+      return R.diag();
+    Out.push_back(std::move(*R));
+  }
+  return Out;
+}
+
+void AnalysisSession::setBudgets(int MaxIterations, uint64_t MaxSteps) {
+  Options.MaxIterations = MaxIterations;
+  Options.MaxSteps = MaxSteps;
+  if (PStore)
+    PStore->setBudgets(MaxIterations, MaxSteps);
 }
 
 Result<AnalysisResult>
@@ -155,98 +224,8 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
 //===----------------------------------------------------------------------===//
 // Incremental re-analysis
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-/// Do two instructions perform the same operation, with pool/table indices
-/// resolved to their meaning? Both modules must share one SymbolTable (the
-/// callers guarantee it), so Symbol values compare directly. Address-typed
-/// operands (try/retry/trust chains, switches, jumps) are conservatively
-/// unequal — clause code blocks never contain them, so this only fires if
-/// that invariant ever changes, and it fails safe (pred counted edited).
-bool instrEquiv(const CodeModule &MA, const Instruction &A,
-                const CodeModule &MB, const Instruction &B) {
-  if (A.Op != B.Op)
-    return false;
-  switch (A.Op) {
-  case Opcode::GetConst:
-  case Opcode::PutConst:
-  case Opcode::UnifyConst:
-    return A.B == B.B && MA.constAt(A.A) == MB.constAt(B.A);
-  case Opcode::GetStructure:
-  case Opcode::PutStructure:
-    return A.B == B.B && MA.functorAt(A.A) == MB.functorAt(B.A);
-  case Opcode::Call:
-  case Opcode::Execute: {
-    const PredicateInfo &PA = MA.predicate(A.A);
-    const PredicateInfo &PB = MB.predicate(B.A);
-    return PA.Name == PB.Name && PA.Arity == PB.Arity;
-  }
-  case Opcode::Try:
-  case Opcode::Retry:
-  case Opcode::Trust:
-  case Opcode::Jump:
-  case Opcode::SwitchOnTerm:
-  case Opcode::SwitchOnConstant:
-  case Opcode::SwitchOnStructure:
-    return false;
-  default:
-    return A.A == B.A && A.B == B.B;
-  }
-}
-
-/// The predicates whose *clause code* differs between \p Old and \p New,
-/// by name/arity: changed bodies, changed clause counts, additions, and
-/// removals. With distinct symbol tables the comparison is meaningless
-/// (Symbols and hence patterns are incomparable), so every predicate of
-/// both programs is reported — reanalyze then (correctly) replays nothing.
-std::vector<PredSig> diffPrograms(const CompiledProgram &Old,
-                                  const CompiledProgram &New) {
-  const CodeModule &MO = *Old.Module;
-  const CodeModule &MN = *New.Module;
-  std::vector<PredSig> Edited;
-  auto sigOf = [](const CodeModule &M, const PredicateInfo &P) {
-    return PredSig{std::string(M.symbols().name(P.Name)), P.Arity};
-  };
-  if (&MO.symbols() != &MN.symbols()) {
-    for (int32_t I = 0; I != MO.numPredicates(); ++I)
-      Edited.push_back(sigOf(MO, MO.predicate(I)));
-    for (int32_t I = 0; I != MN.numPredicates(); ++I)
-      Edited.push_back(sigOf(MN, MN.predicate(I)));
-    return Edited;
-  }
-  for (int32_t I = 0; I != MN.numPredicates(); ++I) {
-    const PredicateInfo &PN = MN.predicate(I);
-    int32_t OldId = MO.findPredicate(PN.Name, PN.Arity);
-    if (OldId < 0) {
-      if (!PN.Clauses.empty()) // newly defined
-        Edited.push_back(sigOf(MN, PN));
-      continue;
-    }
-    const PredicateInfo &PO = MO.predicate(OldId);
-    bool Same = PO.Clauses.size() == PN.Clauses.size();
-    for (size_t C = 0; Same && C != PN.Clauses.size(); ++C) {
-      const ClauseInfo &CO = PO.Clauses[C];
-      const ClauseInfo &CN = PN.Clauses[C];
-      Same = CO.NumInstr == CN.NumInstr;
-      for (int32_t K = 0; Same && K != CN.NumInstr; ++K)
-        Same = instrEquiv(MO, MO.at(CO.Entry + K), MN, MN.at(CN.Entry + K));
-    }
-    if (!Same)
-      Edited.push_back(sigOf(MN, PN));
-  }
-  for (int32_t I = 0; I != MO.numPredicates(); ++I) {
-    const PredicateInfo &PO = MO.predicate(I);
-    if (PO.Clauses.empty())
-      continue;
-    int32_t NewId = MN.findPredicate(PO.Name, PO.Arity);
-    if (NewId < 0 || MN.predicate(NewId).Clauses.empty()) // removed
-      Edited.push_back(sigOf(MO, PO));
-  }
-  return Edited;
-}
-
-} // namespace
+// The clause-level program diff (instrEquiv / diffPrograms) lives in
+// Incremental.cpp — the AnalysisStore's cone invalidation shares it.
 
 uint64_t AnalysisSession::coneSize(
     const std::vector<PredSig> &Edited) const {
@@ -275,6 +254,8 @@ Result<AnalysisResult>
 AnalysisSession::reanalyze(const std::vector<PredSig> &EditedPreds) {
   if (Custom)
     return makeError("reanalyze requires the compiled backend");
+  if (PStore)
+    return PStore->reanalyze(EditedPreds);
   if (!HaveEntry)
     return makeError("reanalyze requires a prior analyze()");
   uint64_t Cone = coneSize(EditedPreds);
@@ -285,6 +266,11 @@ Result<AnalysisResult>
 AnalysisSession::reanalyze(const CompiledProgram &Edited) {
   if (Custom)
     return makeError("reanalyze requires the compiled backend");
+  if (PStore) {
+    Result<AnalysisResult> R = PStore->reanalyze(Edited);
+    Program = &PStore->program();
+    return R;
+  }
   if (!HaveEntry)
     return makeError("reanalyze requires a prior analyze()");
   // Diff and cone are computed against the outgoing program/core, before

@@ -33,6 +33,7 @@
 #include "analyzer/Incremental.h"
 #include "analyzer/ParallelScheduler.h"
 #include "analyzer/Scheduler.h"
+#include "analyzer/Store.h"
 
 #include <memory>
 #include <string>
@@ -93,11 +94,38 @@ public:
   /// is conservatively treated as edited (patterns embed symbol ids).
   Result<AnalysisResult> reanalyze(const CompiledProgram &Edited);
 
+  /// Analyzes every spec of \p EntrySpecs in order and returns one result
+  /// per spec. All specs are parsed and their entry predicates resolved
+  /// *before any analysis runs* — a bad spec anywhere in the list aborts
+  /// the whole batch up front with the usual parseEntrySpec / resolution
+  /// error, leaving the session (and its store) untouched. When the
+  /// configuration allows a persistent store (compiled backend, worklist
+  /// driver, interning — AnalyzerOptions::Persistent not required), the
+  /// batch shares one warm store: later entries replay the table work of
+  /// earlier ones, with each result still byte-identical to a scratch
+  /// analyze() of its spec. Other configurations run the specs as
+  /// independent scratch analyses.
+  Result<std::vector<AnalysisResult>>
+  analyzeBatch(const std::vector<std::string> &EntrySpecs);
+
+  /// Adjusts the driver budgets for subsequent analyses (and the store's
+  /// future queries — cached store results keep the budgets they were
+  /// computed under).
+  void setBudgets(int MaxIterations, uint64_t MaxSteps);
+
   const AnalyzerOptions &options() const { return Options; }
 
   /// The extension table of the most recent analyze() over the compiled
-  /// machine (nullptr before the first run or on a custom backend).
-  const ExtensionTable *table() const { return Table.get(); }
+  /// machine (nullptr before the first run or on a custom backend). On a
+  /// persistent session this is the store's multi-root table.
+  const ExtensionTable *table() const {
+    return PStore ? &PStore->table() : Table.get();
+  }
+
+  /// The persistent store behind this session (nullptr until the first
+  /// analyze()/analyzeBatch() that creates one — see
+  /// AnalyzerOptions::Persistent).
+  const AnalysisStore *store() const { return PStore.get(); }
 
   /// Scheduler statistics of the most recent worklist run — sequential or
   /// parallel (nullptr under the naive driver or a custom backend).
@@ -114,6 +142,10 @@ public:
 private:
   Result<AnalysisResult> analyzeCompiled(std::string_view Name,
                                          const Pattern &Entry);
+  /// The session's AnalysisStore, created on first use; errors when the
+  /// configuration cannot back one (custom backend, naive driver, no
+  /// interning).
+  Result<AnalysisStore *> ensureStore();
   Result<AnalysisResult> reanalyzeCompiled(const std::vector<PredSig> &Edited,
                                            uint64_t ConeEntries);
   /// Fills the statistics tail (instructions, probes, counters, items)
@@ -147,6 +179,10 @@ private:
   /// reused across analyze() calls (thread spawn costs would otherwise
   /// dwarf these sub-millisecond analyses).
   std::unique_ptr<SpecPool> Pool;
+  /// The persistent analysis store (AnalyzerOptions::Persistent, or an
+  /// analyzeBatch() on a store-capable configuration). Named PStore: the
+  /// WAM heap type awam::Store (wam/Store.h) already owns the plain name.
+  std::unique_ptr<AnalysisStore> PStore;
 };
 
 } // namespace awam

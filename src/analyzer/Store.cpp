@@ -1,0 +1,477 @@
+//===- analyzer/Store.cpp - Persistent multi-root analysis store ----------===//
+
+#include "analyzer/Store.h"
+
+#include "analyzer/AbstractMachine.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace awam;
+
+AnalysisStore::AnalysisStore(const CompiledProgram &Program,
+                             AnalyzerOptions Options)
+    : Program(&Program), Options(Options) {
+  // The store's reuse machinery — interned multi-root table, journal
+  // replay, dependency cone — is defined in worklist-over-interner terms.
+  // AnalysisSession refuses other configurations with a descriptive error;
+  // normalize here so a directly constructed store is well-formed too.
+  this->Options.Driver = DriverKind::Worklist;
+  this->Options.UseInterning = true;
+  resetState();
+}
+
+AnalysisStore::~AnalysisStore() = default;
+
+void AnalysisStore::resetState() {
+  Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
+  Table = std::make_unique<ExtensionTable>(Options.TableImpl,
+                                           Interner.get());
+  Core = SchedulerCore();
+  EdgeSeen.clear();
+  Roots.clear();
+}
+
+size_t AnalysisStore::numRoots() const {
+  size_t N = 0;
+  for (const RootInfo &RI : Roots)
+    if (RI.Valid)
+      ++N;
+  return N;
+}
+
+int AnalysisStore::findRootSlot(std::string_view Name,
+                                PatternId CallId) const {
+  // Linear scan: CallId is a stable identity here because the interner is
+  // append-only and shared by every query of this store.
+  for (size_t I = 0; I != Roots.size(); ++I)
+    if (Roots[I].CallId == CallId && Roots[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+const AnalysisResult *AnalysisStore::projection(std::string_view Name,
+                                                const Pattern &Entry) {
+  PatternId CallId = Interner->internNormalized(Entry);
+  int Slot = findRootSlot(Name, CallId);
+  return Slot >= 0 && Roots[Slot].Valid ? &Roots[Slot].Cached : nullptr;
+}
+
+Result<AnalysisResult> AnalysisStore::query(std::string_view EntrySpec) {
+  Result<std::pair<std::string, Pattern>> Parsed = parseEntrySpec(EntrySpec);
+  if (!Parsed)
+    return Parsed.diag();
+  return query(Parsed->first, Parsed->second);
+}
+
+Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
+                                            const Pattern &Entry) {
+  const CodeModule &M = *Program->Module;
+  Symbol Sym = M.symbols().lookup(Name);
+  int Arity = static_cast<int>(Entry.Roots.size());
+  int32_t Pid = Sym == ~0u ? -1 : M.findPredicate(Sym, Arity);
+  if (Pid < 0)
+    return makeError("entry predicate " + std::string(Name) + "/" +
+                     std::to_string(Arity) + " is not defined");
+  ++St.Queries;
+  LastName.assign(Name);
+  LastEntry = Entry;
+  HaveLast = true;
+
+  PatternId CallId = Interner->internNormalized(Entry);
+  if (int Slot = findRootSlot(Name, CallId);
+      Slot >= 0 && Roots[Slot].Valid) {
+    ++St.CacheHits;
+    return Roots[Slot].Cached;
+  }
+
+  // Build-aside drain: a fresh per-query table and machine, sharing only
+  // the store's (append-only) interner. Nothing below writes store state
+  // until the merge, so a failing query — machine error, budget hit —
+  // leaves the store exactly as it was.
+  ExtensionTable QTable(Options.TableImpl, Interner.get());
+  AbsMachineOptions MachineOptions;
+  MachineOptions.DepthLimit = Options.DepthLimit;
+  MachineOptions.MaxSteps = Options.MaxSteps;
+  AbstractMachine Machine(*Program, QTable, MachineOptions);
+  auto OutJournal = std::make_unique<RunJournal>(M);
+  Machine.setRunJournal(OutJournal.get());
+  // The shared interner's counters keep growing across queries; snapshot
+  // so the result reports this query's own activity.
+  InternerStats Before = Interner->stats();
+
+  bool Created = false;
+  ETEntry &Root = QTable.findOrCreate(Pid, CallId, Created);
+
+  // Pool every valid root's banked journal as the replay source. The drain
+  // validates each trace against the live query table before applying it,
+  // so banked runs act as pre-verified memo hits wherever they still hold
+  // and fall back to execution wherever they don't — which is what makes
+  // the warm result byte-identical to a scratch run of this entry.
+  RunJournal PrevRuns(M);
+  for (const RootInfo &RI : Roots)
+    if (RI.Valid && RI.Journal)
+      for (const std::shared_ptr<const RunTrace> &T : RI.Journal->runs())
+        PrevRuns.append(T);
+
+  AnalysisResult R;
+  WorklistScheduler::Status Status;
+  const SchedulerCore *QCore = nullptr;
+  std::unique_ptr<IncrementalScheduler> Inc;
+  std::unique_ptr<WorklistScheduler> Seq;
+  std::unique_ptr<ParallelScheduler> Par;
+  if (!PrevRuns.runs().empty()) {
+    ++St.WarmQueries;
+    // The warm drain is sequential at any NumThreads: its output is
+    // thread-invariant because the scratch run it reproduces is (the
+    // parallel driver's contract), and replay leaves little to overlap.
+    Inc = std::make_unique<IncrementalScheduler>(
+        QTable, Machine, M, PrevRuns, std::vector<PredSig>{},
+        OutJournal.get(), Options.MaxSteps);
+    Inc->reanalyzeStats().PrevEntries = Table->size();
+    Status = Inc->run(Root, Options.MaxIterations);
+    if (Status == WorklistScheduler::Status::Error)
+      return makeError("abstract machine error: " + Machine.errorMessage());
+    QCore = &Inc->core();
+    const IncrementalScheduler::ReanalyzeStats &RS = Inc->reanalyzeStats();
+    St.ReplayedRuns += RS.ReplayedRuns;
+    St.ExecutedRuns += RS.ExecutedRuns;
+    St.ReplayedActivations += RS.ReplayedActivations;
+    St.ExecutedActivations += RS.ExecutedActivations;
+  } else {
+    ++St.ColdQueries;
+    if (Options.NumThreads > 1) {
+      if (!Pool || Pool->threads() != Options.NumThreads)
+        Pool = std::make_unique<SpecPool>(Options.NumThreads);
+      Par = std::make_unique<ParallelScheduler>(QTable, Machine, *Program,
+                                                MachineOptions, *Pool,
+                                                OutJournal.get());
+      Status = Par->run(Root, Options.MaxIterations);
+      if (Status == WorklistScheduler::Status::Error)
+        return makeError("abstract machine error: " + Par->errorMessage());
+      QCore = &Par->core();
+    } else {
+      Seq = std::make_unique<WorklistScheduler>(QTable, Machine);
+      Status = Seq->run(Root, Options.MaxIterations);
+      if (Status == WorklistScheduler::Status::Error)
+        return makeError("abstract machine error: " +
+                         Machine.errorMessage());
+      QCore = &Seq->core();
+    }
+  }
+
+  const WorklistScheduler::Stats &SS =
+      Inc ? Inc->stats() : (Par ? Par->stats() : Seq->stats());
+  R.Converged = Status == WorklistScheduler::Status::Converged;
+  R.Iterations = static_cast<int>(SS.Sweeps);
+  R.Counters.SchedulerRuns = SS.Runs;
+  R.Counters.DepEdges = SS.EdgesRecorded;
+  if (Par) {
+    const ParallelScheduler::SpecStats &PS = Par->specStats();
+    R.Counters.SpecBatches = PS.Batches;
+    R.Counters.SpecRuns = PS.Speculated;
+    R.Counters.SpecCommitted = PS.Committed;
+    R.Counters.SpecDiscarded = PS.Discarded;
+  }
+  R.Instructions = Machine.stepsExecuted();
+  R.TableProbes = QTable.probeCount();
+  R.Counters.Instructions = R.Instructions;
+  R.Counters.ETProbes = R.TableProbes;
+  R.Counters.ActivationRuns = Machine.activationsExplored();
+  const InternerStats &After = Interner->stats();
+  R.Counters.InternHits = After.InternHits - Before.InternHits;
+  R.Counters.InternMisses = After.InternMisses - Before.InternMisses;
+  R.Counters.LubCacheHits = After.LubCacheHits - Before.LubCacheHits;
+  R.Counters.LubCacheMisses = After.LubCacheMisses - Before.LubCacheMisses;
+  R.Counters.LeqCacheHits = After.LeqCacheHits - Before.LeqCacheHits;
+  R.Counters.LeqCacheMisses = After.LeqCacheMisses - Before.LeqCacheMisses;
+  R.Counters.DistinctPatterns = Interner->size();
+  for (const ETEntry &E : QTable.entries())
+    R.Items.push_back(
+        {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
+
+  // Only a converged fixpoint merges: a budget-hit table is a sound
+  // partial answer for *this* query but not a reusable memo.
+  if (R.Converged)
+    mergeQuery(Name, Pid, CallId, QTable, *QCore, std::move(OutJournal), R);
+  return R;
+}
+
+void AnalysisStore::mergeQuery(std::string_view Name, int32_t Pid,
+                               PatternId CallId,
+                               const ExtensionTable &QTable,
+                               const SchedulerCore &QCore,
+                               std::unique_ptr<RunJournal> Journal,
+                               const AnalysisResult &R) {
+  int Slot = findRootSlot(Name, CallId);
+  if (Slot < 0) {
+    Slot = static_cast<int>(Roots.size());
+    Roots.emplace_back();
+  }
+  RootInfo &RI = Roots[Slot];
+  RI.Name.assign(Name);
+  RI.Call = Pattern(Interner->pattern(CallId));
+  RI.Arity = static_cast<int32_t>(RI.Call.Roots.size());
+  RI.Pid = Pid;
+  RI.CallId = CallId;
+  RI.EntryIdxs.clear();
+
+  // Install the query table into the store table, tagging each entry with
+  // this root's ordinal. A key two queries share has one summary: both are
+  // the least fixpoint at (pred, calling pattern), which depends on the
+  // program alone — not on which entry goal reached it.
+  std::vector<int32_t> IdxMap;
+  IdxMap.reserve(QTable.size());
+  for (const ETEntry &E : QTable.entries()) {
+    bool Created = false;
+    ETEntry &SE = Table->findOrCreate(E.PredId, E.CallId, Created);
+    if (Created) {
+      SE.Success = E.Success;
+      SE.SuccessId = E.SuccessId;
+      SE.EverExplored = E.EverExplored;
+      SE.SuccessVersion = E.SuccessVersion;
+      ++St.NewEntries;
+    } else {
+      assert(SE.Success == E.Success &&
+             "converged summaries of a shared key must agree");
+      ++St.SharedEntries;
+    }
+    if (std::find(SE.Roots.begin(), SE.Roots.end(),
+                  static_cast<int32_t>(Slot)) == SE.Roots.end())
+      SE.Roots.push_back(static_cast<int32_t>(Slot));
+    IdxMap.push_back(SE.Idx);
+    RI.EntryIdxs.push_back(SE.Idx);
+  }
+
+  // Accumulate the drain's dependency edges (remapped to store indices) —
+  // reverseClosure over the union graph is the invalidation cone.
+  Core.ensure(static_cast<int32_t>(Table->size()));
+  for (const auto &[Dep, Reader] : QCore.edgePairs()) {
+    int32_t SD = IdxMap[static_cast<size_t>(Dep)];
+    int32_t SR = IdxMap[static_cast<size_t>(Reader)];
+    uint64_t Key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(SD)) << 32) |
+        static_cast<uint32_t>(SR);
+    if (EdgeSeen.insert(Key).second)
+      Core.noteRead(SR, SD, 0);
+  }
+
+  RI.Journal = std::move(Journal);
+  RI.Cached = R;
+  RI.Valid = true;
+  ++St.MergedRoots;
+}
+
+Result<AnalysisResult>
+AnalysisStore::reanalyze(const std::vector<PredSig> &EditedPreds) {
+  if (!HaveLast)
+    return makeError("reanalyze requires a prior analyze()");
+  invalidate(*Program, EditedPreds);
+  return query(LastName, LastEntry);
+}
+
+Result<AnalysisResult>
+AnalysisStore::reanalyze(const CompiledProgram &Edited) {
+  if (!HaveLast)
+    return makeError("reanalyze requires a prior analyze()");
+  // Diffed against the outgoing program, before the edited one installs.
+  std::vector<PredSig> Edits = diffPrograms(*Program, Edited);
+  invalidate(Edited, Edits);
+  return query(LastName, LastEntry);
+}
+
+void AnalysisStore::invalidate(const CompiledProgram &NewP,
+                               const std::vector<PredSig> &Edited) {
+  ++St.Reanalyses;
+  const CodeModule &MOld = *Program->Module;
+  const CodeModule &MNew = *NewP.Module;
+
+  // Distinct symbol tables: patterns of the two modules are incomparable
+  // (they embed Symbols), and the interner's stored patterns could
+  // structurally alias unrelated new-module terms. Nothing survives.
+  if (&MOld.symbols() != &MNew.symbols()) {
+    St.InvalidatedRoots += numRoots();
+    St.InvalidatedEntries += Table->size();
+    St.LastConeEntries = Table->size();
+    resetState();
+    Program = &NewP;
+    return;
+  }
+
+  // The cone: reverse closure of the edited predicates' entries over the
+  // accumulated dependency graph.
+  std::vector<char> IsEdited(static_cast<size_t>(MOld.numPredicates()), 0);
+  for (const PredSig &Sig : Edited) {
+    Symbol Sym = MOld.symbols().lookup(Sig.Name);
+    int32_t Pid = Sym == ~0u ? -1 : MOld.findPredicate(Sym, Sig.Arity);
+    if (Pid >= 0)
+      IsEdited[Pid] = 1;
+  }
+  std::vector<int32_t> Seeds;
+  for (const ETEntry &E : Table->entries())
+    if (static_cast<size_t>(E.PredId) < IsEdited.size() &&
+        IsEdited[E.PredId])
+      Seeds.push_back(E.Idx);
+  std::vector<char> Mark = Core.reverseClosure(Seeds);
+  Mark.resize(Table->size(), 0);
+  St.LastConeEntries = static_cast<uint64_t>(
+      std::count(Mark.begin(), Mark.end(), char(1)));
+
+  // Ids may shift on recompilation (first-reference order); re-resolve by
+  // name/arity, which the shared symbol table makes directly comparable.
+  auto MapOldPid = [&](int32_t Old) {
+    const PredicateInfo &P = MOld.predicate(Old);
+    return MNew.findPredicate(P.Name, P.Arity);
+  };
+
+  // A root survives iff its projection misses the cone entirely (an edit
+  // it could have observed implies an edge into the cone: a memo read of
+  // a changed summary records an edge, and entering edited code marks the
+  // entry itself) and everything it references still resolves.
+  for (RootInfo &RI : Roots) {
+    if (!RI.Valid)
+      continue;
+    bool Dead = MapOldPid(RI.Pid) < 0;
+    for (int32_t Idx : RI.EntryIdxs) {
+      if (Mark[static_cast<size_t>(Idx)] ||
+          MapOldPid(Table->entryAt(static_cast<size_t>(Idx)).PredId) < 0) {
+        Dead = true;
+        break;
+      }
+    }
+    if (Dead) {
+      RI.Valid = false;
+      RI.Cached = AnalysisResult{};
+      RI.EntryIdxs.clear();
+      RI.Journal.reset();
+      ++St.InvalidatedRoots;
+    }
+  }
+
+  // Rebuild the physical table and graph from the survivors. The table's
+  // lookup index embeds PredId, so shifted ids force re-insertion anyway;
+  // rebuilding also drops every dead entry and edge in one pass.
+  uint64_t OldEntries = Table->size();
+  auto NewTable =
+      std::make_unique<ExtensionTable>(Options.TableImpl, Interner.get());
+  SchedulerCore NewCore;
+  std::unordered_set<uint64_t> NewEdgeSeen;
+  std::vector<int32_t> OldToNew(Table->size(), -1);
+  for (size_t RIdx = 0; RIdx != Roots.size(); ++RIdx) {
+    RootInfo &RI = Roots[RIdx];
+    if (!RI.Valid)
+      continue;
+    RI.Pid = MapOldPid(RI.Pid);
+    for (int32_t &Idx : RI.EntryIdxs) {
+      ETEntry &Old = Table->entryAt(static_cast<size_t>(Idx));
+      int32_t NewPid = MapOldPid(Old.PredId);
+      assert(NewPid >= 0 && "survivors resolve by construction");
+      bool Created = false;
+      ETEntry &NE = NewTable->findOrCreate(NewPid, Old.CallId, Created);
+      if (Created) {
+        NE.Success = Old.Success;
+        NE.SuccessId = Old.SuccessId;
+        NE.EverExplored = Old.EverExplored;
+        NE.SuccessVersion = Old.SuccessVersion;
+      }
+      if (std::find(NE.Roots.begin(), NE.Roots.end(),
+                    static_cast<int32_t>(RIdx)) == NE.Roots.end())
+        NE.Roots.push_back(static_cast<int32_t>(RIdx));
+      OldToNew[static_cast<size_t>(Idx)] = NE.Idx;
+      Idx = NE.Idx;
+    }
+    // The cached projection's items carry PredIds for reachability joins.
+    for (AnalysisResult::Item &It : RI.Cached.Items)
+      It.PredId = MapOldPid(It.PredId);
+    // Re-key the banked journal to the new module's ids. A surviving
+    // root's drain never touched an edited predicate (it would be in the
+    // cone), and removed predicates are reported as edited by
+    // diffPrograms; unresolvable traces can only appear under a manual
+    // edit list that understates the edit, and dropping them is safe —
+    // replay validation, not the bank, is what guarantees correctness.
+    if (RI.Journal) {
+      auto NewJ = std::make_unique<RunJournal>(MNew);
+      int32_t MaxPid = -1;
+      for (const auto &[Pid, Sig] : RI.Journal->sigs())
+        MaxPid = std::max(MaxPid, Pid);
+      std::vector<int32_t> PidMap(static_cast<size_t>(MaxPid + 1), -1);
+      for (const auto &[Pid, Sig] : RI.Journal->sigs()) {
+        Symbol Sym = MNew.symbols().lookup(Sig.Name);
+        PidMap[static_cast<size_t>(Pid)] =
+            Sym == ~0u ? -1 : MNew.findPredicate(Sym, Sig.Arity);
+      }
+      for (const std::shared_ptr<const RunTrace> &T : RI.Journal->runs()) {
+        bool Resolves = static_cast<size_t>(T->Pred) < PidMap.size() &&
+                        PidMap[static_cast<size_t>(T->Pred)] >= 0;
+        for (const TraceOp &Op : T->Ops)
+          if (Resolves && Op.Pred >= 0)
+            Resolves = static_cast<size_t>(Op.Pred) < PidMap.size() &&
+                       PidMap[static_cast<size_t>(Op.Pred)] >= 0;
+        if (Resolves)
+          NewJ->appendRemapped(T, PidMap);
+      }
+      RI.Journal = std::move(NewJ);
+    }
+  }
+  NewCore.ensure(static_cast<int32_t>(NewTable->size()));
+  for (const auto &[Dep, Reader] : Core.edgePairs()) {
+    if (static_cast<size_t>(Dep) >= OldToNew.size() ||
+        static_cast<size_t>(Reader) >= OldToNew.size())
+      continue;
+    int32_t ND = OldToNew[static_cast<size_t>(Dep)];
+    int32_t NR = OldToNew[static_cast<size_t>(Reader)];
+    if (ND < 0 || NR < 0)
+      continue;
+    uint64_t Key =
+        (static_cast<uint64_t>(static_cast<uint32_t>(ND)) << 32) |
+        static_cast<uint32_t>(NR);
+    if (NewEdgeSeen.insert(Key).second)
+      NewCore.noteRead(NR, ND, 0);
+  }
+
+  St.InvalidatedEntries += OldEntries - NewTable->size();
+  Table = std::move(NewTable);
+  Core = std::move(NewCore);
+  EdgeSeen = std::move(NewEdgeSeen);
+  Program = &NewP;
+}
+
+std::string AnalysisStore::canonicalDump(const SymbolTable &Syms) const {
+  // Tag roots by identity (name + calling pattern), never by ordinal:
+  // ordinals depend on query order, identities don't.
+  std::vector<std::string> RootTag(Roots.size());
+  for (size_t I = 0; I != Roots.size(); ++I)
+    RootTag[I] = Roots[I].Name + Roots[I].Call.str(Syms);
+  const CodeModule &M = *Program->Module;
+  std::vector<std::string> Lines;
+  for (const ETEntry &E : Table->entries()) {
+    std::vector<std::string> Tags;
+    for (int32_t R : E.Roots)
+      if (Roots[static_cast<size_t>(R)].Valid)
+        Tags.push_back(RootTag[static_cast<size_t>(R)]);
+    if (Tags.empty())
+      continue;
+    std::sort(Tags.begin(), Tags.end());
+    std::string Line = M.predicateLabel(E.PredId) + " " + E.Call.str(Syms) +
+                       " -> " +
+                       (E.Success ? E.Success->str(Syms) : "(fails)") +
+                       "  roots:";
+    for (const std::string &T : Tags)
+      Line += " " + T;
+    Lines.push_back(std::move(Line));
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string awam::formatAnalysis(AnalysisStore &Store, std::string_view Name,
+                                 const Pattern &Entry,
+                                 const SymbolTable &Syms) {
+  const AnalysisResult *R = Store.projection(Name, Entry);
+  return R ? formatAnalysis(*R, Syms) : std::string();
+}

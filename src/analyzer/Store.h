@@ -1,0 +1,212 @@
+//===- analyzer/Store.h - Persistent multi-root analysis store --*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived half of the analyzer: an AnalysisStore owns one
+/// PatternInterner, one multi-root ExtensionTable and one accumulated
+/// SchedulerCore dependency-edge set that survive across entry queries of
+/// the same compiled module. The extension table is monotone — every
+/// (pred, calling-pattern) summary a converged query derives is the least
+/// fixpoint at that key and therefore a sound, reusable memo for any later
+/// query — which is what makes a shared store consistent at all.
+///
+/// Query protocol (*build-aside-and-merge*):
+///
+///  1. Repeat query: a root already merged answers from the per-root
+///     result cache — the second query of an entry is a table lookup.
+///  2. New query: the drain runs over a *fresh* per-query table that
+///     shares only the store's interner. Cold (no journals banked yet) it
+///     is the ordinary worklist / parallel driver with trace recording on;
+///     warm it is the IncrementalScheduler replaying the store's banked
+///     run journals with an empty edit set — every recorded trace whose
+///     value-level validation holds is applied instead of executed, and
+///     the rest fall back to real execution. Replay validation makes the
+///     drain byte-identical to a scratch analyze() of that entry (see
+///     analyzer/Incremental.h for the induction), so the per-root
+///     projection equals the scratch report at every thread count.
+///  3. Merge: only a *converged* query merges. Each query-table entry is
+///     installed into the store table under its interned key (or found —
+///     converged summaries of a shared key are equal, both being the least
+///     fixpoint at that key), tagged with the query's root ordinal
+///     (ETEntry::Roots), and the query core's dependency edges join the
+///     store's accumulated graph. Failing queries — unknown entry,
+///     machine error, budget hit — leave the store untouched by
+///     construction: nothing is written until the merge (the strong
+///     guarantee).
+///
+/// The determinism contract is deliberately *per-root projection*, not
+/// whole-table identity: which entries the store holds depends on which
+/// queries ran (the union of their scratch tables), but each root's
+/// projection — entry set, creation order, summaries, counters — is the
+/// scratch run of that entry alone and hence independent of every other
+/// query and of query order. canonicalDump() exposes the order-free view
+/// of the whole store (sorted entries with sorted root tags), which *is*
+/// permutation-invariant.
+///
+/// reanalyze() confines an edit to its reverse-dependency cone: roots
+/// whose projection intersects the cone lose cache, projection and
+/// journal; everything else survives warm (their drains, by the cone
+/// argument, cannot observe the edit), and the next query of an
+/// invalidated root re-drains by warm replay of the surviving journals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_STORE_H
+#define AWAM_ANALYZER_STORE_H
+
+#include "analyzer/Analyzer.h"
+#include "analyzer/Incremental.h"
+#include "analyzer/ParallelScheduler.h"
+#include "analyzer/Scheduler.h"
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace awam {
+
+/// Persistent analysis state of one compiled module. AnalysisSession wraps
+/// one behind AnalyzerOptions::Persistent; services that manage module
+/// lifetimes themselves (examples/analyze_server.cpp) hold stores directly,
+/// keyed by CodeModule::fingerprint().
+class AnalysisStore {
+public:
+  /// Cumulative store statistics (reporting; not part of any determinism
+  /// contract).
+  struct Stats {
+    uint64_t Queries = 0;       ///< queries that resolved their entry
+    uint64_t CacheHits = 0;     ///< answered from the per-root result cache
+    uint64_t ColdQueries = 0;   ///< drained with an empty journal bank
+    uint64_t WarmQueries = 0;   ///< drained by validated journal replay
+    uint64_t ReplayedRuns = 0;  ///< warm drains: queue pops replayed
+    uint64_t ExecutedRuns = 0;  ///< warm drains: queue pops executed
+    uint64_t ReplayedActivations = 0;
+    uint64_t ExecutedActivations = 0;
+    uint64_t MergedRoots = 0;   ///< converged queries merged into the store
+    uint64_t NewEntries = 0;    ///< merged entries new to the store
+    uint64_t SharedEntries = 0; ///< merged entries another root already owned
+    uint64_t Reanalyses = 0;
+    uint64_t InvalidatedRoots = 0;
+    uint64_t InvalidatedEntries = 0;
+    uint64_t LastConeEntries = 0; ///< invalidation cone of the last reanalyze
+  };
+
+  /// \p Program must outlive the store. The store always runs the worklist
+  /// driver over an interned table (its reuse machinery is defined in
+  /// those terms); AnalysisSession reports a descriptive error for other
+  /// configurations before constructing one.
+  AnalysisStore(const CompiledProgram &Program, AnalyzerOptions Options);
+  AnalysisStore(const AnalysisStore &) = delete;
+  AnalysisStore &operator=(const AnalysisStore &) = delete;
+  ~AnalysisStore();
+
+  /// Analyzes entry \p Name with calling pattern \p Entry against the
+  /// store. The result is byte-identical (per formatAnalysis) to a scratch
+  /// analyze() of the same entry at every thread count; converged results
+  /// are merged and cached, failing queries leave the store untouched.
+  Result<AnalysisResult> query(std::string_view Name, const Pattern &Entry);
+
+  /// Spec-string form (see parseEntrySpec).
+  Result<AnalysisResult> query(std::string_view EntrySpec);
+
+  /// The clauses of \p EditedPreds changed (in place — the module object
+  /// is unchanged): invalidates exactly the cone of the edit inside the
+  /// store, then re-answers the most recent query warm.
+  Result<AnalysisResult> reanalyze(const std::vector<PredSig> &EditedPreds);
+
+  /// The program was recompiled as \p Edited (diffed clause-by-clause;
+  /// should share the store's SymbolTable — with a distinct table every
+  /// predicate is conservatively treated as edited and the store resets).
+  /// \p Edited replaces the store's program and must outlive it.
+  Result<AnalysisResult> reanalyze(const CompiledProgram &Edited);
+
+  /// Adjusts the driver budgets for subsequent queries. Cached projections
+  /// keep the budgets they were computed under.
+  void setBudgets(int MaxIterations, uint64_t MaxSteps) {
+    Options.MaxIterations = MaxIterations;
+    Options.MaxSteps = MaxSteps;
+  }
+
+  const AnalyzerOptions &options() const { return Options; }
+  const CompiledProgram &program() const { return *Program; }
+
+  /// The multi-root table: the union of every merged query's scratch
+  /// table, each entry tagged with the roots that reached it.
+  const ExtensionTable &table() const { return *Table; }
+
+  const Stats &stats() const { return St; }
+
+  /// Roots currently merged and valid (invalidated roots don't count).
+  size_t numRoots() const;
+
+  /// The cached per-root projection of a previously merged query, or
+  /// nullptr if that root was never merged (or was invalidated). Non-const
+  /// because the entry pattern is normalized through the shared interner.
+  const AnalysisResult *projection(std::string_view Name,
+                                   const Pattern &Entry);
+
+  /// Order-free rendering of the whole store: one line per valid entry —
+  /// predicate, calling pattern, summary, sorted root tags — sorted
+  /// lexicographically. Two stores that answered the same query set in any
+  /// order dump identically (the order-independence contract).
+  std::string canonicalDump(const SymbolTable &Syms) const;
+
+private:
+  /// One merged query root: its identity, cached scratch-identical result,
+  /// projection (store entry indices in the query's creation order), and
+  /// the run journal later queries warm-start from.
+  struct RootInfo {
+    std::string Name;
+    int32_t Arity = 0;
+    Pattern Call; ///< normalized entry pattern
+    int32_t Pid = -1;
+    PatternId CallId = kInvalidPatternId;
+    bool Valid = false;
+    AnalysisResult Cached;
+    std::vector<int32_t> EntryIdxs;
+    std::unique_ptr<RunJournal> Journal;
+  };
+
+  int findRootSlot(std::string_view Name, PatternId CallId) const;
+  void mergeQuery(std::string_view Name, int32_t Pid, PatternId CallId,
+                  const ExtensionTable &QTable, const SchedulerCore &QCore,
+                  std::unique_ptr<RunJournal> Journal,
+                  const AnalysisResult &R);
+  /// Cone invalidation + rebuild of the physical table/graph from the
+  /// surviving roots, with predicate ids re-resolved against \p NewP's
+  /// module. Installs \p NewP as the store's program.
+  void invalidate(const CompiledProgram &NewP,
+                  const std::vector<PredSig> &Edited);
+  void resetState();
+
+  const CompiledProgram *Program;
+  AnalyzerOptions Options;
+  std::unique_ptr<PatternInterner> Interner;
+  std::unique_ptr<ExtensionTable> Table;
+  /// Accumulated dependency edges of every merged query, on store entry
+  /// indices — reverseClosure over it is the invalidation cone.
+  SchedulerCore Core;
+  std::unordered_set<uint64_t> EdgeSeen; ///< (dep, reader) pairs present
+  std::vector<RootInfo> Roots;
+  /// Worker threads for cold parallel queries, created on first use.
+  std::unique_ptr<SpecPool> Pool;
+  std::string LastName;
+  Pattern LastEntry;
+  bool HaveLast = false;
+  Stats St;
+};
+
+/// Per-root projection rendering: formatAnalysis of the store's cached
+/// result for (\p Name, \p Entry) — byte-identical to formatAnalysis of a
+/// scratch analyze() of that entry. Returns the empty string when the root
+/// was never merged or was invalidated.
+std::string formatAnalysis(AnalysisStore &Store, std::string_view Name,
+                           const Pattern &Entry, const SymbolTable &Syms);
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_STORE_H

@@ -2,6 +2,8 @@
 
 #include "compiler/CodeModule.h"
 
+#include <algorithm>
+
 using namespace awam;
 
 int32_t CodeModule::internConst(ConstOperand C) {
@@ -41,4 +43,92 @@ int32_t CodeModule::findPredicate(Symbol Name, int Arity) const {
 std::string CodeModule::predicateLabel(int32_t Id) const {
   const PredicateInfo &P = Preds[Id];
   return std::string(Syms->name(P.Name)) + "/" + std::to_string(P.Arity);
+}
+
+namespace {
+
+// FNV-1a, 64-bit.
+inline void fnvBytes(uint64_t &H, const void *Data, size_t N) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != N; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+}
+
+inline void fnvInt(uint64_t &H, int64_t V) { fnvBytes(H, &V, sizeof(V)); }
+
+inline void fnvStr(uint64_t &H, std::string_view S) {
+  fnvInt(H, static_cast<int64_t>(S.size()));
+  fnvBytes(H, S.data(), S.size());
+}
+
+} // namespace
+
+uint64_t CodeModule::fingerprint() const {
+  uint64_t H = 1469598103934665603ull;
+  // Defined predicates in name/arity order, so an id permutation (ids are
+  // assigned in first-reference order, which edits can shuffle) does not
+  // perturb the fingerprint.
+  std::vector<int32_t> Order;
+  for (int32_t I = 0; I != numPredicates(); ++I)
+    if (!Preds[I].Clauses.empty())
+      Order.push_back(I);
+  std::sort(Order.begin(), Order.end(), [&](int32_t A, int32_t B) {
+    const PredicateInfo &PA = Preds[A];
+    const PredicateInfo &PB = Preds[B];
+    std::string_view NA = Syms->name(PA.Name);
+    std::string_view NB = Syms->name(PB.Name);
+    return NA != NB ? NA < NB : PA.Arity < PB.Arity;
+  });
+  for (int32_t Id : Order) {
+    const PredicateInfo &P = Preds[Id];
+    fnvStr(H, Syms->name(P.Name));
+    fnvInt(H, P.Arity);
+    fnvInt(H, static_cast<int64_t>(P.Clauses.size()));
+    for (const ClauseInfo &C : P.Clauses) {
+      fnvInt(H, C.NumInstr);
+      for (int32_t K = 0; K != C.NumInstr; ++K) {
+        const Instruction &I = Code[C.Entry + K];
+        fnvInt(H, static_cast<int64_t>(I.Op));
+        // Resolve pool/table indices to their meaning — the same
+        // resolution diffPrograms compares by — so two compilations of
+        // equivalent source fingerprint equal even if pool layouts differ.
+        switch (I.Op) {
+        case Opcode::GetConst:
+        case Opcode::PutConst:
+        case Opcode::UnifyConst: {
+          const ConstOperand &Cst = Consts[I.A];
+          fnvInt(H, Cst.K);
+          if (Cst.K == ConstOperand::AtomK)
+            fnvStr(H, Syms->name(Cst.Name));
+          else
+            fnvInt(H, Cst.Int);
+          fnvInt(H, I.B);
+          break;
+        }
+        case Opcode::GetStructure:
+        case Opcode::PutStructure: {
+          const FunctorArity &F = Functors[I.A];
+          fnvStr(H, Syms->name(F.Name));
+          fnvInt(H, F.Arity);
+          fnvInt(H, I.B);
+          break;
+        }
+        case Opcode::Call:
+        case Opcode::Execute: {
+          const PredicateInfo &Callee = Preds[I.A];
+          fnvStr(H, Syms->name(Callee.Name));
+          fnvInt(H, Callee.Arity);
+          break;
+        }
+        default:
+          fnvInt(H, I.A);
+          fnvInt(H, I.B);
+          break;
+        }
+      }
+    }
+  }
+  return H;
 }

@@ -146,6 +146,15 @@ public:
   /// Human-readable name "foo/2" of a predicate.
   std::string predicateLabel(int32_t Id) const;
 
+  /// A stable identity hash of the module's semantic content: predicate
+  /// names/arities and their clause code with pool indices resolved to
+  /// their meaning (constant values, functor names, callee signatures) —
+  /// the same resolution diffPrograms compares by, so two modules with
+  /// equal fingerprints analyze identically. Used by long-lived services
+  /// to key one persistent analysis store per compiled module
+  /// (analyzer/Store.h, examples/analyze_server.cpp).
+  uint64_t fingerprint() const;
+
 private:
   SymbolTable *Syms;
   std::vector<Instruction> Code;
