@@ -7,6 +7,15 @@
 // server yields a clean, diffable transcript (the CI smoke does exactly
 // that).
 //
+//   analyze_server [--threads N] [--spec-batch-min N] [--spec-batch-max N]
+//                  [--warm-threads N]
+//
+// The flags configure every store the server creates: driver threads for
+// cold queries, the adaptive speculation batch bounds of the parallel
+// driver, and the warm-drain thread count for replay validation (0 =
+// follow --threads). Results are byte-identical at every setting; only
+// speculation effectiveness varies.
+//
 //   load (<file.pl> | bench:<name>)   compile and select a program
 //   entry SPEC                        analyze, e.g. entry qsort(glist,var,var)
 //   batch SPEC; SPEC; ...             several entries, all validated first
@@ -28,8 +37,11 @@
 #include "analyzer/Session.h"
 #include "programs/Benchmarks.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -39,6 +51,10 @@
 using namespace awam;
 
 namespace {
+
+/// Driver configuration shared by every store the server creates, set
+/// once from argv (see the file comment).
+AnalyzerOptions ServerOptions;
 
 /// One loaded program and its warm analysis state. The symbol table and
 /// arena live here because the compiled program borrows both.
@@ -61,10 +77,23 @@ std::unique_ptr<Workspace> compileWorkspace(const std::string &Source,
     std::fprintf(stderr, "error: %s\n", W->Program.diag().str().c_str());
     return nullptr;
   }
-  AnalyzerOptions Options;
+  AnalyzerOptions Options = ServerOptions;
   Options.Persistent = true;
   W->Session = std::make_unique<AnalysisSession>(*W->Program, Options);
   return W;
+}
+
+/// Parses \p Text as an integer in [\p Min, INT_MAX] (the analyze_file
+/// parseIntArg contract).
+bool parseIntArg(const char *Text, int Min, int &Out) {
+  errno = 0;
+  char *End = nullptr;
+  long V = std::strtol(Text, &End, 10);
+  if (End == Text || *End != '\0' || errno == ERANGE || V < Min ||
+      V > std::numeric_limits<int>::max())
+    return false;
+  Out = static_cast<int>(V);
+  return true;
 }
 
 /// Parses a NAME/ARITY operand (shared with analyze_file's --edit).
@@ -108,7 +137,41 @@ void help() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    std::string_view Arg = argv[I];
+    bool Ok = false;
+    if (Arg == "--threads" && I + 1 < argc) {
+      if (!(Ok = parseIntArg(argv[++I], 1, ServerOptions.NumThreads)))
+        std::fprintf(stderr, "bad --threads '%s': expected an integer >= 1\n",
+                     argv[I]);
+    } else if (Arg == "--spec-batch-min" && I + 1 < argc) {
+      if (!(Ok = parseIntArg(argv[++I], 1, ServerOptions.SpecBatchMin)))
+        std::fprintf(stderr,
+                     "bad --spec-batch-min '%s': expected an integer >= 1\n",
+                     argv[I]);
+    } else if (Arg == "--spec-batch-max" && I + 1 < argc) {
+      if (!(Ok = parseIntArg(argv[++I], 1, ServerOptions.SpecBatchMax)))
+        std::fprintf(stderr,
+                     "bad --spec-batch-max '%s': expected an integer >= 1\n",
+                     argv[I]);
+    } else if (Arg == "--warm-threads" && I + 1 < argc) {
+      if (!(Ok = parseIntArg(argv[++I], 0, ServerOptions.WarmThreads)))
+        std::fprintf(stderr,
+                     "bad --warm-threads '%s': expected an integer >= 0\n",
+                     argv[I]);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
+    }
+    if (!Ok) {
+      std::fprintf(stderr,
+                   "usage: analyze_server [--threads N] [--spec-batch-min N] "
+                   "[--spec-batch-max N]\n                      "
+                   "[--warm-threads N]\n");
+      return 2;
+    }
+  }
+
   // Warm stores keyed by module fingerprint; Current points into the map.
   std::map<uint64_t, std::unique_ptr<Workspace>> Stores;
   Workspace *Current = nullptr;
@@ -265,6 +328,8 @@ int main() {
       std::printf("queries: %llu (cache hits %llu, cold %llu, warm %llu)\n"
                   "runs: %llu replayed, %llu executed; activations: %llu "
                   "replayed, %llu executed\n"
+                  "warm drains: %llu batches, %llu spec replays (%llu "
+                  "committed, %llu discarded), %llu critical units\n"
                   "store: %llu roots, %llu entries (%llu new, %llu shared)\n"
                   "reanalyses: %llu (roots invalidated %llu, entries "
                   "invalidated %llu, last cone %llu)\n",
@@ -276,6 +341,11 @@ int main() {
                   (unsigned long long)St.ExecutedRuns,
                   (unsigned long long)St.ReplayedActivations,
                   (unsigned long long)St.ExecutedActivations,
+                  (unsigned long long)St.WarmReplayBatches,
+                  (unsigned long long)St.WarmSpecReplays,
+                  (unsigned long long)St.WarmSpecCommitted,
+                  (unsigned long long)St.WarmSpecDiscarded,
+                  (unsigned long long)St.WarmCriticalUnits,
                   (unsigned long long)S->numRoots(),
                   (unsigned long long)S->table().size(),
                   (unsigned long long)St.NewEntries,

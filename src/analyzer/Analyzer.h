@@ -61,6 +61,18 @@ struct AnalyzerOptions {
   /// byte-identical table (see analyzer/ParallelScheduler.h). Values < 1
   /// behave like 1 (the pool clamps); the CLI rejects them up front.
   int NumThreads = 1;
+  /// Parallel driver only: bounds of the adaptive speculation batch size.
+  /// The batch doubles after a full batch of clean commits and halves on
+  /// any discard, staying within [SpecBatchMin, SpecBatchMax]. The
+  /// computed result is identical for any bounds; only speculation
+  /// effectiveness (and hence wall-clock) varies.
+  int SpecBatchMin = 2;
+  int SpecBatchMax = 32;
+  /// Warm-drain threads for reanalyze() and the persistent store's warm
+  /// batch queries (parallel replay validation; see Incremental.h).
+  /// 0 = follow NumThreads; 1 = sequential warm drains. Byte-identical
+  /// output at every value.
+  int WarmThreads = 0;
   /// Record a replayable trace of every activation run (worklist driver
   /// only), enabling AnalysisSession::reanalyze() afterwards. Off by
   /// default: recording copies calling/success patterns per table event,
@@ -114,6 +126,9 @@ struct PerfCounters {
   uint64_t SpecRuns = 0;      ///< activation runs executed speculatively
   uint64_t SpecCommitted = 0; ///< speculations committed by replay
   uint64_t SpecDiscarded = 0; ///< speculations invalidated or orphaned
+  uint64_t SpecBypassed = 0;  ///< pops that skipped speculation (batch of 1)
+  uint64_t SpecPagesCopied = 0; ///< overlay pages privatized (COW clones)
+  uint64_t SpecBaseTouches = 0; ///< base entries touched by speculations
 };
 
 /// Final analysis output: the extension table plus statistics.

@@ -6,76 +6,157 @@
 
 using namespace awam;
 
-// Index maps store deque *positions*. On ordinary tables position == Idx;
-// overlays decouple them (shadows keep their base Idx, locally created
-// entries get Idx values past the base size).
+// Index maps store table *positions*; position == ETEntry::Idx on ordinary
+// tables and overlays alike (overlay creations continue past the base
+// size). Overlay lookups probe the local indexes (created entries only)
+// and then the base's frozen indexes read-only, resolving every position
+// through the overlay's pages so privatized copies are seen transparently.
+
+ETEntry &ExtensionTable::appendEntry() {
+  ETEntry &E = Owned.emplace_back();
+  size_t Pos = Count++;
+  E.Idx = static_cast<int32_t>(Pos);
+  if (Base && Pos >= BaseSize) {
+    CreatedSlots.push_back(&E);
+    return E;
+  }
+  size_t Pg = Pos >> kPageShift;
+  if (Pg == Pages.size()) {
+    Pages.push_back(std::make_shared<Page>());
+    Pages.back()->Owner = this;
+  }
+  Pages[Pg]->Slots[Pos & kPageMask] = &E;
+  return E;
+}
+
+void ExtensionTable::recordTouch(size_t Pos) {
+  assert(Base && Pos < BaseSize);
+  if (TouchMark[Pos] == TouchGen)
+    return;
+  TouchMark[Pos] = TouchGen;
+  // Privatization always touches first, so the slot still shows the state
+  // the base held when this speculation first observed the entry.
+  const ETEntry &E = *slotAt(Pos);
+  TouchLog.push_back({E.Idx, E.SuccessVersion, E.EverExplored});
+}
+
+ETEntry &ExtensionTable::writableAt(size_t Pos) {
+  assert(Pos < Count);
+  if (!Base || Pos >= BaseSize)
+    return *slotAt(Pos);
+  recordTouch(Pos);
+  size_t Pg = Pos >> kPageShift;
+  size_t Off = Pos & kPageMask;
+  if (Pages[Pg]->Owner != this) {
+    // First write into a shared page: clone it (COW). The clone still
+    // points at base entries in its other slots — they privatize
+    // individually on their own first write.
+    auto Clone = std::make_shared<Page>(*Pages[Pg]);
+    Clone->Owner = this;
+    Pages[Pg] = std::move(Clone);
+    ++PagesCopiedCount;
+  }
+  if (PrivMark[Pos] != TouchGen) {
+    Owned.push_back(*Pages[Pg]->Slots[Off]);
+    Pages[Pg]->Slots[Off] = &Owned.back();
+    PrivMark[Pos] = TouchGen;
+  }
+  return *Pages[Pg]->Slots[Off];
+}
 
 ETEntry *ExtensionTable::find(int32_t PredId, const Pattern &Call) {
   if (WhichImpl == Impl::LinearList) {
-    for (ETEntry &E : Entries) {
+    // One scan over the overlay view: base positions first (in Idx order,
+    // like the base's own scan), then locally created entries.
+    for (size_t Pos = 0; Pos != Count; ++Pos) {
       ++Probes;
+      ETEntry &E = *slotAt(Pos);
       if (E.PredId == PredId && E.Call == Call)
-        return &E;
+        return Base && Pos < BaseSize ? &resolveBaseHit(Pos) : &E;
     }
-  } else if (Interner) {
+    return nullptr;
+  }
+  if (Interner) {
     // Interned tables index structurally through StructIndex only (one
     // flat map instead of two parallel indexes).
+    uint64_t K = structKey(PredId, Call.hash());
     ++Probes; // index consultation (counted on hits and misses alike)
     bool First = true;
-    uint32_t V =
-        StructIndex.findIf(structKey(PredId, Call.hash()), [&](uint32_t Pos) {
-          if (!First)
-            ++Probes;
-          First = false;
-          const ETEntry &E = Entries[Pos];
-          return E.PredId == PredId && E.Call == Call;
-        });
+    auto Match = [&](uint32_t Pos) {
+      if (!First)
+        ++Probes;
+      First = false;
+      const ETEntry &E = *slotAt(Pos);
+      return E.PredId == PredId && E.Call == Call;
+    };
+    uint32_t V = StructIndex.findIf(K, Match);
     if (V != detail::FlatMap64::kEmpty)
-      return &Entries[V];
-  } else {
-    uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
-    ++Probes; // index consultation (counted on hits and misses alike)
-    auto It = Index.find(H);
-    if (It != Index.end()) {
-      bool First = true;
-      for (ETEntry *E : It->second) {
-        if (!First)
-          ++Probes;
-        First = false;
-        if (E->PredId == PredId && E->Call == Call)
-          return E;
-      }
+      return &*slotAt(V);
+    if (Base) {
+      uint32_t BV = Base->StructIndex.findIf(K, Match);
+      if (BV != detail::FlatMap64::kEmpty)
+        return &resolveBaseHit(BV);
     }
+    return nullptr;
   }
-  // Local miss; an overlay consults its frozen base and shadows any hit.
+  uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
+  ++Probes; // index consultation (counted on hits and misses alike)
+  bool First = true;
+  auto Scan = [&](const std::vector<uint32_t> &Bucket) -> int64_t {
+    for (uint32_t Pos : Bucket) {
+      if (!First)
+        ++Probes;
+      First = false;
+      const ETEntry &E = *slotAt(Pos);
+      if (E.PredId == PredId && E.Call == Call)
+        return Pos;
+    }
+    return -1;
+  };
+  if (auto It = Index.find(H); It != Index.end())
+    if (int64_t Pos = Scan(It->second); Pos >= 0)
+      return &*slotAt(static_cast<size_t>(Pos));
   if (Base)
-    if (const ETEntry *BE = Base->findExisting(PredId, Call))
-      return &installShadow(*BE);
+    if (auto It = Base->Index.find(H); It != Base->Index.end())
+      if (int64_t Pos = Scan(It->second); Pos >= 0)
+        return &resolveBaseHit(static_cast<size_t>(Pos));
   return nullptr;
 }
 
 const ETEntry *ExtensionTable::findExisting(int32_t PredId,
                                             const Pattern &Call) const {
   if (WhichImpl == Impl::LinearList) {
-    for (const ETEntry &E : Entries)
+    for (size_t Pos = 0; Pos != Count; ++Pos) {
+      const ETEntry &E = *slotAt(Pos);
       if (E.PredId == PredId && E.Call == Call)
         return &E;
+    }
     return nullptr;
   }
   if (Interner) {
-    uint32_t V =
-        StructIndex.findIf(structKey(PredId, Call.hash()), [&](uint32_t Pos) {
-          const ETEntry &E = Entries[Pos];
-          return E.PredId == PredId && E.Call == Call;
-        });
-    return V == detail::FlatMap64::kEmpty ? nullptr : &Entries[V];
+    uint64_t K = structKey(PredId, Call.hash());
+    auto Match = [&](uint32_t Pos) {
+      const ETEntry &E = *slotAt(Pos);
+      return E.PredId == PredId && E.Call == Call;
+    };
+    uint32_t V = StructIndex.findIf(K, Match);
+    if (V == detail::FlatMap64::kEmpty && Base)
+      V = Base->StructIndex.findIf(K, Match);
+    return V == detail::FlatMap64::kEmpty ? nullptr : slotAt(V);
   }
-  auto It = Index.find((static_cast<uint64_t>(PredId) << 32) ^ Call.hash());
-  if (It == Index.end())
-    return nullptr;
-  for (const ETEntry *E : It->second)
-    if (E->PredId == PredId && E->Call == Call)
-      return E;
+  uint64_t H = (static_cast<uint64_t>(PredId) << 32) ^ Call.hash();
+  for (const ExtensionTable *T : {this, Base}) {
+    if (!T)
+      continue;
+    auto It = T->Index.find(H);
+    if (It == T->Index.end())
+      continue;
+    for (uint32_t Pos : It->second) {
+      const ETEntry &E = *slotAt(Pos);
+      if (E.PredId == PredId && E.Call == Call)
+        return &E;
+    }
+  }
   return nullptr;
 }
 
@@ -86,21 +167,19 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, const Pattern &Call,
     return *E;
   }
   Created = true;
-  ETEntry &E = Entries.emplace_back();
-  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
-  E.Idx = Base ? static_cast<int32_t>(BaseSize + NewCount++)
-               : static_cast<int32_t>(Pos);
+  ETEntry &E = appendEntry();
   E.PredId = PredId;
   E.Call = Call;
   if (Interner)
     E.CallId = Interner->intern(Call);
   if (WhichImpl == Impl::HashMap) {
     uint64_t H = Call.hash();
+    uint32_t Pos = static_cast<uint32_t>(E.Idx);
     if (Interner) {
       IdIndex.insert(idKey(PredId, E.CallId), Pos);
       StructIndex.insert(structKey(PredId, H), Pos);
     } else {
-      Index[(static_cast<uint64_t>(PredId) << 32) ^ H].push_back(&E);
+      Index[(static_cast<uint64_t>(PredId) << 32) ^ H].push_back(Pos);
     }
   }
   return E;
@@ -121,44 +200,44 @@ ETEntry &ExtensionTable::findOrCreateByPattern(int32_t PredId,
     uint64_t K = structKey(PredId, Call.hash());
     ++Probes; // index consultation (counted on hits and misses alike)
     bool First = true;
-    uint32_t V = StructIndex.findIf(K, [&](uint32_t Pos) {
+    auto Match = [&](uint32_t Pos) {
       if (!First)
         ++Probes;
       First = false;
-      const ETEntry &E = Entries[Pos];
+      const ETEntry &E = *slotAt(Pos);
       return E.PredId == PredId && E.Call == Call;
-    });
+    };
+    uint32_t V = StructIndex.findIf(K, Match);
     if (V != detail::FlatMap64::kEmpty) {
       Created = false;
-      return Entries[V];
+      return *slotAt(V);
     }
-    if (Base)
-      if (const ETEntry *BE = Base->findExisting(PredId, Call)) {
+    if (Base) {
+      uint32_t BV = Base->StructIndex.findIf(K, Match);
+      if (BV != detail::FlatMap64::kEmpty) {
         Created = false;
-        return installShadow(*BE);
+        return resolveBaseHit(BV);
       }
+    }
   }
   Created = true;
-  ETEntry &E = Entries.emplace_back();
-  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
-  E.Idx = Base ? static_cast<int32_t>(BaseSize + NewCount++)
-               : static_cast<int32_t>(Pos);
+  ETEntry &E = appendEntry();
   E.PredId = PredId;
   E.Call = Call;
   E.CallId = Interner->intern(Call);
   if (WhichImpl == Impl::HashMap) {
-    uint64_t H = Call.hash();
+    uint32_t Pos = static_cast<uint32_t>(E.Idx);
     IdIndex.insert(idKey(PredId, E.CallId), Pos);
-    StructIndex.insert(structKey(PredId, H), Pos);
+    StructIndex.insert(structKey(PredId, Call.hash()), Pos);
   }
   return E;
 }
 
 ETEntry *ExtensionTable::find(int32_t PredId, PatternId CallId) {
   assert(Interner && "id-keyed lookup requires an interner");
-  assert(!Base && "id-keyed lookup is not defined across interner spaces");
+  assert(!Base && "id-keyed lookup is not defined on overlays");
   if (WhichImpl == Impl::LinearList) {
-    for (ETEntry &E : Entries) {
+    for (ETEntry &E : Owned) {
       ++Probes;
       if (E.PredId == PredId && E.CallId == CallId)
         return &E;
@@ -167,7 +246,7 @@ ETEntry *ExtensionTable::find(int32_t PredId, PatternId CallId) {
   }
   ++Probes;
   uint32_t V = IdIndex.lookup(idKey(PredId, CallId));
-  return V == detail::FlatMap64::kEmpty ? nullptr : &Entries[V];
+  return V == detail::FlatMap64::kEmpty ? nullptr : slotAt(V);
 }
 
 ETEntry &ExtensionTable::findOrCreate(int32_t PredId, PatternId CallId,
@@ -177,13 +256,12 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, PatternId CallId,
     return *E;
   }
   Created = true;
-  ETEntry &E = Entries.emplace_back();
-  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
-  E.Idx = static_cast<int32_t>(Pos); // find() asserted !Base
+  ETEntry &E = appendEntry(); // find() asserted !Base
   E.PredId = PredId;
   E.CallId = CallId;
   E.Call = Interner->pattern(CallId);
   if (WhichImpl == Impl::HashMap) {
+    uint32_t Pos = static_cast<uint32_t>(E.Idx);
     IdIndex.insert(idKey(PredId, CallId), Pos);
     StructIndex.insert(structKey(PredId, E.Call.hash()), Pos);
   }
@@ -191,56 +269,32 @@ ETEntry &ExtensionTable::findOrCreate(int32_t PredId, PatternId CallId,
 }
 
 void ExtensionTable::attachBase(const ExtensionTable &B) {
-  assert(Entries.empty() && "attachBase requires an empty overlay");
+  assert(Owned.empty() && Count == 0 && "attachBase requires an empty overlay");
   assert(B.WhichImpl == WhichImpl && "overlay must mirror the base impl");
+  assert(!B.Base && "bases do not stack");
   assert(&B != this);
   Base = &B;
-  BaseSize = B.size();
+  resetOverlay();
 }
 
 void ExtensionTable::resetOverlay() {
   assert(Base && "resetOverlay is an overlay operation");
-  Entries.clear();
+  // Re-share the base's pages wholesale: any page this overlay privatized
+  // last round is dropped here (its shared_ptr replaced by the base's),
+  // and entries the base appended since last round come into view. This is
+  // the O(pages) snapshot the speculation loop pays per run.
+  Pages.assign(Base->Pages.begin(), Base->Pages.end());
+  CreatedSlots.clear();
+  Owned.clear();
   Index.clear();
   IdIndex.clear();
   StructIndex.clear();
   TouchLog.clear();
-  NewCount = 0;
-  BaseSize = Base->size();
-}
-
-ETEntry &ExtensionTable::installShadow(const ETEntry &BaseE) {
-  TouchLog.push_back({BaseE.Idx, BaseE.SuccessVersion, BaseE.EverExplored});
-  Entries.push_back(BaseE);
-  ETEntry &E = Entries.back();
-  // The base's pattern ids belong to the base interner's id space; remap
-  // them into the overlay's own interner (base patterns are canonical, so
-  // plain interning suffices).
-  if (Interner) {
-    E.CallId = Interner->intern(E.Call);
-    E.SuccessId =
-        E.Success ? Interner->intern(*E.Success) : kInvalidPatternId;
-  } else {
-    E.CallId = kInvalidPatternId;
-    E.SuccessId = kInvalidPatternId;
+  BaseSize = Base->Count;
+  Count = BaseSize;
+  ++TouchGen;
+  if (TouchMark.size() < BaseSize) {
+    TouchMark.resize(BaseSize, 0);
+    PrivMark.resize(BaseSize, 0);
   }
-  uint32_t Pos = static_cast<uint32_t>(Entries.size()) - 1;
-  if (WhichImpl == Impl::HashMap) {
-    uint64_t H = E.Call.hash();
-    if (Interner) {
-      IdIndex.insert(idKey(E.PredId, E.CallId), Pos);
-      StructIndex.insert(structKey(E.PredId, H), Pos);
-    } else {
-      Index[(static_cast<uint64_t>(E.PredId) << 32) ^ H].push_back(&E);
-    }
-  }
-  return E;
-}
-
-ETEntry &ExtensionTable::shadowForBase(int32_t BaseIdx) {
-  assert(Base && BaseIdx >= 0 && static_cast<size_t>(BaseIdx) < BaseSize);
-  const ETEntry &BE = Base->Entries[BaseIdx];
-  if (const ETEntry *E = findExisting(BE.PredId, BE.Call))
-    return const_cast<ETEntry &>(*E);
-  return installShadow(BE);
 }

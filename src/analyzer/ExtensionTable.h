@@ -17,6 +17,14 @@
 /// O(1) map lookup — the default fast path of the analyzer. The
 /// structural (pattern-compared) API remains as the ablation baseline.
 ///
+/// Entry storage is paged: positions map to entries through a vector of
+/// shared, fixed-size pages of entry pointers, while the entries
+/// themselves live in a stable-address deque. On an ordinary table the
+/// pages are an implementation detail (position == ETEntry::Idx, exactly
+/// as before); they exist so overlays can snapshot a table by copying the
+/// page-pointer vector — O(entries / kPageSize) — instead of touching any
+/// entry, and privatize individual pages copy-on-write.
+///
 /// The table itself is a passive memo. Scheduling state lives elsewhere:
 /// the naive driver uses the per-iteration Explored flags (reset by
 /// beginIteration), the worklist driver (analyzer/Scheduler.h) keys its
@@ -37,8 +45,10 @@
 
 #include "analyzer/PatternInterner.h"
 
+#include <array>
 #include <cassert>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -55,9 +65,12 @@ struct ETEntry {
   std::optional<Pattern> Success;
   PatternId CallId = kInvalidPatternId;
   PatternId SuccessId = kInvalidPatternId;
-  /// Position in the entries deque: a dense key for per-entry side tables
-  /// (the worklist scheduler's dependency graph) and the creation order
-  /// (which for the naive driver is the DFS first-call order).
+  /// Creation position: a dense key for per-entry side tables (the
+  /// worklist scheduler's dependency graph) and the creation order (which
+  /// for the naive driver is the DFS first-call order). Equal to the
+  /// entry's table position on ordinary tables *and* overlays (an overlay
+  /// creation continues past the base size, i.e. gets exactly the index
+  /// the live table would assign if the speculation committed first).
   int32_t Idx = -1;
   /// Naive driver: set while / after the entry was explored in the current
   /// iteration (reset by beginIteration).
@@ -80,15 +93,18 @@ struct ETEntry {
 /// The memo table.
 ///
 /// Overlay mode (the parallel driver's snapshot-read discipline): a table
-/// may be attached to a frozen base table with attachBase. Lookups that
-/// miss locally fall through to the base *read-only*; the first touch of a
-/// base entry installs a local mutable shadow copy that keeps the base
-/// entry's Idx, and every touch is recorded (Idx, SuccessVersion,
-/// EverExplored at copy time) so a speculative run can later be validated
-/// against the live table. Entries created by the overlay get Idx values
-/// continuing past the base size, i.e. exactly the indices the live table
-/// would assign if the speculation committed first. The base table is
-/// never written through — concurrent overlay readers over one frozen
+/// may be attached to a frozen base table with attachBase. resetOverlay
+/// re-snapshots the base by copying its page-pointer vector; lookups
+/// resolve base positions through the shared pages *read-only* and record
+/// every first touch (Idx, SuccessVersion, EverExplored as observed) so a
+/// speculative run can later be validated against the live table. Writes
+/// go through writableAt/writable, which clones the containing page
+/// (copy-on-write, counted in pagesCopied) and privatizes the one entry —
+/// sibling overlays and the base never observe the mutation. Entries
+/// created by the overlay live past the base size in a separate slot
+/// vector (never forcing a page clone), at exactly the indices the live
+/// table would assign if the speculation committed first. The base table
+/// is never written through — concurrent overlay readers over one frozen
 /// base are safe by construction.
 class ExtensionTable {
 public:
@@ -118,30 +134,41 @@ public:
   };
 
   /// Turns this (empty) table into an overlay of \p B. The base must use
-  /// the same Impl; pattern ids are remapped into this table's own
-  /// interner, so base and overlay interners are independent (which is
-  /// what makes concurrent overlays over one base thread-safe without
-  /// sharding the interner). The base must not be mutated while the
-  /// overlay reads it.
+  /// the same Impl. The base must not be mutated while the overlay reads
+  /// it (the parallel driver guarantees this temporally: overlays run only
+  /// between master mutations).
   void attachBase(const ExtensionTable &B);
 
-  /// Drops all local entries, shadows and touch records and re-snapshots
-  /// the base size. Called between speculations; the attached base and
-  /// interner are kept.
+  /// Re-snapshots the base: re-shares its pages (dropping any privatized
+  /// copies), drops locally created entries and the touch log. O(base
+  /// pages + local entries dropped), not O(base entries). Called between
+  /// speculations; the attached base and interner are kept.
   void resetOverlay();
 
   const ExtensionTable *base() const { return Base; }
   size_t baseSize() const { return BaseSize; }
   const std::vector<BaseTouch> &touchLog() const { return TouchLog; }
 
-  /// The local shadow of base entry \p BaseIdx, installing it on first
-  /// use. Overlay mode only — the parallel driver uses this to hand a
-  /// speculative activation its root entry.
-  ETEntry &shadowForBase(int32_t BaseIdx);
+  /// Pages privatized by copy-on-write since construction (overlay
+  /// effectiveness metric; never exceeds the number of entries touched).
+  uint64_t pagesCopied() const { return PagesCopiedCount; }
 
-  /// Structural lookup that neither creates, installs shadows, nor counts
-  /// probes. This is the read-only path overlays use to consult their
-  /// frozen base from worker threads.
+  /// A mutable reference to the entry at \p Pos. On an ordinary table this
+  /// is entryAt. On an overlay, a base-owned entry is privatized first:
+  /// the containing page is cloned if still shared, the entry copied into
+  /// local storage, and the touch recorded — callers must privatize before
+  /// storing a mutable entry pointer (AnalysisFrame::Entry) or writing any
+  /// field. Overlay-created entries are returned as-is.
+  ETEntry &writableAt(size_t Pos);
+  ETEntry &writable(ETEntry &E) {
+    assert(E.Idx >= 0);
+    return writableAt(static_cast<size_t>(E.Idx));
+  }
+
+  /// Structural lookup that neither creates, privatizes, records touches,
+  /// nor counts probes. On overlays it resolves through the overlay's
+  /// pages (seeing privatized copies); on ordinary tables it is the plain
+  /// read-only lookup the incremental driver's simulation uses.
   const ETEntry *findExisting(int32_t PredId, const Pattern &Call) const;
 
   /// Returns the entry for (\p PredId, \p Call), creating it if missing;
@@ -169,21 +196,34 @@ public:
 
   /// Clears the per-iteration Explored flags (naive driver only).
   void beginIteration() {
-    for (ETEntry &E : Entries)
+    assert(!Base && "the naive driver never runs on an overlay");
+    for (ETEntry &E : Owned)
       E.Explored = false;
   }
 
   /// Records that \p E's success pattern changed.
   void noteSuccessChanged(ETEntry &E) { ++E.SuccessVersion; }
 
-  const std::deque<ETEntry> &entries() const { return Entries; }
-  size_t size() const { return Entries.size(); }
+  /// The entries of an ordinary table in creation (== Idx) order.
+  /// Overlays expose entries through entryAt instead (their privatized
+  /// copies and created entries interleave in the deque).
+  const std::deque<ETEntry> &entries() const {
+    assert(!Base && "overlay entries are position-keyed; use entryAt");
+    return Owned;
+  }
+  size_t size() const { return Count; }
 
-  /// The entry with dense index \p Idx (scheduler handle -> entry). Not
-  /// meaningful on overlays, whose deque positions are decoupled from Idx.
-  ETEntry &entryAt(size_t Idx) {
-    assert(!Base && "entryAt is position-keyed; overlays decouple Idx");
-    return Entries[Idx];
+  /// The entry at position \p Pos (== ETEntry::Idx). On overlays this
+  /// resolves through the shared pages: a privatized copy where one
+  /// exists, the base's entry otherwise (read-only use only — mutation
+  /// goes through writableAt).
+  ETEntry &entryAt(size_t Pos) {
+    assert(Pos < Count);
+    return *slotAt(Pos);
+  }
+  const ETEntry &entryAt(size_t Pos) const {
+    assert(Pos < Count);
+    return *slotAt(Pos);
   }
 
   /// Number of lookup probes performed (ablation metric; see file comment
@@ -196,10 +236,43 @@ public:
   void chargeProbes(uint64_t N) { Probes += N; }
 
 private:
-  /// Copies base entry \p BaseE into the overlay (first touch): remaps its
-  /// pattern ids into the local interner, records the touch, and indexes
-  /// the shadow locally under its original Idx.
-  ETEntry &installShadow(const ETEntry &BaseE);
+  /// Entries-per-page; positions split into (page, offset) by shift/mask.
+  static constexpr size_t kPageShift = 6;
+  static constexpr size_t kPageSize = size_t(1) << kPageShift;
+  static constexpr size_t kPageMask = kPageSize - 1;
+
+  /// One page of entry-pointer slots. Owner tags which table last wrote
+  /// the page: an overlay writes only pages it owns (cloning shared ones
+  /// first), so sibling overlays and the base never see its mutations.
+  struct Page {
+    const ExtensionTable *Owner = nullptr;
+    std::array<ETEntry *, kPageSize> Slots{};
+  };
+
+  ETEntry *slotAt(size_t Pos) const {
+    if (Base && Pos >= BaseSize)
+      return CreatedSlots[Pos - BaseSize];
+    return Pages[Pos >> kPageShift]->Slots[Pos & kPageMask];
+  }
+
+  /// Appends a fresh entry at position size(), growing the page spine (or,
+  /// on overlays, the created-slot vector — creations never clone a base
+  /// page). Returns it with Idx/position assigned; the caller fills the
+  /// key fields and indexes it.
+  ETEntry &appendEntry();
+
+  /// Records the first touch of base position \p Pos this speculation
+  /// (subsequent touches are deduplicated by generation mark). Must run
+  /// before any mutation — the log captures the state the run observed.
+  void recordTouch(size_t Pos);
+
+  /// Resolution of a lookup that hit base position \p Pos: records the
+  /// touch and returns the overlay view (privatized copy if one exists).
+  ETEntry &resolveBaseHit(size_t Pos) {
+    recordTouch(Pos);
+    return *slotAt(Pos);
+  }
+
   static uint64_t idKey(int32_t PredId, PatternId CallId) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(PredId)) << 32) |
            CallId;
@@ -212,21 +285,38 @@ private:
 
   Impl WhichImpl;
   PatternInterner *Interner;
-  std::deque<ETEntry> Entries; // stable addresses
-  /// HashMap impl, structural path: pattern hash -> candidates.
-  std::unordered_map<uint64_t, std::vector<ETEntry *>> Index;
-  /// HashMap impl, interned path: exact (PredId, PatternId) -> entry index.
+  /// Entry storage (stable addresses): an ordinary table's entries in
+  /// creation order; an overlay's privatized copies and created entries
+  /// in touch/creation order.
+  std::deque<ETEntry> Owned;
+  /// Position spine: page P covers positions [P << kPageShift, ...). An
+  /// overlay starts each speculation sharing the base's pages and clones
+  /// on first write (see writableAt).
+  std::vector<std::shared_ptr<Page>> Pages;
+  /// Overlay mode: slots of locally created entries, position BaseSize+I.
+  std::vector<ETEntry *> CreatedSlots;
+  size_t Count = 0; ///< total positions (base snapshot + created)
+  /// HashMap impl, structural path: pattern hash -> candidate positions.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> Index;
+  /// HashMap impl, interned path: exact (PredId, PatternId) -> position.
   detail::FlatMap64 IdIndex;
-  /// HashMap impl, interned path: (PredId, structural hash) -> entry index
-  /// for the fused one-probe call lookup.
+  /// HashMap impl, interned path: (PredId, structural hash) -> position
+  /// for the fused one-probe call lookup. On overlays the local index
+  /// covers created entries only; base positions resolve through the
+  /// base's own (frozen) index.
   detail::FlatMap64 StructIndex;
   uint64_t Probes = 0;
 
   // Overlay state (see class comment); null/empty on ordinary tables.
   const ExtensionTable *Base = nullptr;
   size_t BaseSize = 0;             ///< base size at the last resetOverlay
-  uint32_t NewCount = 0;           ///< entries created by this overlay
-  std::vector<BaseTouch> TouchLog; ///< base entries shadowed, in touch order
+  std::vector<BaseTouch> TouchLog; ///< base entries touched, in touch order
+  /// Generation marks per base position, reset in O(1) by bumping TouchGen
+  /// (a mark is live iff it equals the current generation).
+  std::vector<uint64_t> TouchMark; ///< touch recorded this speculation
+  std::vector<uint64_t> PrivMark;  ///< privatized this speculation
+  uint64_t TouchGen = 1;
+  uint64_t PagesCopiedCount = 0;
 };
 
 } // namespace awam

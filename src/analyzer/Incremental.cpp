@@ -6,9 +6,11 @@
 
 #include "analyzer/Incremental.h"
 
+#include "analyzer/ParallelScheduler.h"
 #include "compiler/ProgramCompiler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 using namespace awam;
@@ -120,9 +122,9 @@ int32_t resolveSig(const CodeModule &M, const PredSig &Sig) {
 IncrementalScheduler::IncrementalScheduler(
     ExtensionTable &Table, AbstractMachine &Machine, const CodeModule &Module,
     const RunJournal &Prev, const std::vector<PredSig> &Edited,
-    RunJournal *Out, uint64_t MaxSteps)
+    RunJournal *Out, uint64_t MaxSteps, SpecPool *Pool)
     : Table(Table), Machine(Machine), Module(Module), Prev(Prev),
-      OutJournal(Out), MaxSteps(MaxSteps) {
+      OutJournal(Out), MaxSteps(MaxSteps), Pool(Pool) {
   // Resolve every recorded predicate id against the (possibly recompiled)
   // module by name/arity. Ids that no longer resolve stay -1: their traces
   // can never replay, and roots keyed on them can never be popped either.
@@ -185,6 +187,8 @@ IncrementalScheduler::IncrementalScheduler(
   }
 }
 
+IncrementalScheduler::~IncrementalScheduler() = default;
+
 const RunTrace *IncrementalScheduler::takeTrace(const ETEntry &Root,
                                                 size_t &TraceIdxOut) {
   auto It = Groups.find(groupKey(Root.PredId, Root.Call));
@@ -201,26 +205,75 @@ const RunTrace *IncrementalScheduler::takeTrace(const ETEntry &Root,
   return nullptr;
 }
 
-bool IncrementalScheduler::tryReplay(ETEntry &Root) {
-  size_t TI = 0;
-  const RunTrace *T = takeTrace(Root, TI);
-  if (!T || !Usable[TI])
-    return false;
-  // A run that would trip the instruction budget errors partway through
-  // with partial effects; only real execution reproduces that exactly.
-  if (Machine.stepsExecuted() + T->Steps > MaxSteps)
-    return false;
-  if (!(Root.Success == T->PreSuccess))
+const RunTrace *IncrementalScheduler::peekTrace(const ETEntry &Root,
+                                                size_t &TraceIdxOut,
+                                                size_t &CursorAtOut,
+                                                RootGroup *&GroupOut) {
+  auto It = Groups.find(groupKey(Root.PredId, Root.Call));
+  if (It == Groups.end())
+    return nullptr;
+  for (RootGroup &G : It->second) {
+    if (G.Pid != Root.PredId || !(*G.Call == Root.Call))
+      continue;
+    if (G.Cursor >= G.TraceIdx.size())
+      return nullptr;
+    CursorAtOut = G.Cursor;
+    TraceIdxOut = G.TraceIdx[G.Cursor];
+    GroupOut = &G;
+    return Prev.runs()[TraceIdxOut].get();
+  }
+  return nullptr;
+}
+
+/// One validated transition: both a schedule event (replayed against a
+/// live-core clone to re-check query answers at the pop) and an apply-plan
+/// op. Pattern pointers point into the owning trace, which the journal
+/// keeps alive past the scheduler.
+struct IncrementalScheduler::ReplayOp {
+  enum Kind : uint8_t {
+    Begin,  ///< A = entry idx: beginActivation + EverExplored
+    Create, ///< A = pid, B = expected idx, Pat = calling pattern
+    Read,   ///< A = reader, B = dep, Ver = version seen (apply reads live)
+    Grow,   ///< A = entry idx, Ver = new version, Pat = new summary
+    Query,  ///< A = entry idx, Answer = shouldReexplore result observed
+  } K;
+  int32_t A = -1;
+  int32_t B = -1;
+  uint32_t Ver = 0;
+  bool Answer = false;
+  const Pattern *Pat = nullptr;
+};
+
+/// A simulated replay: everything needed to decide, at the root's pop,
+/// whether a from-scratch validation would succeed with this very plan.
+struct IncrementalScheduler::ReplaySpec {
+  int32_t RootIdx = -1;
+  size_t TraceIdx = 0;    ///< into Prev.runs()
+  size_t CursorAt = 0;    ///< group cursor the simulation assumed
+  RootGroup *Group = nullptr;
+  size_t BaseSize = 0;    ///< live table size at the freeze
+  bool Valid = false;     ///< the simulation itself succeeded
+  bool HasCreate = false; ///< the plan creates entries (size-sensitive)
+  std::vector<ReplayOp> Ops;
+  /// Live entries whose summary state the simulation consumed, with the
+  /// (version, explored) observed — all must be unchanged at the pop.
+  std::vector<ExtensionTable::BaseTouch> Touched;
+};
+
+bool IncrementalScheduler::simulate(const ETEntry &Root, const RunTrace &T,
+                                    uint64_t TargetSweep,
+                                    ReplaySpec &Out) const {
+  if (!(Root.Success == T.PreSuccess))
     return false;
 
-  // --- Pass 1: validate by simulation, emitting an apply plan. ----------
-  //
   // The simulation overlays the live table (never written) with the
   // effects the trace would apply, and drives a clone of the live core
   // through the schedule transitions, so memo-vs-explore decisions are
   // answered exactly as the machine's shouldReexplore query would be.
   const size_t LiveSize = Table.size();
+  Out.BaseSize = LiveSize;
   SchedulerCore Clone = Core;
+  Clone.setCurrentSweep(TargetSweep);
 
   struct SimNew {
     int32_t Pid;
@@ -231,9 +284,35 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
   std::unordered_map<int32_t, uint32_t> VerOverride;
   std::unordered_map<int32_t, char> ExplOverride;
 
+  // Record the (version, explored) state of every live entry consulted;
+  // speculative revalidation checks these against the live table at the
+  // pop. Touch sets are tiny (a few entries per trace): linear dedup.
+  auto Touch = [&](int32_t Idx) {
+    if (static_cast<size_t>(Idx) >= LiveSize)
+      return;
+    for (const ExtensionTable::BaseTouch &B : Out.Touched)
+      if (B.Idx == Idx)
+        return;
+    const ETEntry &E = Table.entryAt(static_cast<size_t>(Idx));
+    Out.Touched.push_back({Idx, E.SuccessVersion, E.EverExplored});
+  };
+  // Record each schedule-query answer; revalidation replays the op
+  // sequence against a clone of the live core and requires equal answers.
+  auto Query = [&](int32_t Idx) {
+    bool Answer = Clone.shouldReexplore(Idx);
+    ReplayOp Op;
+    Op.K = ReplayOp::Query;
+    Op.A = Idx;
+    Op.Answer = Answer;
+    Out.Ops.push_back(Op);
+    return Answer;
+  };
+
   auto FindSim = [&](int32_t Pid, const Pattern &Call) -> int32_t {
-    if (const ETEntry *E = Table.findExisting(Pid, Call))
+    if (const ETEntry *E = Table.findExisting(Pid, Call)) {
+      Touch(E->Idx);
       return E->Idx;
+    }
     for (size_t I = 0; I != SimCreated.size(); ++I)
       if (SimCreated[I].Pid == Pid && *SimCreated[I].Call == Call)
         return static_cast<int32_t>(LiveSize + I);
@@ -244,6 +323,7 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
     if (It != SuccOverride.end())
       return It->second;
     if (static_cast<size_t>(Idx) < LiveSize) {
+      Touch(Idx);
       const std::optional<Pattern> &S = Table.entryAt(Idx).Success;
       return S ? &*S : nullptr;
     }
@@ -253,15 +333,20 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
     auto It = VerOverride.find(Idx);
     if (It != VerOverride.end())
       return It->second;
-    return static_cast<size_t>(Idx) < LiveSize
-               ? Table.entryAt(Idx).SuccessVersion
-               : 0;
+    if (static_cast<size_t>(Idx) < LiveSize) {
+      Touch(Idx);
+      return Table.entryAt(Idx).SuccessVersion;
+    }
+    return 0;
   };
   auto SimExplored = [&](int32_t Idx) -> bool {
     auto It = ExplOverride.find(Idx);
     if (It != ExplOverride.end())
       return It->second != 0;
-    return static_cast<size_t>(Idx) < LiveSize && Table.entryAt(Idx).EverExplored;
+    if (static_cast<size_t>(Idx) >= LiveSize)
+      return false;
+    Touch(Idx);
+    return Table.entryAt(Idx).EverExplored;
   };
   auto SummaryMatches = [&](int32_t Idx, const std::optional<Pattern> &Want) {
     const Pattern *Have = SimSuccess(Idx);
@@ -270,38 +355,29 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
     return *Have == *Want;
   };
 
-  struct PlanOp {
-    enum Kind : uint8_t {
-      Begin,  ///< A = entry idx: beginActivation + EverExplored
-      Create, ///< A = pid, B = expected idx, Pat = calling pattern
-      Read,   ///< A = reader idx, B = dep idx (version read live at apply)
-      Grow,   ///< A = entry idx, Pat = new summary
-    } K;
-    int32_t A = -1;
-    int32_t B = -1;
-    const Pattern *Pat = nullptr;
-  };
-  std::vector<PlanOp> Plan;
   std::vector<int32_t> Stack;
 
   // runActivation's preamble: the root activation begins.
+  Touch(Root.Idx);
   Clone.beginActivation(Root.Idx);
   ExplOverride[Root.Idx] = 1;
-  Plan.push_back({PlanOp::Begin, Root.Idx, -1, nullptr});
+  Out.Ops.push_back({ReplayOp::Begin, Root.Idx, -1, 0, false, nullptr});
   Stack.push_back(Root.Idx);
 
-  for (const TraceOp &Op : T->Ops) {
+  for (const TraceOp &Op : T.Ops) {
     switch (Op.K) {
     case TraceOp::Memo: {
       int32_t Idx = FindSim(resolvePid(Op.Pred), Op.Call);
       if (Idx < 0)
         return false; // execution would create-and-explore, not memo
-      if (!SimExplored(Idx) || Clone.shouldReexplore(Idx))
+      if (!SimExplored(Idx) || Query(Idx))
         return false; // execution would explore inline here
       if (!SummaryMatches(Idx, Op.Summary))
         return false; // the summary the run consumed has changed
-      Clone.noteRead(Stack.back(), Idx, SimVer(Idx));
-      Plan.push_back({PlanOp::Read, Stack.back(), Idx, nullptr});
+      uint32_t Ver = SimVer(Idx);
+      Clone.noteRead(Stack.back(), Idx, Ver);
+      Out.Ops.push_back({ReplayOp::Read, Stack.back(), Idx, Ver, false,
+                         nullptr});
       break;
     }
     case TraceOp::Enter: {
@@ -312,18 +388,19 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
           return false; // execution would find the entry, not create it
         Idx = static_cast<int32_t>(LiveSize + SimCreated.size());
         SimCreated.push_back({Pid, &Op.Call});
-        Plan.push_back({PlanOp::Create, Pid, Idx, &Op.Call});
+        Out.Ops.push_back({ReplayOp::Create, Pid, Idx, 0, false, &Op.Call});
+        Out.HasCreate = true;
       } else {
         if (Idx < 0)
           return false; // execution would create it (Created mismatch)
-        if (SimExplored(Idx) && !Clone.shouldReexplore(Idx))
+        if (SimExplored(Idx) && !Query(Idx))
           return false; // execution would answer from the memo here
       }
       if (!SummaryMatches(Idx, Op.Summary))
         return false; // pre-exploration memo differs: clause runs diverge
       Clone.beginActivation(Idx);
       ExplOverride[Idx] = 1;
-      Plan.push_back({PlanOp::Begin, Idx, -1, nullptr});
+      Out.Ops.push_back({ReplayOp::Begin, Idx, -1, 0, false, nullptr});
       Stack.push_back(Idx);
       break;
     }
@@ -334,36 +411,95 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
       // returnFromFrame: the parent's continuation reads the child's final
       // summary. The root's own exit has no parent and records no read.
       if (!Stack.empty()) {
-        Clone.noteRead(Stack.back(), Child, SimVer(Child));
-        Plan.push_back({PlanOp::Read, Stack.back(), Child, nullptr});
+        uint32_t Ver = SimVer(Child);
+        Clone.noteRead(Stack.back(), Child, Ver);
+        Out.Ops.push_back({ReplayOp::Read, Stack.back(), Child, Ver, false,
+                           nullptr});
       }
       break;
     }
     case TraceOp::Grow: {
       assert(!Stack.empty() && Op.Summary && "grow applies to the open frame");
       int32_t Idx = Stack.back();
-      SuccOverride[Idx] = &*Op.Summary;
       uint32_t NewVer = SimVer(Idx) + 1;
+      SuccOverride[Idx] = &*Op.Summary;
       VerOverride[Idx] = NewVer;
       Clone.noteChanged(Idx, NewVer);
-      Plan.push_back({PlanOp::Grow, Idx, -1, &*Op.Summary});
+      Out.Ops.push_back({ReplayOp::Grow, Idx, -1, NewVer, false,
+                         &*Op.Summary});
       break;
     }
     }
   }
-  if (!Stack.empty())
-    return false;
+  return Stack.empty();
+}
 
-  // --- Pass 2: apply the validated plan to the live state. --------------
-  for (const PlanOp &Op : Plan) {
+bool IncrementalScheduler::revalidate(const ReplaySpec &S) const {
+  // The next trace for this root must still be the one simulated (the
+  // Nth pop consumes the Nth trace; anything else broke FIFO pairing).
+  if (!S.Group || S.Group->Cursor != S.CursorAt)
+    return false;
+  const RunTrace &T = *Prev.runs()[S.TraceIdx];
+  // Budget, against the machine's *live* charged total.
+  if (Machine.stepsExecuted() + T.Steps > MaxSteps)
+    return false;
+  // Creations claim positions [BaseSize, ...); a grown table took them.
+  if (S.HasCreate && Table.size() != S.BaseSize)
+    return false;
+  // Every live entry the simulation consulted must be unchanged — this
+  // covers the root's PreSuccess check and every summary-value and
+  // explored-flag comparison the simulation made.
+  for (const ExtensionTable::BaseTouch &B : S.Touched) {
+    const ETEntry &E = Table.entryAt(static_cast<size_t>(B.Idx));
+    if (E.SuccessVersion != B.SuccessVersion ||
+        E.EverExplored != B.EverExplored)
+      return false;
+  }
+  // Replay the schedule interactions against a clone of the live core:
+  // every query answer must be the answer a from-scratch simulation at
+  // this pop would observe (queue state can drift with no version change).
+  bool AnyQuery = false;
+  for (const ReplayOp &Op : S.Ops)
+    if (Op.K == ReplayOp::Query) {
+      AnyQuery = true;
+      break;
+    }
+  if (!AnyQuery)
+    return true;
+  SchedulerCore Clone = Core;
+  Clone.statsMut() = {}; // scratch replay; keep real stats unperturbed
+  for (const ReplayOp &Op : S.Ops) {
     switch (Op.K) {
-    case PlanOp::Begin: {
+    case ReplayOp::Begin:
+      Clone.beginActivation(Op.A);
+      break;
+    case ReplayOp::Create:
+      break; // position bookkeeping only; Begin follows
+    case ReplayOp::Read:
+      Clone.noteRead(Op.A, Op.B, Op.Ver);
+      break;
+    case ReplayOp::Grow:
+      Clone.noteChanged(Op.A, Op.Ver);
+      break;
+    case ReplayOp::Query:
+      if (Clone.shouldReexplore(Op.A) != Op.Answer)
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+void IncrementalScheduler::applySpec(const ReplaySpec &S) {
+  for (const ReplayOp &Op : S.Ops) {
+    switch (Op.K) {
+    case ReplayOp::Begin: {
       ETEntry &E = Table.entryAt(static_cast<size_t>(Op.A));
       Core.beginActivation(E.Idx);
       E.EverExplored = true;
       break;
     }
-    case PlanOp::Create: {
+    case ReplayOp::Create: {
       bool Created = false;
       ETEntry &E = Table.interner()
                        ? Table.findOrCreateByPattern(Op.A, *Op.Pat, Created)
@@ -374,11 +510,11 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
       Core.ensure(Table.size());
       break;
     }
-    case PlanOp::Read:
+    case ReplayOp::Read:
       Core.noteRead(Op.A, Op.B,
                     Table.entryAt(static_cast<size_t>(Op.B)).SuccessVersion);
       break;
-    case PlanOp::Grow: {
+    case ReplayOp::Grow: {
       ETEntry &E = Table.entryAt(static_cast<size_t>(Op.A));
       E.Success.emplace(*Op.Pat);
       if (PatternInterner *In = Table.interner())
@@ -387,13 +523,139 @@ bool IncrementalScheduler::tryReplay(ETEntry &Root) {
       Core.noteChanged(E.Idx, E.SuccessVersion);
       break;
     }
+    case ReplayOp::Query:
+      break;
     }
   }
-  Machine.charge(T->Steps, T->Activations);
+  const RunTrace &T = *Prev.runs()[S.TraceIdx];
+  Machine.charge(T.Steps, T.Activations);
   if (OutJournal)
-    OutJournal->appendRemapped(Prev.runs()[TI], PidMap);
+    OutJournal->appendRemapped(Prev.runs()[S.TraceIdx], PidMap);
   ++RStats.ReplayedRuns;
-  RStats.ReplayedActivations += T->Activations;
+  RStats.ReplayedActivations += T.Activations;
+}
+
+void IncrementalScheduler::speculateReady(int32_t PoppedIdx) {
+  // Candidate roots: the popped entry plus the rest of the sequential
+  // drain's prefix, extended into the next sweep when the current ready
+  // set is narrow. Only roots with a usable next trace are simulated —
+  // the others take the sequential path at their pop regardless.
+  struct Job {
+    int32_t Idx;
+    uint64_t Sweep;
+    size_t TI;
+    size_t CursorAt;
+    RootGroup *Group;
+    const RunTrace *T;
+  };
+  constexpr size_t kWarmBatch = 32;
+  std::vector<Job> Jobs;
+  auto Consider = [&](int32_t Idx, uint64_t Sweep) {
+    Job J{Idx, Sweep, 0, 0, nullptr, nullptr};
+    const ETEntry &Root = Table.entryAt(static_cast<size_t>(Idx));
+    J.T = peekTrace(Root, J.TI, J.CursorAt, J.Group);
+    if (J.T && Usable[J.TI])
+      Jobs.push_back(J);
+  };
+  Consider(PoppedIdx, Core.currentSweep());
+  for (int32_t R : Core.collectReady(Core.currentSweep(), kWarmBatch))
+    if (R != PoppedIdx && Jobs.size() < kWarmBatch)
+      Consider(R, Core.currentSweep());
+  if (Jobs.size() < kWarmBatch)
+    for (int32_t R : Core.collectReady(Core.currentSweep() + 1,
+                                       kWarmBatch - Jobs.size()))
+      Consider(R, Core.currentSweep() + 1);
+  // A batch of one would simulate at the pop it serves — that is just the
+  // sequential path with extra bookkeeping; skip the fan-out.
+  if (Jobs.size() < 2)
+    return;
+
+  ++RStats.ReplayBatches;
+  RStats.SpecReplays += Jobs.size();
+  size_t Threads = static_cast<size_t>(Pool->threads());
+  RStats.CriticalUnits += (Jobs.size() + Threads - 1) / Threads;
+
+  SpecCache.clear();
+  SpecCache.resize(Jobs.size());
+  std::atomic<size_t> Next{0};
+  Pool->runBatch([&](int) {
+    for (size_t I = Next.fetch_add(1); I < Jobs.size();
+         I = Next.fetch_add(1)) {
+      ReplaySpec &S = SpecCache[I];
+      const Job &J = Jobs[I];
+      S.RootIdx = J.Idx;
+      S.TraceIdx = J.TI;
+      S.CursorAt = J.CursorAt;
+      S.Group = J.Group;
+      S.Valid = simulate(Table.entryAt(static_cast<size_t>(J.Idx)), *J.T,
+                         J.Sweep, S);
+    }
+  });
+  // Simulations that failed outright can never commit; drop them now so
+  // the cache only holds plans awaiting their pop.
+  for (size_t I = 0; I != SpecCache.size();) {
+    if (!SpecCache[I].Valid) {
+      SpecCache.erase(SpecCache.begin() + static_cast<long>(I));
+      ++RStats.SpecDiscarded;
+      continue;
+    }
+    ++I;
+  }
+}
+
+bool IncrementalScheduler::takeCachedSpec(int32_t RootIdx, ReplaySpec &Out) {
+  for (size_t I = 0; I != SpecCache.size(); ++I)
+    if (SpecCache[I].RootIdx == RootIdx) {
+      Out = std::move(SpecCache[I]);
+      SpecCache.erase(SpecCache.begin() + static_cast<long>(I));
+      return true;
+    }
+  return false;
+}
+
+void IncrementalScheduler::purgeDeadSpecs() {
+  // A spec whose root's pending run was consumed inline by an executed
+  // run will never be popped; drop it so a stale cache cannot block
+  // further fan-outs.
+  for (size_t I = 0; I != SpecCache.size();) {
+    if (!Core.isQueued(SpecCache[I].RootIdx)) {
+      SpecCache.erase(SpecCache.begin() + static_cast<long>(I));
+      ++RStats.SpecDiscarded;
+      continue;
+    }
+    ++I;
+  }
+}
+
+bool IncrementalScheduler::tryReplay(ETEntry &Root) {
+  // Speculative path: a pool-simulated plan for this root commits if it
+  // still describes exactly what a from-scratch validation would do.
+  ReplaySpec Spec;
+  if (takeCachedSpec(Root.Idx, Spec)) {
+    if (revalidate(Spec)) {
+      ++Spec.Group->Cursor; // consume the trace, exactly as takeTrace would
+      applySpec(Spec);
+      ++RStats.SpecCommitted;
+      return true;
+    }
+    ++RStats.SpecDiscarded; // fall through to the sequential path
+  }
+
+  size_t TI = 0;
+  const RunTrace *T = takeTrace(Root, TI);
+  if (!T || !Usable[TI])
+    return false;
+  // A run that would trip the instruction budget errors partway through
+  // with partial effects; only real execution reproduces that exactly.
+  if (Machine.stepsExecuted() + T->Steps > MaxSteps)
+    return false;
+
+  ReplaySpec Fresh;
+  Fresh.RootIdx = Root.Idx;
+  Fresh.TraceIdx = TI;
+  if (!simulate(Root, *T, Core.currentSweep(), Fresh))
+    return false;
+  applySpec(Fresh);
   return true;
 }
 
@@ -422,8 +684,14 @@ IncrementalScheduler::Status IncrementalScheduler::run(ETEntry &Root,
       }
       ++Core.statsMut().Runs;
       ETEntry &E = Table.entryAt(static_cast<size_t>(Idx));
-      if (tryReplay(E))
+      // Parallel warm drain: with no simulation in flight, freeze here
+      // and fan the ready set's replay validation out to the pool.
+      if (Pool && Pool->threads() > 1 && SpecCache.empty())
+        speculateReady(Idx);
+      if (tryReplay(E)) {
+        purgeDeadSpecs();
         continue;
+      }
       uint64_t Acts0 = Machine.activationsExplored();
       if (Machine.runActivation(E) == AbsRunStatus::Error) {
         Out = Status::Error;
@@ -431,9 +699,12 @@ IncrementalScheduler::Status IncrementalScheduler::run(ETEntry &Root,
       }
       ++RStats.ExecutedRuns;
       RStats.ExecutedActivations += Machine.activationsExplored() - Acts0;
+      purgeDeadSpecs();
     }
   }
   Core.statsMut().Sweeps = MaxSweeps < 1 ? 0 : Core.currentSweep();
+  RStats.SpecDiscarded += SpecCache.size(); // orphaned in-flight simulations
+  SpecCache.clear();
   Machine.setDependencySink(nullptr);
   return Out;
 }

@@ -91,6 +91,10 @@ struct ParallelScheduler::Event {
   uint32_t Ver = 0;
   bool Answer = false;
   Pattern Success; ///< Grow only: the grown summary, materialized
+  /// Grow only: the summary's id in the worker's interner. An id below the
+  /// worker's shared base id space (Spec::InternBase) is a master id and
+  /// commits without re-interning the pattern.
+  PatternId SuccessId = kInvalidPatternId;
 };
 
 /// A completed speculation: the event log plus everything needed to decide
@@ -108,6 +112,13 @@ struct ParallelScheduler::Spec {
   uint64_t Steps = 0;
   uint64_t Activations = 0;
   uint64_t Probes = 0;
+  uint64_t PagesCopied = 0; ///< overlay pages privatized during this run
+  /// The worker interner's shared base id count at speculation time: event
+  /// SuccessIds below it are master ids (see Event::SuccessId).
+  PatternId InternBase = 0;
+  /// The sweep the speculation was scheduled for (cross-sweep speculation
+  /// targets the next sweep when the current ready set is narrow).
+  uint64_t TargetSweep = 0;
   bool MachineError = false;
   /// Incremental mode only: the replayable trace the worker recorded for
   /// this run, handed to the master journal if the speculation commits.
@@ -155,14 +166,15 @@ struct ParallelScheduler::SpecSink final : DependencySink {
     Ev.A = E.Idx;
     Ev.Ver = E.SuccessVersion;
     Ev.Success = *E.Success;
+    Ev.SuccessId = E.SuccessId;
     Out->Log.push_back(std::move(Ev));
   }
 };
 
-/// One speculation worker: a private interner (separate id space — ids
-/// never cross threads; patterns cross as materialized values), an overlay
-/// table over the frozen master, a machine bound to that overlay, and the
-/// recording sink.
+/// One speculation worker: an overlay interner sharing the master's frozen
+/// id space read-only (ids below the base count are master ids and commit
+/// without rematerialization), an overlay table over the frozen master, a
+/// machine bound to that overlay, and the recording sink.
 struct ParallelScheduler::Worker {
   std::unique_ptr<PatternInterner> Interner;
   ExtensionTable Overlay;
@@ -180,6 +192,8 @@ struct ParallelScheduler::Worker {
                      : nullptr),
         Overlay(Master.impl(), Interner.get()),
         Machine(Program, Overlay, Options), Journal(*Program.Module) {
+    if (Interner)
+      Interner->attachBase(*Master.interner());
     Overlay.attachBase(Master);
   }
 };
@@ -192,8 +206,10 @@ ParallelScheduler::ParallelScheduler(ExtensionTable &Table,
                                      AbstractMachine &Machine,
                                      const CompiledProgram &Program,
                                      const AbsMachineOptions &MachineOptions,
-                                     SpecPool &Pool, RunJournal *Journal)
-    : Table(Table), Machine(Machine), Pool(Pool), MasterJournal(Journal) {
+                                     SpecPool &Pool, RunJournal *Journal,
+                                     Tuning Tune)
+    : Table(Table), Machine(Machine), Pool(Pool), MasterJournal(Journal),
+      Tune(Tune) {
   AbsMachineOptions WorkerOptions = MachineOptions;
   WorkerOptions.TraceLog = nullptr; // tracing is a sequential-only feature
   Workers.reserve(static_cast<size_t>(Pool.threads()));
@@ -201,25 +217,58 @@ ParallelScheduler::ParallelScheduler(ExtensionTable &Table,
     Workers.push_back(
         std::make_unique<Worker>(Table, Program, WorkerOptions));
   MaxSteps = MachineOptions.MaxSteps;
+  if (this->Tune.BatchMax < 1)
+    this->Tune.BatchMax = 1;
+  if (this->Tune.BatchMin < 1)
+    this->Tune.BatchMin = 1;
+  if (this->Tune.BatchMin > this->Tune.BatchMax)
+    this->Tune.BatchMin = this->Tune.BatchMax;
+  CurBatch = std::min<size_t>(
+      static_cast<size_t>(this->Tune.BatchMax),
+      std::max<size_t>(static_cast<size_t>(this->Tune.BatchMin), 2));
+  // Static direct-call adjacency (see callsDirectly): one scan of each
+  // predicate's clause code for call/execute targets.
+  const CodeModule &Mod = *Program.Module;
+  NumPreds = Mod.numPredicates();
+  StaticCalls.assign(static_cast<size_t>(NumPreds) * NumPreds, 0);
+  for (int32_t P = 0; P != NumPreds; ++P)
+    for (const ClauseInfo &C : Mod.predicate(P).Clauses)
+      for (int32_t A = C.Entry; A != C.Entry + C.NumInstr; ++A) {
+        const Instruction &I = Mod.at(A);
+        if ((I.Op == Opcode::Call || I.Op == Opcode::Execute) && I.A >= 0 &&
+            I.A < NumPreds)
+          StaticCalls[static_cast<size_t>(P) * NumPreds + I.A] = 1;
+      }
 }
 
 ParallelScheduler::~ParallelScheduler() = default;
 
-void ParallelScheduler::speculateOne(Worker &W, int32_t RootIdx, Spec &Out) {
-  W.Overlay.resetOverlay();
+void ParallelScheduler::speculateOne(Worker &W, int32_t RootIdx,
+                                     uint64_t TargetSweep, Spec &Out) {
+  if (W.Interner)
+    W.Interner->resetOverlay(); // re-snapshot the master id space
+  W.Overlay.resetOverlay();     // O(pages): re-share the master's pages
   W.Sink.Local = Core; // frozen-schedule clone (master is quiescent here)
+  // Cross-sweep speculation: run under the sweep the entry is queued for,
+  // so inline re-exploration decisions match the drain that will pop it.
+  W.Sink.Local.setCurrentSweep(TargetSweep);
   W.Sink.Out = &Out;
   Out.RootIdx = RootIdx;
   Out.BaseSize = W.Overlay.baseSize();
+  Out.InternBase = W.Interner ? W.Interner->baseCount() : 0;
+  Out.TargetSweep = TargetSweep;
 
   uint64_t Steps0 = W.Machine.stepsExecuted();
   uint64_t Acts0 = W.Machine.activationsExplored();
   uint64_t Probes0 = W.Overlay.probeCount();
+  uint64_t Pages0 = W.Overlay.pagesCopied();
 
   W.Machine.setDependencySink(&W.Sink);
   if (MasterJournal)
     W.Machine.setRunJournal(&W.Journal);
-  ETEntry &Root = W.Overlay.shadowForBase(RootIdx);
+  // The root is about to be explored: privatize it (recording the touch
+  // the validation checks against the live table).
+  ETEntry &Root = W.Overlay.writableAt(static_cast<size_t>(RootIdx));
   AbsRunStatus RunStatus = W.Machine.runActivation(Root);
   W.Machine.setRunJournal(nullptr);
   W.Machine.setDependencySink(nullptr);
@@ -229,14 +278,16 @@ void ParallelScheduler::speculateOne(Worker &W, int32_t RootIdx, Spec &Out) {
   Out.Steps = W.Machine.stepsExecuted() - Steps0;
   Out.Activations = W.Machine.activationsExplored() - Acts0;
   Out.Probes = W.Overlay.probeCount() - Probes0;
+  Out.PagesCopied = W.Overlay.pagesCopied() - Pages0;
   Out.MachineError = RunStatus == AbsRunStatus::Error;
   Out.Touched = W.Overlay.touchLog();
-  for (const ETEntry &E : W.Overlay.entries())
-    if (E.Idx >= static_cast<int32_t>(Out.BaseSize))
-      Out.Created.emplace_back(E.PredId, E.Call);
+  for (size_t Pos = Out.BaseSize; Pos < W.Overlay.size(); ++Pos) {
+    const ETEntry &E = W.Overlay.entryAt(Pos);
+    Out.Created.emplace_back(E.PredId, E.Call);
+  }
 }
 
-void ParallelScheduler::speculateBatch(const std::vector<int32_t> &Batch) {
+void ParallelScheduler::speculateBatch(const std::vector<BatchItem> &Batch) {
   ++SStats.Batches;
   SStats.Speculated += Batch.size();
   BatchSpecs.clear();
@@ -245,9 +296,29 @@ void ParallelScheduler::speculateBatch(const std::vector<int32_t> &Batch) {
   Pool.runBatch([&](int WorkerId) {
     for (size_t I = Next.fetch_add(1); I < Batch.size();
          I = Next.fetch_add(1))
-      speculateOne(*Workers[static_cast<size_t>(WorkerId)], Batch[I],
-                   BatchSpecs[I]);
+      speculateOne(*Workers[static_cast<size_t>(WorkerId)], Batch[I].Idx,
+                   Batch[I].Sweep, BatchSpecs[I]);
   });
+  // Overlay-cost metrics, accumulated on the master after the barrier
+  // (workers never write shared counters).
+  for (const Spec &S : BatchSpecs) {
+    SStats.PagesCopied += S.PagesCopied;
+    SStats.BaseTouches += S.Touched.size();
+  }
+}
+
+void ParallelScheduler::noteCommitClean() {
+  ++CleanStreak;
+  if (CleanStreak >= CurBatch &&
+      CurBatch < static_cast<size_t>(Tune.BatchMax)) {
+    CurBatch = std::min(CurBatch * 2, static_cast<size_t>(Tune.BatchMax));
+    CleanStreak = 0;
+  }
+}
+
+void ParallelScheduler::noteDiscard() {
+  CurBatch = std::max(CurBatch / 2, static_cast<size_t>(Tune.BatchMin));
+  CleanStreak = 0;
 }
 
 bool ParallelScheduler::validate(const Spec &S) const {
@@ -261,7 +332,7 @@ bool ParallelScheduler::validate(const Spec &S) const {
     return false;
   // Every base summary the run observed must be untouched.
   for (const ExtensionTable::BaseTouch &T : S.Touched) {
-    const ETEntry &E = Table.entries()[static_cast<size_t>(T.Idx)];
+    const ETEntry &E = Table.entryAt(static_cast<size_t>(T.Idx));
     if (E.SuccessVersion != T.SuccessVersion ||
         E.EverExplored != T.EverExplored)
       return false;
@@ -330,8 +401,14 @@ void ParallelScheduler::commit(Spec &S) {
     case Event::Grow: {
       ETEntry &E = Table.entryAt(static_cast<size_t>(Ev.A));
       E.Success = std::move(Ev.Success);
+      // A SuccessId below the worker's shared base id space is a master
+      // id already — the common case once the master interner has seen
+      // the analysis's patterns — and commits without re-interning.
       if (Interner)
-        E.SuccessId = Interner->intern(*E.Success);
+        E.SuccessId = Ev.SuccessId != kInvalidPatternId &&
+                              Ev.SuccessId < S.InternBase
+                          ? Ev.SuccessId
+                          : Interner->intern(*E.Success);
       Table.noteSuccessChanged(E);
       assert(E.SuccessVersion == Ev.Ver &&
              "committed version bump must match the speculated one");
@@ -370,6 +447,7 @@ void ParallelScheduler::purgeDeadCache() {
     if (!Core.isQueued(Cache[I].RootIdx)) {
       Cache.erase(Cache.begin() + static_cast<long>(I));
       ++SStats.Discarded;
+      noteDiscard(); // wasted speculative work: shrink the batch
       continue;
     }
     ++I;
@@ -404,32 +482,80 @@ ParallelScheduler::Status ParallelScheduler::run(ETEntry &Root,
           ++Core.statsMut().Runs;
           commit(Cached);
           ++SStats.Committed;
+          noteCommitClean();
           Committed = true;
         } else {
           ++SStats.Discarded;
+          noteDiscard();
         }
       } else if (Cache.empty() && Pool.threads() > 1) {
-        // No usable speculation in flight: freeze here and fan out the
-        // sweep's ready set, headed by the popped entry itself (whose
-        // speculation runs against exactly the state it will commit
-        // into, so each batch is guaranteed to make progress).
-        std::vector<int32_t> Batch =
-            Core.collectReady(Core.currentSweep(), kMaxBatch - 1);
-        Batch.erase(std::remove(Batch.begin(), Batch.end(), Idx),
-                    Batch.end());
-        Batch.insert(Batch.begin(), Idx);
-        speculateBatch(Batch);
-        if (validate(BatchSpecs[0])) {
-          ++Core.statsMut().Runs;
-          commit(BatchSpecs[0]);
-          ++SStats.Committed;
-          Committed = true;
-        } else {
-          ++SStats.Discarded; // machine error: re-run live to surface it
+        // No usable speculation in flight: freeze here and fan out up to
+        // CurBatch ready entries, headed by the popped entry itself
+        // (whose speculation runs against exactly the state it will
+        // commit into, so each batch is guaranteed to make progress).
+        // The batch is filled from the current sweep's ready set first;
+        // when that set is narrower than the adaptive size, it extends
+        // into the next sweep's — those runs are validated at their pop
+        // like any other, the sweep drift merely lowers their odds.
+        std::vector<BatchItem> Batch;
+        Batch.push_back({Idx, Core.currentSweep()});
+        // A candidate related to an earlier batch member is doomed in
+        // either direction: a candidate that *reads* a member validates
+        // against a stale summary when the member's commit grows, and a
+        // member that *calls* the candidate consumes the candidate's
+        // pending run inline when it commits (purging the cached
+        // speculation unconsumed). Recorded dependency edges catch the
+        // observed read pairs; the static call graph catches first-time
+        // inline consumption, which records no edge until it happens.
+        // Keep related entries out of one batch instead of paying for
+        // speculations that discard — only independent entries
+        // parallelize cleanly.
+        auto ReadsBatch = [&](int32_t R) {
+          int32_t RP = Table.entryAt(static_cast<size_t>(R)).PredId;
+          for (const BatchItem &M : Batch) {
+            if (Core.hasReaderEdge(M.Idx, R) || Core.hasReaderEdge(R, M.Idx))
+              return true;
+            int32_t MP = Table.entryAt(static_cast<size_t>(M.Idx)).PredId;
+            if (callsDirectly(MP, RP) || callsDirectly(RP, MP))
+              return true;
+          }
+          return false;
+        };
+        // Ask for CurBatch candidates: the popped entry may still be in
+        // the ready set (popLive leaves InQueue) and is filtered below.
+        for (int32_t R : Core.collectReady(Core.currentSweep(), CurBatch))
+          if (R != Idx && Batch.size() < CurBatch && !ReadsBatch(R))
+            Batch.push_back({R, Core.currentSweep()});
+        if (Batch.size() < CurBatch) {
+          for (int32_t R : Core.collectReady(Core.currentSweep() + 1,
+                                             CurBatch - Batch.size())) {
+            if (Batch.size() >= CurBatch || ReadsBatch(R))
+              continue;
+            Batch.push_back({R, Core.currentSweep() + 1});
+            ++SStats.CrossSweep;
+          }
         }
-        for (size_t I = 1; I < BatchSpecs.size(); ++I)
-          Cache.push_back(std::move(BatchSpecs[I]));
-        BatchSpecs.clear();
+        if (Batch.size() == 1) {
+          // Nothing to overlap with: skip the speculation machinery
+          // (overlay reset, event log, validation replay) entirely and
+          // run the one activation live.
+          ++SStats.Bypassed;
+        } else {
+          speculateBatch(Batch);
+          if (validate(BatchSpecs[0])) {
+            ++Core.statsMut().Runs;
+            commit(BatchSpecs[0]);
+            ++SStats.Committed;
+            noteCommitClean();
+            Committed = true;
+          } else {
+            ++SStats.Discarded; // machine error: re-run live to surface it
+            noteDiscard();
+          }
+          for (size_t I = 1; I < BatchSpecs.size(); ++I)
+            Cache.push_back(std::move(BatchSpecs[I]));
+          BatchSpecs.clear();
+        }
       }
 
       if (!Committed) {

@@ -14,17 +14,22 @@
 ///  1. The master thread pops ready activations from one SchedulerCore in
 ///     precisely the sequential (sweep, Idx) order.
 ///  2. On a pop with no usable speculation, it freezes the master state
-///     and fans the entire ready set of the current sweep — the popped
-///     entry plus the entries the sequential drain would run next — out
-///     to a fixed thread pool. Each worker runs AbstractMachine::
-///     runActivation on its own machine against an *overlay*
-///     ExtensionTable (read-snapshot of the frozen master plus local
-///     copy-on-first-touch shadows; see ExtensionTable overlay mode),
-///     with its own PatternInterner (so no interner sharding or locking
-///     is needed at all) and a cloned SchedulerCore that answers the
-///     machine's shouldReexplore queries exactly as the sequential
-///     schedule would have. Every sink event is recorded in an ordered
-///     log; nothing escapes the worker.
+///     and fans out a batch of ready entries — the popped entry plus the
+///     entries the sequential drain would run next, sized adaptively
+///     from the observed commit/discard history and extended into the
+///     next sweep when the current ready set is narrow — to a fixed
+///     thread pool. Each worker runs AbstractMachine::runActivation on
+///     its own machine against an *overlay* ExtensionTable (shares the
+///     frozen master's entry pages by reference and copies a page only
+///     on first write; see ExtensionTable overlay mode), with an overlay
+///     PatternInterner sharing the master's id space read-only (so no
+///     interner sharding or locking is needed, and summary ids the
+///     master already knows commit without re-interning) and a cloned
+///     SchedulerCore that answers the machine's shouldReexplore queries
+///     exactly as the sequential schedule would have. Every sink event
+///     is recorded in an ordered log; nothing escapes the worker.
+///     A pop whose batch would contain only itself bypasses the
+///     speculation machinery entirely and runs live.
 ///  3. Back on the master thread, each subsequent pop validates the
 ///     entry's cached speculation against the *live* state: every base
 ///     entry the speculation touched must still have the SuccessVersion /
@@ -114,6 +119,22 @@ public:
     uint64_t Speculated = 0; ///< activation runs executed speculatively
     uint64_t Committed = 0;  ///< speculations replayed into the master
     uint64_t Discarded = 0;  ///< speculations invalidated or orphaned
+    uint64_t Bypassed = 0;   ///< pops run live because the batch would be 1
+    uint64_t CrossSweep = 0; ///< speculations targeted at the next sweep
+    uint64_t PagesCopied = 0; ///< overlay pages privatized (COW clones)
+    uint64_t BaseTouches = 0; ///< base entries touched by speculations
+  };
+
+  /// Adaptive batch-sizing knobs (AnalyzerOptions::SpecBatch{Min,Max}):
+  /// the batch grows by doubling after a full batch of clean commits and
+  /// halves on any discard, staying within [BatchMin, BatchMax].
+  struct Tuning {
+    int BatchMin;
+    int BatchMax;
+    // Explicit constructors (not default member initializers) so the
+    // enclosing class can default-construct one in a default argument.
+    Tuning() : BatchMin(2), BatchMax(32) {}
+    Tuning(int Min, int Max) : BatchMin(Min), BatchMax(Max) {}
   };
 
   /// \p Journal, when non-null, receives one replayable trace per
@@ -125,7 +146,7 @@ public:
   ParallelScheduler(ExtensionTable &Table, AbstractMachine &Machine,
                     const CompiledProgram &Program,
                     const AbsMachineOptions &MachineOptions, SpecPool &Pool,
-                    RunJournal *Journal = nullptr);
+                    RunJournal *Journal = nullptr, Tuning Tune = Tuning());
   ~ParallelScheduler() override;
 
   /// Drains the worklist from \p Root exactly like WorklistScheduler::run,
@@ -165,12 +186,34 @@ private:
   struct SpecSink;
   struct Worker;
 
-  void speculateBatch(const std::vector<int32_t> &Batch);
-  void speculateOne(Worker &W, int32_t RootIdx, Spec &Out);
+  /// One batch slot: the entry to speculate and the sweep it is queued
+  /// for (the next sweep when the current ready set is narrow).
+  struct BatchItem {
+    int32_t Idx;
+    uint64_t Sweep;
+  };
+
+  void speculateBatch(const std::vector<BatchItem> &Batch);
+  /// True if \p Caller's clause code has a direct call/execute of
+  /// \p Callee (the static call graph, built once in the constructor).
+  /// Entries of directly related predicates never share a speculation
+  /// batch: the caller's run can consume the callee's pending run inline
+  /// or read its stale summary, dooming the co-speculation either way.
+  bool callsDirectly(int32_t Caller, int32_t Callee) const {
+    return Caller >= 0 && Callee >= 0 && Caller < NumPreds &&
+           Callee < NumPreds &&
+           StaticCalls[static_cast<size_t>(Caller) * NumPreds + Callee];
+  }
+  void speculateOne(Worker &W, int32_t RootIdx, uint64_t TargetSweep,
+                    Spec &Out);
   bool validate(const Spec &S) const;
   void commit(Spec &S);
   bool takeCached(int32_t RootIdx, Spec &Out);
   void purgeDeadCache();
+  /// Adaptive batch sizing: grow by doubling after CurBatch consecutive
+  /// clean commits, halve on any discard.
+  void noteCommitClean();
+  void noteDiscard();
 
   ExtensionTable &Table;
   AbstractMachine &Machine;
@@ -178,14 +221,18 @@ private:
   RunJournal *MasterJournal = nullptr;
   SchedulerCore Core;
   SpecStats SStats;
+  Tuning Tune;
   std::string ErrMsg;
   uint64_t MaxSteps = 0;
   std::vector<std::unique_ptr<Worker>> Workers;
+  /// Pred-by-pred adjacency matrix of direct call/execute instructions
+  /// (see callsDirectly).
+  std::vector<char> StaticCalls;
+  int32_t NumPreds = 0;
   std::vector<Spec> Cache;      ///< pending speculations from the last batch
   std::vector<Spec> BatchSpecs; ///< per-batch result slots (index = batch pos)
-  /// Largest ready-set prefix speculated per batch; bounds wasted work
-  /// when early commits invalidate the tail.
-  static constexpr size_t kMaxBatch = 32;
+  size_t CurBatch = 2;      ///< current adaptive batch size
+  size_t CleanStreak = 0;   ///< consecutive commits since the last discard
 };
 
 } // namespace awam

@@ -116,6 +116,15 @@ SchedulerCore::reverseClosure(const std::vector<int32_t> &Seeds) const {
   return Mark;
 }
 
+bool SchedulerCore::hasReaderEdge(int32_t Dep, int32_t Reader) const {
+  if (static_cast<size_t>(Dep) >= Readers.size())
+    return false;
+  for (const Edge &Ed : Readers[Dep])
+    if (Ed.Reader == Reader)
+      return true;
+  return false;
+}
+
 std::vector<std::pair<int32_t, int32_t>> SchedulerCore::edgePairs() const {
   std::vector<std::pair<int32_t, int32_t>> Out;
   for (size_t Dep = 0; Dep != Readers.size(); ++Dep)

@@ -136,6 +136,14 @@ public:
   /// the entries whose recorded inputs could reach an edited predicate.
   std::vector<char> reverseClosure(const std::vector<int32_t> &Seeds) const;
 
+  /// True if entry \p Reader has a recorded read of \p Dep's summary
+  /// (edges of superseded runs included — a reader re-reads everything
+  /// when it next runs, so an old edge still predicts the next one). The
+  /// parallel driver uses this to keep doomed speculations out of a
+  /// batch: when an earlier batch member's commit grows \p Dep, a
+  /// speculation of one of its readers cannot validate.
+  bool hasReaderEdge(int32_t Dep, int32_t Reader) const;
+
   /// All recorded reader edges, as (Dep, Reader) pairs in no particular
   /// order. Superseded runs' edges are included, matching reverseClosure's
   /// conservative semantics — this is what the persistent AnalysisStore

@@ -191,7 +191,9 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
       if (!Pool || Pool->threads() != Options.NumThreads)
         Pool = std::make_unique<SpecPool>(Options.NumThreads);
       ParSched = std::make_unique<ParallelScheduler>(
-          *Table, *Machine, *Program, MachineOptions, *Pool, Journal.get());
+          *Table, *Machine, *Program, MachineOptions, *Pool, Journal.get(),
+          ParallelScheduler::Tuning(Options.SpecBatchMin,
+                                    Options.SpecBatchMax));
       Status = ParSched->run(Root, Options.MaxIterations);
       if (Status == WorklistScheduler::Status::Error)
         return makeError("abstract machine error: " +
@@ -214,6 +216,9 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
       R.Counters.SpecRuns = PS.Speculated;
       R.Counters.SpecCommitted = PS.Committed;
       R.Counters.SpecDiscarded = PS.Discarded;
+      R.Counters.SpecBypassed = PS.Bypassed;
+      R.Counters.SpecPagesCopied = PS.PagesCopied;
+      R.Counters.SpecBaseTouches = PS.BaseTouches;
     }
   }
 
@@ -327,12 +332,17 @@ AnalysisSession::reanalyzeCompiled(const std::vector<PredSig> &Edited,
       Interner ? Table->findOrCreate(Pid, Interner->internNormalized(LastEntry),
                                      Created)
                : Table->findOrCreate(Pid, LastEntry, Created);
-  // The re-drain itself is sequential at any NumThreads: its output is
-  // thread-invariant by the same argument that makes the parallel driver
-  // byte-identical, and replay leaves little to overlap.
+  // The re-drain's output is thread-invariant (replay/execute decisions
+  // are revalidated at each pop; see Incremental.h); with more than one
+  // warm-drain thread, replay validation itself is fanned out on the
+  // session's pool.
+  int WarmThreads =
+      Options.WarmThreads > 0 ? Options.WarmThreads : Options.NumThreads;
+  if (WarmThreads > 1 && (!Pool || Pool->threads() != WarmThreads))
+    Pool = std::make_unique<SpecPool>(WarmThreads);
   IncSched = std::make_unique<IncrementalScheduler>(
       *Table, *Machine, M, *PrevJournal, Edited, Journal.get(),
-      Options.MaxSteps);
+      Options.MaxSteps, WarmThreads > 1 ? Pool.get() : nullptr);
   IncSched->reanalyzeStats().PrevEntries = PrevEntries;
   IncSched->reanalyzeStats().ConeEntries = ConeEntries;
   WorklistScheduler::Status Status = IncSched->run(Root, Options.MaxIterations);

@@ -122,12 +122,17 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
   std::unique_ptr<ParallelScheduler> Par;
   if (!PrevRuns.runs().empty()) {
     ++St.WarmQueries;
-    // The warm drain is sequential at any NumThreads: its output is
-    // thread-invariant because the scratch run it reproduces is (the
-    // parallel driver's contract), and replay leaves little to overlap.
+    // The warm drain's output is thread-invariant (replay decisions are
+    // revalidated at each pop; see Incremental.h); with more than one
+    // warm-drain thread, replay validation fans out on the store's pool.
+    int WarmThreads =
+        Options.WarmThreads > 0 ? Options.WarmThreads : Options.NumThreads;
+    if (WarmThreads > 1 && (!Pool || Pool->threads() != WarmThreads))
+      Pool = std::make_unique<SpecPool>(WarmThreads);
     Inc = std::make_unique<IncrementalScheduler>(
         QTable, Machine, M, PrevRuns, std::vector<PredSig>{},
-        OutJournal.get(), Options.MaxSteps);
+        OutJournal.get(), Options.MaxSteps,
+        WarmThreads > 1 ? Pool.get() : nullptr);
     Inc->reanalyzeStats().PrevEntries = Table->size();
     Status = Inc->run(Root, Options.MaxIterations);
     if (Status == WorklistScheduler::Status::Error)
@@ -138,14 +143,21 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
     St.ExecutedRuns += RS.ExecutedRuns;
     St.ReplayedActivations += RS.ReplayedActivations;
     St.ExecutedActivations += RS.ExecutedActivations;
+    St.WarmReplayBatches += RS.ReplayBatches;
+    St.WarmSpecReplays += RS.SpecReplays;
+    St.WarmSpecCommitted += RS.SpecCommitted;
+    St.WarmSpecDiscarded += RS.SpecDiscarded;
+    St.WarmCriticalUnits += RS.CriticalUnits;
   } else {
     ++St.ColdQueries;
     if (Options.NumThreads > 1) {
       if (!Pool || Pool->threads() != Options.NumThreads)
         Pool = std::make_unique<SpecPool>(Options.NumThreads);
-      Par = std::make_unique<ParallelScheduler>(QTable, Machine, *Program,
-                                                MachineOptions, *Pool,
-                                                OutJournal.get());
+      Par = std::make_unique<ParallelScheduler>(
+          QTable, Machine, *Program, MachineOptions, *Pool,
+          OutJournal.get(),
+          ParallelScheduler::Tuning(Options.SpecBatchMin,
+                                    Options.SpecBatchMax));
       Status = Par->run(Root, Options.MaxIterations);
       if (Status == WorklistScheduler::Status::Error)
         return makeError("abstract machine error: " + Par->errorMessage());

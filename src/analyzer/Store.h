@@ -86,6 +86,13 @@ public:
     uint64_t ExecutedRuns = 0;  ///< warm drains: queue pops executed
     uint64_t ReplayedActivations = 0;
     uint64_t ExecutedActivations = 0;
+    // Parallel warm drains (thread-count dependent; the replay/execute
+    // split above is not — see Incremental.h).
+    uint64_t WarmReplayBatches = 0; ///< speculative validation fan-outs
+    uint64_t WarmSpecReplays = 0;   ///< trace simulations run on the pool
+    uint64_t WarmSpecCommitted = 0; ///< simulations committed at their pop
+    uint64_t WarmSpecDiscarded = 0; ///< simulations invalidated or orphaned
+    uint64_t WarmCriticalUnits = 0; ///< per-batch critical-path units
     uint64_t MergedRoots = 0;   ///< converged queries merged into the store
     uint64_t NewEntries = 0;    ///< merged entries new to the store
     uint64_t SharedEntries = 0; ///< merged entries another root already owned

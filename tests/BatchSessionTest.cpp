@@ -361,6 +361,64 @@ TEST_P(BatchSessionTest, ReanalyzeInvalidatesOnlyTheEditCone) {
   }
 }
 
+TEST(WarmDrainTest, StoreWarmDrainsByteIdenticalAcrossWarmThreads) {
+  // Tentpole: a warm query's validated journal replay fans out across the
+  // warm pool. Every per-spec answer, the final store dump, and the
+  // thread-invariant replay/execute split must be independent of
+  // WarmThreads, and the speculative-validation accounting must balance.
+  uint64_t TotalBatches = 0, TotalSpecReplays = 0;
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    std::vector<std::string> Outcomes1;
+    std::string Dump1;
+    uint64_t Warm1 = 0, Replayed1 = 0, Executed1 = 0;
+    for (int WarmThreads : {1, 4}) {
+      SymbolTable Syms;
+      TermArena Arena;
+      std::unique_ptr<CompiledProgram> P =
+          compileOrDie(std::string(B.Source), Syms, Arena);
+      ASSERT_NE(P, nullptr) << B.Name;
+
+      std::vector<std::string> Specs{std::string(B.EntrySpec)};
+      for (std::string &S : definedPredSpecs(*P, Syms))
+        if (S != B.EntrySpec)
+          Specs.push_back(std::move(S));
+
+      AnalyzerOptions O = persistentOptions(1);
+      O.WarmThreads = WarmThreads;
+      AnalysisSession S(*P, O);
+      std::vector<std::string> Outcomes;
+      for (const std::string &Spec : Specs)
+        Outcomes.push_back(outcomeOf(S.analyze(Spec), Syms));
+
+      ASSERT_NE(S.store(), nullptr) << B.Name;
+      const AnalysisStore::Stats &St = S.store()->stats();
+      EXPECT_EQ(St.WarmSpecCommitted + St.WarmSpecDiscarded,
+                St.WarmSpecReplays)
+          << B.Name << " warm=" << WarmThreads;
+      if (WarmThreads == 1) {
+        Outcomes1 = std::move(Outcomes);
+        Dump1 = S.store()->canonicalDump(Syms);
+        Warm1 = St.WarmQueries;
+        Replayed1 = St.ReplayedRuns;
+        Executed1 = St.ExecutedRuns;
+      } else {
+        // Same source through a fresh symbol table: the formatted outcome
+        // strings are deterministic, so equality is byte identity.
+        EXPECT_EQ(Outcomes1, Outcomes) << B.Name;
+        EXPECT_EQ(Dump1, S.store()->canonicalDump(Syms)) << B.Name;
+        EXPECT_EQ(Warm1, St.WarmQueries) << B.Name;
+        EXPECT_EQ(Replayed1, St.ReplayedRuns) << B.Name;
+        EXPECT_EQ(Executed1, St.ExecutedRuns) << B.Name;
+        TotalBatches += St.WarmReplayBatches;
+        TotalSpecReplays += St.WarmSpecReplays;
+      }
+    }
+  }
+  // The fan-out must engage somewhere in the suite.
+  EXPECT_GT(TotalBatches, 0u);
+  EXPECT_GT(TotalSpecReplays, 0u);
+}
+
 TEST(BatchSessionErrorTest, PersistentRequiresWorklistWithInterning) {
   SymbolTable Syms;
   TermArena Arena;

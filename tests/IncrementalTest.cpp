@@ -160,6 +160,55 @@ TEST_P(IncrementalTest, UneditedRecompileReplaysEverything) {
   EXPECT_EQ(S.reanalyzeStats()->ConeEntries, 0u);
 }
 
+TEST(IncrementalWarmDrainTest, ParallelWarmDrainByteIdenticalOnAllBenchmarks) {
+  // Tentpole: reanalyze's journal-replay validation fans out across the
+  // warm pool. At every WarmThreads setting the reanalysis answer and the
+  // thread-invariant replay/execute split must be identical, and the
+  // speculative-validation accounting must balance.
+  uint64_t TotalBatches = 0, TotalSpecReplays = 0;
+  for (const BenchmarkProgram &B : benchmarkPrograms()) {
+    std::string Fp1;
+    uint64_t Replayed1 = 0, Executed1 = 0;
+    for (int WarmThreads : {1, 4}) {
+      SymbolTable Syms;
+      TermArena Arena;
+      std::unique_ptr<CompiledProgram> P =
+          compileOrDie(std::string(B.Source), Syms, Arena);
+      ASSERT_NE(P, nullptr) << B.Name;
+
+      AnalyzerOptions O = incOptions(1);
+      O.WarmThreads = WarmThreads;
+      AnalysisSession S(*P, O);
+      Result<AnalysisResult> R0 = S.analyze(B.EntrySpec);
+      ASSERT_TRUE(R0) << B.Name << ": " << R0.diag().str();
+      Result<AnalysisResult> R1 = S.reanalyze({PredSig{"main", 0}});
+      ASSERT_TRUE(R1) << B.Name << ": " << R1.diag().str();
+
+      ASSERT_NE(S.reanalyzeStats(), nullptr) << B.Name;
+      const IncrementalScheduler::ReanalyzeStats &RS = *S.reanalyzeStats();
+      EXPECT_EQ(RS.SpecCommitted + RS.SpecDiscarded, RS.SpecReplays)
+          << B.Name << " warm=" << WarmThreads;
+      if (WarmThreads == 1) {
+        Fp1 = fingerprint(*R1, Syms);
+        Replayed1 = RS.ReplayedRuns;
+        Executed1 = RS.ExecutedRuns;
+      } else {
+        // Same source, fresh symbol table: the formatted fingerprint is
+        // deterministic, so string equality is byte identity.
+        EXPECT_EQ(Fp1, fingerprint(*R1, Syms)) << B.Name;
+        EXPECT_EQ(Replayed1, RS.ReplayedRuns) << B.Name;
+        EXPECT_EQ(Executed1, RS.ExecutedRuns) << B.Name;
+        TotalBatches += RS.ReplayBatches;
+        TotalSpecReplays += RS.SpecReplays;
+      }
+    }
+  }
+  // The fan-out must actually engage somewhere in the suite — otherwise
+  // this tests only the sequential drain.
+  EXPECT_GT(TotalBatches, 0u);
+  EXPECT_GT(TotalSpecReplays, 0u);
+}
+
 TEST_P(IncrementalTest, ChainedEditsMatchScratchEachStep) {
   // A chain of reanalyze() calls, each recording for the next: every step
   // must match a scratch analysis of that step's program.

@@ -131,6 +131,100 @@ TEST(ParallelSchedulerTest, RandomProgramStressAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelSchedulerTest, AdaptiveBatchSizingByteIdenticalOnRandomPrograms) {
+  // Tentpole: the adaptive batch bounds must not be observable in any
+  // committed output. Each seed runs under one of three (min, max)
+  // regimes — locked to 1 (every pop bypasses), the default adaptive
+  // range, and locked wide — across 2/4/8 threads against the one-thread
+  // reference.
+  constexpr std::pair<int, int> kRegimes[] = {{1, 1}, {2, 32}, {8, 8}};
+  for (unsigned Seed = 0; Seed != 12; ++Seed) {
+    std::string Source = generateProgram(Seed);
+    auto [BatchMin, BatchMax] = kRegimes[Seed % 3];
+    SCOPED_TRACE("seed " + std::to_string(Seed) + " batch [" +
+                 std::to_string(BatchMin) + "," + std::to_string(BatchMax) +
+                 "]");
+
+    SymbolTable Syms;
+    TermArena Arena;
+    Result<ParsedProgram> Parsed = parseProgram(Source, Syms, Arena);
+    ASSERT_TRUE(Parsed) << Parsed.diag().str();
+    Result<CompiledProgram> Compiled = compileProgram(*Parsed, Syms);
+    ASSERT_TRUE(Compiled) << Compiled.diag().str();
+
+    for (const ParsedClause &C : Parsed->Clauses) {
+      std::string Name(Syms.name(C.Head->functor()));
+      if (Name.starts_with("$"))
+        continue;
+      int Arity = C.Head->isStruct() ? C.Head->arity() : 0;
+      Pattern Entry =
+          makeEntryPattern(std::vector<PatKind>(Arity, PatKind::AnyP));
+
+      AnalysisSession Seq(*Compiled, threadedOptions(1));
+      Result<AnalysisResult> RS = Seq.analyze(Name, Entry);
+      ASSERT_TRUE(RS) << Name << ": " << RS.diag().str();
+
+      for (int Threads : {2, 4, 8}) {
+        AnalyzerOptions O = threadedOptions(Threads);
+        O.SpecBatchMin = BatchMin;
+        O.SpecBatchMax = BatchMax;
+        AnalysisSession Par(*Compiled, O);
+        Result<AnalysisResult> RP = Par.analyze(Name, Entry);
+        ASSERT_TRUE(RP) << Name << " T=" << Threads << ": "
+                        << RP.diag().str();
+        EXPECT_EQ(tableLines(*RS, Syms), tableLines(*RP, Syms))
+            << Name << " T=" << Threads;
+        EXPECT_EQ(RS->Counters.SchedulerRuns, RP->Counters.SchedulerRuns)
+            << Name << " T=" << Threads;
+        EXPECT_EQ(RS->Counters.ActivationRuns, RP->Counters.ActivationRuns)
+            << Name << " T=" << Threads;
+        // A batch ceiling of 1 disables speculation outright: every pop
+        // must take the bypass path.
+        if (BatchMax == 1) {
+          ASSERT_NE(Par.specStats(), nullptr);
+          EXPECT_EQ(Par.specStats()->Speculated, 0u) << Name;
+          EXPECT_EQ(RP->Counters.SpecRuns, 0u) << Name;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelSchedulerTest, ChainStructuredDrainBypassesSpeculation) {
+  // A pure call chain never has two unrelated ready entries, so the
+  // adaptive driver must serialize it through the size-1 bypass instead
+  // of speculating work it would immediately discard.
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P = compileSource(
+      "nat(0). nat(s(N)) :- nat(N).\n"
+      "main :- nat(s(s(s(0)))).",
+      Syms, Arena);
+  ASSERT_TRUE(P) << P.diag().str();
+
+  AnalysisSession Par(*P, threadedOptions(4));
+  Result<AnalysisResult> R = Par.analyze("main");
+  ASSERT_TRUE(R) << R.diag().str();
+  ASSERT_NE(Par.specStats(), nullptr);
+  const ParallelScheduler::SpecStats &S = *Par.specStats();
+  EXPECT_GT(S.Bypassed, 0u);
+  // main and nat are related by a static call edge, so they never share a
+  // batch; within the chain there is nothing independent to speculate on.
+  EXPECT_EQ(S.Discarded, 0u);
+  EXPECT_EQ(S.Speculated, S.Committed);
+  // The bypass and overlay counters surface in the public report.
+  EXPECT_EQ(R->Counters.SpecBypassed, S.Bypassed);
+  EXPECT_EQ(R->Counters.SpecPagesCopied, S.PagesCopied);
+  EXPECT_LE(S.PagesCopied, S.BaseTouches);
+
+  // Identical to the sequential run, bypass or not.
+  AnalysisSession Seq(*P, threadedOptions(1));
+  Result<AnalysisResult> RS = Seq.analyze("main");
+  ASSERT_TRUE(RS) << RS.diag().str();
+  EXPECT_EQ(tableLines(*RS, Syms), tableLines(*R, Syms));
+  EXPECT_EQ(formatAnalysis(*RS, Syms), formatAnalysis(*R, Syms));
+}
+
 TEST(ParallelSchedulerTest, SpeculationAccountingInvariants) {
   SymbolTable Syms;
   TermArena Arena;
