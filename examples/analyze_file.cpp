@@ -31,6 +31,11 @@
 //                  after the initial run; repeatable (one chained
 //                  reanalyze per flag). The final report is byte-identical
 //                  to the plain run — the CI incremental gate diffs it.
+//   --domain NAME  abstract domain to analyze under (default "modes", the
+//                  paper's mode/type/aliasing domain; "pos" infers
+//                  groundness dependencies, "det" derives per-predicate
+//                  determinism facts). Unknown names are rejected with the
+//                  registered list.
 //   --wam          print the compiled WAM code
 //   --modes        print the mode report (default prints patterns)
 //   --baseline     use the meta-interpreting analyzer instead
@@ -40,6 +45,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/AbstractMachine.h"
+#include "analyzer/Domain.h"
 #include "analyzer/Session.h"
 #include "baseline/MetaAnalyzer.h"
 #include "compiler/Disasm.h"
@@ -63,8 +69,8 @@ int usage() {
       "usage: analyze_file (<file.pl> | bench:<name>) [--entry SPEC]... "
       "[--entries FILE]\n                    [--depth K] [--threads N] "
       "[--spec-batch-min N] [--spec-batch-max N]\n                    "
-      "[--warm-threads N] [--edit P/A]... [--wam] [--modes]\n"
-      "                    [--baseline] [--trace] [--dead]\n");
+      "[--warm-threads N] [--edit P/A]... [--domain NAME] [--wam] "
+      "[--modes]\n                    [--baseline] [--trace] [--dead]\n");
   return 2;
 }
 
@@ -110,6 +116,7 @@ int main(int argc, char **argv) {
   int SpecBatchMin = 2, SpecBatchMax = 32, WarmThreads = 0;
   bool ShowWam = false, ShowModes = false, UseBaseline = false,
        Trace = false, ShowDead = false;
+  std::string DomainName = "modes";
   std::vector<PredSig> Edits;
   for (int I = 2; I < argc; ++I) {
     std::string_view Arg = argv[I];
@@ -174,6 +181,14 @@ int main(int argc, char **argv) {
         return usage();
       }
       Edits.push_back(std::move(Sig));
+    } else if (Arg == "--domain" && I + 1 < argc) {
+      DomainName = argv[++I];
+      // Validate eagerly: a typo should fail before any file is parsed,
+      // with the registered-domain list in the message.
+      if (Result<const Domain *> D = resolveDomain(DomainName); !D) {
+        std::fprintf(stderr, "%s\n", D.diag().str().c_str());
+        return usage();
+      }
     } else if (Arg == "--wam")
       ShowWam = true;
     else if (Arg == "--modes")
@@ -234,7 +249,13 @@ int main(int argc, char **argv) {
   Options.SpecBatchMax = SpecBatchMax;
   Options.WarmThreads = WarmThreads;
   Options.Incremental = !Edits.empty();
+  Options.DomainName = DomainName;
 
+  if (DomainName != "modes" && (UseBaseline || Trace)) {
+    std::fprintf(stderr, "--domain requires the compiled worklist analyzer "
+                         "(no --baseline / --trace)\n");
+    return usage();
+  }
   if (!Edits.empty() && (UseBaseline || Trace)) {
     std::fprintf(stderr,
                  "--edit requires the compiled worklist analyzer (no "
@@ -272,6 +293,8 @@ int main(int argc, char **argv) {
           (ShowModes ? formatModes(BR, Syms) : formatAnalysis(BR, Syms))
               .c_str(),
           stdout);
+      if (BR.Dom)
+        std::fputs(BR.Dom->formatFacts(BR, *Compiled).c_str(), stdout);
       if (ShowDead)
         std::fputs(formatReachability(BR, *Compiled).c_str(), stdout);
     }
@@ -341,6 +364,8 @@ int main(int argc, char **argv) {
   std::fputs((ShowModes ? formatModes(*R, Syms) : formatAnalysis(*R, Syms))
                  .c_str(),
              stdout);
+  if (R->Dom)
+    std::fputs(R->Dom->formatFacts(*R, *Compiled).c_str(), stdout);
   if (ShowDead && !UseBaseline)
     std::fputs(formatReachability(*R, *Compiled).c_str(), stdout);
   return 0;

@@ -21,19 +21,26 @@
 //   batch SPEC; SPEC; ...             several entries, all validated first
 //   edit NAME/ARITY                   mark a predicate edited; re-analyze
 //                                     the last entry incrementally
+//   domain [NAME]                     switch the abstract domain (no
+//                                     operand: print current + registered);
+//                                     the loaded program re-selects its
+//                                     per-domain store
 //   modes                             toggle mode report vs pattern table
 //   dump                              canonical per-root store projection
 //   stats                             cumulative store statistics
 //   help, quit
 //
-// Loaded programs are keyed by CodeModule::fingerprint(): re-loading a
-// module whose compiled code is semantically identical (same predicates,
-// same clause code) switches back to the existing warm store instead of
-// starting cold, so a client that round-trips an unchanged file keeps all
-// of its memoized summaries.
+// Loaded programs are keyed by CodeModule::fingerprint() *and* the active
+// abstract domain: re-loading a module whose compiled code is semantically
+// identical (same predicates, same clause code) under the same domain
+// switches back to the existing warm store instead of starting cold, so a
+// client that round-trips an unchanged file keeps all of its memoized
+// summaries — while summaries of different domains (whose pattern
+// encodings are incompatible) never mix.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analyzer/Domain.h"
 #include "analyzer/Session.h"
 #include "programs/Benchmarks.h"
 
@@ -56,22 +63,27 @@ namespace {
 /// once from argv (see the file comment).
 AnalyzerOptions ServerOptions;
 
-/// One loaded program and its warm analysis state. The symbol table and
-/// arena live here because the compiled program borrows both.
+/// One loaded program and its warm analysis state, under one abstract
+/// domain. The symbol table and arena live here because the compiled
+/// program borrows both; Source is kept so a `domain` switch can rebuild
+/// the same program into a sibling per-domain workspace.
 struct Workspace {
   std::string Label;
+  std::string Source;
   SymbolTable Syms;
   TermArena Arena;
   Result<CompiledProgram> Program = makeError("unloaded");
   std::unique_ptr<AnalysisSession> Session;
 };
 
-/// Compiles \p Source into a fresh workspace; null + stderr message on
-/// parse/compile errors.
+/// Compiles \p Source into a fresh workspace under \p DomainName; null +
+/// stderr message on parse/compile errors.
 std::unique_ptr<Workspace> compileWorkspace(const std::string &Source,
-                                            std::string Label) {
+                                            std::string Label,
+                                            const std::string &DomainName) {
   auto W = std::make_unique<Workspace>();
   W->Label = std::move(Label);
+  W->Source = Source;
   W->Program = compileSource(Source, W->Syms, W->Arena);
   if (!W->Program) {
     std::fprintf(stderr, "error: %s\n", W->Program.diag().str().c_str());
@@ -79,6 +91,7 @@ std::unique_ptr<Workspace> compileWorkspace(const std::string &Source,
   }
   AnalyzerOptions Options = ServerOptions;
   Options.Persistent = true;
+  Options.DomainName = DomainName;
   W->Session = std::make_unique<AnalysisSession>(*W->Program, Options);
   return W;
 }
@@ -129,6 +142,7 @@ void help() {
                "  entry SPEC          e.g. entry qsort(glist, var, var)\n"
                "  batch SPEC; SPEC    several entries through the warm store\n"
                "  edit NAME/ARITY     incremental re-analysis after an edit\n"
+               "  domain [NAME]       switch abstract domain (or show it)\n"
                "  modes               toggle mode report / pattern table\n"
                "  dump                canonical per-root store projection\n"
                "  stats               cumulative store statistics\n"
@@ -172,10 +186,42 @@ int main(int argc, char **argv) {
     }
   }
 
-  // Warm stores keyed by module fingerprint; Current points into the map.
-  std::map<uint64_t, std::unique_ptr<Workspace>> Stores;
+  // Warm stores keyed by (module fingerprint, domain name); Current points
+  // into the map. One program analyzed under two domains gets two
+  // independent warm stores — their pattern encodings are incompatible.
+  std::map<std::pair<uint64_t, std::string>, std::unique_ptr<Workspace>>
+      Stores;
   Workspace *Current = nullptr;
   bool ShowModes = false;
+  std::string DomainName = "modes";
+
+  // Compiles (or re-selects) the workspace for a source under the active
+  // domain and makes it current. The label is what the user typed after
+  // `load`, reused verbatim on domain switches.
+  auto selectWorkspace = [&](const std::string &Source,
+                             const std::string &Label) {
+    std::unique_ptr<Workspace> W =
+        compileWorkspace(Source, Label, DomainName);
+    if (!W)
+      return;
+    std::pair<uint64_t, std::string> Key{W->Program->Module->fingerprint(),
+                                         DomainName};
+    auto It = Stores.find(Key);
+    if (It != Stores.end()) {
+      // Semantically identical module already loaded under this domain:
+      // keep its warm store (and all memoized summaries), drop the fresh
+      // compile.
+      Current = It->second.get();
+      std::fprintf(stderr,
+                   "reusing warm store for %s (loaded as %s, domain %s)\n",
+                   Label.c_str(), Current->Label.c_str(),
+                   DomainName.c_str());
+    } else {
+      Current = W.get();
+      Stores.emplace(std::move(Key), std::move(W));
+      std::fprintf(stderr, "loaded %s\n", Label.c_str());
+    }
+  };
 
   std::string Line;
   while (std::fputs("awam> ", stderr), std::fflush(stderr),
@@ -222,22 +268,26 @@ int main(int argc, char **argv) {
         Buf << In.rdbuf();
         Source = Buf.str();
       }
-      std::unique_ptr<Workspace> W = compileWorkspace(Source, Rest);
-      if (!W)
+      selectWorkspace(Source, Rest);
+      continue;
+    }
+    if (Verb == "domain") {
+      if (Rest.empty()) {
+        std::fprintf(stderr, "domain: %s (registered: %s)\n",
+                     DomainName.c_str(), registeredDomainNames().c_str());
         continue;
-      uint64_t Key = W->Program->Module->fingerprint();
-      auto It = Stores.find(Key);
-      if (It != Stores.end()) {
-        // Semantically identical module already loaded: keep its warm
-        // store (and all memoized summaries), drop the fresh compile.
-        Current = It->second.get();
-        std::fprintf(stderr, "reusing warm store for %s (loaded as %s)\n",
-                     Rest.c_str(), Current->Label.c_str());
-      } else {
-        Current = W.get();
-        Stores.emplace(Key, std::move(W));
-        std::fprintf(stderr, "loaded %s\n", Rest.c_str());
       }
+      Result<const Domain *> D = resolveDomain(Rest);
+      if (!D) {
+        std::fprintf(stderr, "%s\n", D.diag().str().c_str());
+        continue;
+      }
+      DomainName = Rest;
+      std::fprintf(stderr, "domain: %s\n", DomainName.c_str());
+      // Re-select the loaded program under the new domain (its per-domain
+      // store stays warm across switches).
+      if (Current)
+        selectWorkspace(Current->Source, Current->Label);
       continue;
     }
 
@@ -272,6 +322,9 @@ int main(int argc, char **argv) {
                             : formatAnalysis(*R, Current->Syms))
                      .c_str(),
                  stdout);
+      if (R->Dom)
+        std::fputs(R->Dom->formatFacts(*R, *Current->Program).c_str(),
+                   stdout);
       std::fflush(stdout);
       continue;
     }
@@ -301,6 +354,11 @@ int main(int argc, char **argv) {
                               : formatAnalysis((*Batch)[I], Current->Syms))
                        .c_str(),
                    stdout);
+        if ((*Batch)[I].Dom)
+          std::fputs(
+              (*Batch)[I].Dom->formatFacts((*Batch)[I], *Current->Program)
+                  .c_str(),
+              stdout);
       }
       std::fflush(stdout);
       continue;

@@ -2,6 +2,7 @@
 
 #include "absdom/AbsOps.h"
 
+#include <algorithm>
 #include <set>
 
 using namespace awam;
@@ -445,6 +446,84 @@ bool awam::isGroundCell(const Store &St, Cell C, int MaxDepth) {
     return false;
   }
   return false;
+}
+
+namespace {
+
+bool collectLeavesRec(const Store &St, Cell C, std::vector<int64_t> &Leaves,
+                      std::vector<int64_t> &Visited, int &Fuel) {
+  if (--Fuel <= 0)
+    return false;
+  auto AddLeaf = [&](int64_t Addr) {
+    if (std::find(Leaves.begin(), Leaves.end(), Addr) == Leaves.end())
+      Leaves.push_back(Addr);
+  };
+  // Dedupe on the address of the pointed-to region: terminates cycles and
+  // keeps shared substructure from being walked twice.
+  auto Enter = [&](int64_t Addr) {
+    if (std::find(Visited.begin(), Visited.end(), Addr) != Visited.end())
+      return false;
+    Visited.push_back(Addr);
+    return true;
+  };
+  DerefResult D = St.deref(C);
+  switch (D.C.T) {
+  case Tag::Con:
+  case Tag::Int:
+    return true;
+  case Tag::Ref:
+    // Unbound variable: the leaf itself.
+    if (D.Addr == kNoAddr)
+      return false;
+    AddLeaf(D.Addr);
+    return true;
+  case Tag::Abs:
+    switch (D.C.absKind()) {
+    case AbsKind::Ground:
+    case AbsKind::Const:
+    case AbsKind::AtomT:
+    case AbsKind::IntT:
+      return true;
+    case AbsKind::List:
+      // An alpha-list is ground exactly when its element type is.
+      return !Enter(D.C.V) ||
+             collectLeavesRec(St, Cell::ref(D.C.V), Leaves, Visited, Fuel);
+    case AbsKind::Any:
+    case AbsKind::NV:
+    case AbsKind::Var:
+      if (D.Addr == kNoAddr)
+        return false;
+      AddLeaf(D.Addr);
+      return true;
+    }
+    return false;
+  case Tag::Lis:
+    return !Enter(D.C.V) ||
+           (collectLeavesRec(St, Cell::ref(D.C.V), Leaves, Visited, Fuel) &&
+            collectLeavesRec(St, Cell::ref(D.C.V + 1), Leaves, Visited,
+                             Fuel));
+  case Tag::Str: {
+    if (!Enter(D.C.V))
+      return true;
+    const Cell F = St.at(D.C.V);
+    for (int I = 1; I <= F.funArity(); ++I)
+      if (!collectLeavesRec(St, Cell::ref(D.C.V + I), Leaves, Visited, Fuel))
+        return false;
+    return true;
+  }
+  case Tag::Fun:
+  case Tag::Ctl:
+    return false;
+  }
+  return false;
+}
+
+} // namespace
+
+bool awam::collectNongroundLeaves(const Store &St, Cell C,
+                                  std::vector<int64_t> &Leaves,
+                                  std::vector<int64_t> &Visited, int Fuel) {
+  return collectLeavesRec(St, C, Leaves, Visited, Fuel);
 }
 
 namespace {

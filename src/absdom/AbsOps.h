@@ -61,6 +61,22 @@ inline bool isVarCell(const Store &St, Cell C) {
   return St.deref(C).C.T == Tag::Ref;
 }
 
+/// Collects into \p Leaves the heap addresses of the *nonground leaves* of
+/// \p C: the cells whose later instantiation decides whether gamma(\p C)
+/// is ground — unbound Ref cells and Abs cells of kind any / nv / var.
+/// Ground kinds (constants, g, const, atom, integer) contribute nothing;
+/// structures, list cells and alpha-lists are descended. \p C is ground
+/// exactly when the collected set is empty, and two values sharing a leaf
+/// address become ground together (the aliasing the Pos domain's
+/// groundness dependencies are built on). \p Visited is caller-pooled
+/// scratch that dedupes shared substructure and terminates cycles.
+/// Returns false when the walk exceeds \p Fuel or meets a leaf with no
+/// heap address — \p Leaves is then incomplete and the caller must treat
+/// the value's groundness as unknown.
+bool collectNongroundLeaves(const Store &St, Cell C,
+                            std::vector<int64_t> &Leaves,
+                            std::vector<int64_t> &Visited, int Fuel = 256);
+
 /// Context for lubCells: memoizes node pairs so sharing common to both
 /// operands is preserved, and tracks partner mismatches so dropped sharing
 /// widens var results to any.

@@ -2,6 +2,7 @@
 
 #include "analyzer/AbstractMachine.h"
 
+#include "analyzer/Domain.h"
 #include "analyzer/RunJournal.h"
 
 #include "absdom/AbsBuiltins.h"
@@ -18,7 +19,10 @@ AbstractMachine::AbstractMachine(const CompiledProgram &Program,
                                  AbsMachineOptions Options)
     : Program(Program), Module(*Program.Module), Table(Table),
       Interner(Table.interner()), Options(Options),
-      X(std::max(Program.MaxXReg, 8)) {}
+      X(std::max(Program.MaxXReg, 8)) {
+  Dom = this->Options.Dom ? this->Options.Dom : &defaultDomain();
+  DomState = Dom->makeRunState();
+}
 
 void AbstractMachine::machineError(std::string Message) {
   ErrorMsg = std::move(Message);
@@ -35,6 +39,8 @@ void AbstractMachine::machineError(std::string Message) {
 
 void AbstractMachine::resetRun() {
   St.reset();
+  if (DomState)
+    DomState->rewindTo(0);
   Envs.clear();
   Frames.clear();
   std::fill(X.begin(), X.end(), Cell());
@@ -92,6 +98,7 @@ AbsRunStatus AbstractMachine::runIteration(int32_t PredId,
   F.TrailMark = St.trailMark();
   F.HeapMark = St.heapTop();
   F.EnvMark = 0;
+  F.DomMark = DomState ? DomState->mark() : 0;
   Frames.push_back(std::move(F));
 
   return driveToCompletion();
@@ -125,6 +132,7 @@ AbsRunStatus AbstractMachine::runActivation(ETEntry &Root) {
   F.TrailMark = St.trailMark();
   F.HeapMark = St.heapTop();
   F.EnvMark = 0;
+  F.DomMark = DomState ? DomState->mark() : 0;
   Frames.push_back(std::move(F));
 
   AbsRunStatus Status = driveToCompletion();
@@ -141,9 +149,12 @@ void AbstractMachine::enterClause() {
     returnFromFrame();
     return;
   }
-  // Fresh attempt: discard the previous clause's bindings and allocations.
+  // Fresh attempt: discard the previous clause's bindings and allocations
+  // (domain run state backtracks in lockstep with the trail).
   St.unwind(F.TrailMark);
   St.truncate(F.HeapMark);
+  if (DomState)
+    DomState->rewindTo(F.DomMark);
   Envs.resize(F.EnvMark);
   E = F.SavedE;
   WriteMode = false;
@@ -191,7 +202,8 @@ void AbstractMachine::clauseSucceeded() {
     ArgsBuf.reserve(F.CalleeArgs.size());
     for (int64_t Addr : F.CalleeArgs)
       ArgsBuf.push_back(Cell::ref(Addr));
-    CanonCtx.canonicalizeInto(St, ArgsBuf, SPatBuf, Options.DepthLimit);
+    Dom->abstractSuccess(St, ArgsBuf, CanonCtx, SPatBuf, Options.DepthLimit,
+                         DomState.get());
     // Re-deriving the already-summarized success pattern is the common
     // case at the fixpoint: detect it with one structural compare and
     // skip the intern (hash + bucket probe) entirely.
@@ -247,9 +259,12 @@ void AbstractMachine::returnFromFrame() {
   AnalysisFrame F = std::move(Frames.back());
   Frames.pop_back();
 
-  // Discard the callee's working state.
+  // Discard the callee's working state. Domain run state rewinds to the
+  // caller's scope; applySuccess below may append to it there.
   St.unwind(F.TrailMark);
   St.truncate(F.HeapMark);
+  if (DomState)
+    DomState->rewindTo(F.DomMark);
   Envs.resize(F.EnvMark);
   E = F.SavedE;
 
@@ -267,13 +282,16 @@ void AbstractMachine::returnFromFrame() {
 
   // lookupET: return the summarized success pattern, if any.
   if (F.Entry->Success) {
-    if (Interner)
-      instantiate(St, *F.Entry->Success, CellOfBuf, RootsBuf);
-    else
+    bool Ok;
+    if (Interner) {
+      Ok = Dom->applySuccess(St, F.CallerArgs, *F.Entry->Success, CellOfBuf,
+                             RootsBuf, DomState.get());
+    } else {
       RootsBuf = instantiate(St, *F.Entry->Success);
-    bool Ok = true;
-    for (size_t I = 0; I != RootsBuf.size() && Ok; ++I)
-      Ok = absUnify(St, F.CallerArgs[I], Cell::ref(RootsBuf[I]));
+      Ok = true;
+      for (size_t I = 0; I != RootsBuf.size() && Ok; ++I)
+        Ok = absUnify(St, F.CallerArgs[I], Cell::ref(RootsBuf[I]));
+    }
     if (Ok) {
       P = F.SavedCP;
       return;
@@ -294,11 +312,11 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
   bool Created = false;
   ETEntry *Found;
   if (Interner) {
-    // Hash-consed path: canonicalize into the pooled scratch pattern and
+    // Hash-consed path: abstract into the pooled scratch pattern and
     // probe the table with one fused structural lookup; only a miss (a
     // previously unseen calling pattern) pays for interning.
-    CanonCtx.canonicalizeInto(St, ArgsBuf, CPatBuf, Options.DepthLimit,
-                              /*WidenConstants=*/true);
+    Dom->abstractCall(St, ArgsBuf, CanonCtx, CPatBuf, Options.DepthLimit,
+                      DomState.get());
     Found = &Table.findOrCreateByPattern(PredId, CPatBuf, Created);
   } else {
     Pattern CPat = canonicalize(St, ArgsBuf, Options.DepthLimit,
@@ -336,15 +354,20 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
       failCurrent();
       return;
     }
-    if (Interner)
-      instantiate(St, *Entry.Success, CellOfBuf, RootsBuf);
-    else
-      RootsBuf = instantiate(St, *Entry.Success);
-    for (size_t I = 0; I != RootsBuf.size(); ++I)
-      if (!absUnify(St, ArgsBuf[I], Cell::ref(RootsBuf[I]))) {
+    if (Interner) {
+      if (!Dom->applySuccess(St, ArgsBuf, *Entry.Success, CellOfBuf,
+                             RootsBuf, DomState.get())) {
         failCurrent();
         return;
       }
+    } else {
+      RootsBuf = instantiate(St, *Entry.Success);
+      for (size_t I = 0; I != RootsBuf.size(); ++I)
+        if (!absUnify(St, ArgsBuf[I], Cell::ref(RootsBuf[I]))) {
+          failCurrent();
+          return;
+        }
+    }
     P = ContinueAt;
     return;
   }
@@ -375,6 +398,7 @@ void AbstractMachine::doCall(int32_t PredId, int32_t ContinueAt) {
   F.TrailMark = St.trailMark();
   F.HeapMark = St.heapTop();
   F.EnvMark = Envs.size();
+  F.DomMark = DomState ? DomState->mark() : 0;
   Frames.push_back(std::move(F));
   enterClause();
 }

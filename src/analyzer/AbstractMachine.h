@@ -32,15 +32,20 @@
 #ifndef AWAM_ANALYZER_ABSTRACTMACHINE_H
 #define AWAM_ANALYZER_ABSTRACTMACHINE_H
 
+#include "analyzer/Domain.h"
 #include "analyzer/ExtensionTable.h"
 #include "compiler/ProgramCompiler.h"
 #include "wam/Store.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace awam {
 
+// Domain.h is pulled in for DomainRunState's definition: the machine owns
+// one by unique_ptr, so every TU that destroys a machine needs the
+// complete type.
 class RunJournal;
 
 /// Outcome of one abstract-interpretation iteration.
@@ -53,6 +58,10 @@ enum class AbsRunStatus {
 struct AbsMachineOptions {
   int DepthLimit = kDefaultDepthLimit; ///< term-depth restriction k
   uint64_t MaxSteps = 200'000'000;     ///< total instruction budget
+  /// Abstract domain driving abstraction/transfer on the interned fast
+  /// path; null = the default (modes) domain. Non-default domains require
+  /// an interned table (AnalysisSession enforces this).
+  const Domain *Dom = nullptr;
   /// When non-null, control events (call / lookup / updateET / return) are
   /// appended as human-readable lines — used to regenerate the paper's
   /// Figure 5 annotations.
@@ -164,6 +173,9 @@ private:
     int64_t TrailMark = 0;
     int64_t HeapMark = 0;
     size_t EnvMark = 0;
+    /// Domain run-state height at frame setup: enterClause rewinds the
+    /// domain state here in lockstep with the trail/heap unwind.
+    size_t DomMark = 0;
   };
 
   struct EnvFrame {
@@ -197,6 +209,13 @@ private:
   /// Non-null records a RunTrace per activation run (incremental mode).
   RunJournal *Journal = nullptr;
   AbsMachineOptions Options;
+  /// The abstract domain (Options.Dom resolved; never null). Drives the
+  /// interned path's abstraction, transfer and lattice hooks — the
+  /// non-interned path keeps the default domain's inline code.
+  const Domain *Dom = nullptr;
+  /// Per-run mutable domain state (null for domains that need none);
+  /// marked/rewound with the trail.
+  std::unique_ptr<DomainRunState> DomState;
 
   Store St;
   std::vector<Cell> X;

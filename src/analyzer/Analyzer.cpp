@@ -2,6 +2,7 @@
 
 #include "analyzer/Analyzer.h"
 
+#include "analyzer/Domain.h"
 #include "support/StringUtil.h"
 
 #include <cctype>
@@ -199,10 +200,17 @@ awam::parseEntrySpec(std::string_view Spec) {
 
 std::string awam::formatAnalysis(const AnalysisResult &R,
                                  const SymbolTable &Syms) {
+  // Pattern text routes through the result's domain; the default domain's
+  // formatPattern is Pattern::str, so default-domain reports are
+  // byte-identical to the pre-domain formatter (and to the null-domain
+  // fallback used by trace/baseline results).
+  auto Fmt = [&](const Pattern &P) {
+    return R.Dom ? R.Dom->formatPattern(P, Syms) : P.str(Syms);
+  };
   TextTable T({"predicate", "calling pattern", "success pattern"});
   for (const AnalysisResult::Item &I : R.Items)
-    T.addRow({I.PredLabel, I.Call.str(Syms),
-              I.Success ? I.Success->str(Syms) : "(fails)"});
+    T.addRow({I.PredLabel, Fmt(I.Call),
+              I.Success ? Fmt(*I.Success) : "(fails)"});
   std::string Out = T.str();
   Out += "iterations: " + std::to_string(R.Iterations) +
          (R.Converged ? " (fixpoint)" : " (budget hit)") +

@@ -25,6 +25,8 @@
 
 namespace awam {
 
+class Domain;
+
 /// Which fixpoint driver runs the abstract machine.
 enum class DriverKind {
   /// The paper's loop (Section 2.2): restart the entry goal, re-exploring
@@ -88,6 +90,12 @@ struct AnalyzerOptions {
   /// invalidates only the edit's reverse-dependency cone inside the store.
   /// Requires the worklist driver with interning on the compiled backend.
   bool Persistent = false;
+  /// Abstract domain to analyze under (see analyzer/Domain.h): "modes"
+  /// (the paper's mode/type/aliasing domain, default), "pos" (groundness
+  /// dependencies), or "det" (determinism facts). Unknown names are
+  /// rejected with the registered list; non-default domains require the
+  /// interned fast path (UseInterning).
+  std::string DomainName = "modes";
 };
 
 /// The paper-faithful seed configuration — naive restart loop over a
@@ -146,6 +154,11 @@ struct AnalysisResult {
   uint64_t Instructions = 0; ///< abstract WAM instructions executed (Exec)
   uint64_t TableProbes = 0;
   PerfCounters Counters;
+  /// The domain the analysis ran under (a static registry singleton;
+  /// always valid to keep). Null on results built outside the session
+  /// drivers (trace mode, baseline backend) — formatting falls back to
+  /// the default rendering then.
+  const Domain *Dom = nullptr;
 };
 
 /// Builds an entry calling pattern from per-argument simple kinds.

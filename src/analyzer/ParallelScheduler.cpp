@@ -188,7 +188,8 @@ struct ParallelScheduler::Worker {
   Worker(const ExtensionTable &Master, const CompiledProgram &Program,
          const AbsMachineOptions &Options)
       : Interner(Master.interner()
-                     ? std::make_unique<PatternInterner>(Options.DepthLimit)
+                     ? std::make_unique<PatternInterner>(Options.DepthLimit,
+                                                         Options.Dom)
                      : nullptr),
         Overlay(Master.impl(), Interner.get()),
         Machine(Program, Overlay, Options), Journal(*Program.Module) {

@@ -3,6 +3,7 @@
 #include "analyzer/PatternInterner.h"
 
 #include "absdom/AbsOps.h"
+#include "analyzer/Domain.h"
 
 #include <cassert>
 
@@ -11,6 +12,7 @@ using namespace awam;
 void PatternInterner::attachBase(const PatternInterner &B) {
   assert(Recs.empty() && "attachBase requires an empty overlay");
   assert(B.DepthLimit == DepthLimit && "lub results depend on the depth");
+  assert(B.Dom == Dom && "lub results depend on the domain");
   assert(!B.Base && "bases do not stack");
   assert(&B != this);
   Base = &B;
@@ -67,6 +69,11 @@ PatternId PatternInterner::intern(const PatternRef &P) {
 }
 
 PatternId PatternInterner::internNormalized(const Pattern &P) {
+  if (Dom) {
+    LubScratch S{Scratch, Ctx, CellOfBuf, RootsA, RootsB, CellArgs};
+    Dom->normalizeEntry(P, DepthLimit, S, PatBuf);
+    return intern(PatBuf);
+  }
   Scratch.reset();
   instantiate(Scratch, P, CellOfBuf, RootsA);
   CellArgs.clear();
@@ -100,6 +107,13 @@ PatternId PatternInterner::lub(PatternId A, PatternId B) {
     return Memo;
   }
   ++Stats.LubCacheMisses;
+  if (Dom) {
+    LubScratch S{Scratch, Ctx, CellOfBuf, RootsA, RootsB, CellArgs};
+    Dom->lubInto(pattern(A), pattern(B), DepthLimit, S, PatBuf);
+    PatternId R = intern(PatBuf);
+    LubMemo.insert(Key, R);
+    return R;
+  }
   // Pooled equivalent of lubPatterns: instantiate both sides into the
   // scratch store, lub cell-wise, re-canonicalize into the pooled result.
   Scratch.reset();

@@ -29,6 +29,8 @@
 
 namespace awam {
 
+class Domain;
+
 /// Dense identifier of an interned pattern. Two interned patterns are
 /// structurally equal iff their ids are equal.
 using PatternId = uint32_t;
@@ -152,8 +154,17 @@ struct InternerStats {
 /// speculation protocol, like the table overlay).
 class PatternInterner {
 public:
-  explicit PatternInterner(int DepthLimit = kDefaultDepthLimit)
-      : DepthLimit(DepthLimit) {}
+  /// \p Dom routes the lattice operations (lub misses, entry
+  /// normalization) through an abstract domain; null keeps the default
+  /// (modes) inline code — byte-identical to routing through the default
+  /// domain, whose hooks are that code.
+  explicit PatternInterner(int DepthLimit = kDefaultDepthLimit,
+                           const Domain *Dom = nullptr)
+      : DepthLimit(DepthLimit), Dom(Dom) {}
+
+  /// The domain this interner's lattice operations run under (null =
+  /// default inline path).
+  const Domain *domain() const { return Dom; }
 
   /// Turns this (empty) interner into an overlay of \p B (same depth
   /// limit required — lub results depend on it).
@@ -215,6 +226,8 @@ private:
   };
 
   int DepthLimit;
+  /// Lattice-operation provider; null = the default domain's inline code.
+  const Domain *Dom = nullptr;
   /// Overlay mode (see class comment): the shared read-only base and the
   /// size of its id space at the last resetOverlay. Local Recs hold ids
   /// BaseCount, BaseCount+1, ...

@@ -1,0 +1,56 @@
+//===- analyzer/PosDomain.h - Groundness-dependency domain ------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Pos-style groundness-dependency domain ("pos"): per argument, only
+/// ground (g) or unknown (any) — strictly coarser than the default domain's
+/// types — but success patterns additionally carry a *truth table* of the
+/// achievable groundness valuations, so dependencies between arguments
+/// survive ("the third argument of append/3 is ground whenever the first
+/// two are") where the default domain's per-argument view loses them.
+///
+/// Encoding: call patterns are plain root tuples over {GroundP, AnyP}.
+/// Success patterns of arity 1..kPosMaxTTArity append one extra *non-root*
+/// IntP node whose Num is the truth-table bitmask: bit v is set iff the
+/// valuation v is achievable, where bit i of v means "argument i+1 is
+/// ground on success". The engine's pattern machinery carries the node
+/// opaquely (equality/hash compare all nodes; instantiate builds cells from
+/// roots only, so the marker never leaks into the machine's heap), and the
+/// domain's lub joins truth tables by bitwise OR — an exact join of
+/// valuation sets.
+///
+/// Soundness of the dependency inference rests on the leaf view of machine
+/// cells (collectNongroundLeaves): a value is ground exactly when its
+/// nonground-leaf set is empty, and aliased values share leaves, so
+/// "grounding arguments I forces argument j ground" is decided by leaf-set
+/// inclusion, strengthened by the constraint stack of memoized summaries
+/// applied on the current path (PosRunState, rewound in lockstep with the
+/// machine trail).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_POSDOMAIN_H
+#define AWAM_ANALYZER_POSDOMAIN_H
+
+#include "analyzer/Domain.h"
+
+namespace awam {
+
+/// Largest arity that gets a groundness truth table (64 valuations fit one
+/// bitmask word; higher arities degrade to the root tuple alone, which is
+/// still sound — a missing table claims nothing).
+inline constexpr int kPosMaxTTArity = 6;
+
+/// True if \p P carries a truth-table marker node (success patterns of
+/// arity 1..kPosMaxTTArity under the pos domain).
+bool posPatternHasTT(const PatternRef &P);
+
+/// The truth-table bitmask of \p P; 0 if it carries none.
+uint64_t posPatternTT(const PatternRef &P);
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_POSDOMAIN_H

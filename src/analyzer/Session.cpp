@@ -2,6 +2,8 @@
 
 #include "analyzer/Session.h"
 
+#include "analyzer/Domain.h"
+
 #include <algorithm>
 
 using namespace awam;
@@ -72,6 +74,10 @@ Result<AnalysisStore *> AnalysisSession::ensureStore() {
   if (Options.Driver != DriverKind::Worklist || !Options.UseInterning)
     return makeError(
         "persistent sessions require the worklist driver with interning");
+  Result<const Domain *> D = resolveDomain(Options.DomainName);
+  if (!D)
+    return D.diag();
+  Dom = *D;
   PStore = std::make_unique<AnalysisStore>(*Program, Options);
   return PStore.get();
 }
@@ -141,18 +147,27 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
   LastEntry = Entry;
   HaveEntry = true;
 
+  Result<const Domain *> D = resolveDomain(Options.DomainName);
+  if (!D)
+    return D.diag();
+  if (*D != &defaultDomain() && !Options.UseInterning)
+    return makeError("abstract domain '" + Options.DomainName +
+                     "' requires the interned fast path (UseInterning)");
+  Dom = *D;
+
   // Fresh run state: each analyze() computes its fixpoint from scratch.
   Interner.reset();
   Scheduler.reset();
   ParSched.reset();
   IncSched.reset();
   if (Options.UseInterning)
-    Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
+    Interner = std::make_unique<PatternInterner>(Options.DepthLimit, Dom);
   Table = std::make_unique<ExtensionTable>(Options.TableImpl,
                                            Interner.get());
   AbsMachineOptions MachineOptions;
   MachineOptions.DepthLimit = Options.DepthLimit;
   MachineOptions.MaxSteps = Options.MaxSteps;
+  MachineOptions.Dom = Dom;
   Machine = std::make_unique<AbstractMachine>(*Program, *Table,
                                               MachineOptions);
   // Trace recording is a worklist-protocol feature (runActivation); the
@@ -311,17 +326,25 @@ AnalysisSession::reanalyzeCompiled(const std::vector<PredSig> &Edited,
 
   // Fresh run state, exactly as analyzeCompiled builds it: replay
   // validation reconstructs everything the edit left valid.
+  Result<const Domain *> D = resolveDomain(Options.DomainName);
+  if (!D)
+    return D.diag();
+  if (*D != &defaultDomain() && !Options.UseInterning)
+    return makeError("abstract domain '" + Options.DomainName +
+                     "' requires the interned fast path (UseInterning)");
+  Dom = *D;
   Interner.reset();
   Scheduler.reset();
   ParSched.reset();
   IncSched.reset();
   if (Options.UseInterning)
-    Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
+    Interner = std::make_unique<PatternInterner>(Options.DepthLimit, Dom);
   Table = std::make_unique<ExtensionTable>(Options.TableImpl,
                                            Interner.get());
   AbsMachineOptions MachineOptions;
   MachineOptions.DepthLimit = Options.DepthLimit;
   MachineOptions.MaxSteps = Options.MaxSteps;
+  MachineOptions.Dom = Dom;
   Machine = std::make_unique<AbstractMachine>(*Program, *Table,
                                               MachineOptions);
   Journal = std::make_unique<RunJournal>(M);
@@ -379,4 +402,5 @@ void AnalysisSession::finishResult(AnalysisResult &R) {
   for (const ETEntry &E : Table->entries())
     R.Items.push_back(
         {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
+  R.Dom = Dom;
 }

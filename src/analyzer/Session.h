@@ -160,6 +160,10 @@ private:
   const CompiledProgram *Program = nullptr;
   std::unique_ptr<Backend> Custom;
   AnalyzerOptions Options;
+  /// The abstract domain AnalyzerOptions::DomainName resolved to (a static
+  /// registry singleton; see analyzer/Domain.h). Set per analyze() call —
+  /// null before the first run or on a custom backend.
+  const Domain *Dom = nullptr;
 
   // Rebuilt per analyze() call; kept alive for post-run inspection.
   std::unique_ptr<PatternInterner> Interner;

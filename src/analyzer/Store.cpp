@@ -3,6 +3,7 @@
 #include "analyzer/Store.h"
 
 #include "analyzer/AbstractMachine.h"
+#include "analyzer/Domain.h"
 
 #include <algorithm>
 #include <cassert>
@@ -18,13 +19,16 @@ AnalysisStore::AnalysisStore(const CompiledProgram &Program,
   // normalize here so a directly constructed store is well-formed too.
   this->Options.Driver = DriverKind::Worklist;
   this->Options.UseInterning = true;
+  Dom = findDomain(this->Options.DomainName);
+  if (!Dom)
+    Dom = &defaultDomain();
   resetState();
 }
 
 AnalysisStore::~AnalysisStore() = default;
 
 void AnalysisStore::resetState() {
-  Interner = std::make_unique<PatternInterner>(Options.DepthLimit);
+  Interner = std::make_unique<PatternInterner>(Options.DepthLimit, Dom);
   Table = std::make_unique<ExtensionTable>(Options.TableImpl,
                                            Interner.get());
   Core = SchedulerCore();
@@ -93,6 +97,7 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
   AbsMachineOptions MachineOptions;
   MachineOptions.DepthLimit = Options.DepthLimit;
   MachineOptions.MaxSteps = Options.MaxSteps;
+  MachineOptions.Dom = Dom;
   AbstractMachine Machine(*Program, QTable, MachineOptions);
   auto OutJournal = std::make_unique<RunJournal>(M);
   Machine.setRunJournal(OutJournal.get());
@@ -201,6 +206,7 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
   for (const ETEntry &E : QTable.entries())
     R.Items.push_back(
         {E.PredId, M.predicateLabel(E.PredId), E.Call, E.Success});
+  R.Dom = Dom;
 
   // Only a converged fixpoint merges: a budget-hit table is a sound
   // partial answer for *this* query but not a reusable memo.

@@ -192,6 +192,10 @@ private:
 
   const CompiledProgram *Program;
   AnalyzerOptions Options;
+  /// The abstract domain Options.DomainName resolved to (falls back to the
+  /// default domain on unknown names — AnalysisSession validates the name
+  /// with a descriptive error before constructing a store).
+  const Domain *Dom = nullptr;
   std::unique_ptr<PatternInterner> Interner;
   std::unique_ptr<ExtensionTable> Table;
   /// Accumulated dependency edges of every merged query, on store entry
