@@ -1,100 +1,60 @@
-//===- examples/analyze_server.cpp - Persistent analysis server -----------===//
+//===- examples/analyze_server.cpp - Multi-tenant analysis service --------===//
 //
-// A line-oriented analysis service over the persistent store: load a
-// program once, then answer any number of entry-goal queries against one
-// warm AnalysisStore. Commands on stdin, one per line; results on stdout,
-// prompts and errors on stderr — so piping a command script through the
-// server yields a clean, diffable transcript (the CI smoke does exactly
-// that).
+// The line-oriented transport over analyzer/Server.h: a concurrent
+// multi-tenant analysis service speaking the load / entry / batch / edit /
+// domain / modes / dump / stats verb protocol. Two modes:
+//
+//  * Plain (default): the classic single-client REPL. Commands on stdin,
+//    one per line; results on stdout, prompts and messages on stderr — so
+//    piping a command script through the server yields a clean, diffable
+//    transcript (the CI smoke does exactly that, and the CI server-hammer
+//    job uses plain-mode transcripts as its byte-identity reference).
+//
+//  * Framed (--clients N): multiplexes N independent clients over one
+//    stdin/stdout pair. Each input line is `<cid> <command>` with cid in
+//    [0, N); requests of different clients run concurrently on the worker
+//    pool (per-client order is preserved), and every response line is
+//    prefixed `[<cid>] ` on its stream — so per-client transcripts can be
+//    sliced back out (sed 's/^\[3\] //') and diffed against a plain-mode
+//    run of that client's script alone. Byte-identity of those slices at
+//    every worker count is the concurrency contract.
 //
 //   analyze_server [--threads N] [--spec-batch-min N] [--spec-batch-max N]
-//                  [--warm-threads N]
+//                  [--warm-threads N] [--workers N] [--max-store-bytes N]
+//                  [--clients N]
 //
-// The flags configure every store the server creates: driver threads for
-// cold queries, the adaptive speculation batch bounds of the parallel
-// driver, and the warm-drain thread count for replay validation (0 =
-// follow --threads). Results are byte-identical at every setting; only
-// speculation effectiveness varies.
-//
-//   load (<file.pl> | bench:<name>)   compile and select a program
-//   entry SPEC                        analyze, e.g. entry qsort(glist,var,var)
-//   batch SPEC; SPEC; ...             several entries, all validated first
-//   edit NAME/ARITY                   mark a predicate edited; re-analyze
-//                                     the last entry incrementally
-//   domain [NAME]                     switch the abstract domain (no
-//                                     operand: print current + registered);
-//                                     the loaded program re-selects its
-//                                     per-domain store
-//   modes                             toggle mode report vs pattern table
-//   dump                              canonical per-root store projection
-//   stats                             cumulative store statistics
-//   help, quit
+// --threads / --spec-batch-* / --warm-threads configure every store the
+// server creates (cold-drain parallelism, speculation batch bounds, warm
+// replay-validation threads). --workers sizes the request worker pool;
+// --max-store-bytes bounds total store memory by LRU eviction (0 =
+// unbounded). Results are byte-identical at every setting.
 //
 // Loaded programs are keyed by CodeModule::fingerprint() *and* the active
-// abstract domain: re-loading a module whose compiled code is semantically
-// identical (same predicates, same clause code) under the same domain
-// switches back to the existing warm store instead of starting cold, so a
-// client that round-trips an unchanged file keeps all of its memoized
-// summaries — while summaries of different domains (whose pattern
-// encodings are incompatible) never mix.
+// abstract domain, shared across clients: two clients loading the same
+// module under the same domain share one warm store (writers serialized,
+// repeat reads served from the response cache, duplicate in-flight
+// queries coalesced — see analyzer/Server.h).
 //
 //===----------------------------------------------------------------------===//
 
-#include "analyzer/Domain.h"
-#include "analyzer/Session.h"
+#include "analyzer/Server.h"
 #include "programs/Benchmarks.h"
 
 #include <cerrno>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <limits>
 #include <iostream>
-#include <map>
-#include <memory>
+#include <limits>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace awam;
 
 namespace {
-
-/// Driver configuration shared by every store the server creates, set
-/// once from argv (see the file comment).
-AnalyzerOptions ServerOptions;
-
-/// One loaded program and its warm analysis state, under one abstract
-/// domain. The symbol table and arena live here because the compiled
-/// program borrows both; Source is kept so a `domain` switch can rebuild
-/// the same program into a sibling per-domain workspace.
-struct Workspace {
-  std::string Label;
-  std::string Source;
-  SymbolTable Syms;
-  TermArena Arena;
-  Result<CompiledProgram> Program = makeError("unloaded");
-  std::unique_ptr<AnalysisSession> Session;
-};
-
-/// Compiles \p Source into a fresh workspace under \p DomainName; null +
-/// stderr message on parse/compile errors.
-std::unique_ptr<Workspace> compileWorkspace(const std::string &Source,
-                                            std::string Label,
-                                            const std::string &DomainName) {
-  auto W = std::make_unique<Workspace>();
-  W->Label = std::move(Label);
-  W->Source = Source;
-  W->Program = compileSource(Source, W->Syms, W->Arena);
-  if (!W->Program) {
-    std::fprintf(stderr, "error: %s\n", W->Program.diag().str().c_str());
-    return nullptr;
-  }
-  AnalyzerOptions Options = ServerOptions;
-  Options.Persistent = true;
-  Options.DomainName = DomainName;
-  W->Session = std::make_unique<AnalysisSession>(*W->Program, Options);
-  return W;
-}
 
 /// Parses \p Text as an integer in [\p Min, INT_MAX] (the analyze_file
 /// parseIntArg contract).
@@ -109,313 +69,164 @@ bool parseIntArg(const char *Text, int Min, int &Out) {
   return true;
 }
 
-/// Parses a NAME/ARITY operand (shared with analyze_file's --edit).
-bool parseSig(std::string_view S, PredSig &Out) {
-  size_t Slash = S.rfind('/');
-  if (Slash == std::string_view::npos || Slash == 0)
-    return false;
-  int Arity = 0;
-  for (char C : S.substr(Slash + 1)) {
-    if (C < '0' || C > '9')
+/// `load` operand resolution: bench:<name> from the built-in benchmark
+/// programs, anything else as a file path.
+bool loadSource(const std::string &Spec, std::string &Source,
+                std::string &Err) {
+  if (Spec.starts_with("bench:")) {
+    const BenchmarkProgram *B = findBenchmark(Spec.substr(6));
+    if (!B) {
+      Err = "unknown benchmark '" + Spec.substr(6) + "'\n";
       return false;
-    Arity = Arity * 10 + (C - '0');
+    }
+    Source = B->Source;
+    return true;
   }
-  if (Slash + 1 == S.size())
+  std::ifstream In(Spec);
+  if (!In) {
+    Err = "cannot open " + Spec + "\n";
     return false;
-  Out.Name = std::string(S.substr(0, Slash));
-  Out.Arity = Arity;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Source = Buf.str();
   return true;
 }
 
-std::string trim(std::string_view S) {
-  size_t B = S.find_first_not_of(" \t\r");
-  if (B == std::string_view::npos)
-    return "";
-  size_t E = S.find_last_not_of(" \t\r");
-  return std::string(S.substr(B, E - B + 1));
+/// Writes \p Text to \p Stream with every line prefixed "[<cid>] " (framed
+/// mode). A trailing unterminated fragment keeps its missing newline.
+void putFramed(std::FILE *Stream, int Cid, const std::string &Text) {
+  size_t B = 0;
+  while (B < Text.size()) {
+    size_t E = Text.find('\n', B);
+    bool Terminated = E != std::string::npos;
+    size_t Len = (Terminated ? E : Text.size()) - B;
+    std::fprintf(Stream, "[%d] %.*s%s", Cid, static_cast<int>(Len),
+                 Text.data() + B, Terminated ? "\n" : "");
+    B = Terminated ? E + 1 : Text.size();
+  }
 }
 
-void help() {
-  std::fprintf(stderr,
-               "commands:\n"
-               "  load (<file.pl> | bench:<name>)\n"
-               "  entry SPEC          e.g. entry qsort(glist, var, var)\n"
-               "  batch SPEC; SPEC    several entries through the warm store\n"
-               "  edit NAME/ARITY     incremental re-analysis after an edit\n"
-               "  domain [NAME]       switch abstract domain (or show it)\n"
-               "  modes               toggle mode report / pattern table\n"
-               "  dump                canonical per-root store projection\n"
-               "  stats               cumulative store statistics\n"
-               "  help, quit\n");
+int runPlain(AnalysisServer &Server) {
+  int Client = Server.openClient();
+  std::string Line;
+  while (std::fputs("awam> ", stderr), std::fflush(stderr),
+         std::getline(std::cin, Line)) {
+    AnalysisServer::Response R = Server.execute(Client, Line);
+    if (!R.Err.empty())
+      std::fputs(R.Err.c_str(), stderr);
+    if (!R.Out.empty()) {
+      std::fputs(R.Out.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (R.Quit)
+      break;
+  }
+  return 0;
+}
+
+int runFramed(AnalysisServer &Server, int NumClients) {
+  std::vector<int> Clients(static_cast<size_t>(NumClients));
+  for (int I = 0; I != NumClients; ++I)
+    Clients[static_cast<size_t>(I)] = Server.openClient();
+
+  // Responses print atomically under one lock, in per-client completion
+  // order (the server serializes each client's requests); Outstanding
+  // gates exit so EOF still drains every in-flight request.
+  std::mutex OutMu;
+  std::condition_variable OutCV;
+  int Outstanding = 0;
+
+  std::string Line;
+  while (std::getline(std::cin, Line)) {
+    size_t Sp = Line.find(' ');
+    std::string CidText = Line.substr(0, Sp);
+    int Cid = -1;
+    if (!parseIntArg(CidText.c_str(), 0, Cid) || Cid >= NumClients) {
+      std::fprintf(stderr, "bad client id '%s' (expected 0..%d)\n",
+                   CidText.c_str(), NumClients - 1);
+      continue;
+    }
+    std::string Cmd = Sp == std::string::npos ? "" : Line.substr(Sp + 1);
+    {
+      std::lock_guard<std::mutex> L(OutMu);
+      ++Outstanding;
+    }
+    Server.submit(Clients[static_cast<size_t>(Cid)], Cmd,
+                  [&, Cid](const AnalysisServer::Response &R) {
+                    std::lock_guard<std::mutex> L(OutMu);
+                    putFramed(stderr, Cid, R.Err);
+                    putFramed(stdout, Cid, R.Out);
+                    std::fflush(stdout);
+                    std::fflush(stderr);
+                    --Outstanding;
+                    OutCV.notify_all();
+                  });
+  }
+  std::unique_lock<std::mutex> L(OutMu);
+  OutCV.wait(L, [&] { return Outstanding == 0; });
+  return 0;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
+  AnalysisServer::Config Cfg;
+  Cfg.LoadSource = loadSource;
+  int NumClients = 0;
+  int MaxStoreBytes = -1;
   for (int I = 1; I < argc; ++I) {
     std::string_view Arg = argv[I];
     bool Ok = false;
     if (Arg == "--threads" && I + 1 < argc) {
-      if (!(Ok = parseIntArg(argv[++I], 1, ServerOptions.NumThreads)))
+      if (!(Ok = parseIntArg(argv[++I], 1, Cfg.Options.NumThreads)))
         std::fprintf(stderr, "bad --threads '%s': expected an integer >= 1\n",
                      argv[I]);
     } else if (Arg == "--spec-batch-min" && I + 1 < argc) {
-      if (!(Ok = parseIntArg(argv[++I], 1, ServerOptions.SpecBatchMin)))
+      if (!(Ok = parseIntArg(argv[++I], 1, Cfg.Options.SpecBatchMin)))
         std::fprintf(stderr,
                      "bad --spec-batch-min '%s': expected an integer >= 1\n",
                      argv[I]);
     } else if (Arg == "--spec-batch-max" && I + 1 < argc) {
-      if (!(Ok = parseIntArg(argv[++I], 1, ServerOptions.SpecBatchMax)))
+      if (!(Ok = parseIntArg(argv[++I], 1, Cfg.Options.SpecBatchMax)))
         std::fprintf(stderr,
                      "bad --spec-batch-max '%s': expected an integer >= 1\n",
                      argv[I]);
     } else if (Arg == "--warm-threads" && I + 1 < argc) {
-      if (!(Ok = parseIntArg(argv[++I], 0, ServerOptions.WarmThreads)))
+      if (!(Ok = parseIntArg(argv[++I], 0, Cfg.Options.WarmThreads)))
         std::fprintf(stderr,
                      "bad --warm-threads '%s': expected an integer >= 0\n",
+                     argv[I]);
+    } else if (Arg == "--workers" && I + 1 < argc) {
+      if (!(Ok = parseIntArg(argv[++I], 1, Cfg.Workers)))
+        std::fprintf(stderr, "bad --workers '%s': expected an integer >= 1\n",
+                     argv[I]);
+    } else if (Arg == "--max-store-bytes" && I + 1 < argc) {
+      if (!(Ok = parseIntArg(argv[++I], 0, MaxStoreBytes)))
+        std::fprintf(
+            stderr,
+            "bad --max-store-bytes '%s': expected an integer >= 0\n",
+            argv[I]);
+    } else if (Arg == "--clients" && I + 1 < argc) {
+      if (!(Ok = parseIntArg(argv[++I], 1, NumClients)))
+        std::fprintf(stderr, "bad --clients '%s': expected an integer >= 1\n",
                      argv[I]);
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
     }
     if (!Ok) {
-      std::fprintf(stderr,
-                   "usage: analyze_server [--threads N] [--spec-batch-min N] "
-                   "[--spec-batch-max N]\n                      "
-                   "[--warm-threads N]\n");
+      std::fprintf(
+          stderr,
+          "usage: analyze_server [--threads N] [--spec-batch-min N] "
+          "[--spec-batch-max N]\n                      [--warm-threads N] "
+          "[--workers N] [--max-store-bytes N]\n                      "
+          "[--clients N]\n");
       return 2;
     }
   }
+  if (MaxStoreBytes >= 0)
+    Cfg.MaxStoreBytes = static_cast<uint64_t>(MaxStoreBytes);
 
-  // Warm stores keyed by (module fingerprint, domain name); Current points
-  // into the map. One program analyzed under two domains gets two
-  // independent warm stores — their pattern encodings are incompatible.
-  std::map<std::pair<uint64_t, std::string>, std::unique_ptr<Workspace>>
-      Stores;
-  Workspace *Current = nullptr;
-  bool ShowModes = false;
-  std::string DomainName = "modes";
-
-  // Compiles (or re-selects) the workspace for a source under the active
-  // domain and makes it current. The label is what the user typed after
-  // `load`, reused verbatim on domain switches.
-  auto selectWorkspace = [&](const std::string &Source,
-                             const std::string &Label) {
-    std::unique_ptr<Workspace> W =
-        compileWorkspace(Source, Label, DomainName);
-    if (!W)
-      return;
-    std::pair<uint64_t, std::string> Key{W->Program->Module->fingerprint(),
-                                         DomainName};
-    auto It = Stores.find(Key);
-    if (It != Stores.end()) {
-      // Semantically identical module already loaded under this domain:
-      // keep its warm store (and all memoized summaries), drop the fresh
-      // compile.
-      Current = It->second.get();
-      std::fprintf(stderr,
-                   "reusing warm store for %s (loaded as %s, domain %s)\n",
-                   Label.c_str(), Current->Label.c_str(),
-                   DomainName.c_str());
-    } else {
-      Current = W.get();
-      Stores.emplace(std::move(Key), std::move(W));
-      std::fprintf(stderr, "loaded %s\n", Label.c_str());
-    }
-  };
-
-  std::string Line;
-  while (std::fputs("awam> ", stderr), std::fflush(stderr),
-         std::getline(std::cin, Line)) {
-    std::string Cmd = trim(Line);
-    if (Cmd.empty() || Cmd[0] == '#')
-      continue;
-    size_t Sp = Cmd.find(' ');
-    std::string Verb = Cmd.substr(0, Sp);
-    std::string Rest = Sp == std::string::npos ? "" : trim(Cmd.substr(Sp + 1));
-
-    if (Verb == "quit" || Verb == "exit")
-      break;
-    if (Verb == "help") {
-      help();
-      continue;
-    }
-    if (Verb == "modes") {
-      ShowModes = !ShowModes;
-      std::fprintf(stderr, "report: %s\n",
-                   ShowModes ? "modes" : "patterns");
-      continue;
-    }
-    if (Verb == "load") {
-      if (Rest.empty()) {
-        std::fprintf(stderr, "load what? (load <file.pl> | load bench:<name>)\n");
-        continue;
-      }
-      std::string Source;
-      if (Rest.starts_with("bench:")) {
-        const BenchmarkProgram *B = findBenchmark(Rest.substr(6));
-        if (!B) {
-          std::fprintf(stderr, "unknown benchmark '%s'\n", Rest.c_str() + 6);
-          continue;
-        }
-        Source = B->Source;
-      } else {
-        std::ifstream In(Rest);
-        if (!In) {
-          std::fprintf(stderr, "cannot open %s\n", Rest.c_str());
-          continue;
-        }
-        std::ostringstream Buf;
-        Buf << In.rdbuf();
-        Source = Buf.str();
-      }
-      selectWorkspace(Source, Rest);
-      continue;
-    }
-    if (Verb == "domain") {
-      if (Rest.empty()) {
-        std::fprintf(stderr, "domain: %s (registered: %s)\n",
-                     DomainName.c_str(), registeredDomainNames().c_str());
-        continue;
-      }
-      Result<const Domain *> D = resolveDomain(Rest);
-      if (!D) {
-        std::fprintf(stderr, "%s\n", D.diag().str().c_str());
-        continue;
-      }
-      DomainName = Rest;
-      std::fprintf(stderr, "domain: %s\n", DomainName.c_str());
-      // Re-select the loaded program under the new domain (its per-domain
-      // store stays warm across switches).
-      if (Current)
-        selectWorkspace(Current->Source, Current->Label);
-      continue;
-    }
-
-    // Every remaining command needs a loaded program.
-    if (!Current) {
-      std::fprintf(stderr, "no program loaded (try: load bench:qsort)\n");
-      continue;
-    }
-
-    if (Verb == "entry" || Verb == "edit") {
-      Result<AnalysisResult> R = makeError("unreachable");
-      if (Verb == "entry") {
-        if (Rest.empty()) {
-          std::fprintf(stderr, "entry what? (entry qsort(glist, var, var))\n");
-          continue;
-        }
-        R = Current->Session->analyze(Rest);
-      } else {
-        PredSig Sig;
-        if (!parseSig(Rest, Sig)) {
-          std::fprintf(stderr, "bad edit '%s': expected name/arity\n",
-                       Rest.c_str());
-          continue;
-        }
-        R = Current->Session->reanalyze({Sig});
-      }
-      if (!R) {
-        std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());
-        continue;
-      }
-      std::fputs((ShowModes ? formatModes(*R, Current->Syms)
-                            : formatAnalysis(*R, Current->Syms))
-                     .c_str(),
-                 stdout);
-      if (R->Dom)
-        std::fputs(R->Dom->formatFacts(*R, *Current->Program).c_str(),
-                   stdout);
-      std::fflush(stdout);
-      continue;
-    }
-    if (Verb == "batch") {
-      std::vector<std::string> Specs;
-      std::stringstream SS(Rest);
-      std::string Part;
-      while (std::getline(SS, Part, ';')) {
-        Part = trim(Part);
-        if (!Part.empty())
-          Specs.push_back(Part);
-      }
-      if (Specs.empty()) {
-        std::fprintf(stderr, "batch what? (batch main; app(glist, var, var))\n");
-        continue;
-      }
-      Result<std::vector<AnalysisResult>> Batch =
-          Current->Session->analyzeBatch(Specs);
-      if (!Batch) {
-        std::fprintf(stderr, "analysis error: %s\n",
-                     Batch.diag().str().c_str());
-        continue;
-      }
-      for (size_t I = 0; I != Specs.size(); ++I) {
-        std::printf("== entry %s ==\n", Specs[I].c_str());
-        std::fputs((ShowModes ? formatModes((*Batch)[I], Current->Syms)
-                              : formatAnalysis((*Batch)[I], Current->Syms))
-                       .c_str(),
-                   stdout);
-        if ((*Batch)[I].Dom)
-          std::fputs(
-              (*Batch)[I].Dom->formatFacts((*Batch)[I], *Current->Program)
-                  .c_str(),
-              stdout);
-      }
-      std::fflush(stdout);
-      continue;
-    }
-    if (Verb == "dump") {
-      const AnalysisStore *S = Current->Session->store();
-      if (!S) {
-        std::fprintf(stderr, "no store yet (run an entry first)\n");
-        continue;
-      }
-      std::string D = S->canonicalDump(Current->Syms);
-      std::fputs(D.c_str(), stdout);
-      if (!D.empty() && D.back() != '\n')
-        std::fputs("\n", stdout);
-      std::fflush(stdout);
-      continue;
-    }
-    if (Verb == "stats") {
-      const AnalysisStore *S = Current->Session->store();
-      if (!S) {
-        std::fprintf(stderr, "no store yet (run an entry first)\n");
-        continue;
-      }
-      const AnalysisStore::Stats &St = S->stats();
-      std::printf("queries: %llu (cache hits %llu, cold %llu, warm %llu)\n"
-                  "runs: %llu replayed, %llu executed; activations: %llu "
-                  "replayed, %llu executed\n"
-                  "warm drains: %llu batches, %llu spec replays (%llu "
-                  "committed, %llu discarded), %llu critical units\n"
-                  "store: %llu roots, %llu entries (%llu new, %llu shared)\n"
-                  "reanalyses: %llu (roots invalidated %llu, entries "
-                  "invalidated %llu, last cone %llu)\n",
-                  (unsigned long long)St.Queries,
-                  (unsigned long long)St.CacheHits,
-                  (unsigned long long)St.ColdQueries,
-                  (unsigned long long)St.WarmQueries,
-                  (unsigned long long)St.ReplayedRuns,
-                  (unsigned long long)St.ExecutedRuns,
-                  (unsigned long long)St.ReplayedActivations,
-                  (unsigned long long)St.ExecutedActivations,
-                  (unsigned long long)St.WarmReplayBatches,
-                  (unsigned long long)St.WarmSpecReplays,
-                  (unsigned long long)St.WarmSpecCommitted,
-                  (unsigned long long)St.WarmSpecDiscarded,
-                  (unsigned long long)St.WarmCriticalUnits,
-                  (unsigned long long)S->numRoots(),
-                  (unsigned long long)S->table().size(),
-                  (unsigned long long)St.NewEntries,
-                  (unsigned long long)St.SharedEntries,
-                  (unsigned long long)St.Reanalyses,
-                  (unsigned long long)St.InvalidatedRoots,
-                  (unsigned long long)St.InvalidatedEntries,
-                  (unsigned long long)St.LastConeEntries);
-      std::fflush(stdout);
-      continue;
-    }
-    std::fprintf(stderr, "unknown command '%s' (try: help)\n", Verb.c_str());
-  }
-  return 0;
+  AnalysisServer Server(Cfg);
+  return NumClients > 0 ? runFramed(Server, NumClients) : runPlain(Server);
 }

@@ -226,6 +226,28 @@ public:
     return *slotAt(Pos);
   }
 
+  /// Approximate heap bytes this table holds: owned entries (including
+  /// their pattern payloads and root tags), the page spine, and the lookup
+  /// indexes. The table term of the store eviction accounting
+  /// (analyzer/Server.h); shared base pages of an overlay are the base's
+  /// to count.
+  size_t bytesUsed() const {
+    size_t B = Pages.capacity() * sizeof(std::shared_ptr<Page>) +
+               CreatedSlots.capacity() * sizeof(ETEntry *) +
+               IdIndex.bytesUsed() + StructIndex.bytesUsed();
+    for (const ETEntry &E : Owned) {
+      B += sizeof(ETEntry) + patternHeapBytes(E.Call) +
+           (E.Success ? patternHeapBytes(*E.Success) : 0) +
+           E.Roots.capacity() * sizeof(int32_t);
+      // One page exists per kPageSize owned entries (plus clones, already
+      // rare); charge it amortized per entry.
+      B += sizeof(Page) / kPageSize;
+    }
+    for (const auto &[H, Cands] : Index)
+      B += sizeof(H) + Cands.capacity() * sizeof(uint32_t);
+    return B;
+  }
+
   /// Number of lookup probes performed (ablation metric; see file comment
   /// for the per-variant definition). Under the parallel driver the count
   /// is approximate: committed speculations charge their overlay probes

@@ -93,6 +93,16 @@ struct Pattern {
   std::string str(const SymbolTable &Syms) const;
 };
 
+/// Heap bytes held by \p P's three vectors (capacity, not size — what the
+/// allocator actually carved out). The memory-accounting unit of the
+/// store/server eviction machinery; excludes sizeof(Pattern) itself, which
+/// the owning aggregate counts.
+inline size_t patternHeapBytes(const Pattern &P) {
+  return P.Nodes.capacity() * sizeof(PatNode) +
+         P.ChildStore.capacity() * sizeof(int32_t) +
+         P.Roots.capacity() * sizeof(int32_t);
+}
+
 /// A non-owning view of a pattern: the interner hands these out for its
 /// arena-backed storage, and the structural algorithms (equality, hash,
 /// instantiate) run on views so Pattern and arena storage share one

@@ -84,6 +84,12 @@ public:
 
   size_t size() const { return Count; }
 
+  /// Heap bytes held by the two flat arrays (eviction accounting).
+  size_t bytesUsed() const {
+    return Keys.capacity() * sizeof(uint64_t) +
+           Vals.capacity() * sizeof(uint32_t);
+  }
+
   /// Drops every entry, releasing the storage (overlay tables rebuild
   /// their indexes from scratch each speculation).
   void clear() {
@@ -206,6 +212,18 @@ public:
   /// Number of distinct patterns interned so far (shared base ids
   /// included on overlays).
   size_t size() const { return BaseCount + Recs.size(); }
+
+  /// Approximate heap bytes this interner holds: the three pattern arenas,
+  /// the record table, and the hash/memo maps. Shared base storage is the
+  /// base's to count, not the overlay's. This is the interner term of the
+  /// store eviction accounting (analyzer/Server.h).
+  size_t bytesUsed() const {
+    return Recs.capacity() * sizeof(Rec) +
+           ArenaNodes.capacity() * sizeof(PatNode) +
+           ArenaChildren.capacity() * sizeof(int32_t) +
+           ArenaRoots.capacity() * sizeof(int32_t) + Buckets.bytesUsed() +
+           LubMemo.bytesUsed() + LeqMemo.bytesUsed();
+  }
 
   /// Memoized least upper bound. The underlying computation is
   /// lubPatterns; the memo key is the (commutative) id pair.

@@ -37,6 +37,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -75,6 +76,20 @@ struct RunTrace {
   uint64_t Activations = 0; ///< clause-list explorations (root + Enters)
   bool Error = false;       ///< errored or unbalanced; never replayable
 };
+
+/// Approximate heap bytes of one trace: the op vector plus every pattern
+/// payload it carries. Traces are shared across journals by handle, so
+/// aggregate accounting must deduplicate by trace address (see
+/// AnalysisStore::bytesUsed).
+inline size_t traceHeapBytes(const RunTrace &T) {
+  size_t B = sizeof(RunTrace) + T.Ops.capacity() * sizeof(TraceOp) +
+             patternHeapBytes(T.Call) +
+             (T.PreSuccess ? patternHeapBytes(*T.PreSuccess) : 0);
+  for (const TraceOp &Op : T.Ops)
+    B += patternHeapBytes(Op.Call) +
+         (Op.Summary ? patternHeapBytes(*Op.Summary) : 0);
+  return B;
+}
 
 /// The trace log of one analysis run, in activation commit order. Owns
 /// shared handles so replayed traces carry over to the next journal
@@ -202,6 +217,19 @@ public:
 
   const std::vector<std::shared_ptr<const RunTrace>> &runs() const {
     return Runs;
+  }
+
+  /// Heap bytes of this journal's handle vector and sig map, plus every
+  /// referenced trace whose address is new to \p Seen. Traces are shared
+  /// across journals by handle; threading one seen-set through a group of
+  /// journals counts each trace object exactly once.
+  size_t bytesUsed(std::unordered_set<const RunTrace *> &Seen) const {
+    size_t B = Runs.capacity() * sizeof(std::shared_ptr<const RunTrace>) +
+               Sigs.size() * (sizeof(int32_t) + sizeof(PredSig));
+    for (const std::shared_ptr<const RunTrace> &T : Runs)
+      if (Seen.insert(T.get()).second)
+        B += traceHeapBytes(*T);
+    return B;
   }
 
   /// PredId -> (name, arity) for every id appearing in stored traces.

@@ -1,0 +1,726 @@
+//===- analyzer/Server.cpp - Concurrent multi-tenant analysis service -----===//
+
+#include "analyzer/Server.h"
+
+#include "analyzer/Domain.h"
+#include "compiler/ProgramCompiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace awam;
+
+namespace {
+
+std::string trim(std::string_view S) {
+  size_t B = S.find_first_not_of(" \t\r");
+  if (B == std::string_view::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t\r");
+  return std::string(S.substr(B, E - B + 1));
+}
+
+/// Parses a NAME/ARITY operand (the analyze_file --edit contract).
+bool parseSig(std::string_view S, PredSig &Out) {
+  size_t Slash = S.rfind('/');
+  if (Slash == std::string_view::npos || Slash == 0)
+    return false;
+  int Arity = 0;
+  for (char C : S.substr(Slash + 1)) {
+    if (C < '0' || C > '9')
+      return false;
+    Arity = Arity * 10 + (C - '0');
+  }
+  if (Slash + 1 == S.size())
+    return false;
+  Out.Name = std::string(S.substr(0, Slash));
+  Out.Arity = Arity;
+  return true;
+}
+
+constexpr const char *kHelpText =
+    "commands:\n"
+    "  load (<file.pl> | bench:<name>)\n"
+    "  entry SPEC          e.g. entry qsort(glist, var, var)\n"
+    "  batch SPEC; SPEC    several entries through the warm store\n"
+    "  edit NAME/ARITY     incremental re-analysis after an edit\n"
+    "  domain [NAME]       switch abstract domain (or show it)\n"
+    "  modes               toggle mode report / pattern table\n"
+    "  dump                canonical per-root store projection\n"
+    "  stats               cumulative store statistics\n"
+    "  help, quit\n";
+
+} // namespace
+
+/// One coalesced in-flight query: followers wait here for the leader's
+/// response bytes.
+struct AnalysisServer::Pending {
+  std::mutex M;
+  std::condition_variable CV;
+  bool Ready = false;
+  Response R;
+};
+
+/// One (module fingerprint, abstract domain) tenancy. The compile
+/// artifacts (symbols, arena, program) live for the server's lifetime;
+/// the analysis state (Session and its store) is what eviction drops and
+/// a later touch re-warms.
+struct AnalysisServer::StoreSlot {
+  uint64_t Fp = 0;
+  std::string DomainName;
+  std::string Label; ///< operand of the first load (reuse messages cite it)
+  std::string Source;
+  std::unique_ptr<SymbolTable> Syms;
+  std::unique_ptr<TermArena> Arena;
+  Result<CompiledProgram> Program = makeError("unloaded");
+
+  /// Writer lock: drains and edits are exclusive, dump/deep-stats shared.
+  std::shared_mutex Mu;
+  /// Guards RespCache and InFlight only — never held across a drain.
+  std::mutex CacheMu;
+  /// Response bytes of successful entry/batch requests, keyed by (report
+  /// toggle, verb, spec text). Valid until the next edit of this slot.
+  std::unordered_map<std::string, std::string> RespCache;
+  std::unordered_map<std::string, std::shared_ptr<Pending>> InFlight;
+
+  /// Null while evicted (guarded by Mu).
+  std::unique_ptr<AnalysisSession> Session;
+  bool WasEvicted = false; ///< guarded by Mu
+  std::atomic<bool> Live{false};
+  std::atomic<uint64_t> LastTouch{0};
+  std::atomic<uint64_t> Bytes{0};
+  std::atomic<uint64_t> Hits{0}, Drains{0}, Evictions{0}, Rewarms{0};
+};
+
+struct AnalysisServer::QueuedReq {
+  std::string Line;
+  std::function<void(const Response &)> Done;
+};
+
+struct AnalysisServer::ClientState {
+  int Id = 0;
+  bool Open = true;   ///< guarded by GM
+  bool Active = false; ///< a worker is on this client (guarded by GM)
+  std::deque<QueuedReq> Queue; ///< guarded by GM
+  // The fields below are only touched by the worker currently active on
+  // this client (Active excludes a second one), so they need no lock.
+  StoreSlot *Cursor = nullptr;
+  std::string DomainName = "modes";
+  bool ShowModes = false;
+  /// Per-slot last successful entry spec — what this client's `edit`
+  /// re-answers. Client-local on purpose: the *store's* notion of "most
+  /// recent query" depends on request interleaving across clients.
+  std::unordered_map<StoreSlot *, std::string> LastSpec;
+};
+
+AnalysisServer::AnalysisServer(Config C) : Cfg(std::move(C)) {
+  int N = std::max(1, Cfg.Workers);
+  Workers.reserve(static_cast<size_t>(N));
+  for (int I = 0; I != N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+AnalysisServer::~AnalysisServer() {
+  {
+    std::lock_guard<std::mutex> L(GM);
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+int AnalysisServer::openClient() {
+  std::lock_guard<std::mutex> L(GM);
+  int Id = NextClient++;
+  auto CS = std::make_unique<ClientState>();
+  CS->Id = Id;
+  Clients.emplace(Id, std::move(CS));
+  return Id;
+}
+
+void AnalysisServer::closeClient(int Client) {
+  std::lock_guard<std::mutex> L(GM);
+  auto It = Clients.find(Client);
+  if (It != Clients.end())
+    It->second->Open = false;
+}
+
+void AnalysisServer::submit(int Client, std::string Line,
+                            std::function<void(const Response &)> Done) {
+  std::unique_lock<std::mutex> L(GM);
+  auto It = Clients.find(Client);
+  if (It == Clients.end() || !It->second->Open || Stopping) {
+    L.unlock();
+    if (Done) {
+      Response R;
+      R.Err = "unknown client\n";
+      Done(R);
+    }
+    return;
+  }
+  ClientState &CS = *It->second;
+  CS.Queue.push_back(QueuedReq{std::move(Line), std::move(Done)});
+  if (!CS.Active) {
+    CS.Active = true;
+    Ready.push_back(Client);
+    L.unlock();
+    WorkCV.notify_one();
+  }
+}
+
+AnalysisServer::Response AnalysisServer::execute(int Client,
+                                                 std::string_view Line) {
+  struct Waiter {
+    std::mutex M;
+    std::condition_variable CV;
+    bool Done = false;
+    Response R;
+  };
+  auto W = std::make_shared<Waiter>();
+  submit(Client, std::string(Line), [W](const Response &R) {
+    {
+      std::lock_guard<std::mutex> L(W->M);
+      W->R = R;
+      W->Done = true;
+    }
+    W->CV.notify_one();
+  });
+  std::unique_lock<std::mutex> L(W->M);
+  W->CV.wait(L, [&] { return W->Done; });
+  return W->R;
+}
+
+void AnalysisServer::workerLoop() {
+  std::unique_lock<std::mutex> L(GM);
+  for (;;) {
+    WorkCV.wait(L, [&] { return Stopping || !Ready.empty(); });
+    if (Stopping)
+      return;
+    int Cid = Ready.front();
+    Ready.pop_front();
+    auto It = Clients.find(Cid);
+    if (It == Clients.end())
+      continue;
+    ClientState &CS = *It->second;
+    if (CS.Queue.empty()) {
+      CS.Active = false;
+      continue;
+    }
+    QueuedReq Req = std::move(CS.Queue.front());
+    CS.Queue.pop_front();
+    L.unlock();
+
+    Response R;
+    process(CS, Req.Line, R);
+    ++NRequests;
+    if (Req.Done)
+      Req.Done(R);
+
+    L.lock();
+    if (!CS.Queue.empty()) {
+      // Re-queue at the back: round-robin fairness between clients.
+      Ready.push_back(Cid);
+      WorkCV.notify_one();
+    } else {
+      CS.Active = false;
+    }
+  }
+}
+
+void AnalysisServer::process(ClientState &CS, const std::string &Line,
+                             Response &R) {
+  std::string Cmd = trim(Line);
+  if (Cmd.empty() || Cmd[0] == '#')
+    return;
+  size_t Sp = Cmd.find(' ');
+  std::string Verb = Cmd.substr(0, Sp);
+  std::string Rest =
+      Sp == std::string::npos ? "" : trim(Cmd.substr(Sp + 1));
+
+  if (Verb == "quit" || Verb == "exit") {
+    R.Quit = true;
+    return;
+  }
+  if (Verb == "help") {
+    R.Err = kHelpText;
+    return;
+  }
+  if (Verb == "modes") {
+    CS.ShowModes = !CS.ShowModes;
+    R.Err = std::string("report: ") + (CS.ShowModes ? "modes" : "patterns") +
+            "\n";
+    return;
+  }
+  if (Verb == "load") {
+    doLoad(CS, Rest, R);
+    return;
+  }
+  if (Verb == "domain") {
+    if (Rest.empty()) {
+      R.Err = "domain: " + CS.DomainName +
+              " (registered: " + registeredDomainNames() + ")\n";
+      return;
+    }
+    Result<const Domain *> D = resolveDomain(Rest);
+    if (!D) {
+      R.Err = D.diag().str() + "\n";
+      return;
+    }
+    CS.DomainName = Rest;
+    R.Err = "domain: " + CS.DomainName + "\n";
+    // Re-select the loaded program under the new domain (its per-domain
+    // store stays warm across switches).
+    if (CS.Cursor)
+      selectStore(CS, CS.Cursor->Source, CS.Cursor->Label, R);
+    return;
+  }
+
+  // Every remaining command needs a loaded program.
+  if (!CS.Cursor) {
+    R.Err = "no program loaded (try: load bench:qsort)\n";
+    return;
+  }
+
+  if (Verb == "entry" || Verb == "batch") {
+    doQuery(CS, Verb, Rest, R);
+    return;
+  }
+  if (Verb == "edit") {
+    doEdit(CS, Rest, R);
+    return;
+  }
+  if (Verb == "dump") {
+    doDump(CS, R);
+    return;
+  }
+  if (Verb == "stats") {
+    doStats(CS, R);
+    return;
+  }
+  R.Err = "unknown command '" + Verb + "' (try: help)\n";
+}
+
+void AnalysisServer::doLoad(ClientState &CS, const std::string &Rest,
+                            Response &R) {
+  if (Rest.empty()) {
+    R.Err = "load what? (load <file.pl> | load bench:<name>)\n";
+    return;
+  }
+  std::string Source;
+  if (Cfg.LoadSource) {
+    std::string Err;
+    if (!Cfg.LoadSource(Rest, Source, Err)) {
+      R.Err = Err;
+      return;
+    }
+  } else {
+    std::ifstream In(Rest);
+    if (!In) {
+      R.Err = "cannot open " + Rest + "\n";
+      return;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+  selectStore(CS, Source, Rest, R);
+}
+
+void AnalysisServer::selectStore(ClientState &CS, const std::string &Source,
+                                 const std::string &Label, Response &R) {
+  // Compile aside, lock-free: the slot key needs the compiled module's
+  // fingerprint. A concurrent load of the same module costs a duplicate
+  // compile whose result the loser drops — exactly the single-client
+  // REPL's reuse semantics, just raced.
+  auto Syms = std::make_unique<SymbolTable>();
+  auto Arena = std::make_unique<TermArena>();
+  Result<CompiledProgram> P = compileSource(Source, *Syms, *Arena);
+  if (!P) {
+    R.Err += "error: " + P.diag().str() + "\n";
+    return;
+  }
+  std::pair<uint64_t, std::string> Key{P->Module->fingerprint(),
+                                       CS.DomainName};
+  std::lock_guard<std::mutex> L(GM);
+  auto It = Slots.find(Key);
+  if (It != Slots.end()) {
+    CS.Cursor = It->second.get();
+    R.Err += "reusing warm store for " + Label + " (loaded as " +
+             CS.Cursor->Label + ", domain " + CS.DomainName + ")\n";
+  } else {
+    auto S = std::make_unique<StoreSlot>();
+    S->Fp = Key.first;
+    S->DomainName = CS.DomainName;
+    S->Label = Label;
+    S->Source = Source;
+    S->Syms = std::move(Syms);
+    S->Arena = std::move(Arena);
+    S->Program = std::move(P);
+    AnalyzerOptions O = Cfg.Options;
+    O.Persistent = true;
+    O.DomainName = CS.DomainName;
+    S->Session = std::make_unique<AnalysisSession>(*S->Program, O);
+    S->Live = true;
+    CS.Cursor = S.get();
+    Slots.emplace(std::move(Key), std::move(S));
+    R.Err += "loaded " + Label + "\n";
+  }
+  CS.Cursor->LastTouch = ++TouchClock;
+}
+
+void AnalysisServer::ensureSession(StoreSlot &S) {
+  if (S.Session)
+    return;
+  AnalyzerOptions O = Cfg.Options;
+  O.Persistent = true;
+  O.DomainName = S.DomainName;
+  S.Session = std::make_unique<AnalysisSession>(*S.Program, O);
+  S.Live = true;
+  if (S.WasEvicted) {
+    S.WasEvicted = false;
+    ++S.Rewarms;
+    ++NRewarms;
+  }
+}
+
+void AnalysisServer::meterBytes(StoreSlot &S) {
+  const AnalysisStore *St = S.Session ? S.Session->store() : nullptr;
+  S.Bytes = St ? St->bytesUsed() : 0;
+}
+
+void AnalysisServer::doQuery(ClientState &CS, const std::string &Verb,
+                             const std::string &Rest, Response &R) {
+  StoreSlot &S = *CS.Cursor;
+  std::vector<std::string> Specs;
+  if (Verb == "entry") {
+    if (Rest.empty()) {
+      R.Err = "entry what? (entry qsort(glist, var, var))\n";
+      return;
+    }
+  } else {
+    std::stringstream SS(Rest);
+    std::string Part;
+    while (std::getline(SS, Part, ';')) {
+      Part = trim(Part);
+      if (!Part.empty())
+        Specs.push_back(Part);
+    }
+    if (Specs.empty()) {
+      R.Err = "batch what? (batch main; app(glist, var, var))\n";
+      return;
+    }
+  }
+  ++NQueries;
+  // The spec this client's next `edit` re-answers (set on success below).
+  const std::string &EditSpec = Verb == "entry" ? Rest : Specs.back();
+  std::string Key =
+      std::string(CS.ShowModes ? "m:" : "p:") + Verb + ":" + Rest;
+
+  std::shared_ptr<Pending> P;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> CL(S.CacheMu);
+    auto Hit = S.RespCache.find(Key);
+    if (Hit != S.RespCache.end()) {
+      ++S.Hits;
+      ++NCacheHits;
+      R.Out = Hit->second;
+      S.LastTouch = ++TouchClock;
+      CS.LastSpec[&S] = EditSpec;
+      return;
+    }
+    auto In = S.InFlight.find(Key);
+    if (In != S.InFlight.end()) {
+      P = In->second;
+      ++NCoalesced;
+    } else {
+      P = std::make_shared<Pending>();
+      S.InFlight.emplace(Key, P);
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    // Follower: the leader is by construction a worker already mid-request
+    // on this key, so waiting here cannot deadlock the pool.
+    std::unique_lock<std::mutex> PL(P->M);
+    P->CV.wait(PL, [&] { return P->Ready; });
+    R = P->R;
+    if (R.Err.empty())
+      CS.LastSpec[&S] = EditSpec;
+    return;
+  }
+
+  {
+    std::unique_lock<std::shared_mutex> SL(S.Mu);
+    ensureSession(S);
+    ++S.Drains;
+    ++NDrains;
+    if (Verb == "entry") {
+      Result<AnalysisResult> A = S.Session->analyze(Rest);
+      if (!A) {
+        R.Err = "analysis error: " + A.diag().str() + "\n";
+      } else {
+        R.Out = CS.ShowModes ? formatModes(*A, *S.Syms)
+                             : formatAnalysis(*A, *S.Syms);
+        if (A->Dom)
+          R.Out += A->Dom->formatFacts(*A, *S.Program);
+      }
+    } else {
+      Result<std::vector<AnalysisResult>> B = S.Session->analyzeBatch(Specs);
+      if (!B) {
+        R.Err = "analysis error: " + B.diag().str() + "\n";
+      } else {
+        for (size_t I = 0; I != Specs.size(); ++I) {
+          R.Out += "== entry " + Specs[I] + " ==\n";
+          R.Out += CS.ShowModes ? formatModes((*B)[I], *S.Syms)
+                                : formatAnalysis((*B)[I], *S.Syms);
+          if ((*B)[I].Dom)
+            R.Out += (*B)[I].Dom->formatFacts((*B)[I], *S.Program);
+        }
+      }
+    }
+    meterBytes(S);
+  }
+  S.LastTouch = ++TouchClock;
+
+  {
+    std::lock_guard<std::mutex> CL(S.CacheMu);
+    // Only successes memoize: the response of a failed drain (budget hit,
+    // machine error) is not a stable function of the slot key.
+    if (R.Err.empty())
+      S.RespCache.emplace(Key, R.Out);
+    S.InFlight.erase(Key);
+  }
+  {
+    std::lock_guard<std::mutex> PL(P->M);
+    P->R = R;
+    P->Ready = true;
+  }
+  P->CV.notify_all();
+  if (R.Err.empty())
+    CS.LastSpec[&S] = EditSpec;
+  maybeEvict(&S);
+}
+
+void AnalysisServer::doEdit(ClientState &CS, const std::string &Rest,
+                            Response &R) {
+  PredSig Sig;
+  if (!parseSig(Rest, Sig)) {
+    R.Err = "bad edit '" + Rest + "': expected name/arity\n";
+    return;
+  }
+  StoreSlot &S = *CS.Cursor;
+  auto SpecIt = CS.LastSpec.find(&S);
+  if (SpecIt == CS.LastSpec.end()) {
+    R.Err = "analysis error: reanalyze requires a prior analyze()\n";
+    return;
+  }
+  {
+    std::unique_lock<std::shared_mutex> SL(S.Mu);
+    ensureSession(S);
+    ++S.Drains;
+    ++NDrains;
+    Result<AnalysisResult> A =
+        S.Session->reanalyze({Sig}, SpecIt->second);
+    if (!A) {
+      R.Err = "analysis error: " + A.diag().str() + "\n";
+    } else {
+      R.Out = CS.ShowModes ? formatModes(*A, *S.Syms)
+                           : formatAnalysis(*A, *S.Syms);
+      if (A->Dom)
+        R.Out += A->Dom->formatFacts(*A, *S.Program);
+    }
+    meterBytes(S);
+  }
+  S.LastTouch = ++TouchClock;
+  {
+    // The edit invalidated part of the store; memoized response bytes of
+    // this slot are stale by assumption (even though touch-edits happen to
+    // recompute the same bytes, correctness must not rely on that here).
+    std::lock_guard<std::mutex> CL(S.CacheMu);
+    S.RespCache.clear();
+  }
+  maybeEvict(&S);
+}
+
+void AnalysisServer::doDump(ClientState &CS, Response &R) {
+  StoreSlot &S = *CS.Cursor;
+  std::shared_lock<std::shared_mutex> SL(S.Mu);
+  const AnalysisStore *St = S.Session ? S.Session->store() : nullptr;
+  if (!St) {
+    R.Err = "no store yet (run an entry first)\n";
+    return;
+  }
+  std::string D = St->canonicalDump(*S.Syms);
+  R.Out = D;
+  if (!D.empty() && D.back() != '\n')
+    R.Out += "\n";
+  S.LastTouch = ++TouchClock;
+}
+
+void AnalysisServer::doStats(ClientState &CS, Response &R) {
+  Stats T = stats();
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "server: requests %llu, queries %llu (response-cache hits "
+                "%llu, coalesced %llu), drains %llu\n"
+                "stores: live %llu, bytes %llu (cap %llu), evictions %llu "
+                "(bytes %llu), rewarms %llu\n",
+                (unsigned long long)T.Requests, (unsigned long long)T.Queries,
+                (unsigned long long)T.CacheHits,
+                (unsigned long long)T.Coalesced, (unsigned long long)T.Drains,
+                (unsigned long long)T.LiveStores,
+                (unsigned long long)T.LiveBytes,
+                (unsigned long long)Cfg.MaxStoreBytes,
+                (unsigned long long)T.Evictions,
+                (unsigned long long)T.EvictedBytes,
+                (unsigned long long)T.Rewarms);
+  R.Out += Buf;
+  // Per-store lines in identity order (label, domain) — never slot-map or
+  // touch order, both of which depend on interleaving.
+  std::vector<StoreSlot *> All;
+  {
+    std::lock_guard<std::mutex> L(GM);
+    for (auto &[K, S] : Slots)
+      All.push_back(S.get());
+  }
+  std::sort(All.begin(), All.end(), [](StoreSlot *A, StoreSlot *B) {
+    return std::tie(A->Label, A->DomainName) <
+           std::tie(B->Label, B->DomainName);
+  });
+  for (StoreSlot *S : All) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "store %s [%s]: bytes %llu, hits %llu, drains %llu, "
+                  "evictions %llu, rewarms %llu\n",
+                  S->Label.c_str(), S->DomainName.c_str(),
+                  (unsigned long long)S->Bytes.load(),
+                  (unsigned long long)S->Hits.load(),
+                  (unsigned long long)S->Drains.load(),
+                  (unsigned long long)S->Evictions.load(),
+                  (unsigned long long)S->Rewarms.load());
+    R.Out += Buf;
+  }
+  // The current slot's deep store statistics, as the single-client REPL
+  // printed them (plus the journal-compaction line).
+  StoreSlot &S = *CS.Cursor;
+  std::shared_lock<std::shared_mutex> SL(S.Mu);
+  const AnalysisStore *St = S.Session ? S.Session->store() : nullptr;
+  if (!St) {
+    R.Err = "no store yet (run an entry first)\n";
+    return;
+  }
+  const AnalysisStore::Stats &SS = St->stats();
+  char Deep[1024];
+  std::snprintf(
+      Deep, sizeof(Deep),
+      "queries: %llu (cache hits %llu, cold %llu, warm %llu)\n"
+      "runs: %llu replayed, %llu executed; activations: %llu "
+      "replayed, %llu executed\n"
+      "warm drains: %llu batches, %llu spec replays (%llu "
+      "committed, %llu discarded), %llu critical units\n"
+      "store: %llu roots, %llu entries (%llu new, %llu shared)\n"
+      "reanalyses: %llu (roots invalidated %llu, entries "
+      "invalidated %llu, last cone %llu)\n"
+      "journals: %llu compactions, %llu trace handles dropped\n",
+      (unsigned long long)SS.Queries, (unsigned long long)SS.CacheHits,
+      (unsigned long long)SS.ColdQueries, (unsigned long long)SS.WarmQueries,
+      (unsigned long long)SS.ReplayedRuns, (unsigned long long)SS.ExecutedRuns,
+      (unsigned long long)SS.ReplayedActivations,
+      (unsigned long long)SS.ExecutedActivations,
+      (unsigned long long)SS.WarmReplayBatches,
+      (unsigned long long)SS.WarmSpecReplays,
+      (unsigned long long)SS.WarmSpecCommitted,
+      (unsigned long long)SS.WarmSpecDiscarded,
+      (unsigned long long)SS.WarmCriticalUnits,
+      (unsigned long long)St->numRoots(), (unsigned long long)St->table().size(),
+      (unsigned long long)SS.NewEntries, (unsigned long long)SS.SharedEntries,
+      (unsigned long long)SS.Reanalyses, (unsigned long long)SS.InvalidatedRoots,
+      (unsigned long long)SS.InvalidatedEntries,
+      (unsigned long long)SS.LastConeEntries,
+      (unsigned long long)SS.Compactions,
+      (unsigned long long)SS.CompactedTraces);
+  R.Out += Deep;
+  S.LastTouch = ++TouchClock;
+}
+
+void AnalysisServer::maybeEvict(StoreSlot *Keep) {
+  if (Cfg.MaxStoreBytes == 0)
+    return;
+  uint64_t Total = 0;
+  std::vector<StoreSlot *> Victims;
+  {
+    std::lock_guard<std::mutex> L(GM);
+    for (auto &[K, S] : Slots) {
+      Total += S->Bytes.load();
+      if (S.get() != Keep)
+        Victims.push_back(S.get());
+    }
+  }
+  if (Total <= Cfg.MaxStoreBytes)
+    return;
+  std::sort(Victims.begin(), Victims.end(), [](StoreSlot *A, StoreSlot *B) {
+    return A->LastTouch.load() < B->LastTouch.load();
+  });
+  for (StoreSlot *V : Victims) {
+    if (Total <= Cfg.MaxStoreBytes)
+      break;
+    // try_lock only: never stall on (or deadlock with) a slot mid-drain —
+    // a busy slot is re-metered, and re-considered, at its next writer op.
+    std::unique_lock<std::shared_mutex> SL(V->Mu, std::try_to_lock);
+    if (!SL.owns_lock() || !V->Session)
+      continue;
+    uint64_t B = V->Bytes.exchange(0);
+    V->Session.reset();
+    V->Live = false;
+    V->WasEvicted = true;
+    ++V->Evictions;
+    ++NEvictions;
+    NEvictedBytes += B;
+    {
+      // Dropping the memoized responses with the store keeps "evicted"
+      // meaningful: the next touch truly re-warms (and re-verifies) from
+      // a cold store instead of serving bytes the store no longer backs.
+      std::lock_guard<std::mutex> CL(V->CacheMu);
+      V->RespCache.clear();
+    }
+    Total -= B;
+  }
+}
+
+AnalysisServer::Stats AnalysisServer::stats() const {
+  Stats T;
+  T.Requests = NRequests.load();
+  T.Queries = NQueries.load();
+  T.Drains = NDrains.load();
+  T.CacheHits = NCacheHits.load();
+  T.Coalesced = NCoalesced.load();
+  T.Evictions = NEvictions.load();
+  T.EvictedBytes = NEvictedBytes.load();
+  T.Rewarms = NRewarms.load();
+  std::lock_guard<std::mutex> L(GM);
+  for (const auto &[K, S] : Slots) {
+    if (S->Live.load())
+      ++T.LiveStores;
+    T.LiveBytes += S->Bytes.load();
+  }
+  return T;
+}
+
+std::unique_lock<std::shared_mutex>
+AnalysisServer::lockCurrentStoreForTest(int Client) {
+  StoreSlot *S = nullptr;
+  {
+    std::lock_guard<std::mutex> L(GM);
+    auto It = Clients.find(Client);
+    if (It != Clients.end())
+      S = It->second->Cursor;
+  }
+  if (!S)
+    return std::unique_lock<std::shared_mutex>();
+  return std::unique_lock<std::shared_mutex>(S->Mu);
+}

@@ -1,0 +1,211 @@
+//===- analyzer/Server.h - Concurrent analysis service ----------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis service behind examples/analyze_server: the line-oriented
+/// verb protocol (load / entry / batch / edit / domain / modes / dump /
+/// stats) as a reusable library, generalized from one synchronous REPL to
+/// N concurrent clients over a shared pool of per-(module fingerprint,
+/// abstract domain) stores on a fixed worker pool.
+///
+/// Determinism is inherited, not re-proven: every store answer is
+/// byte-identical to a scratch analysis of that entry under the current
+/// program at every thread count (analyzer/Store.h), and `edit` commands
+/// are touches — the program text never changes — so a query's response
+/// depends only on (module, domain, verb, report toggle), never on which
+/// other clients ran what in between. That is what makes the concurrency
+/// scheme below safe to gate by byte-identity against single-client
+/// replay (bench/ablation_server.cpp, the CI server-hammer job):
+///
+///  - Per-client FIFO: each client's requests run one at a time, in
+///    submission order, so a client's response stream is a deterministic
+///    function of its own command stream.
+///  - Writers serialize per store: a drain or edit takes the store slot's
+///    exclusive lock. Queries against *different* (fingerprint, domain)
+///    slots proceed concurrently.
+///  - Readers ride the response cache: each slot memoizes the exact
+///    response bytes of successful entry/batch requests (keyed by verb,
+///    report toggle and spec text), served under a brief cache mutex
+///    without touching the store at all — concurrent repeat readers never
+///    contend on the slot lock.
+///  - Duplicate in-flight queries coalesce: N clients asking the same
+///    not-yet-cached question elect one leader to drain; the rest wait on
+///    the leader's response and pay nothing. (The leader is by
+///    construction an already-running worker, so followers can never
+///    starve the pool.)
+///
+/// Memory is bounded by LRU-by-bytes eviction over stores: each slot
+/// meters its store's heap (interner arenas + table pages + banked
+/// journals + cached projections, AnalysisStore::bytesUsed) after every
+/// writer op; when the total crosses Config::MaxStoreBytes, the
+/// least-recently-touched idle slots drop their analysis state (sessions,
+/// response cache) while keeping the compiled program — a later touch
+/// re-warms from a cold store with identical response bytes. Long-lived
+/// stores additionally compact their journal banks
+/// (AnalysisStore::compactJournals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_SERVER_H
+#define AWAM_ANALYZER_SERVER_H
+
+#include "analyzer/Session.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace awam {
+
+class AnalysisServer {
+public:
+  struct Config {
+    /// Driver configuration of every store the server creates (threads,
+    /// speculation bounds, warm-drain threads, initial domain ignored —
+    /// the domain is per client). Persistent and the worklist/interning
+    /// requirements are forced on.
+    AnalyzerOptions Options;
+    /// Worker threads executing requests. 1 serializes everything (the
+    /// reference transcript mode); the byte-identity contract holds at
+    /// every count.
+    int Workers = 1;
+    /// LRU-by-bytes cap over the sum of all stores' bytesUsed(); 0 =
+    /// unbounded. The cap is a low-water target, not a hard guarantee —
+    /// a single store mid-drain can exceed it until the next writer op.
+    uint64_t MaxStoreBytes = 0;
+    /// Resolves a `load` operand to program source. Return false with
+    /// \p Err set to reject. Null = read the operand as a file path.
+    /// examples/analyze_server installs a resolver that also understands
+    /// bench:<name>.
+    std::function<bool(const std::string &Spec, std::string &Source,
+                       std::string &Err)>
+        LoadSource;
+  };
+
+  /// One request's rendered result: Out is the payload (stdout in the
+  /// transport), Err the messages/prompt channel (stderr), exactly as the
+  /// single-client REPL split them.
+  struct Response {
+    std::string Out;
+    std::string Err;
+    bool Quit = false;
+  };
+
+  /// Cumulative service counters (reporting; interleaving-dependent, not
+  /// part of any determinism contract).
+  struct Stats {
+    uint64_t Requests = 0;  ///< lines processed
+    uint64_t Queries = 0;   ///< entry/batch requests
+    uint64_t Drains = 0;    ///< queries/edits that ran the store
+    uint64_t CacheHits = 0; ///< answered from a slot's response cache
+    uint64_t Coalesced = 0; ///< waited on an identical in-flight query
+    uint64_t Evictions = 0; ///< stores dropped by the byte cap
+    uint64_t EvictedBytes = 0;
+    uint64_t Rewarms = 0; ///< sessions recreated after an eviction
+    uint64_t LiveStores = 0;
+    uint64_t LiveBytes = 0;
+  };
+
+  explicit AnalysisServer(Config C);
+  AnalysisServer(const AnalysisServer &) = delete;
+  AnalysisServer &operator=(const AnalysisServer &) = delete;
+  ~AnalysisServer();
+
+  /// Registers a client (its own cursor, domain, report toggle, FIFO
+  /// queue) and returns its id.
+  int openClient();
+
+  /// Drops a client's session state. Queued requests still drain; their
+  /// callbacks still fire.
+  void closeClient(int Client);
+
+  /// Enqueues one command line for \p Client. \p Done fires exactly once,
+  /// on a worker thread, when the request completes; a client's callbacks
+  /// fire in submission order.
+  void submit(int Client, std::string Line,
+              std::function<void(const Response &)> Done);
+
+  /// Synchronous convenience: submit + wait. With concurrent clients this
+  /// still only serializes the *calling* client.
+  Response execute(int Client, std::string_view Line);
+
+  Stats stats() const;
+
+  /// Test hook: exclusive lock on \p Client's current store slot, so a
+  /// test can hold the writer lock while racing queries against it
+  /// (deterministic coalescing/serialization tests). Returns an unlocked
+  /// lock when the client has no current store.
+  std::unique_lock<std::shared_mutex> lockCurrentStoreForTest(int Client);
+
+private:
+  struct Pending;
+  struct StoreSlot;
+  struct ClientState;
+  struct QueuedReq;
+
+  void workerLoop();
+  void process(ClientState &CS, const std::string &Line, Response &R);
+  void doLoad(ClientState &CS, const std::string &Rest, Response &R);
+  void doQuery(ClientState &CS, const std::string &Verb,
+               const std::string &Rest, Response &R);
+  void doEdit(ClientState &CS, const std::string &Rest, Response &R);
+  void doDump(ClientState &CS, Response &R);
+  void doStats(ClientState &CS, Response &R);
+  /// Compiles \p Source and selects (creating if new) its (fingerprint,
+  /// domain) slot as \p CS's cursor, with the REPL's loaded/reusing
+  /// message on \p R.Err.
+  void selectStore(ClientState &CS, const std::string &Source,
+                   const std::string &Label, Response &R);
+  /// Recreates an evicted slot's session (caller holds the slot lock).
+  void ensureSession(StoreSlot &S);
+  /// Refreshes \p S's byte meter from its store (caller holds the slot
+  /// lock).
+  static void meterBytes(StoreSlot &S);
+  /// Runs LRU-by-bytes eviction if the live total exceeds the cap.
+  /// \p Keep (the slot just touched) is never a victim. Called with no
+  /// locks held.
+  void maybeEvict(StoreSlot *Keep);
+
+  Config Cfg;
+
+  /// Guards Clients, Slots, Ready and open/close state.
+  mutable std::mutex GM;
+  std::condition_variable WorkCV;
+  bool Stopping = false;
+  std::map<int, std::unique_ptr<ClientState>> Clients;
+  int NextClient = 0;
+  /// Slots live for the server's lifetime — eviction drops a slot's
+  /// session, never the slot — so raw StoreSlot pointers held by clients
+  /// and request code stay valid without per-use refcounting.
+  std::map<std::pair<uint64_t, std::string>, std::unique_ptr<StoreSlot>>
+      Slots;
+  /// Clients with queued work and no worker on them, in arrival order
+  /// (round-robin fairness between clients).
+  std::deque<int> Ready;
+  std::vector<std::thread> Workers;
+
+  /// Monotone touch clock for LRU ordering.
+  std::atomic<uint64_t> TouchClock{0};
+
+  // Service counters (see Stats).
+  std::atomic<uint64_t> NRequests{0}, NQueries{0}, NDrains{0};
+  std::atomic<uint64_t> NCacheHits{0}, NCoalesced{0};
+  std::atomic<uint64_t> NEvictions{0}, NEvictedBytes{0}, NRewarms{0};
+};
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_SERVER_H

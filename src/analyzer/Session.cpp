@@ -283,6 +283,22 @@ AnalysisSession::reanalyze(const std::vector<PredSig> &EditedPreds) {
 }
 
 Result<AnalysisResult>
+AnalysisSession::reanalyze(const std::vector<PredSig> &EditedPreds,
+                           std::string_view EntrySpec) {
+  // Route through the store even on a fresh session (the server edits
+  // right after re-warming an evicted store): an empty store invalidates
+  // nothing and answers the spec cold, which is the correct degenerate
+  // case.
+  Result<AnalysisStore *> S = ensureStore();
+  if (!S)
+    return S.diag();
+  Result<std::pair<std::string, Pattern>> Parsed = parseEntrySpec(EntrySpec);
+  if (!Parsed)
+    return Parsed.diag();
+  return (*S)->reanalyze(EditedPreds, Parsed->first, Parsed->second);
+}
+
+Result<AnalysisResult>
 AnalysisSession::reanalyze(const CompiledProgram &Edited) {
   if (Custom)
     return makeError("reanalyze requires the compiled backend");

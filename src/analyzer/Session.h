@@ -86,6 +86,15 @@ public:
   /// that fresh analyze(). Chains: each reanalyze records for the next.
   Result<AnalysisResult> reanalyze(const std::vector<PredSig> &EditedPreds);
 
+  /// Persistent-session form that re-answers \p EntrySpec instead of the
+  /// session's most recent entry goal. On a store shared by several
+  /// clients "the most recent entry" depends on request interleaving; the
+  /// multi-tenant server (analyzer/Server.h) routes each client's edits
+  /// through that client's own last spec instead. Errors on
+  /// non-persistent sessions.
+  Result<AnalysisResult> reanalyze(const std::vector<PredSig> &EditedPreds,
+                                   std::string_view EntrySpec);
+
   /// Convenience overload: diffs \p Edited against the current program
   /// clause-by-clause to find the edited predicates, then re-analyzes with
   /// \p Edited installed as the session's program. \p Edited must outlive

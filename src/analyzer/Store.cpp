@@ -112,12 +112,17 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
   // validates each trace against the live query table before applying it,
   // so banked runs act as pre-verified memo hits wherever they still hold
   // and fall back to execution wherever they don't — which is what makes
-  // the warm result byte-identical to a scratch run of this entry.
+  // the warm result byte-identical to a scratch run of this entry. Roots
+  // share replayed traces by handle, so the pool dedupes by trace address
+  // (and skips error traces, which never validate) — the second handle to
+  // a trace could only re-validate what the first already applied.
   RunJournal PrevRuns(M);
+  std::unordered_set<const RunTrace *> Pooled;
   for (const RootInfo &RI : Roots)
     if (RI.Valid && RI.Journal)
       for (const std::shared_ptr<const RunTrace> &T : RI.Journal->runs())
-        PrevRuns.append(T);
+        if (!T->Error && Pooled.insert(T.get()).second)
+          PrevRuns.append(T);
 
   AnalysisResult R;
   WorklistScheduler::Status Status;
@@ -210,9 +215,65 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
 
   // Only a converged fixpoint merges: a budget-hit table is a sound
   // partial answer for *this* query but not a reusable memo.
-  if (R.Converged)
+  if (R.Converged) {
     mergeQuery(Name, Pid, CallId, QTable, *QCore, std::move(OutJournal), R);
+    // Bank hygiene: a warm drain re-banks every replayed trace as a shared
+    // handle, so a long query chain accumulates one handle per (root,
+    // trace) pair while the distinct traces stay near-constant. Compact
+    // once the duplication factor crosses kCompactionFactor — past that
+    // point most of the bank is re-validation of already-applied traces.
+    constexpr size_t kCompactionMinHandles = 64;
+    constexpr size_t kCompactionFactor = 2;
+    size_t Handles = 0;
+    std::unordered_set<const RunTrace *> Distinct;
+    for (const RootInfo &RI : Roots)
+      if (RI.Valid && RI.Journal)
+        for (const std::shared_ptr<const RunTrace> &T : RI.Journal->runs()) {
+          ++Handles;
+          Distinct.insert(T.get());
+        }
+    if (Handles > kCompactionMinHandles &&
+        Handles > kCompactionFactor * Distinct.size())
+      compactJournals();
+  }
   return R;
+}
+
+uint64_t AnalysisStore::bytesUsed() const {
+  uint64_t B = Interner->bytesUsed() + Table->bytesUsed();
+  std::unordered_set<const RunTrace *> Seen;
+  for (const RootInfo &RI : Roots) {
+    B += sizeof(RootInfo) + RI.Name.capacity() + patternHeapBytes(RI.Call) +
+         RI.EntryIdxs.capacity() * sizeof(int32_t);
+    B += RI.Cached.Items.capacity() * sizeof(AnalysisResult::Item);
+    for (const AnalysisResult::Item &It : RI.Cached.Items)
+      B += It.PredLabel.capacity() + patternHeapBytes(It.Call) +
+           (It.Success ? patternHeapBytes(*It.Success) : 0);
+    if (RI.Journal)
+      B += RI.Journal->bytesUsed(Seen);
+  }
+  return B;
+}
+
+uint64_t AnalysisStore::compactJournals() {
+  const CodeModule &M = *Program->Module;
+  uint64_t Dropped = 0;
+  std::unordered_set<const RunTrace *> Kept;
+  for (RootInfo &RI : Roots) {
+    if (!RI.Valid || !RI.Journal)
+      continue;
+    auto NewJ = std::make_unique<RunJournal>(M);
+    for (const std::shared_ptr<const RunTrace> &T : RI.Journal->runs()) {
+      if (!T->Error && Kept.insert(T.get()).second)
+        NewJ->append(T);
+      else
+        ++Dropped;
+    }
+    RI.Journal = std::move(NewJ);
+  }
+  ++St.Compactions;
+  St.CompactedTraces += Dropped;
+  return Dropped;
 }
 
 void AnalysisStore::mergeQuery(std::string_view Name, int32_t Pid,
@@ -286,6 +347,13 @@ AnalysisStore::reanalyze(const std::vector<PredSig> &EditedPreds) {
     return makeError("reanalyze requires a prior analyze()");
   invalidate(*Program, EditedPreds);
   return query(LastName, LastEntry);
+}
+
+Result<AnalysisResult>
+AnalysisStore::reanalyze(const std::vector<PredSig> &EditedPreds,
+                         std::string_view Name, const Pattern &Entry) {
+  invalidate(*Program, EditedPreds);
+  return query(Name, Entry);
 }
 
 Result<AnalysisResult>

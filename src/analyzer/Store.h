@@ -100,6 +100,9 @@ public:
     uint64_t InvalidatedRoots = 0;
     uint64_t InvalidatedEntries = 0;
     uint64_t LastConeEntries = 0; ///< invalidation cone of the last reanalyze
+    // Journal-bank hygiene (long-lived stores; see compactJournals).
+    uint64_t Compactions = 0;      ///< compaction passes run
+    uint64_t CompactedTraces = 0;  ///< trace handles dropped by compaction
   };
 
   /// \p Program must outlive the store. The store always runs the worklist
@@ -125,6 +128,15 @@ public:
   /// store, then re-answers the most recent query warm.
   Result<AnalysisResult> reanalyze(const std::vector<PredSig> &EditedPreds);
 
+  /// Like the above, but re-answers (\p Name, \p Entry) instead of the
+  /// store's most recent query. The multi-tenant server routes edits
+  /// through this form: with several clients sharing one store, "the most
+  /// recent query" depends on request interleaving, while each client's
+  /// own last entry does not.
+  Result<AnalysisResult> reanalyze(const std::vector<PredSig> &EditedPreds,
+                                   std::string_view Name,
+                                   const Pattern &Entry);
+
   /// The program was recompiled as \p Edited (diffed clause-by-clause;
   /// should share the store's SymbolTable — with a distinct table every
   /// predicate is conservatively treated as edited and the store resets).
@@ -149,6 +161,24 @@ public:
 
   /// Roots currently merged and valid (invalidated roots don't count).
   size_t numRoots() const;
+
+  /// Approximate heap bytes of the store's long-lived state: interner
+  /// arenas + multi-root table + banked journals (trace objects counted
+  /// once — they are shared across journals by handle) + cached per-root
+  /// projections. The unit the server's LRU-by-bytes eviction policy
+  /// meters (--max-store-bytes).
+  uint64_t bytesUsed() const;
+
+  /// Journal-bank hygiene for long-lived stores: drops error traces and
+  /// deduplicates shared trace handles across the valid roots' banks (a
+  /// trace stays in the first root, in root order, that banked it). The
+  /// bank is a replay *hint* — every banked trace is revalidated against
+  /// the live query state before it is applied (Incremental.h), so
+  /// dropping handles can cost warmth but never changes any answer.
+  /// Returns the number of handles dropped. query() triggers this
+  /// automatically once the bank's duplication factor crosses
+  /// kCompactionFactor (observable through Stats::Compactions).
+  uint64_t compactJournals();
 
   /// The cached per-root projection of a previously merged query, or
   /// nullptr if that root was never merged (or was invalidated). Non-const

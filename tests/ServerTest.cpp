@@ -1,0 +1,319 @@
+//===- tests/ServerTest.cpp - Concurrent analysis service tests -----------===//
+//
+// The AnalysisServer concurrency contracts, made deterministic with the
+// lockCurrentStoreForTest hook: holding a slot's writer lock freezes every
+// drain against that store, so the tests can stage precise interleavings
+// (a leader mid-drain with followers coalescing behind it, a writer
+// blocked while a sibling store answers) instead of hoping for them.
+//
+// The correctness baseline throughout is single-client replay: a fresh
+// one-worker server fed the same commands. Byte-equality against it is
+// the same gate the CI server-hammer job and bench/ablation_server run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Server.h"
+
+#include "analyzer/Analyzer.h"
+#include "analyzer/Store.h"
+#include "compiler/ProgramCompiler.h"
+#include "programs/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace awam;
+
+namespace {
+
+AnalysisServer::Config baseConfig(int Workers, uint64_t Cap = 0) {
+  AnalysisServer::Config C;
+  C.Workers = Workers;
+  C.MaxStoreBytes = Cap;
+  C.LoadSource = [](const std::string &Spec, std::string &Source,
+                    std::string &Err) {
+    if (Spec.rfind("bench:", 0) == 0) {
+      const BenchmarkProgram *B = findBenchmark(Spec.substr(6));
+      if (!B) {
+        Err = "unknown benchmark '" + Spec.substr(6) + "'\n";
+        return false;
+      }
+      Source = B->Source;
+      return true;
+    }
+    Err = "cannot open " + Spec + "\n";
+    return false;
+  };
+  return C;
+}
+
+/// Single-client reference replay: the response stream of \p Script on a
+/// fresh one-worker server.
+std::vector<AnalysisServer::Response>
+referenceReplay(const std::vector<std::string> &Script) {
+  AnalysisServer Ref(baseConfig(1));
+  int C = Ref.openClient();
+  std::vector<AnalysisServer::Response> Out;
+  for (const std::string &Line : Script)
+    Out.push_back(Ref.execute(C, Line));
+  return Out;
+}
+
+template <typename Pred> bool waitFor(Pred P, int Ms = 30000) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  while (!P()) {
+    if (std::chrono::steady_clock::now() > Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+constexpr const char *kQsortEntry = "entry qsort(glist, var, var)";
+constexpr const char *kPartEntry = "entry partition(glist, g, var, var)";
+
+TEST(ServerTest, RepeatQueriesRideTheResponseCache) {
+  AnalysisServer S(baseConfig(2));
+  int C = S.openClient();
+  S.execute(C, "load bench:qsort");
+  AnalysisServer::Response First = S.execute(C, kQsortEntry);
+  ASSERT_TRUE(First.Err.empty()) << First.Err;
+  ASSERT_FALSE(First.Out.empty());
+  AnalysisServer::Response Again = S.execute(C, kQsortEntry);
+  EXPECT_EQ(First.Out, Again.Out);
+  AnalysisServer::Stats T = S.stats();
+  EXPECT_EQ(T.Queries, 2u);
+  EXPECT_EQ(T.CacheHits, 1u);
+  EXPECT_EQ(T.Drains, 1u);
+}
+
+TEST(ServerTest, DuplicateInFlightQueriesCoalesceToOneDrain) {
+  std::vector<AnalysisServer::Response> Ref =
+      referenceReplay({"load bench:qsort", kQsortEntry});
+  const std::string &Expected = Ref[1].Out;
+
+  AnalysisServer S(baseConfig(4));
+  int Locker = S.openClient();
+  constexpr int K = 3;
+  int Cs[K];
+  S.execute(Locker, "load bench:qsort");
+  for (int I = 0; I != K; ++I) {
+    Cs[I] = S.openClient();
+    S.execute(Cs[I], "load bench:qsort");
+  }
+
+  // Freeze the store, then ask the same not-yet-cached question K times:
+  // exactly one leader registers and blocks on the writer lock, K-1
+  // followers coalesce behind its in-flight entry.
+  std::unique_lock<std::shared_mutex> Hold =
+      S.lockCurrentStoreForTest(Locker);
+  ASSERT_TRUE(Hold.owns_lock());
+
+  std::mutex M;
+  std::vector<std::string> Outs;
+  std::atomic<int> Done{0};
+  for (int I = 0; I != K; ++I)
+    S.submit(Cs[I], kQsortEntry, [&](const AnalysisServer::Response &R) {
+      std::lock_guard<std::mutex> L(M);
+      Outs.push_back(R.Out);
+      EXPECT_TRUE(R.Err.empty()) << R.Err;
+      ++Done;
+    });
+
+  ASSERT_TRUE(waitFor([&] { return S.stats().Coalesced == K - 1; }))
+      << "followers never coalesced behind the blocked leader";
+  EXPECT_EQ(Done.load(), 0) << "a drain completed against a held store";
+
+  Hold.unlock();
+  ASSERT_TRUE(waitFor([&] { return Done.load() == K; }));
+  for (const std::string &O : Outs)
+    EXPECT_EQ(Expected, O);
+  AnalysisServer::Stats T = S.stats();
+  EXPECT_EQ(T.Drains, 1u) << "coalesced queries must cost one drain";
+  EXPECT_EQ(T.CacheHits, 0u);
+}
+
+TEST(ServerTest, WritersSerializePerStoreAndStoresRunConcurrently) {
+  std::vector<AnalysisServer::Response> QRef =
+      referenceReplay({"load bench:qsort", kQsortEntry});
+  std::vector<AnalysisServer::Response> NRef =
+      referenceReplay({"load bench:nreverse", "entry nreverse(glist, var)"});
+
+  AnalysisServer S(baseConfig(4));
+  int CQ = S.openClient(), CN = S.openClient();
+  S.execute(CQ, "load bench:qsort");
+  S.execute(CN, "load bench:nreverse");
+
+  std::unique_lock<std::shared_mutex> Hold = S.lockCurrentStoreForTest(CQ);
+  ASSERT_TRUE(Hold.owns_lock());
+
+  // A writer against the held store must wait ...
+  std::atomic<int> QDone{0};
+  std::string QOut;
+  S.submit(CQ, kQsortEntry, [&](const AnalysisServer::Response &R) {
+    QOut = R.Out;
+    ++QDone;
+  });
+  // ... while a writer against a *different* store proceeds concurrently.
+  std::atomic<int> NDone{0};
+  std::string NOut;
+  S.submit(CN, "entry nreverse(glist, var)",
+           [&](const AnalysisServer::Response &R) {
+             NOut = R.Out;
+             ++NDone;
+           });
+  ASSERT_TRUE(waitFor([&] { return NDone.load() == 1; }))
+      << "a sibling store was blocked by an unrelated writer lock";
+  EXPECT_EQ(NRef[1].Out, NOut);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(QDone.load(), 0) << "a drain ran against a held store";
+
+  Hold.unlock();
+  ASSERT_TRUE(waitFor([&] { return QDone.load() == 1; }));
+  EXPECT_EQ(QRef[1].Out, QOut);
+}
+
+TEST(ServerTest, EditsReanswerTheEditingClientsOwnEntry) {
+  // Two clients share one store but asked different questions; each edit
+  // must re-answer the *editing client's* last entry, not whichever query
+  // happened to touch the store last.
+  std::vector<AnalysisServer::Response> Ref = referenceReplay(
+      {"load bench:qsort", kQsortEntry, kPartEntry, "edit partition/4"});
+
+  AnalysisServer S(baseConfig(2));
+  int C0 = S.openClient(), C1 = S.openClient();
+  S.execute(C0, "load bench:qsort");
+  S.execute(C1, "load bench:qsort");
+  AnalysisServer::Response R0 = S.execute(C0, kQsortEntry);
+  AnalysisServer::Response R1 = S.execute(C1, kPartEntry);
+  ASSERT_TRUE(R0.Err.empty() && R1.Err.empty());
+
+  AnalysisServer::Response E0 = S.execute(C0, "edit partition/4");
+  AnalysisServer::Response E1 = S.execute(C1, "edit partition/4");
+  // Edits are touches: re-answering an entry yields that entry's bytes.
+  EXPECT_EQ(R0.Out, E0.Out);
+  EXPECT_EQ(R1.Out, E1.Out);
+  // And the reference replay agrees on what an edit after kPartEntry says.
+  EXPECT_EQ(Ref[3].Out, E1.Out);
+}
+
+TEST(ServerTest, EvictedStoreRewarmsByteIdentically) {
+  AnalysisServer S(baseConfig(1, /*Cap=*/1));
+  int C = S.openClient();
+  S.execute(C, "load bench:qsort");
+  AnalysisServer::Response First = S.execute(C, kQsortEntry);
+  ASSERT_TRUE(First.Err.empty()) << First.Err;
+
+  // Any byte lands over the 1-byte cap, so touching nreverse evicts the
+  // idle qsort store (and its memoized responses).
+  S.execute(C, "load bench:nreverse");
+  S.execute(C, "entry nreverse(glist, var)");
+  AnalysisServer::Stats T = S.stats();
+  ASSERT_GE(T.Evictions, 1u) << "the byte cap never evicted anything";
+
+  // Touching qsort again re-warms it from cold — same response bytes.
+  S.execute(C, "load bench:qsort");
+  AnalysisServer::Response Again = S.execute(C, kQsortEntry);
+  EXPECT_EQ(First.Out, Again.Out);
+  T = S.stats();
+  EXPECT_GE(T.Rewarms, 1u);
+  EXPECT_EQ(S.stats().CacheHits, 0u)
+      << "eviction must drop the response cache with the store";
+
+  // An edit right after re-warming routes through the store's explicit
+  // re-entry path (the store is cold; nothing to invalidate).
+  S.execute(C, "load bench:qsort");
+  AnalysisServer::Response E = S.execute(C, "edit partition/4");
+  EXPECT_EQ(First.Out, E.Out);
+}
+
+TEST(ServerTest, JournalCompactionPreservesAnswers) {
+  const BenchmarkProgram *B = findBenchmark("qsort");
+  ASSERT_NE(B, nullptr);
+  SymbolTable Syms;
+  TermArena Arena;
+  Result<CompiledProgram> P = compileSource(B->Source, Syms, Arena);
+  ASSERT_TRUE(bool(P)) << P.diag().str();
+
+  AnalysisStore Store(*P, AnalyzerOptions());
+  Result<AnalysisResult> R1 = Store.query("qsort(glist, var, var)");
+  ASSERT_TRUE(bool(R1)) << R1.diag().str();
+  // A fresh call pattern (not a root or table entry of R1) forces a warm
+  // drain that replays R1's banked traces.
+  Result<AnalysisResult> R2 = Store.query("qsort(glist, g, var)");
+  ASSERT_TRUE(bool(R2)) << R2.diag().str();
+  // The warm second query re-banked replayed traces as shared handles, so
+  // the bank now holds duplicates for compaction to fold.
+  ASSERT_GT(Store.stats().ReplayedRuns, 0u)
+      << "second query never replayed — the premise of this test";
+  uint64_t Dropped = Store.compactJournals();
+  EXPECT_GT(Store.stats().Compactions, 0u);
+  EXPECT_GT(Store.stats().CompactedTraces + Dropped, 0u);
+
+  // A warm drain from the compacted bank still answers byte-identically
+  // to scratch (the bank is a hint; validation carries correctness).
+  Result<AnalysisResult> R3 =
+      Store.reanalyze({PredSig{"partition", 4}});
+  ASSERT_TRUE(bool(R3)) << R3.diag().str();
+  AnalysisSession Scratch(*P);
+  Result<AnalysisResult> Want = Scratch.analyze("qsort(glist, g, var)");
+  ASSERT_TRUE(bool(Want)) << Want.diag().str();
+  EXPECT_EQ(formatAnalysis(*Want, Syms), formatAnalysis(*R3, Syms));
+}
+
+TEST(ServerTest, FourWorkerStreamsMatchSingleClientReplay) {
+  // A miniature in-process hammer: interleaved per-client scripts over
+  // shared and distinct stores, each client's response stream compared to
+  // a single-client replay of its script alone.
+  const std::vector<std::vector<std::string>> Scripts = {
+      {"load bench:qsort", kQsortEntry, "edit partition/4", kPartEntry},
+      {"load bench:qsort", kPartEntry, kQsortEntry, "edit qsort/3"},
+      {"load bench:nreverse", "entry nreverse(glist, var)",
+       "edit concatenate/3", "entry nreverse(glist, var)"},
+      {"load bench:qsort", "modes", kQsortEntry, "modes"},
+  };
+  std::vector<std::vector<AnalysisServer::Response>> Want;
+  for (const std::vector<std::string> &Script : Scripts)
+    Want.push_back(referenceReplay(Script));
+
+  AnalysisServer S(baseConfig(4));
+  size_t N = Scripts.size();
+  std::vector<int> Clients(N);
+  std::vector<std::vector<std::string>> Got(N);
+  std::mutex M;
+  std::atomic<size_t> Done{0};
+  size_t Total = 0;
+  for (size_t I = 0; I != N; ++I)
+    Clients[I] = S.openClient();
+  // Round-robin submission interleaves the scripts across the pool.
+  for (size_t Step = 0;; ++Step) {
+    bool Any = false;
+    for (size_t I = 0; I != N; ++I) {
+      if (Step >= Scripts[I].size())
+        continue;
+      Any = true;
+      ++Total;
+      S.submit(Clients[I], Scripts[I][Step],
+               [&, I](const AnalysisServer::Response &R) {
+                 std::lock_guard<std::mutex> L(M);
+                 Got[I].push_back(R.Out);
+                 ++Done;
+               });
+    }
+    if (!Any)
+      break;
+  }
+  ASSERT_TRUE(waitFor([&] { return Done.load() == Total; }));
+  for (size_t I = 0; I != N; ++I) {
+    ASSERT_EQ(Want[I].size(), Got[I].size());
+    for (size_t J = 0; J != Got[I].size(); ++J)
+      EXPECT_EQ(Want[I][J].Out, Got[I][J])
+          << "client " << I << " line " << J << " diverged from replay";
+  }
+}
+
+} // namespace
