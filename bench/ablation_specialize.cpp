@@ -1,0 +1,209 @@
+//===- bench/ablation_specialize.cpp - Specialization payoff ablation -----===//
+//
+// Ablation A9: what the analyzer-directed specializer buys on the
+// concrete machine. For every Table 1 program the bench analyzes the
+// entry goal under the modes domain, feeds the facts through
+// buildSpecializationFacts into the specializer (compiler/Specializer.h),
+// and runs main/0 on both modules.
+//
+// Gates (the bench exits nonzero on any violation):
+//
+//  * identical answers: status, solution bindings (several solutions, so
+//    redo paths count) and write/1 output must be byte-identical between
+//    the original and the specialized module on all 11 programs;
+//  * the rewrites must pay: the specialized module must execute strictly
+//    fewer dynamic instructions on at least 6 of the 11 programs (the
+//    rest may tie — a program whose hot predicates resist every rewrite
+//    legitimately runs the same stream).
+//
+// Output: a table on stdout plus machine-readable BENCH_specialize.json
+// (per-program optimized/unoptimized dynamic instruction counts,
+// wall-clock, and rewrite counts; written to the current directory).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analyzer/Specialize.h"
+#include "bench/BenchUtil.h"
+#include "compiler/Specializer.h"
+#include "support/StringUtil.h"
+#include "term/TermWriter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace awam;
+using namespace awam::bench;
+
+namespace {
+
+/// Required strict-reduction count (of the 11 Table 1 programs).
+constexpr int kMinReduced = 6;
+constexpr int kMaxSolutions = 5;
+
+struct RunOutcome {
+  RunStatus Status = RunStatus::Error;
+  size_t NumSolutions = 0; ///< main/0 binds nothing; the count is the answer
+  std::string Output;
+  uint64_t Instructions = 0;
+  uint64_t FastPathHits = 0;
+  double Ms = 0;
+};
+
+/// Solves main/0 once for the observable outcome, then re-solves under
+/// the measurement protocol for wall-clock.
+RunOutcome runMain(const CompiledProgram &Program, const Term *Goal,
+                   double MinTotalMs) {
+  RunOutcome Out;
+  Machine M(Program);
+  std::vector<Solution> Sols;
+  TermArena SolArena;
+  Out.Status = M.solve(Goal, 0, SolArena, Sols, kMaxSolutions);
+  Out.Output = M.output();
+  Out.Instructions = M.stepsExecuted();
+  Out.FastPathHits = M.stats().FastPathHits;
+  Out.NumSolutions = Sols.size();
+  Out.Ms = measureMs(
+      [&] {
+        std::vector<Solution> Scratch;
+        TermArena ScratchArena;
+        (void)M.solve(Goal, 0, ScratchArena, Scratch, kMaxSolutions);
+      },
+      MinTotalMs);
+  return Out;
+}
+
+struct RowOut {
+  std::string Name;
+  RunOutcome Orig, Opt;
+  uint64_t Rewrites = 0;
+  bool Identical = false;
+  bool Reduced = false;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double MinTotalMs = argc > 1 ? std::atof(argv[1]) : 400.0;
+
+  std::printf("Ablation A9: analyzer-directed specialization on the "
+              "concrete WAM\n\n");
+
+  TextTable T({"Benchmark", "orig instr", "opt instr", "reduction",
+               "fast-path", "rewrites", "orig(ms)", "opt(ms)"});
+  std::vector<RowOut> Rows;
+  int Violations = 0;
+  int NumReduced = 0;
+
+  std::span<const BenchmarkProgram> Suite = benchmarkPrograms();
+  for (const BenchmarkProgram &B : Suite) {
+    PreparedBenchmark P = prepare(B);
+    RowOut Row;
+    Row.Name = std::string(B.Name);
+
+    AnalysisSession A(*P.Compiled, AnalyzerOptions{});
+    Result<AnalysisResult> R = A.analyze(B.EntrySpec);
+    if (!R) {
+      std::fprintf(stderr, "%s: analysis error: %s\n", Row.Name.c_str(),
+                   R.diag().str().c_str());
+      return 1;
+    }
+
+    SpecializationReport Rep;
+    CompiledProgram Opt = specializeProgram(
+        *P.Compiled, buildSpecializationFacts(*R, *P.Compiled), Rep);
+    Row.Rewrites = Rep.totalRewrites();
+
+    Parser GoalParser("main", *P.Syms, *P.Arena);
+    Result<const Term *> Goal = GoalParser.readTerm();
+    if (!Goal) {
+      std::fprintf(stderr, "%s: goal parse error\n", Row.Name.c_str());
+      return 1;
+    }
+
+    double PerRun = MinTotalMs / (2.0 * static_cast<double>(Suite.size()));
+    Row.Orig = runMain(*P.Compiled, *Goal, PerRun);
+    Row.Opt = runMain(Opt, *Goal, PerRun);
+
+    Row.Identical = Row.Orig.Status == Row.Opt.Status &&
+                    Row.Orig.NumSolutions == Row.Opt.NumSolutions &&
+                    Row.Orig.Output == Row.Opt.Output;
+    if (!Row.Identical) {
+      std::fprintf(stderr, "%s: ANSWER DIVERGENCE between original and "
+                           "specialized code\n",
+                   Row.Name.c_str());
+      ++Violations;
+    }
+    if (Row.Orig.Status != RunStatus::Success) {
+      std::fprintf(stderr, "%s: main/0 did not succeed on the original "
+                           "module\n",
+                   Row.Name.c_str());
+      ++Violations;
+    }
+    if (Row.Opt.Instructions > Row.Orig.Instructions) {
+      std::fprintf(stderr, "%s: SPECIALIZED CODE EXECUTED MORE "
+                           "INSTRUCTIONS (%llu > %llu)\n",
+                   Row.Name.c_str(),
+                   (unsigned long long)Row.Opt.Instructions,
+                   (unsigned long long)Row.Orig.Instructions);
+      ++Violations;
+    }
+    Row.Reduced = Row.Opt.Instructions < Row.Orig.Instructions;
+    NumReduced += Row.Reduced;
+
+    double Pct =
+        Row.Orig.Instructions
+            ? 100.0 *
+                  (double)(Row.Orig.Instructions - Row.Opt.Instructions) /
+                  (double)Row.Orig.Instructions
+            : 0.0;
+    T.addRow({Row.Name, std::to_string(Row.Orig.Instructions),
+              std::to_string(Row.Opt.Instructions),
+              formatDouble(Pct, 1) + "%",
+              std::to_string(Row.Opt.FastPathHits),
+              std::to_string(Row.Rewrites), formatDouble(Row.Orig.Ms, 3),
+              formatDouble(Row.Opt.Ms, 3)});
+    Rows.push_back(std::move(Row));
+  }
+
+  std::fputs(T.str().c_str(), stdout);
+  std::printf("\n%d answer/regression violations; %d/%zu programs with a "
+              "strict dynamic-instruction reduction (gate: >= %d).\n",
+              Violations, NumReduced, Rows.size(), kMinReduced);
+  if (NumReduced < kMinReduced) {
+    std::fprintf(stderr, "REDUCTION GATE FAILED: %d/%zu < %d\n", NumReduced,
+                 Rows.size(), kMinReduced);
+    ++Violations;
+  }
+
+  FILE *J = std::fopen("BENCH_specialize.json", "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write BENCH_specialize.json\n");
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"bench\": \"ablation_specialize\",\n");
+  std::fprintf(J, "  \"violations\": %d,\n", Violations);
+  std::fprintf(J, "  \"reduced\": %d,\n", NumReduced);
+  std::fprintf(J, "  \"reduction_gate\": %d,\n", kMinReduced);
+  std::fprintf(J, "  \"programs\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const RowOut &R = Rows[I];
+    std::fprintf(J,
+                 "    {\"name\": \"%s\", \"orig_instructions\": %llu, "
+                 "\"opt_instructions\": %llu, \"fast_path_hits\": %llu, "
+                 "\"rewrites\": %llu, \"orig_ms\": %.4f, \"opt_ms\": %.4f, "
+                 "\"identical_answers\": %s}%s\n",
+                 R.Name.c_str(), (unsigned long long)R.Orig.Instructions,
+                 (unsigned long long)R.Opt.Instructions,
+                 (unsigned long long)R.Opt.FastPathHits,
+                 (unsigned long long)R.Rewrites, R.Orig.Ms, R.Opt.Ms,
+                 R.Identical ? "true" : "false",
+                 I + 1 != Rows.size() ? "," : "");
+  }
+  std::fprintf(J, "  ]\n}\n");
+  std::fclose(J);
+  std::printf("wrote BENCH_specialize.json\n");
+
+  return Violations != 0;
+}

@@ -38,17 +38,29 @@
 //                  registered list.
 //   --wam          print the compiled WAM code
 //   --modes        print the mode report (default prints patterns)
+//   --optimize     specialize the compiled code with the analysis facts
+//                  and print the rewrite report plus the annotated
+//                  listing (requires the compiled worklist analyzer and
+//                  the "modes" or "det" domain). Works in every session
+//                  shape: scratch runs, --edit chains (facts come from
+//                  the final incremental result) and --entries batches
+//                  (facts are joined across every entry's table).
 //   --baseline     use the meta-interpreting analyzer instead
 //   --trace        print the extension-table control trace
 //   --dead         report predicates unreachable from the entry goal
+//
+// Unknown --flags are rejected with the offending name; this header, the
+// usage string and the parser below list exactly the same option set.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analyzer/AbstractMachine.h"
 #include "analyzer/Domain.h"
 #include "analyzer/Session.h"
+#include "analyzer/Specialize.h"
 #include "baseline/MetaAnalyzer.h"
 #include "compiler/Disasm.h"
+#include "compiler/Specializer.h"
 #include "programs/Benchmarks.h"
 
 #include <cerrno>
@@ -70,7 +82,8 @@ int usage() {
       "[--entries FILE]\n                    [--depth K] [--threads N] "
       "[--spec-batch-min N] [--spec-batch-max N]\n                    "
       "[--warm-threads N] [--edit P/A]... [--domain NAME] [--wam] "
-      "[--modes]\n                    [--baseline] [--trace] [--dead]\n");
+      "[--modes]\n                    [--optimize] [--baseline] [--trace] "
+      "[--dead]\n");
   return 2;
 }
 
@@ -115,7 +128,7 @@ int main(int argc, char **argv) {
   int Threads = 1;
   int SpecBatchMin = 2, SpecBatchMax = 32, WarmThreads = 0;
   bool ShowWam = false, ShowModes = false, UseBaseline = false,
-       Trace = false, ShowDead = false;
+       Trace = false, ShowDead = false, Optimize = false;
   std::string DomainName = "modes";
   std::vector<PredSig> Edits;
   for (int I = 2; I < argc; ++I) {
@@ -193,14 +206,18 @@ int main(int argc, char **argv) {
       ShowWam = true;
     else if (Arg == "--modes")
       ShowModes = true;
+    else if (Arg == "--optimize")
+      Optimize = true;
     else if (Arg == "--baseline")
       UseBaseline = true;
     else if (Arg == "--trace")
       Trace = true;
     else if (Arg == "--dead")
       ShowDead = true;
-    else
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[I]);
       return usage();
+    }
   }
 
   std::string Source;
@@ -262,6 +279,28 @@ int main(int argc, char **argv) {
                  "--baseline / --trace)\n");
     return usage();
   }
+  if (Optimize && (UseBaseline || Trace)) {
+    std::fprintf(stderr,
+                 "--optimize requires the compiled worklist analyzer (no "
+                 "--baseline / --trace)\n");
+    return usage();
+  }
+  if (Optimize && DomainName != "modes" && DomainName != "det") {
+    std::fprintf(stderr, "--optimize requires the \"modes\" or \"det\" "
+                         "domain (facts come from call/success patterns)\n");
+    return usage();
+  }
+
+  // Runs the analyzer-directed specializer over the compiled module and
+  // prints the rewrite report plus the annotated listing. The input
+  // module is never mutated — CodeModule diffs, fingerprints and the
+  // analysis itself keep seeing the original stream.
+  auto printOptimized = [&](const AnalysisResult &Facts) {
+    SpecializationReport Rep;
+    CompiledProgram Spec = specializeProgram(
+        *Compiled, buildSpecializationFacts(Facts, *Compiled), Rep);
+    std::fputs(formatSpecialization(*Spec.Module, Rep).c_str(), stdout);
+  };
 
   // Batch mode: several entry goals through one persistent store. Every
   // spec is validated before any analysis runs (analyzeBatch's contract),
@@ -298,6 +337,18 @@ int main(int argc, char **argv) {
       if (ShowDead)
         std::fputs(formatReachability(BR, *Compiled).c_str(), stdout);
     }
+    if (Optimize) {
+      // Join the facts of every entry's table: items are self-contained
+      // (label + call + success), so concatenating the per-entry item
+      // lists and joining per predicate yields facts sound for all
+      // entries at once.
+      AnalysisResult Joined;
+      for (const AnalysisResult &BR : *Batch)
+        Joined.Items.insert(Joined.Items.end(), BR.Items.begin(),
+                            BR.Items.end());
+      std::printf("== optimized ==\n");
+      printOptimized(Joined);
+    }
     return 0;
   }
   const std::string Entry = Entries.empty() ? "main" : Entries.front();
@@ -318,7 +369,11 @@ int main(int argc, char **argv) {
                  : Compiled->Module->findPredicate(
                        S, static_cast<int>(Spec->second.Roots.size()));
     if (Pid < 0) {
-      std::fprintf(stderr, "entry %s is not defined\n", Entry.c_str());
+      std::fprintf(stderr, "%s\n",
+                   undefinedPredicateMessage(
+                       *Compiled->Module, "entry", Spec->first,
+                       static_cast<int>(Spec->second.Roots.size()))
+                       .c_str());
       return 1;
     }
     std::vector<std::string> Lines;
@@ -368,5 +423,7 @@ int main(int argc, char **argv) {
     std::fputs(R->Dom->formatFacts(*R, *Compiled).c_str(), stdout);
   if (ShowDead && !UseBaseline)
     std::fputs(formatReachability(*R, *Compiled).c_str(), stdout);
+  if (Optimize)
+    printOptimized(*R);
   return 0;
 }

@@ -649,6 +649,10 @@ bool AbstractMachine::step() {
   case Opcode::SwitchOnTerm:
   case Opcode::SwitchOnConstant:
   case Opcode::SwitchOnStructure:
+  // Specializer output is only ever run on the concrete machine; the
+  // analyzer always reads the unspecialized module.
+  case Opcode::GetListFused:
+  case Opcode::GetStructureFused:
     machineError("indexing instruction reached the abstract machine");
     return false;
   }

@@ -3,7 +3,9 @@
 #include "analyzer/Server.h"
 
 #include "analyzer/Domain.h"
+#include "analyzer/Specialize.h"
 #include "compiler/ProgramCompiler.h"
+#include "compiler/Specializer.h"
 
 #include <algorithm>
 #include <atomic>
@@ -47,6 +49,8 @@ constexpr const char *kHelpText =
     "  entry SPEC          e.g. entry qsort(glist, var, var)\n"
     "  batch SPEC; SPEC    several entries through the warm store\n"
     "  edit NAME/ARITY     incremental re-analysis after an edit\n"
+    "  optimize [SPEC]     specialize the loaded module with the facts of\n"
+    "                      SPEC (default: the last successful entry)\n"
     "  domain [NAME]       switch abstract domain (or show it)\n"
     "  modes               toggle mode report / pattern table\n"
     "  dump                canonical per-root store projection\n"
@@ -291,6 +295,10 @@ void AnalysisServer::process(ClientState &CS, const std::string &Line,
   }
   if (Verb == "edit") {
     doEdit(CS, Rest, R);
+    return;
+  }
+  if (Verb == "optimize") {
+    doOptimize(CS, Rest, R);
     return;
   }
   if (Verb == "dump") {
@@ -545,6 +553,93 @@ void AnalysisServer::doEdit(ClientState &CS, const std::string &Rest,
     std::lock_guard<std::mutex> CL(S.CacheMu);
     S.RespCache.clear();
   }
+  maybeEvict(&S);
+}
+
+void AnalysisServer::doOptimize(ClientState &CS, const std::string &Rest,
+                                Response &R) {
+  StoreSlot &S = *CS.Cursor;
+  std::string Spec = Rest;
+  if (Spec.empty()) {
+    auto SpecIt = CS.LastSpec.find(&S);
+    if (SpecIt == CS.LastSpec.end()) {
+      R.Err = "optimize what? (optimize qsort(glist, var, var), or run an "
+              "entry first)\n";
+      return;
+    }
+    Spec = SpecIt->second;
+  }
+  ++NQueries;
+  // The response is a pure function of (module, domain, spec) — the
+  // report toggle does not apply — so it rides the same per-slot cache
+  // and in-flight coalescing as entry/batch, under its own key prefix.
+  std::string Key = "o:" + Spec;
+
+  std::shared_ptr<Pending> P;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> CL(S.CacheMu);
+    auto Hit = S.RespCache.find(Key);
+    if (Hit != S.RespCache.end()) {
+      ++S.Hits;
+      ++NCacheHits;
+      R.Out = Hit->second;
+      S.LastTouch = ++TouchClock;
+      CS.LastSpec[&S] = Spec;
+      return;
+    }
+    auto In = S.InFlight.find(Key);
+    if (In != S.InFlight.end()) {
+      P = In->second;
+      ++NCoalesced;
+    } else {
+      P = std::make_shared<Pending>();
+      S.InFlight.emplace(Key, P);
+      Leader = true;
+    }
+  }
+
+  if (!Leader) {
+    std::unique_lock<std::mutex> PL(P->M);
+    P->CV.wait(PL, [&] { return P->Ready; });
+    R = P->R;
+    if (R.Err.empty())
+      CS.LastSpec[&S] = Spec;
+    return;
+  }
+
+  {
+    std::unique_lock<std::shared_mutex> SL(S.Mu);
+    ensureSession(S);
+    ++S.Drains;
+    ++NDrains;
+    Result<AnalysisResult> A = S.Session->analyze(Spec);
+    if (!A) {
+      R.Err = "analysis error: " + A.diag().str() + "\n";
+    } else {
+      SpecializationReport Rep;
+      CompiledProgram Opt = specializeProgram(
+          *S.Program, buildSpecializationFacts(*A, *S.Program), Rep);
+      R.Out = formatSpecialization(*Opt.Module, Rep);
+    }
+    meterBytes(S);
+  }
+  S.LastTouch = ++TouchClock;
+
+  {
+    std::lock_guard<std::mutex> CL(S.CacheMu);
+    if (R.Err.empty())
+      S.RespCache.emplace(Key, R.Out);
+    S.InFlight.erase(Key);
+  }
+  {
+    std::lock_guard<std::mutex> PL(P->M);
+    P->R = R;
+    P->Ready = true;
+  }
+  P->CV.notify_all();
+  if (R.Err.empty())
+    CS.LastSpec[&S] = Spec;
   maybeEvict(&S);
 }
 

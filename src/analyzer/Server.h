@@ -162,6 +162,11 @@ private:
   void doQuery(ClientState &CS, const std::string &Verb,
                const std::string &Rest, Response &R);
   void doEdit(ClientState &CS, const std::string &Rest, Response &R);
+  /// `optimize [SPEC]`: analyzes SPEC (default: the client's last
+  /// successful spec on this store) and responds with the specializer's
+  /// rewrite report plus the annotated listing of the optimized module.
+  /// Responses cache per slot like entry/batch (key prefix "o:").
+  void doOptimize(ClientState &CS, const std::string &Rest, Response &R);
   void doDump(ClientState &CS, Response &R);
   void doStats(ClientState &CS, Response &R);
   /// Compiles \p Source and selects (creating if new) its (fingerprint,

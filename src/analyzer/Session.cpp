@@ -98,8 +98,8 @@ AnalysisSession::analyzeBatch(const std::vector<std::string> &EntrySpecs) {
       Symbol Sym = M.symbols().lookup(P->first);
       int Arity = static_cast<int>(P->second.Roots.size());
       if (Sym == ~0u || M.findPredicate(Sym, Arity) < 0)
-        return makeError("entry predicate " + P->first + "/" +
-                         std::to_string(Arity) + " is not defined");
+        return makeError(
+            undefinedPredicateMessage(M, "entry", P->first, Arity));
     }
     Parsed.push_back(std::move(*P));
   }
@@ -141,8 +141,7 @@ AnalysisSession::analyzeCompiled(std::string_view Name,
   int Arity = static_cast<int>(Entry.Roots.size());
   int32_t Pid = Sym == ~0u ? -1 : M.findPredicate(Sym, Arity);
   if (Pid < 0)
-    return makeError("entry predicate " + std::string(Name) + "/" +
-                     std::to_string(Arity) + " is not defined");
+    return makeError(undefinedPredicateMessage(M, "entry", Name, Arity));
   LastEntryName.assign(Name);
   LastEntry = Entry;
   HaveEntry = true;
@@ -270,10 +269,35 @@ uint64_t AnalysisSession::coneSize(
       std::count(Mark.begin(), Mark.end(), char(1)));
 }
 
+/// Edit signatures are user input (--edit flags, server edit verbs): one
+/// naming a predicate the program never mentions — or an existing name at
+/// the wrong arity — is a typo, and silently analyzing with an empty edit
+/// cone would just echo the old result. Returns the near-miss diagnostic,
+/// or the empty string when every signature resolves. (The recompiled-
+/// program overload reanalyze(CompiledProgram) stays lenient on purpose:
+/// its diff legitimately names removed predicates.)
+static std::string validateEditSigs(const CompiledProgram *Program,
+                                    const std::vector<PredSig> &Edited) {
+  if (!Program)
+    return {};
+  const CodeModule &M = *Program->Module;
+  for (const PredSig &Sig : Edited) {
+    Symbol Sym = M.symbols().lookup(Sig.Name);
+    if (Sym == ~0u || M.findPredicate(Sym, Sig.Arity) < 0)
+      return undefinedPredicateMessage(M, "edited", Sig.Name, Sig.Arity);
+  }
+  return {};
+}
+
 Result<AnalysisResult>
 AnalysisSession::reanalyze(const std::vector<PredSig> &EditedPreds) {
   if (Custom)
     return makeError("reanalyze requires the compiled backend");
+  if (std::string Err = validateEditSigs(
+          Program ? Program : (PStore ? &PStore->program() : nullptr),
+          EditedPreds);
+      !Err.empty())
+    return makeError(std::move(Err));
   if (PStore)
     return PStore->reanalyze(EditedPreds);
   if (!HaveEntry)
@@ -292,6 +316,9 @@ AnalysisSession::reanalyze(const std::vector<PredSig> &EditedPreds,
   Result<AnalysisStore *> S = ensureStore();
   if (!S)
     return S.diag();
+  if (std::string Err = validateEditSigs(&(*S)->program(), EditedPreds);
+      !Err.empty())
+    return makeError(std::move(Err));
   Result<std::pair<std::string, Pattern>> Parsed = parseEntrySpec(EntrySpec);
   if (!Parsed)
     return Parsed.diag();
@@ -331,8 +358,8 @@ AnalysisSession::reanalyzeCompiled(const std::vector<PredSig> &Edited,
   int Arity = static_cast<int>(LastEntry.Roots.size());
   int32_t Pid = Sym == ~0u ? -1 : M.findPredicate(Sym, Arity);
   if (Pid < 0)
-    return makeError("entry predicate " + LastEntryName + "/" +
-                     std::to_string(Arity) + " is not defined");
+    return makeError(
+        undefinedPredicateMessage(M, "entry", LastEntryName, Arity));
 
   // The outgoing run's journal feeds this drain; a fresh journal records
   // it in turn (replays carry their traces over) for the next link of the

@@ -1,0 +1,35 @@
+//===- analyzer/Specialize.h - Analysis facts for the specializer -*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge from an AnalysisResult to the compiler's analyzer-neutral
+/// SpecializationFacts: per predicate, argument binding facts joined over
+/// every table item (calling pattern), the distinct first-argument call
+/// shapes, and the determinism class from the det machinery. This is the
+/// only translation point — the compiler's Specializer never sees
+/// patterns or extension tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_ANALYZER_SPECIALIZE_H
+#define AWAM_ANALYZER_SPECIALIZE_H
+
+#include "analyzer/Analyzer.h"
+#include "compiler/Specializer.h"
+
+namespace awam {
+
+/// Builds specializer facts from \p R's extension table. Facts are joined
+/// across all of a predicate's items, so they hold at *every* call the
+/// analysis saw; predicates with no table item stay Analyzed = false and
+/// are copied verbatim by the specializer. Failing items still contribute
+/// their call shapes (the dispatch runs even when the call then fails).
+SpecializationFacts buildSpecializationFacts(const AnalysisResult &R,
+                                             const CompiledProgram &Program);
+
+} // namespace awam
+
+#endif // AWAM_ANALYZER_SPECIALIZE_H

@@ -75,8 +75,7 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
   int Arity = static_cast<int>(Entry.Roots.size());
   int32_t Pid = Sym == ~0u ? -1 : M.findPredicate(Sym, Arity);
   if (Pid < 0)
-    return makeError("entry predicate " + std::string(Name) + "/" +
-                     std::to_string(Arity) + " is not defined");
+    return makeError(undefinedPredicateMessage(M, "entry", Name, Arity));
   ++St.Queries;
   LastName.assign(Name);
   LastEntry = Entry;

@@ -160,9 +160,13 @@ Result<AnalysisResult> MetaAnalyzer::analyze(std::string_view Name,
   Symbol S = Syms.lookup(Name);
   int Arity = static_cast<int>(Entry.Roots.size());
   auto It = S == ~0u ? PredIndex.end() : PredIndex.find({S, Arity});
-  if (It == PredIndex.end())
-    return makeError("entry predicate " + std::string(Name) + "/" +
-                     std::to_string(Arity) + " is not defined");
+  if (It == PredIndex.end()) {
+    std::vector<std::pair<std::string, int>> Defined;
+    for (const auto &[Key, Idx] : PredIndex)
+      Defined.emplace_back(std::string(Syms.name(Key.first)), Key.second);
+    return makeError(
+        undefinedPredicateMessage("entry", Name, Arity, Defined));
+  }
 
   Table = ExtensionTable(Options.TableImpl);
   Activations = 0;

@@ -31,6 +31,22 @@ static std::string addr(int32_t A) {
   return A == kFailTarget ? "fail" : "@" + std::to_string(A);
 }
 
+// Specialization-flag suffix (" {nv}", " {free}", " {ground}"); empty for
+// unflagged instructions, so unspecialized listings are byte-identical to
+// the pre-specializer renderer.
+static std::string flagsText(uint8_t Flags) {
+  if (!Flags)
+    return "";
+  std::string Out = " {";
+  if (Flags & specflag::KnownNonvar)
+    Out += "nv";
+  if (Flags & specflag::KnownFree)
+    Out += Out.back() == '{' ? "free" : ",free";
+  if (Flags & specflag::KnownGround)
+    Out += Out.back() == '{' ? "ground" : ",ground";
+  return Out + "}";
+}
+
 std::string awam::disassembleInstruction(const CodeModule &M,
                                          const Instruction &I) {
   std::string Name = padRight(opcodeName(I.Op), 20);
@@ -42,11 +58,18 @@ std::string awam::disassembleInstruction(const CodeModule &M,
   case Opcode::GetValueY:
     return Name + regY(I.A) + ", " + regA(I.B);
   case Opcode::GetConst:
-    return Name + constText(M, I.A) + ", " + regA(I.B);
+    return Name + constText(M, I.A) + ", " + regA(I.B) + flagsText(I.Flags);
   case Opcode::GetList:
-    return Name + regA(I.A);
+    return Name + regA(I.A) + flagsText(I.Flags);
   case Opcode::GetStructure:
-    return Name + functorText(M, I.A) + ", " + regA(I.B);
+    return Name + functorText(M, I.A) + ", " + regA(I.B) +
+           flagsText(I.Flags);
+  case Opcode::GetListFused:
+    return Name + regA(I.A) + ", " + std::to_string(I.B) + " ops" +
+           flagsText(I.Flags);
+  case Opcode::GetStructureFused:
+    return Name + functorText(M, I.A) + ", " + regA(I.B) + ", " +
+           std::to_string(I.C) + " ops" + flagsText(I.Flags);
   case Opcode::PutVariableX:
   case Opcode::PutValueX:
     return Name + regX(I.A) + ", " + regA(I.B);

@@ -44,6 +44,8 @@ std::string_view awam::opcodeName(Opcode Op) {
   case Opcode::CutY: return "cut_y";
   case Opcode::Builtin: return "builtin";
   case Opcode::Halt: return "halt";
+  case Opcode::GetListFused: return "get_list_fused";
+  case Opcode::GetStructureFused: return "get_structure_fused";
   }
   return "<bad opcode>";
 }

@@ -85,17 +85,44 @@ enum class Opcode : uint8_t {
   // Escapes.
   Builtin, ///< run builtin A with B arguments in A[0..B-1]
   Halt,    ///< stop the machine (top-level success)
+
+  // Specialized instructions (emitted only by compiler/Specializer; the
+  // abstract machine never sees them — specialized modules exist solely to
+  // run on the concrete machine). Appended after Halt so the opcode values
+  // of the analyzable instruction set are unchanged.
+  GetListFused, ///< get_list A[A], then run the B inline unify operands
+                ///< that follow this word, in one dispatch
+  GetStructureFused, ///< get_structure pool entry A against A[B], then run
+                     ///< the C inline unify operands in one dispatch
 };
 
 /// Returns the mnemonic of \p Op (e.g. "get_structure").
 std::string_view opcodeName(Opcode Op);
 
+/// Per-instruction specialization flags (compiler/Specializer). A flag
+/// asserts a dataflow fact about the instruction's argument register that
+/// the concrete machine may exploit as a fast path; a flagged instruction
+/// with the fact absent at runtime still behaves correctly (the flags
+/// gate shortcuts, never semantics).
+namespace specflag {
+/// deref(A[arg]) is never an unbound variable at this instruction.
+inline constexpr uint8_t KnownNonvar = 1u << 0;
+/// deref(A[arg]) is always an unbound, unaliased variable (write mode).
+inline constexpr uint8_t KnownFree = 1u << 1;
+/// deref(A[arg]) is always ground (no variables anywhere below it).
+inline constexpr uint8_t KnownGround = 1u << 2;
+} // namespace specflag
+
 /// One decoded instruction. The meaning of A/B depends on the opcode; see
-/// the Opcode enum. C is unused except as spare (kept for uniform decoding).
+/// the Opcode enum. C is a third operand used only by the specialized
+/// opcodes (spare for the rest, kept for uniform decoding); Flags carries
+/// specflag bits set by the specializer (0 in compiler output).
 struct Instruction {
   Opcode Op;
   int32_t A = 0;
   int32_t B = 0;
+  int32_t C = 0;
+  uint8_t Flags = 0;
 };
 
 } // namespace awam

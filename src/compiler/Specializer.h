@@ -1,0 +1,122 @@
+//===- compiler/Specializer.h - Analysis-directed code rewriting -*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The specializer closes the paper's loop: dataflow facts produced by the
+/// analyzer (per-predicate calling patterns and determinism classes) license
+/// rewrites of the compiled WAM code. The compiler layer stays independent
+/// of the analyzer — facts arrive as the neutral SpecializationFacts value,
+/// and analyzer/Specialize.h owns the translation from an AnalysisResult.
+///
+/// Every rewrite is answer-preserving by construction (see DESIGN.md §17);
+/// the analysis facts only select *where* a rewrite applies, never alter
+/// what the rewritten code computes on inputs the facts cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_COMPILER_SPECIALIZER_H
+#define AWAM_COMPILER_SPECIALIZER_H
+
+#include "compiler/ProgramCompiler.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace awam {
+
+/// Abstract shape of a call's first argument, joined over the analyzer's
+/// table items for one predicate. Drives clause pruning and dispatch
+/// shortcuts; kinds are ordered from "know nothing" to "know the value".
+struct CallShape {
+  enum Kind : uint8_t {
+    AnyShape,    ///< no information (the argument may be unbound)
+    NonvarShape, ///< instantiated, but shape unknown
+    VarShape,    ///< an unbound variable
+    ConstShape,  ///< an atom or integer; Exact when the value is known
+    ListShape,   ///< a list: either [] or a cons cell
+    ConsShape,   ///< definitely a cons cell (never [])
+    StructShape, ///< a structure; Exact when the functor is known
+  };
+  Kind K = AnyShape;
+  bool Exact = false;   ///< Const / Functor below carries the exact value
+  ConstOperand Const{}; ///< for exact ConstShape
+  FunctorArity Functor{}; ///< for exact StructShape
+};
+
+/// Facts about one argument position, valid at *every* call that reaches
+/// the predicate (the join over all table items).
+struct ArgSpecFacts {
+  bool KnownNonvar = false; ///< always instantiated on entry
+  bool KnownFree = false;   ///< always an unbound, unaliased variable
+  bool KnownGround = false; ///< always fully instantiated (implies Nonvar)
+};
+
+/// Determinism class from the det machinery (analyzer/DetFacts.h), joined
+/// over the predicate's table items. Unknown when no det facts were
+/// computed or no item mentions the predicate.
+enum class DetSpecClass : uint8_t { Unknown, Det, Semidet, Nondet, Fails };
+
+/// Everything the specializer knows about one predicate.
+struct PredSpecFacts {
+  /// True when at least one calling pattern reaches the predicate. An
+  /// unanalyzed predicate is copied verbatim — no facts, no rewrites.
+  bool Analyzed = false;
+  std::vector<ArgSpecFacts> Args;  ///< size == arity when Analyzed
+  std::vector<CallShape> Shapes;   ///< distinct first-argument call shapes
+  DetSpecClass Det = DetSpecClass::Unknown;
+};
+
+/// Analyzer-neutral input to the specializer, indexed by predicate id of
+/// the module being specialized.
+struct SpecializationFacts {
+  std::vector<PredSpecFacts> Preds;
+};
+
+/// What the specializer did, for the annotated listing and the ablation
+/// gate's sanity checks.
+struct SpecializationReport {
+  uint64_t FusedBlocks = 0;     ///< get_list/get_structure blocks fused
+  uint64_t FusedOperands = 0;   ///< unify words folded into fused blocks
+  uint64_t FlaggedInstrs = 0;   ///< instructions carrying specflag bits
+  uint64_t PrunedClauses = 0;   ///< clauses dropped (no call shape matches)
+  uint64_t CollapsedChains = 0; ///< try chains truncated at a commit point
+  uint64_t ShortcutSwitches = 0; ///< switch_on_term dispatches elided
+  uint64_t FailVarTargets = 0;  ///< var targets proved unreachable
+  uint64_t DeletedNeckCuts = 0; ///< neck cuts that became no-ops
+  /// One line per rewritten predicate ("foo/2: pruned 1 clause, ...").
+  std::vector<std::string> Notes;
+
+  /// Total count of individual rewrites applied.
+  uint64_t totalRewrites() const {
+    return FusedBlocks + FlaggedInstrs + PrunedClauses + CollapsedChains +
+           ShortcutSwitches + FailVarTargets + DeletedNeckCuts;
+  }
+};
+
+/// Rewrites \p M under \p Facts into a fresh module sharing M's symbol
+/// table. Predicate ids are preserved, so Call/Execute operands carry over
+/// unchanged. The result is for the *concrete* machine only: fused opcodes
+/// are not part of the analyzable instruction set, and the specialized
+/// module must never be analyzed, diffed, or fingerprint-keyed.
+std::unique_ptr<CodeModule> specializeModule(const CodeModule &M,
+                                             const SpecializationFacts &Facts,
+                                             SpecializationReport &Report);
+
+/// Convenience: specializes \p P's module and carries the compilation
+/// metadata (register file size, static profile) over unchanged.
+CompiledProgram specializeProgram(const CompiledProgram &P,
+                                  const SpecializationFacts &Facts,
+                                  SpecializationReport &Report);
+
+/// Renders the rewrite summary plus the specialized module's disassembly
+/// (flagged and fused instructions show their annotations inline).
+std::string formatSpecialization(const CodeModule &Spec,
+                                 const SpecializationReport &Report);
+
+} // namespace awam
+
+#endif // AWAM_COMPILER_SPECIALIZER_H

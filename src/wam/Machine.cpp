@@ -2,6 +2,8 @@
 
 #include "wam/Machine.h"
 
+#include "support/Timer.h"
+
 #include <algorithm>
 
 using namespace awam;
@@ -138,6 +140,64 @@ bool Machine::unify(Cell A, Cell B_) {
   return true;
 }
 
+/// One unify_* instruction in the current read/write mode. Shared by the
+/// dispatch loop and the fused get handlers (which run their inline
+/// operand words through here without per-instruction dispatch). Returns
+/// false when the caller must fail().
+bool Machine::execUnifyOp(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::UnifyVariableX:
+    if (WriteMode)
+      X[I.A] = Cell::ref(St.pushVar());
+    else
+      X[I.A] = Cell::ref(S++);
+    return true;
+  case Opcode::UnifyVariableY:
+    if (WriteMode)
+      ySlot(I.A) = Cell::ref(St.pushVar());
+    else
+      ySlot(I.A) = Cell::ref(S++);
+    return true;
+  case Opcode::UnifyValueX:
+    if (WriteMode) {
+      St.push(X[I.A]);
+      return true;
+    }
+    return unify(X[I.A], Cell::ref(S++));
+  case Opcode::UnifyValueY:
+    if (WriteMode) {
+      St.push(ySlot(I.A));
+      return true;
+    }
+    return unify(ySlot(I.A), Cell::ref(S++));
+  case Opcode::UnifyConst: {
+    const ConstOperand &C = Module.constAt(I.A);
+    Cell K = C.K == ConstOperand::IntK ? Cell::integer(C.Int)
+                                       : Cell::atom(C.Name);
+    if (WriteMode) {
+      St.push(K);
+      return true;
+    }
+    DerefResult D = St.deref(Cell::ref(S++));
+    if (D.C.T == Tag::Ref) {
+      St.bind(D.Addr, K);
+      return true;
+    }
+    return D.C.T == K.T && D.C.V == K.V;
+  }
+  case Opcode::UnifyVoid:
+    if (WriteMode)
+      for (int32_t N = 0; N != I.A; ++N)
+        St.pushVar();
+    else
+      S += I.A;
+    return true;
+  default:
+    machineError("non-unify operand word in a fused block");
+    return false;
+  }
+}
+
 RunStatus Machine::runLoop() {
   for (;;) {
     if (HasError)
@@ -184,18 +244,27 @@ RunStatus Machine::runLoop() {
       Cell K = C.K == ConstOperand::IntK ? Cell::integer(C.Int)
                                          : Cell::atom(C.Name);
       DerefResult D = St.deref(X[I.B]);
-      if (D.C.T == Tag::Ref)
+      if (D.C.T == Tag::Ref) {
+        if (I.Flags & specflag::KnownFree)
+          ++Stats.FastPathHits;
         St.bind(D.Addr, K);
-      else if (D.C.T != K.T || D.C.V != K.V)
+      } else if (D.C.T != K.T || D.C.V != K.V) {
         fail();
+      } else if (I.Flags & specflag::KnownNonvar) {
+        ++Stats.FastPathHits;
+      }
       break;
     }
     case Opcode::GetList: {
       DerefResult D = St.deref(X[I.A]);
       if (D.C.T == Tag::Ref) {
+        if (I.Flags & specflag::KnownFree)
+          ++Stats.FastPathHits;
         St.bind(D.Addr, Cell::lis(St.heapTop()));
         WriteMode = true;
       } else if (D.C.T == Tag::Lis) {
+        if (I.Flags & specflag::KnownNonvar)
+          ++Stats.FastPathHits;
         S = D.C.V;
         WriteMode = false;
       } else {
@@ -207,6 +276,8 @@ RunStatus Machine::runLoop() {
       const FunctorArity &F = Module.functorAt(I.A);
       DerefResult D = St.deref(X[I.B]);
       if (D.C.T == Tag::Ref) {
+        if (I.Flags & specflag::KnownFree)
+          ++Stats.FastPathHits;
         int64_t FunAddr = St.push(Cell::fun(F.Name, F.Arity));
         St.bind(D.Addr, Cell::str(FunAddr));
         WriteMode = true;
@@ -216,11 +287,72 @@ RunStatus Machine::runLoop() {
           fail();
           break;
         }
+        if (I.Flags & specflag::KnownNonvar)
+          ++Stats.FastPathHits;
         S = D.C.V + 1;
         WriteMode = false;
       } else {
         fail();
       }
+      break;
+    }
+    case Opcode::GetListFused: {
+      // Specialized form: get_list A[A] plus the I.B unify operand words
+      // that follow, all under one dispatch. Semantics are exactly the
+      // unfused sequence; a failure mid-block just backtracks (the choice
+      // point restores P, so the skipped operands don't matter).
+      DerefResult D = St.deref(X[I.A]);
+      if (D.C.T == Tag::Ref) {
+        if (I.Flags & specflag::KnownFree)
+          ++Stats.FastPathHits;
+        St.bind(D.Addr, Cell::lis(St.heapTop()));
+        WriteMode = true;
+      } else if (D.C.T == Tag::Lis) {
+        if (I.Flags & specflag::KnownNonvar)
+          ++Stats.FastPathHits;
+        S = D.C.V;
+        WriteMode = false;
+      } else {
+        fail();
+        break;
+      }
+      for (int32_t End = P + I.B; P != End; )
+        if (!execUnifyOp(Module.at(P++))) {
+          fail();
+          break;
+        }
+      break;
+    }
+    case Opcode::GetStructureFused: {
+      // Specialized form: get_structure pool A against A[B] plus the I.C
+      // following unify operand words under one dispatch.
+      const FunctorArity &F = Module.functorAt(I.A);
+      DerefResult D = St.deref(X[I.B]);
+      if (D.C.T == Tag::Ref) {
+        if (I.Flags & specflag::KnownFree)
+          ++Stats.FastPathHits;
+        int64_t FunAddr = St.push(Cell::fun(F.Name, F.Arity));
+        St.bind(D.Addr, Cell::str(FunAddr));
+        WriteMode = true;
+      } else if (D.C.T == Tag::Str) {
+        const Cell &FC = St.at(D.C.V);
+        if (FC.V != F.Name || FC.funArity() != F.Arity) {
+          fail();
+          break;
+        }
+        if (I.Flags & specflag::KnownNonvar)
+          ++Stats.FastPathHits;
+        S = D.C.V + 1;
+        WriteMode = false;
+      } else {
+        fail();
+        break;
+      }
+      for (int32_t End = P + I.C; P != End; )
+        if (!execUnifyOp(Module.at(P++))) {
+          fail();
+          break;
+        }
       break;
     }
 
@@ -263,50 +395,13 @@ RunStatus Machine::runLoop() {
 
     // ---- Unify instructions -----------------------------------------
     case Opcode::UnifyVariableX:
-      if (WriteMode)
-        X[I.A] = Cell::ref(St.pushVar());
-      else
-        X[I.A] = Cell::ref(S++);
-      break;
     case Opcode::UnifyVariableY:
-      if (WriteMode)
-        ySlot(I.A) = Cell::ref(St.pushVar());
-      else
-        ySlot(I.A) = Cell::ref(S++);
-      break;
     case Opcode::UnifyValueX:
-      if (WriteMode)
-        St.push(X[I.A]);
-      else if (!unify(X[I.A], Cell::ref(S++)))
-        fail();
-      break;
     case Opcode::UnifyValueY:
-      if (WriteMode)
-        St.push(ySlot(I.A));
-      else if (!unify(ySlot(I.A), Cell::ref(S++)))
-        fail();
-      break;
-    case Opcode::UnifyConst: {
-      const ConstOperand &C = Module.constAt(I.A);
-      Cell K = C.K == ConstOperand::IntK ? Cell::integer(C.Int)
-                                         : Cell::atom(C.Name);
-      if (WriteMode) {
-        St.push(K);
-      } else {
-        DerefResult D = St.deref(Cell::ref(S++));
-        if (D.C.T == Tag::Ref)
-          St.bind(D.Addr, K);
-        else if (D.C.T != K.T || D.C.V != K.V)
-          fail();
-      }
-      break;
-    }
+    case Opcode::UnifyConst:
     case Opcode::UnifyVoid:
-      if (WriteMode)
-        for (int32_t N = 0; N != I.A; ++N)
-          St.pushVar();
-      else
-        S += I.A;
+      if (!execUnifyOp(I))
+        fail();
       break;
 
     // ---- Procedural instructions ------------------------------------
@@ -480,6 +575,17 @@ RunStatus Machine::runLoop() {
 RunStatus Machine::solve(const Term *Goal, int NumGoalVars, TermArena &Arena,
                          std::vector<Solution> &SolutionsOut,
                          int MaxSolutions) {
+  Timer Wall;
+  RunStatus Status = solveImpl(Goal, NumGoalVars, Arena, SolutionsOut,
+                               MaxSolutions);
+  Stats.WallMs = Wall.elapsedMs();
+  return Status;
+}
+
+RunStatus Machine::solveImpl(const Term *Goal, int NumGoalVars,
+                             TermArena &Arena,
+                             std::vector<Solution> &SolutionsOut,
+                             int MaxSolutions) {
   // Reset all dynamic state.
   St.reset();
   Stack.clear();

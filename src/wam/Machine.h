@@ -54,6 +54,11 @@ struct MachineStats {
   uint64_t ChoicePoints = 0;  ///< choice points created (Try executed)
   uint64_t Environments = 0;  ///< environments allocated
   uint64_t Backtracks = 0;
+  /// Flagged specialized instructions whose asserted fact held at runtime
+  /// (deref/bind shortcut taken). Always 0 on unspecialized code.
+  uint64_t FastPathHits = 0;
+  /// Wall-clock of the last solve() in milliseconds.
+  double WallMs = 0.0;
   size_t MaxHeapCells = 0;
   size_t MaxTrailEntries = 0;
   size_t MaxStackSlots = 0;
@@ -99,9 +104,12 @@ public:
 
 private:
 
+  RunStatus solveImpl(const Term *Goal, int NumGoalVars, TermArena &Arena,
+                      std::vector<Solution> &SolutionsOut, int MaxSolutions);
   RunStatus runLoop();
   bool backtrack();                  // false when no choice point remains
   void fail() { Failed = true; }     // triggers backtrack in the loop
+  bool execUnifyOp(const Instruction &I); // one unify_* in the current mode
   bool unify(Cell A, Cell B);
   bool runBuiltin(int Id, int Arity);
   bool evalArith(Cell C, int64_t &Out);
