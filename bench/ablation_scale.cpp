@@ -1,0 +1,304 @@
+//===- bench/ablation_scale.cpp - Cross-module analysis at scale ----------===//
+//
+// Measures the separate-compilation pipeline end to end on generated
+// large programs: library and user units compiled separately, linked
+// with linkPrograms, analyzed cold under a persistent store, exported as
+// a summary bundle, and re-analyzed warm in a fresh session seeded by
+// importSummaries. The corpus ladder runs to >=10k clauses (knob:
+// argv[2]); two DCG-shaped grammars add a differently-shaped workload.
+//
+// Every program analyzes a whole-program driver entry (drive/1 calls
+// every predicate), so the analysis cone — and the exported bundle —
+// grows with the program, giving a real clauses-vs-ms/MB curve.
+//
+// Gates, checked before the JSON is written and reflected in the exit
+// code:
+//   * warm re-analysis is byte-identical to the cold analysis on every
+//     program (hard: any divergence fails the bench);
+//   * warm re-analysis is strictly faster than cold on all but at most
+//     two programs (replay must pay at scale, not just validate).
+//
+// Output: a human-readable table on stdout and BENCH_scale.json in the
+// current directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "compiler/ModuleLink.h"
+#include "support/StringUtil.h"
+#include "tests/RandomProgramGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace awam;
+using namespace awam::bench;
+using namespace awam::testgen;
+
+namespace {
+
+struct RowOut {
+  std::string Name;
+  std::string Kind;       ///< "corpus" or "grammar"
+  int Clauses = 0;
+  size_t Items = 0;       ///< extension-table entries at the fixpoint
+  double CompileMs = 0;
+  double LinkMs = 0;
+  double ColdMs = 0;
+  double ImportMs = 0;
+  double WarmMs = 0;
+  uint64_t StoreBytes = 0;
+  uint64_t BundleBytes = 0;
+  uint64_t Banked = 0;
+  uint64_t Replayed = 0;
+  bool Identical = false;
+  bool WarmFaster = false;
+};
+
+int countClauses(const std::string &Src) {
+  int N = 0;
+  for (size_t I = 0; I + 1 < Src.size(); ++I)
+    if (Src[I] == '.' && Src[I + 1] == '\n')
+      ++N;
+  return N;
+}
+
+/// One program through the whole pipeline. Units holds the separately
+/// compiled modules in link order (libraries first); a single unit skips
+/// the linker. Returns false on any pipeline error (already reported).
+bool runProgram(const std::string &Name, const std::string &Kind,
+                int Clauses, const std::vector<std::string> &Sources,
+                const std::vector<std::string> &Labels, const std::string &E,
+                double MinTotalMs, RowOut &Row) {
+  Row.Name = Name;
+  Row.Kind = Kind;
+  Row.Clauses = Clauses;
+
+  SymbolTable Syms;
+  TermArena Arena;
+  std::vector<CompiledProgram> Units;
+  Timer T;
+  for (size_t I = 0; I != Sources.size(); ++I) {
+    Result<CompiledProgram> C = compileSource(Sources[I], Syms, Arena);
+    if (!C) {
+      std::fprintf(stderr, "%s: %s: compile error: %s\n", Name.c_str(),
+                   Labels[I].c_str(), C.diag().str().c_str());
+      return false;
+    }
+    Units.push_back(C.take());
+  }
+  Row.CompileMs = T.elapsedMs();
+
+  CompiledProgram *Prog = &Units.front();
+  std::optional<LinkedProgram> Linked;
+  if (Units.size() > 1) {
+    std::vector<ModuleUnit> In;
+    for (size_t I = 0; I != Units.size(); ++I)
+      In.push_back({&Units[I], Labels[I]});
+    T.reset();
+    Result<LinkedProgram> L = linkPrograms(In);
+    Row.LinkMs = T.elapsedMs();
+    if (!L) {
+      std::fprintf(stderr, "%s: link error: %s\n", Name.c_str(),
+                   L.diag().str().c_str());
+      return false;
+    }
+    if (!L->UnresolvedImports.empty()) {
+      std::fprintf(stderr, "%s: %zu unresolved imports after link\n",
+                   Name.c_str(), L->UnresolvedImports.size());
+      return false;
+    }
+    Linked.emplace(L.take());
+    Prog = &Linked->Program;
+  }
+
+  AnalyzerOptions AO;
+  AO.Persistent = true;
+
+  // Cold: fresh persistent session per run; the first run also takes the
+  // reference report and exports the bundle the warm runs import.
+  std::string Report;
+  std::string Bundle;
+  {
+    int N = 0;
+    Timer Budget;
+    do {
+      AnalysisSession S(*Prog, AO);
+      T.reset();
+      Result<AnalysisResult> R = S.analyze(E);
+      Row.ColdMs += T.elapsedMs();
+      ++N;
+      if (!R) {
+        std::fprintf(stderr, "%s: cold analyze error: %s\n", Name.c_str(),
+                     R.diag().str().c_str());
+        return false;
+      }
+      if (Report.empty()) {
+        Report = formatAnalysis(*R, Syms);
+        Row.Items = R->Items.size();
+        Row.StoreBytes = S.store()->bytesUsed();
+        Result<std::string> B = S.exportSummaries();
+        if (!B) {
+          std::fprintf(stderr, "%s: export error: %s\n", Name.c_str(),
+                       B.diag().str().c_str());
+          return false;
+        }
+        Bundle = B.take();
+        Row.BundleBytes = Bundle.size();
+      }
+    } while (Budget.elapsedMs() < MinTotalMs);
+    Row.ColdMs /= N;
+  }
+
+  // Warm: fresh session, import the bundle, re-analyze the same entry.
+  {
+    int N = 0;
+    Timer Budget;
+    do {
+      AnalysisSession W(*Prog, AO);
+      T.reset();
+      Result<AnalysisStore::ImportStats> IS = W.importSummaries(Bundle);
+      Row.ImportMs += T.elapsedMs();
+      if (!IS) {
+        std::fprintf(stderr, "%s: import error: %s\n", Name.c_str(),
+                     IS.diag().str().c_str());
+        return false;
+      }
+      T.reset();
+      Result<AnalysisResult> R = W.analyze(E);
+      Row.WarmMs += T.elapsedMs();
+      ++N;
+      if (!R) {
+        std::fprintf(stderr, "%s: warm analyze error: %s\n", Name.c_str(),
+                     R.diag().str().c_str());
+        return false;
+      }
+      if (N == 1) {
+        Row.Identical = formatAnalysis(*R, Syms) == Report;
+        Row.Banked = IS->Banked;
+        Row.Replayed = W.store()->stats().ReplayedRuns;
+      }
+    } while (Budget.elapsedMs() < MinTotalMs);
+    Row.ImportMs /= N;
+    Row.WarmMs /= N;
+  }
+  Row.WarmFaster = Row.WarmMs < Row.ColdMs;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  double MinTotalMs = argc > 1 ? std::atof(argv[1]) : 400.0;
+  int MaxClauses = argc > 2 ? std::atoi(argv[2]) : 10000;
+
+  std::printf("Ablation A10: cross-module analysis at scale "
+              "(separate compilation -> link -> cold analyze -> export -> "
+              "import -> warm analyze, drive/1 cone)\n\n");
+
+  // The corpus ladder: eight sizes up to MaxClauses, distinct seeds so
+  // no two programs share structure; plus two DCG grammars.
+  struct Spec {
+    int Clauses;
+    uint64_t Seed;
+  };
+  const Spec Ladder[] = {{MaxClauses / 16, 101}, {MaxClauses / 8, 102},
+                         {MaxClauses / 4, 103},  {MaxClauses * 3 / 8, 104},
+                         {MaxClauses / 2, 105},  {MaxClauses * 5 / 8, 106},
+                         {MaxClauses * 3 / 4, 107}, {MaxClauses, 108}};
+
+  std::vector<RowOut> Rows;
+  bool PipelineOk = true;
+
+  for (const Spec &Sp : Ladder) {
+    CorpusOptions O;
+    O.Clauses = std::max(64, Sp.Clauses);
+    Corpus C = generateCorpus(Sp.Seed, O);
+    RowOut Row;
+    if (!runProgram("corpus" + std::to_string(O.Clauses), "corpus",
+                    C.LibraryClauses + C.UserClauses, {C.Library, C.User},
+                    {"lib", "user"}, C.Entries.back(), MinTotalMs / 10, Row))
+      PipelineOk = false;
+    else
+      Rows.push_back(Row);
+  }
+  for (int NT : {std::max(16, MaxClauses / 100), std::max(24, MaxClauses / 50)}) {
+    GrammarOptions GO;
+    GO.Nonterminals = NT;
+    GO.RulesPerNt = 4;
+    std::string G = generateGrammar(7, GO);
+    std::string Entry =
+        "nt" + std::to_string(NT - 1) + "(glist, var)";
+    RowOut Row;
+    if (!runProgram("grammar" + std::to_string(NT), "grammar",
+                    countClauses(G), {G}, {"grammar"}, Entry, MinTotalMs / 10,
+                    Row))
+      PipelineOk = false;
+    else
+      Rows.push_back(Row);
+  }
+
+  TextTable Tab({"Program", "clauses", "entries", "compile(ms)", "link(ms)",
+                 "cold(ms)", "import(ms)", "warm(ms)", "store(KB)",
+                 "bundle(KB)", "replayed", "warm<cold"});
+  int Identical = 0, Faster = 0;
+  for (const RowOut &R : Rows) {
+    Identical += R.Identical;
+    Faster += R.WarmFaster;
+    Tab.addRow({R.Name, std::to_string(R.Clauses), std::to_string(R.Items),
+                formatDouble(R.CompileMs, 2), formatDouble(R.LinkMs, 2),
+                formatDouble(R.ColdMs, 2), formatDouble(R.ImportMs, 2),
+                formatDouble(R.WarmMs, 2),
+                std::to_string(R.StoreBytes / 1024),
+                std::to_string(R.BundleBytes / 1024),
+                std::to_string(R.Replayed) + "/" + std::to_string(R.Banked),
+                R.WarmFaster ? "yes" : "NO"});
+  }
+  std::fputs(Tab.str().c_str(), stdout);
+
+  const int AllowedSlower = 2;
+  bool IdentOk = Identical == static_cast<int>(Rows.size());
+  bool FasterOk =
+      Faster + AllowedSlower >= static_cast<int>(Rows.size());
+  std::printf("\nwarm byte-identical to cold on %d/%zu programs; warm "
+              "strictly faster on %d/%zu (gate: all identical, at most %d "
+              "slower).\n",
+              Identical, Rows.size(), Faster, Rows.size(), AllowedSlower);
+
+  FILE *J = std::fopen("BENCH_scale.json", "w");
+  if (!J) {
+    std::fprintf(stderr, "cannot write BENCH_scale.json\n");
+    return 1;
+  }
+  std::fprintf(J, "{\n  \"bench\": \"ablation_scale\",\n");
+  std::fprintf(J, "  \"max_clauses\": %d,\n", MaxClauses);
+  std::fprintf(J, "  \"warm_identical\": %d,\n", Identical);
+  std::fprintf(J, "  \"warm_faster\": %d,\n", Faster);
+  std::fprintf(J, "  \"programs\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const RowOut &R = Rows[I];
+    std::fprintf(
+        J,
+        "    {\"name\": \"%s\", \"kind\": \"%s\", \"clauses\": %d, "
+        "\"et_entries\": %zu, \"compile_ms\": %.4f, \"link_ms\": %.4f, "
+        "\"cold_ms\": %.4f, \"import_ms\": %.4f, \"warm_ms\": %.4f, "
+        "\"store_bytes\": %llu, \"bundle_bytes\": %llu, \"banked\": %llu, "
+        "\"replayed\": %llu, \"warm_identical\": %s, \"warm_faster\": %s}%s\n",
+        R.Name.c_str(), R.Kind.c_str(), R.Clauses, R.Items, R.CompileMs,
+        R.LinkMs, R.ColdMs, R.ImportMs, R.WarmMs,
+        static_cast<unsigned long long>(R.StoreBytes),
+        static_cast<unsigned long long>(R.BundleBytes),
+        static_cast<unsigned long long>(R.Banked),
+        static_cast<unsigned long long>(R.Replayed),
+        R.Identical ? "true" : "false", R.WarmFaster ? "true" : "false",
+        I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(J, "  ]\n}\n");
+  std::fclose(J);
+  std::printf("wrote BENCH_scale.json\n");
+
+  return PipelineOk && IdentOk && FasterOk ? 0 : 1;
+}

@@ -4,6 +4,26 @@
 //
 //   analyze_file (<file.pl> | bench:<name>) [options]
 //
+//   --lib MOD.pl   compile MOD.pl (or bench:<name>) as a separate library
+//                  unit and link it with the main input before analysis;
+//                  repeatable (units link in flag order, main input last).
+//                  Duplicate definitions across units are link errors;
+//                  imports left unresolved after linking warn with the
+//                  near-miss diagnostic and fail at runtime like any
+//                  undefined predicate. The linked program is
+//                  observationally identical to compiling the
+//                  concatenated sources.
+//   --export-summaries FILE
+//                  after analysis, serialize the session store's derived
+//                  summaries + replay traces to FILE (module-independent
+//                  bundle; see analyzer/SummaryBundle.h). Implies a
+//                  persistent store.
+//   --import-summaries FILE
+//                  before analysis, load a bundle exported earlier and
+//                  bank its still-valid traces as warm-start hints.
+//                  Stale or unresolvable traces are dropped (counts on
+//                  stderr); answers are byte-identical to a run without
+//                  the import. Implies a persistent store.
 //   --entry SPEC   entry goal, e.g. "main" or "qsort(glist, var, var)"
 //                  (default: main). Repeatable: with several entries the
 //                  queries share one persistent analysis store — later
@@ -60,6 +80,7 @@
 #include "analyzer/Specialize.h"
 #include "baseline/MetaAnalyzer.h"
 #include "compiler/Disasm.h"
+#include "compiler/ModuleLink.h"
 #include "compiler/Specializer.h"
 #include "programs/Benchmarks.h"
 
@@ -78,8 +99,10 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: analyze_file (<file.pl> | bench:<name>) [--entry SPEC]... "
-      "[--entries FILE]\n                    [--depth K] [--threads N] "
+      "usage: analyze_file (<file.pl> | bench:<name>) [--lib MOD.pl]... "
+      "[--entry SPEC]...\n                    [--entries FILE] "
+      "[--export-summaries FILE] [--import-summaries FILE]\n"
+      "                    [--depth K] [--threads N] "
       "[--spec-batch-min N] [--spec-batch-max N]\n                    "
       "[--warm-threads N] [--edit P/A]... [--domain NAME] [--wam] "
       "[--modes]\n                    [--optimize] [--baseline] [--trace] "
@@ -122,6 +145,8 @@ int main(int argc, char **argv) {
     return usage();
 
   std::string Input = argv[1];
+  std::vector<std::string> Libs;
+  std::string ExportPath, ImportPath;
   std::vector<std::string> Entries;
   bool UsedEntriesFile = false;
   int Depth = kDefaultDepthLimit;
@@ -133,7 +158,13 @@ int main(int argc, char **argv) {
   std::vector<PredSig> Edits;
   for (int I = 2; I < argc; ++I) {
     std::string_view Arg = argv[I];
-    if (Arg == "--entry" && I + 1 < argc)
+    if (Arg == "--lib" && I + 1 < argc)
+      Libs.push_back(argv[++I]);
+    else if (Arg == "--export-summaries" && I + 1 < argc)
+      ExportPath = argv[++I];
+    else if (Arg == "--import-summaries" && I + 1 < argc)
+      ImportPath = argv[++I];
+    else if (Arg == "--entry" && I + 1 < argc)
       Entries.push_back(argv[++I]);
     else if (Arg == "--entries" && I + 1 < argc) {
       std::ifstream EF(argv[++I]);
@@ -220,24 +251,31 @@ int main(int argc, char **argv) {
     }
   }
 
-  std::string Source;
-  if (Input.starts_with("bench:")) {
-    const BenchmarkProgram *B = findBenchmark(Input.substr(6));
-    if (!B) {
-      std::fprintf(stderr, "unknown benchmark '%s'\n", Input.c_str() + 6);
-      return 1;
+  // Resolves an input spec (path or bench:<name>) to Prolog source text.
+  auto loadSource = [](const std::string &Spec, std::string &Out) {
+    if (Spec.starts_with("bench:")) {
+      const BenchmarkProgram *B = findBenchmark(Spec.substr(6));
+      if (!B) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", Spec.c_str() + 6);
+        return false;
+      }
+      Out = B->Source;
+      return true;
     }
-    Source = B->Source;
-  } else {
-    std::ifstream In(Input);
+    std::ifstream In(Spec);
     if (!In) {
-      std::fprintf(stderr, "cannot open %s\n", Input.c_str());
-      return 1;
+      std::fprintf(stderr, "cannot open %s\n", Spec.c_str());
+      return false;
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    Source = Buf.str();
-  }
+    Out = Buf.str();
+    return true;
+  };
+
+  std::string Source;
+  if (!loadSource(Input, Source))
+    return 1;
 
   SymbolTable Syms;
   TermArena Arena;
@@ -252,9 +290,49 @@ int main(int argc, char **argv) {
                  Compiled.diag().str().c_str());
     return 1;
   }
-  for (int32_t Pid : Compiled->UndefinedPredicates)
-    std::fprintf(stderr, "warning: %s is called but not defined\n",
-                 Compiled->Module->predicateLabel(Pid).c_str());
+
+  // Separate prelude compilation: each --lib unit compiles on its own
+  // (against the shared symbol table) and links with the main input,
+  // which goes last so library exports resolve its imports. The linked
+  // program is observationally identical to compiling the concatenated
+  // sources, so everything downstream is oblivious to the split.
+  if (!Libs.empty()) {
+    if (UseBaseline) {
+      std::fprintf(stderr, "--lib requires the compiled analyzer "
+                           "(no --baseline)\n");
+      return usage();
+    }
+    std::vector<CompiledProgram> LibUnits;
+    LibUnits.reserve(Libs.size());
+    for (const std::string &LibSpec : Libs) {
+      std::string LibSource;
+      if (!loadSource(LibSpec, LibSource))
+        return 1;
+      Result<CompiledProgram> LC = compileSource(LibSource, Syms, Arena);
+      if (!LC) {
+        std::fprintf(stderr, "%s: %s\n", LibSpec.c_str(),
+                     LC.diag().str().c_str());
+        return 1;
+      }
+      LibUnits.push_back(LC.take());
+    }
+    std::vector<ModuleUnit> Units;
+    for (size_t I = 0; I != LibUnits.size(); ++I)
+      Units.push_back({&LibUnits[I], Libs[I]});
+    Units.push_back({&*Compiled, Input});
+    Result<LinkedProgram> Linked = linkPrograms(Units);
+    if (!Linked) {
+      std::fprintf(stderr, "link error: %s\n", Linked.diag().str().c_str());
+      return 1;
+    }
+    for (const std::string &W : Linked->UnresolvedImports)
+      std::fprintf(stderr, "warning: %s\n", W.c_str());
+    *Compiled = std::move(Linked->Program);
+  } else {
+    for (int32_t Pid : Compiled->UndefinedPredicates)
+      std::fprintf(stderr, "warning: %s is called but not defined\n",
+                   Compiled->Module->predicateLabel(Pid).c_str());
+  }
 
   if (ShowWam)
     std::fputs(disassembleModule(*Compiled->Module).c_str(), stdout);
@@ -290,6 +368,64 @@ int main(int argc, char **argv) {
                          "domain (facts come from call/success patterns)\n");
     return usage();
   }
+  if ((!ExportPath.empty() || !ImportPath.empty()) && (UseBaseline || Trace)) {
+    std::fprintf(stderr,
+                 "--export-summaries / --import-summaries require the "
+                 "compiled worklist analyzer (no --baseline / --trace)\n");
+    return usage();
+  }
+  // Summary bundles live in the persistent store's replay bank.
+  if (!ExportPath.empty() || !ImportPath.empty())
+    Options.Persistent = true;
+
+  // Loads the --import-summaries bundle into the session store before any
+  // analysis runs; its surviving traces warm-start the queries below.
+  auto importInto = [&](AnalysisSession &A) {
+    if (ImportPath.empty())
+      return true;
+    std::ifstream In(ImportPath, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", ImportPath.c_str());
+      return false;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Result<AnalysisStore::ImportStats> IS = A.importSummaries(Buf.str());
+    if (!IS) {
+      std::fprintf(stderr, "import error: %s\n", IS.diag().str().c_str());
+      return false;
+    }
+    std::fprintf(stderr,
+                 "imported %llu/%llu traces from %s (%llu stale, %llu "
+                 "unresolved dropped)\n",
+                 static_cast<unsigned long long>(IS->Banked),
+                 static_cast<unsigned long long>(IS->BundleTraces),
+                 ImportPath.c_str(),
+                 static_cast<unsigned long long>(IS->DroppedStale),
+                 static_cast<unsigned long long>(IS->DroppedUnresolved));
+    return true;
+  };
+
+  // Writes the session store's bundle to --export-summaries after the
+  // analyses above have populated it.
+  auto exportFrom = [&](AnalysisSession &A) {
+    if (ExportPath.empty())
+      return true;
+    Result<std::string> Bytes = A.exportSummaries();
+    if (!Bytes) {
+      std::fprintf(stderr, "export error: %s\n", Bytes.diag().str().c_str());
+      return false;
+    }
+    std::ofstream Out(ExportPath, std::ios::binary);
+    Out.write(Bytes->data(), static_cast<std::streamsize>(Bytes->size()));
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", ExportPath.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "exported %zu summary bytes to %s\n",
+                 Bytes->size(), ExportPath.c_str());
+    return true;
+  };
 
   // Runs the analyzer-directed specializer over the compiled module and
   // prints the rewrite report plus the annotated listing. The input
@@ -319,6 +455,8 @@ int main(int argc, char **argv) {
     }
     Options.Persistent = true;
     AnalysisSession A(*Compiled, Options);
+    if (!importInto(A))
+      return 1;
     Result<std::vector<AnalysisResult>> Batch = A.analyzeBatch(Entries);
     if (!Batch) {
       std::fprintf(stderr, "analysis error: %s\n",
@@ -349,7 +487,7 @@ int main(int argc, char **argv) {
       std::printf("== optimized ==\n");
       printOptimized(Joined);
     }
-    return 0;
+    return exportFrom(A) ? 0 : 1;
   }
   const std::string Entry = Entries.empty() ? "main" : Entries.front();
 
@@ -402,6 +540,8 @@ int main(int argc, char **argv) {
     R = std::move(Out);
   } else {
     AnalysisSession A(*Compiled, Options);
+    if (!importInto(A))
+      return 1;
     R = A.analyze(Entry);
     // Chained incremental re-analyses: each --edit marks its predicate
     // edited and replays the rest of the previous run. The final report
@@ -411,6 +551,8 @@ int main(int argc, char **argv) {
         break;
       R = A.reanalyze({Sig});
     }
+    if (R && !exportFrom(A))
+      return 1;
   }
   if (!R) {
     std::fprintf(stderr, "analysis error: %s\n", R.diag().str().c_str());

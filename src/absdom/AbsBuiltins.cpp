@@ -4,7 +4,55 @@
 
 #include "absdom/AbsOps.h"
 
+#include <limits>
+#include <optional>
+
 using namespace awam;
+
+namespace {
+
+/// Evaluates an arithmetic expression whose value is determined in the
+/// abstract store: integer literals combined with +/- (the only operators
+/// with fixed pre-interned symbols — applyAbsBuiltin has no symbol
+/// table). Returns nullopt when the value is not determined (abstract
+/// leaves, other operators, overflow), which callers treat as "fall back
+/// to the grounding approximation".
+std::optional<int64_t> evalAbsArith(const Store &St, Cell C,
+                                    int Depth = 32) {
+  if (Depth <= 0)
+    return std::nullopt;
+  DerefResult D = St.deref(C);
+  if (D.C.T == Tag::Int)
+    return D.C.V;
+  if (D.C.T != Tag::Str)
+    return std::nullopt;
+  const Cell &F = St.at(D.C.V);
+  Symbol S = static_cast<Symbol>(F.V);
+  int Arity = F.funArity();
+  if ((S != SymbolTable::SymPlus && S != SymbolTable::SymMinus) ||
+      Arity < 1 || Arity > 2)
+    return std::nullopt;
+  std::optional<int64_t> A = evalAbsArith(St, Cell::ref(D.C.V + 1), Depth - 1);
+  if (!A)
+    return std::nullopt;
+  if (Arity == 1) {
+    if (S == SymbolTable::SymPlus)
+      return A;
+    if (*A == std::numeric_limits<int64_t>::min())
+      return std::nullopt;
+    return -*A;
+  }
+  std::optional<int64_t> B = evalAbsArith(St, Cell::ref(D.C.V + 2), Depth - 1);
+  if (!B)
+    return std::nullopt;
+  int64_t R = 0;
+  if (S == SymbolTable::SymPlus ? __builtin_add_overflow(*A, *B, &R)
+                                : __builtin_sub_overflow(*A, *B, &R))
+    return std::nullopt;
+  return R;
+}
+
+} // namespace
 
 bool awam::applyAbsBuiltin(Store &St, BuiltinId Id,
                            std::span<const Cell> Args) {
@@ -13,17 +61,36 @@ bool awam::applyAbsBuiltin(Store &St, BuiltinId Id,
   };
   switch (Id) {
   case BuiltinId::Is:
-    // Success implies: the expression evaluated (it was ground) and the
-    // result is an integer.
+    // A determined expression folds to its value; otherwise success
+    // implies the expression evaluated (it was ground) and the result is
+    // an integer.
+    if (std::optional<int64_t> V = evalAbsArith(St, Args[1]))
+      return absUnify(St, Args[0], Cell::integer(*V));
     return meetFresh(Args[1], AbsKind::Ground) && meetFresh(Args[0], AbsKind::IntT);
   case BuiltinId::ArithLt:
   case BuiltinId::ArithGt:
   case BuiltinId::ArithLe:
   case BuiltinId::ArithGe:
   case BuiltinId::ArithEq:
-  case BuiltinId::ArithNe:
+  case BuiltinId::ArithNe: {
+    // Comparison chains over determined values decide definitely —
+    // guards like 'N1 is N - 1, N1 >= 0' prune dead branches when N is a
+    // literal (specialized call sites, unrolled drivers).
+    std::optional<int64_t> A = evalAbsArith(St, Args[0]);
+    std::optional<int64_t> B = evalAbsArith(St, Args[1]);
+    if (A && B) {
+      switch (Id) {
+      case BuiltinId::ArithLt: return *A < *B;
+      case BuiltinId::ArithGt: return *A > *B;
+      case BuiltinId::ArithLe: return *A <= *B;
+      case BuiltinId::ArithGe: return *A >= *B;
+      case BuiltinId::ArithEq: return *A == *B;
+      default:                 return *A != *B;
+      }
+    }
     return meetFresh(Args[0], AbsKind::Ground) &&
            meetFresh(Args[1], AbsKind::Ground);
+  }
   case BuiltinId::Unify:
     return absUnify(St, Args[0], Args[1]);
   case BuiltinId::NotUnify: {
@@ -113,12 +180,35 @@ bool awam::applyAbsBuiltin(Store &St, BuiltinId Id,
       return absUnify(St, Args[1], Cell::atom(static_cast<Symbol>(F.V))) &&
              absUnify(St, Args[2], Cell::integer(F.funArity()));
     }
-    default:
+    default: {
+      // Construction mode with determined name and arity builds the term
+      // exactly as the concrete machine does: functor(X, f, 2) narrows X
+      // to f(_, _) (fresh variables), arity 0 to the constant itself.
+      DerefResult DN = St.deref(Args[1]);
+      DerefResult DA = St.deref(Args[2]);
+      if (DA.C.T == Tag::Int) {
+        int64_t N = DA.C.V;
+        if (N == 0 && (DN.C.T == Tag::Con || DN.C.T == Tag::Int))
+          return absUnify(St, Args[0], DN.C);
+        if (N > 0 && DN.C.T == Tag::Con) {
+          if (static_cast<Symbol>(DN.C.V) == SymbolTable::SymDot && N == 2) {
+            int64_t Base = St.pushVar();
+            St.pushVar();
+            return absUnify(St, Args[0], Cell::lis(Base));
+          }
+          int64_t FunAddr = St.push(
+              Cell::fun(static_cast<Symbol>(DN.C.V), static_cast<int>(N)));
+          for (int64_t I = 0; I != N; ++I)
+            St.pushVar();
+          return absUnify(St, Args[0], Cell::str(FunAddr));
+        }
+      }
       // Unknown or under-construction: name is a constant, arity an
       // integer, and on success the term is nonvar.
       return meetFresh(Args[0], AbsKind::NV) &&
              meetFresh(Args[1], AbsKind::Const) &&
              meetFresh(Args[2], AbsKind::IntT);
+    }
     }
   }
   case BuiltinId::Arg: {
@@ -127,6 +217,8 @@ bool awam::applyAbsBuiltin(Store &St, BuiltinId Id,
     DerefResult DT = St.deref(Args[1]);
     if (DT.C.T == Tag::Ref)
       return false; // arg/3 on a variable fails/errors concretely
+    if (DT.C.T == Tag::Con || DT.C.T == Tag::Int)
+      return false; // ... as does arg/3 on an atomic term
     DerefResult DN = St.deref(Args[0]);
     if (DN.C.T == Tag::Int && DT.C.T == Tag::Str) {
       const Cell F = St.at(DT.C.V);
@@ -139,12 +231,84 @@ bool awam::applyAbsBuiltin(Store &St, BuiltinId Id,
         return false;
       return absUnify(St, Args[2], Cell::ref(DT.C.V + DN.C.V - 1));
     }
+    if (DN.C.T == Tag::Int && DT.C.T == Tag::Abs &&
+        DT.C.absKind() == AbsKind::List) {
+      // Success implies the list was a cons cell: argument 1 is an
+      // instance of the element type, argument 2 another such list.
+      if (DN.C.V < 1 || DN.C.V > 2)
+        return false;
+      if (DN.C.V == 1)
+        return absUnify(St, Args[2],
+                        Cell::ref(copyAbs(St, Cell::ref(DT.C.V))));
+      int64_t Tail = St.push(Cell::abs(AbsKind::List, DT.C.V));
+      return absUnify(St, Args[2], Cell::ref(Tail));
+    }
     if (isGroundCell(St, DT.C))
       return meetFresh(Args[2], AbsKind::Ground);
     return true;
   }
   case BuiltinId::Univ: {
     DerefResult D = St.deref(Args[0]);
+    // Decompose: a determined term lists its name and argument cells
+    // exactly as the concrete machine does (the built list shares the
+    // term's argument cells, so narrowing flows both ways).
+    if (D.C.T == Tag::Con || D.C.T == Tag::Int || D.C.T == Tag::Lis ||
+        D.C.T == Tag::Str) {
+      std::vector<Cell> Items;
+      if (D.C.T == Tag::Con || D.C.T == Tag::Int) {
+        Items.push_back(D.C);
+      } else if (D.C.T == Tag::Lis) {
+        Items.push_back(Cell::atom(SymbolTable::SymDot));
+        Items.push_back(Cell::ref(D.C.V));
+        Items.push_back(Cell::ref(D.C.V + 1));
+      } else {
+        const Cell F = St.at(D.C.V);
+        Items.push_back(Cell::atom(static_cast<Symbol>(F.V)));
+        for (int I = 1; I <= F.funArity(); ++I)
+          Items.push_back(Cell::ref(D.C.V + I));
+      }
+      Cell ListCell = Cell::atom(SymbolTable::SymNil);
+      for (size_t I = Items.size(); I != 0; --I) {
+        int64_t Base = St.push(Items[I - 1]);
+        St.push(ListCell);
+        ListCell = Cell::lis(Base);
+      }
+      return absUnify(St, Args[1], ListCell);
+    }
+    // Construction: a determined proper list on the right builds the
+    // term, mirroring the concrete machine (the term shares the list's
+    // element cells).
+    {
+      std::vector<Cell> Items;
+      DerefResult L = St.deref(Args[1]);
+      while (L.C.T == Tag::Lis) {
+        Items.push_back(Cell::ref(L.C.V));
+        L = St.deref(Cell::ref(L.C.V + 1));
+      }
+      if (L.C.T == Tag::Con && L.C.V == SymbolTable::SymNil &&
+          !Items.empty()) {
+        DerefResult Head = St.deref(Items[0]);
+        if (Items.size() == 1)
+          return absUnify(St, Args[0], Items[0]);
+        if (Head.C.T == Tag::Con) {
+          if (static_cast<Symbol>(Head.C.V) == SymbolTable::SymDot &&
+              Items.size() == 3) {
+            int64_t Base = St.push(Items[1]);
+            St.push(Items[2]);
+            return absUnify(St, Args[0], Cell::lis(Base));
+          }
+          int64_t FunAddr =
+              St.push(Cell::fun(static_cast<Symbol>(Head.C.V),
+                                static_cast<int>(Items.size()) - 1));
+          for (size_t I = 1; I != Items.size(); ++I)
+            St.push(Items[I]);
+          return absUnify(St, Args[0], Cell::str(FunAddr));
+        }
+        if (Head.C.T == Tag::Int || Head.C.T == Tag::Lis ||
+            Head.C.T == Tag::Str)
+          return false; // the functor of a compound must be an atom
+      }
+    }
     bool G = D.C.T != Tag::Ref && isGroundCell(St, D.C);
     // X0 =.. X1: X0 is nonvar on success, X1 a list (of ground parts when
     // X0 is ground).

@@ -325,76 +325,5 @@ std::string awam::formatReachability(const AnalysisResult &R,
   return Out;
 }
 
-namespace {
-
-/// Plain Levenshtein distance, for the near-miss candidate ranking.
-size_t editDistance(std::string_view A, std::string_view B) {
-  std::vector<size_t> Row(B.size() + 1);
-  for (size_t J = 0; J <= B.size(); ++J)
-    Row[J] = J;
-  for (size_t I = 1; I <= A.size(); ++I) {
-    size_t Diag = Row[0];
-    Row[0] = I;
-    for (size_t J = 1; J <= B.size(); ++J) {
-      size_t Sub = Diag + (A[I - 1] != B[J - 1]);
-      Diag = Row[J];
-      Row[J] = std::min({Row[J - 1] + 1, Row[J] + 1, Sub});
-    }
-  }
-  return Row[B.size()];
-}
-
-} // namespace
-
-std::string awam::undefinedPredicateMessage(
-    std::string_view Role, std::string_view Name, int Arity,
-    const std::vector<std::pair<std::string, int>> &Defined) {
-  std::string Msg = std::string(Role) + " predicate " + std::string(Name) +
-                    "/" + std::to_string(Arity) + " is not defined";
-  // Candidates: the same name at another arity always qualifies; other
-  // names must be within a small edit distance (1 for short names).
-  size_t Thresh = Name.size() >= 5 ? 2 : 1;
-  struct Cand {
-    size_t Dist;
-    int ArityGap;
-    std::string Label;
-  };
-  std::vector<Cand> Cands;
-  for (const auto &[DefName, DefArity] : Defined) {
-    size_t Dist = editDistance(Name, DefName);
-    if (Dist == 0 ? DefArity == Arity : Dist > Thresh)
-      continue;
-    Cands.push_back({Dist, std::abs(DefArity - Arity),
-                     DefName + "/" + std::to_string(DefArity)});
-  }
-  std::sort(Cands.begin(), Cands.end(), [](const Cand &A, const Cand &B) {
-    return std::tie(A.Dist, A.ArityGap, A.Label) <
-           std::tie(B.Dist, B.ArityGap, B.Label);
-  });
-  Cands.erase(std::unique(Cands.begin(), Cands.end(),
-                          [](const Cand &A, const Cand &B) {
-                            return A.Label == B.Label;
-                          }),
-              Cands.end());
-  if (!Cands.empty()) {
-    Msg += "; did you mean ";
-    for (size_t I = 0; I != Cands.size() && I != 3; ++I)
-      Msg += (I ? ", " : "") + Cands[I].Label;
-    Msg += "?";
-  }
-  return Msg;
-}
-
-std::string awam::undefinedPredicateMessage(const CodeModule &M,
-                                            std::string_view Role,
-                                            std::string_view Name,
-                                            int Arity) {
-  std::vector<std::pair<std::string, int>> Defined;
-  for (int32_t Pid = 0; Pid != M.numPredicates(); ++Pid) {
-    const PredicateInfo &P = M.predicate(Pid);
-    if (!P.Clauses.empty())
-      Defined.emplace_back(std::string(M.symbols().name(P.Name)),
-                           static_cast<int>(P.Arity));
-  }
-  return undefinedPredicateMessage(Role, Name, Arity, Defined);
-}
+// undefinedPredicateMessage and its edit-distance ranking moved to
+// compiler/ModuleLink.cpp (the linker shares the near-miss machinery).

@@ -18,6 +18,7 @@
 #define AWAM_ANALYZER_ANALYZER_H
 
 #include "analyzer/ExtensionTable.h"
+#include "compiler/ModuleLink.h"
 #include "compiler/ProgramCompiler.h"
 
 #include <string>
@@ -190,21 +191,8 @@ std::string formatModes(const AnalysisResult &R, const SymbolTable &Syms);
 std::string formatReachability(const AnalysisResult &R,
                                const CompiledProgram &Program);
 
-/// Diagnostic for a \p Role ("entry" / "edited") predicate \p Name/\p Arity
-/// the program does not define: "<role> predicate foo/2 is not defined",
-/// plus near-miss candidates from \p Defined (same name at another arity,
-/// or names within a small edit distance): "; did you mean foo/3, fob/2?".
-/// \p Defined holds the defined predicates as (name, arity) pairs.
-std::string
-undefinedPredicateMessage(std::string_view Role, std::string_view Name,
-                          int Arity,
-                          const std::vector<std::pair<std::string, int>> &Defined);
-
-/// Convenience over a module's predicate table; candidates are the
-/// predicates with at least one clause.
-std::string undefinedPredicateMessage(const CodeModule &M,
-                                      std::string_view Role,
-                                      std::string_view Name, int Arity);
+// undefinedPredicateMessage (the near-miss diagnostic the analyzers and
+// the module linker share) moved to compiler/ModuleLink.h, included above.
 
 } // namespace awam
 

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <unordered_set>
 
 using namespace awam;
 
@@ -267,12 +268,13 @@ bool IncrementalScheduler::simulate(const ETEntry &Root, const RunTrace &T,
     return false;
 
   // The simulation overlays the live table (never written) with the
-  // effects the trace would apply, and drives a clone of the live core
-  // through the schedule transitions, so memo-vs-explore decisions are
-  // answered exactly as the machine's shouldReexplore query would be.
+  // effects the trace would apply, and drives a copy-on-write overlay of
+  // the live core through the schedule transitions, so memo-vs-explore
+  // decisions are answered exactly as the machine's shouldReexplore query
+  // would be — at cost proportional to the trace, not the core.
   const size_t LiveSize = Table.size();
   Out.BaseSize = LiveSize;
-  SchedulerCore Clone = Core;
+  SchedulerCore::Overlay Clone(Core);
   Clone.setCurrentSweep(TargetSweep);
 
   struct SimNew {
@@ -280,19 +282,21 @@ bool IncrementalScheduler::simulate(const ETEntry &Root, const RunTrace &T,
     const Pattern *Call;
   };
   std::vector<SimNew> SimCreated;
+  std::unordered_map<int32_t, std::vector<size_t>> SimByPid;
   std::unordered_map<int32_t, const Pattern *> SuccOverride;
   std::unordered_map<int32_t, uint32_t> VerOverride;
   std::unordered_map<int32_t, char> ExplOverride;
 
   // Record the (version, explored) state of every live entry consulted;
   // speculative revalidation checks these against the live table at the
-  // pop. Touch sets are tiny (a few entries per trace): linear dedup.
+  // pop. A whole-program driver's trace touches thousands of entries, so
+  // dedup through a set rather than a scan of the touch list.
+  std::unordered_set<int32_t> TouchedSet;
   auto Touch = [&](int32_t Idx) {
     if (static_cast<size_t>(Idx) >= LiveSize)
       return;
-    for (const ExtensionTable::BaseTouch &B : Out.Touched)
-      if (B.Idx == Idx)
-        return;
+    if (!TouchedSet.insert(Idx).second)
+      return;
     const ETEntry &E = Table.entryAt(static_cast<size_t>(Idx));
     Out.Touched.push_back({Idx, E.SuccessVersion, E.EverExplored});
   };
@@ -313,9 +317,11 @@ bool IncrementalScheduler::simulate(const ETEntry &Root, const RunTrace &T,
       Touch(E->Idx);
       return E->Idx;
     }
-    for (size_t I = 0; I != SimCreated.size(); ++I)
-      if (SimCreated[I].Pid == Pid && *SimCreated[I].Call == Call)
-        return static_cast<int32_t>(LiveSize + I);
+    auto It = SimByPid.find(Pid);
+    if (It != SimByPid.end())
+      for (size_t I : It->second)
+        if (*SimCreated[I].Call == Call)
+          return static_cast<int32_t>(LiveSize + I);
     return -1;
   };
   auto SimSuccess = [&](int32_t Idx) -> const Pattern * {
@@ -387,6 +393,7 @@ bool IncrementalScheduler::simulate(const ETEntry &Root, const RunTrace &T,
         if (Idx >= 0)
           return false; // execution would find the entry, not create it
         Idx = static_cast<int32_t>(LiveSize + SimCreated.size());
+        SimByPid[Pid].push_back(SimCreated.size());
         SimCreated.push_back({Pid, &Op.Call});
         Out.Ops.push_back({ReplayOp::Create, Pid, Idx, 0, false, &Op.Call});
         Out.HasCreate = true;
@@ -466,8 +473,7 @@ bool IncrementalScheduler::revalidate(const ReplaySpec &S) const {
     }
   if (!AnyQuery)
     return true;
-  SchedulerCore Clone = Core;
-  Clone.statsMut() = {}; // scratch replay; keep real stats unperturbed
+  SchedulerCore::Overlay Clone(Core); // scratch replay; base never written
   for (const ReplayOp &Op : S.Ops) {
     switch (Op.K) {
     case ReplayOp::Begin:

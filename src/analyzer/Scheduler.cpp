@@ -146,6 +146,88 @@ std::vector<int32_t> SchedulerCore::collectReady(uint64_t Sweep,
   return Ready;
 }
 
+SchedulerCore::Overlay::EntryState &SchedulerCore::Overlay::touch(int32_t Idx) {
+  auto [It, Fresh] = Over.try_emplace(Idx);
+  if (Fresh) {
+    bool Known = static_cast<size_t>(Idx) < Base.InQueue.size();
+    It->second.InQueue = Known && Base.InQueue[Idx];
+    It->second.QueuedSweep = Known ? Base.QueuedSweep[Idx] : 0;
+    It->second.LastRunSweep = Known ? Base.LastRunSweep[Idx] : 0;
+    It->second.RunSeq = Known ? Base.RunSeq[Idx] : 0;
+  }
+  return It->second;
+}
+
+uint32_t SchedulerCore::Overlay::runSeq(int32_t Idx) const {
+  auto It = Over.find(Idx);
+  if (It != Over.end())
+    return It->second.RunSeq;
+  return static_cast<size_t>(Idx) < Base.RunSeq.size() ? Base.RunSeq[Idx] : 0;
+}
+
+uint64_t SchedulerCore::Overlay::lastRunSweep(int32_t Idx) const {
+  auto It = Over.find(Idx);
+  if (It != Over.end())
+    return It->second.LastRunSweep;
+  return static_cast<size_t>(Idx) < Base.LastRunSweep.size()
+             ? Base.LastRunSweep[Idx]
+             : 0;
+}
+
+void SchedulerCore::Overlay::enqueue(int32_t Idx, uint64_t Sweep) {
+  EntryState &E = touch(Idx);
+  if (E.InQueue && E.QueuedSweep <= Sweep)
+    return; // already queued at least as early
+  E.InQueue = true;
+  E.QueuedSweep = Sweep;
+}
+
+void SchedulerCore::Overlay::beginActivation(int32_t Idx) {
+  EntryState &E = touch(Idx);
+  E.InQueue = false;
+  E.LastRunSweep = CurSweep;
+  ++E.RunSeq;
+}
+
+void SchedulerCore::Overlay::noteRead(int32_t Reader, int32_t Dep,
+                                      uint32_t VersionSeen) {
+  std::vector<Edge> &Vec = AddedEdges[Dep];
+  if (!Vec.empty() && Vec.back().Reader == Reader &&
+      Vec.back().ReaderRun == runSeq(Reader) &&
+      Vec.back().VersionSeen == VersionSeen)
+    return; // collapse trivially repeated edges, as the real core does
+  Vec.push_back({Reader, runSeq(Reader), VersionSeen});
+}
+
+void SchedulerCore::Overlay::noteChanged(int32_t Idx,
+                                         uint32_t SuccessVersion) {
+  // Re-enqueue stale readers exactly as SchedulerCore::noteChanged would,
+  // over the base's edges plus the ones this simulation recorded. Base
+  // edges are not erased when consumed: a superseded edge stays dead
+  // under the RunSeq check, and a consumed stale edge can only re-issue
+  // an enqueue the keep-earliest rule absorbs (its target sweep never
+  // moves earlier between scans — LastRunSweep is monotone and the
+  // Reader<=Idx term is fixed).
+  auto Scan = [&](const Edge &Ed) {
+    if (runSeq(Ed.Reader) != Ed.ReaderRun)
+      return; // superseded
+    if (Ed.VersionSeen == SuccessVersion)
+      return;
+    uint64_t Target =
+        (lastRunSweep(Ed.Reader) == CurSweep || Ed.Reader <= Idx)
+            ? CurSweep + 1
+            : CurSweep;
+    enqueue(Ed.Reader, Target);
+  };
+  if (static_cast<size_t>(Idx) < Base.Readers.size())
+    for (const Edge &Ed : Base.Readers[Idx])
+      Scan(Ed);
+  auto It = AddedEdges.find(Idx);
+  if (It != AddedEdges.end())
+    for (const Edge &Ed : It->second)
+      Scan(Ed);
+}
+
 WorklistScheduler::Status WorklistScheduler::run(ETEntry &Root,
                                                  int MaxSweeps) {
   assert(Root.Idx >= 0 && "root entry must live in the table");

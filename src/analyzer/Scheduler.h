@@ -66,6 +66,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -184,6 +185,64 @@ private:
 
   uint64_t CurSweep = 1;
   Stats S;
+
+public:
+  /// A sparse copy-on-write view of a core: behaves like a private copy
+  /// for the transitions a replay simulation performs, at cost
+  /// proportional to the entries the simulation touches instead of the
+  /// size of the base core. A true copy is O(edges), and the incremental
+  /// drain simulates once per replayed trace while the base accumulates
+  /// every committed trace's edges — copying made warm replay quadratic
+  /// in program size. The divergences from a true copy are limited to
+  /// bookkeeping a simulation cannot observe: consumed base edges are
+  /// skipped by the same liveness checks that would have retired them
+  /// (re-processing one only re-issues an enqueue that keep-earliest
+  /// already absorbs), duplicate-edge collapse may differ (multiplicity
+  /// never changes an answer), there is no heap (simulations never pop),
+  /// and stats are not kept (both cloning call sites discarded them).
+  /// shouldReexplore — the only output a simulation reads — matches a
+  /// true copy exactly.
+  class Overlay {
+  public:
+    explicit Overlay(const SchedulerCore &Base)
+        : Base(Base), CurSweep(Base.CurSweep) {}
+
+    void setCurrentSweep(uint64_t Sw) { CurSweep = Sw; }
+
+    bool shouldReexplore(int32_t Idx) const {
+      auto It = Over.find(Idx);
+      if (It != Over.end())
+        return It->second.InQueue && It->second.QueuedSweep <= CurSweep;
+      return static_cast<size_t>(Idx) < Base.InQueue.size() &&
+             Base.InQueue[Idx] && Base.QueuedSweep[Idx] <= CurSweep;
+    }
+
+    void beginActivation(int32_t Idx);
+    void noteRead(int32_t Reader, int32_t Dep, uint32_t VersionSeen);
+    void noteChanged(int32_t Idx, uint32_t SuccessVersion);
+
+  private:
+    /// The queue/run state of one touched entry, materialized from the
+    /// base on first write.
+    struct EntryState {
+      bool InQueue;
+      uint64_t QueuedSweep;
+      uint64_t LastRunSweep;
+      uint32_t RunSeq;
+    };
+
+    EntryState &touch(int32_t Idx);
+    uint32_t runSeq(int32_t Idx) const;
+    uint64_t lastRunSweep(int32_t Idx) const;
+    void enqueue(int32_t Idx, uint64_t Sweep);
+
+    const SchedulerCore &Base;
+    uint64_t CurSweep;
+    std::unordered_map<int32_t, EntryState> Over;
+    /// Edges recorded by this simulation, keyed by dependency. Base edge
+    /// lists are never copied or written; noteChanged scans base + added.
+    std::unordered_map<int32_t, std::vector<Edge>> AddedEdges;
+  };
 };
 
 /// Semi-naive worklist driver over the extension table (DriverKind::

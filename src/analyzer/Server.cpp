@@ -4,6 +4,7 @@
 
 #include "analyzer/Domain.h"
 #include "analyzer/Specialize.h"
+#include "compiler/ModuleLink.h"
 #include "compiler/ProgramCompiler.h"
 #include "compiler/Specializer.h"
 
@@ -45,12 +46,19 @@ bool parseSig(std::string_view S, PredSig &Out) {
 
 constexpr const char *kHelpText =
     "commands:\n"
-    "  load (<file.pl> | bench:<name>)\n"
+    "  load MAIN [LIB]...  each operand a <file.pl> or bench:<name>; extra\n"
+    "                      operands compile as separate library units and\n"
+    "                      link with MAIN (identical to loading the\n"
+    "                      concatenated source)\n"
     "  entry SPEC          e.g. entry qsort(glist, var, var)\n"
     "  batch SPEC; SPEC    several entries through the warm store\n"
     "  edit NAME/ARITY     incremental re-analysis after an edit\n"
     "  optimize [SPEC]     specialize the loaded module with the facts of\n"
     "                      SPEC (default: the last successful entry)\n"
+    "  export TAG          serialize the store's summaries + replay traces\n"
+    "                      into the in-memory bundle registry under TAG\n"
+    "  import TAG          warm-start the store from bundle TAG (stale\n"
+    "                      traces drop; answers stay byte-identical)\n"
     "  domain [NAME]       switch abstract domain (or show it)\n"
     "  modes               toggle mode report / pattern table\n"
     "  dump                canonical per-root store projection\n"
@@ -76,7 +84,9 @@ struct AnalysisServer::StoreSlot {
   uint64_t Fp = 0;
   std::string DomainName;
   std::string Label; ///< operand of the first load (reuse messages cite it)
-  std::string Source;
+  /// The (label, source) units of the first load — one for a plain load,
+  /// several for a linked one. Domain switches re-select from these.
+  std::vector<std::pair<std::string, std::string>> Units;
   std::unique_ptr<SymbolTable> Syms;
   std::unique_ptr<TermArena> Arena;
   Result<CompiledProgram> Program = makeError("unloaded");
@@ -279,7 +289,7 @@ void AnalysisServer::process(ClientState &CS, const std::string &Line,
     // Re-select the loaded program under the new domain (its per-domain
     // store stays warm across switches).
     if (CS.Cursor)
-      selectStore(CS, CS.Cursor->Source, CS.Cursor->Label, R);
+      selectStore(CS, CS.Cursor->Units, CS.Cursor->Label, R);
     return;
   }
 
@@ -301,6 +311,14 @@ void AnalysisServer::process(ClientState &CS, const std::string &Line,
     doOptimize(CS, Rest, R);
     return;
   }
+  if (Verb == "export") {
+    doExport(CS, Rest, R);
+    return;
+  }
+  if (Verb == "import") {
+    doImport(CS, Rest, R);
+    return;
+  }
   if (Verb == "dump") {
     doDump(CS, R);
     return;
@@ -315,38 +333,95 @@ void AnalysisServer::process(ClientState &CS, const std::string &Line,
 void AnalysisServer::doLoad(ClientState &CS, const std::string &Rest,
                             Response &R) {
   if (Rest.empty()) {
-    R.Err = "load what? (load <file.pl> | load bench:<name>)\n";
+    R.Err = "load what? (load <file.pl> | load bench:<name>, extra "
+            "operands are library units)\n";
     return;
   }
-  std::string Source;
-  if (Cfg.LoadSource) {
-    std::string Err;
-    if (!Cfg.LoadSource(Rest, Source, Err)) {
-      R.Err = Err;
-      return;
+  // Whitespace-separated operands: the first is the main unit, the rest
+  // are library units. Resolve each to source; the units link in library
+  // order with the main unit last (its imports resolve against the
+  // library exports).
+  std::vector<std::string> Specs;
+  {
+    std::stringstream SS(Rest);
+    std::string Part;
+    while (SS >> Part)
+      Specs.push_back(Part);
+  }
+  auto Resolve = [&](const std::string &Spec, std::string &Source) {
+    if (Cfg.LoadSource) {
+      std::string Err;
+      if (!Cfg.LoadSource(Spec, Source, Err)) {
+        R.Err = Err;
+        return false;
+      }
+      return true;
     }
-  } else {
-    std::ifstream In(Rest);
+    std::ifstream In(Spec);
     if (!In) {
-      R.Err = "cannot open " + Rest + "\n";
-      return;
+      R.Err = "cannot open " + Spec + "\n";
+      return false;
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
     Source = Buf.str();
+    return true;
+  };
+  std::vector<std::pair<std::string, std::string>> Units;
+  Units.reserve(Specs.size());
+  for (size_t I = 1; I != Specs.size(); ++I) {
+    std::string Source;
+    if (!Resolve(Specs[I], Source))
+      return;
+    Units.emplace_back(Specs[I], std::move(Source));
   }
-  selectStore(CS, Source, Rest, R);
+  std::string Main;
+  if (!Resolve(Specs[0], Main))
+    return;
+  Units.emplace_back(Specs[0], std::move(Main));
+  selectStore(CS, Units, Rest, R);
 }
 
-void AnalysisServer::selectStore(ClientState &CS, const std::string &Source,
-                                 const std::string &Label, Response &R) {
+void AnalysisServer::selectStore(
+    ClientState &CS,
+    const std::vector<std::pair<std::string, std::string>> &Units,
+    const std::string &Label, Response &R) {
   // Compile aside, lock-free: the slot key needs the compiled module's
   // fingerprint. A concurrent load of the same module costs a duplicate
   // compile whose result the loser drops — exactly the single-client
   // REPL's reuse semantics, just raced.
   auto Syms = std::make_unique<SymbolTable>();
   auto Arena = std::make_unique<TermArena>();
-  Result<CompiledProgram> P = compileSource(Source, *Syms, *Arena);
+  Result<CompiledProgram> P = makeError("no units");
+  if (Units.size() == 1) {
+    P = compileSource(Units[0].second, *Syms, *Arena);
+  } else if (!Units.empty()) {
+    // Separate compilation + link. The compiled unit objects are
+    // link-time scaffolding only: the linked module copies (and
+    // relocates) everything it needs, so they die with this scope.
+    std::vector<CompiledProgram> Compiled;
+    Compiled.reserve(Units.size());
+    for (const auto &[ULabel, USource] : Units) {
+      Result<CompiledProgram> C = compileSource(USource, *Syms, *Arena);
+      if (!C) {
+        R.Err += "error: " + ULabel + ": " + C.diag().str() + "\n";
+        return;
+      }
+      Compiled.push_back(C.take());
+    }
+    std::vector<ModuleUnit> In;
+    In.reserve(Units.size());
+    for (size_t I = 0; I != Units.size(); ++I)
+      In.push_back({&Compiled[I], Units[I].first});
+    Result<LinkedProgram> L = linkPrograms(In);
+    if (!L) {
+      R.Err += "link error: " + L.diag().str() + "\n";
+      return;
+    }
+    for (const std::string &W : L->UnresolvedImports)
+      R.Err += "warning: " + W + "\n";
+    P = std::move(L->Program);
+  }
   if (!P) {
     R.Err += "error: " + P.diag().str() + "\n";
     return;
@@ -364,7 +439,7 @@ void AnalysisServer::selectStore(ClientState &CS, const std::string &Source,
     S->Fp = Key.first;
     S->DomainName = CS.DomainName;
     S->Label = Label;
-    S->Source = Source;
+    S->Units = Units;
     S->Syms = std::move(Syms);
     S->Arena = std::move(Arena);
     S->Program = std::move(P);
@@ -643,6 +718,76 @@ void AnalysisServer::doOptimize(ClientState &CS, const std::string &Rest,
   maybeEvict(&S);
 }
 
+void AnalysisServer::doExport(ClientState &CS, const std::string &Rest,
+                              Response &R) {
+  if (Rest.empty() || Rest.find(' ') != std::string::npos) {
+    R.Err = "export what? (export TAG)\n";
+    return;
+  }
+  StoreSlot &S = *CS.Cursor;
+  std::string Bytes;
+  {
+    // Exclusive: ensureSession may create the session, and export walks
+    // the store's journals, which a concurrent drain would mutate.
+    std::unique_lock<std::shared_mutex> SL(S.Mu);
+    ensureSession(S);
+    Result<std::string> B = S.Session->exportSummaries();
+    if (!B) {
+      R.Err = "export error: " + B.diag().str() + "\n";
+      return;
+    }
+    Bytes = B.take();
+    meterBytes(S);
+  }
+  S.LastTouch = ++TouchClock;
+  size_t N = Bytes.size();
+  {
+    std::lock_guard<std::mutex> L(BundleMu);
+    Bundles[Rest] = std::move(Bytes);
+  }
+  R.Err = "exported " + std::to_string(N) + " summary bytes to bundle '" +
+          Rest + "'\n";
+}
+
+void AnalysisServer::doImport(ClientState &CS, const std::string &Rest,
+                              Response &R) {
+  if (Rest.empty() || Rest.find(' ') != std::string::npos) {
+    R.Err = "import what? (import TAG; export one first)\n";
+    return;
+  }
+  std::string Bytes;
+  {
+    std::lock_guard<std::mutex> L(BundleMu);
+    auto It = Bundles.find(Rest);
+    if (It == Bundles.end()) {
+      R.Err = "unknown bundle '" + Rest + "' (export TAG first)\n";
+      return;
+    }
+    Bytes = It->second;
+  }
+  StoreSlot &S = *CS.Cursor;
+  Result<AnalysisStore::ImportStats> IS = makeError("unreachable");
+  {
+    std::unique_lock<std::shared_mutex> SL(S.Mu);
+    ensureSession(S);
+    IS = S.Session->importSummaries(Bytes);
+    if (IS)
+      meterBytes(S);
+  }
+  S.LastTouch = ++TouchClock;
+  if (!IS) {
+    R.Err = "import error: " + IS.diag().str() + "\n";
+    return;
+  }
+  // Imported traces are warm-start hints, not answers: the response cache
+  // stays valid (byte-identity is the store's contract either way).
+  R.Err = "imported " + std::to_string(IS->Banked) + "/" +
+          std::to_string(IS->BundleTraces) + " traces from bundle '" + Rest +
+          "' (" + std::to_string(IS->DroppedStale) + " stale, " +
+          std::to_string(IS->DroppedUnresolved) + " unresolved dropped)\n";
+  maybeEvict(&S);
+}
+
 void AnalysisServer::doDump(ClientState &CS, Response &R) {
   StoreSlot &S = *CS.Cursor;
   std::shared_lock<std::shared_mutex> SL(S.Mu);
@@ -665,7 +810,8 @@ void AnalysisServer::doStats(ClientState &CS, Response &R) {
                 "server: requests %llu, queries %llu (response-cache hits "
                 "%llu, coalesced %llu), drains %llu\n"
                 "stores: live %llu, bytes %llu (cap %llu), evictions %llu "
-                "(bytes %llu), rewarms %llu\n",
+                "(bytes %llu), rewarms %llu\n"
+                "bundles: %llu tagged, %llu bytes\n",
                 (unsigned long long)T.Requests, (unsigned long long)T.Queries,
                 (unsigned long long)T.CacheHits,
                 (unsigned long long)T.Coalesced, (unsigned long long)T.Drains,
@@ -674,7 +820,8 @@ void AnalysisServer::doStats(ClientState &CS, Response &R) {
                 (unsigned long long)Cfg.MaxStoreBytes,
                 (unsigned long long)T.Evictions,
                 (unsigned long long)T.EvictedBytes,
-                (unsigned long long)T.Rewarms);
+                (unsigned long long)T.Rewarms, (unsigned long long)T.Bundles,
+                (unsigned long long)T.BundleBytes);
   R.Out += Buf;
   // Per-store lines in identity order (label, domain) — never slot-map or
   // touch order, both of which depend on interleaving.
@@ -797,6 +944,12 @@ AnalysisServer::Stats AnalysisServer::stats() const {
   T.Evictions = NEvictions.load();
   T.EvictedBytes = NEvictedBytes.load();
   T.Rewarms = NRewarms.load();
+  {
+    std::lock_guard<std::mutex> L(BundleMu);
+    T.Bundles = Bundles.size();
+    for (const auto &[Tag, Bytes] : Bundles)
+      T.BundleBytes += Bytes.size();
+  }
   std::lock_guard<std::mutex> L(GM);
   for (const auto &[K, S] : Slots) {
     if (S->Live.load())

@@ -7,9 +7,23 @@
 /// \file
 /// The analysis service behind examples/analyze_server: the line-oriented
 /// verb protocol (load / entry / batch / edit / domain / modes / dump /
-/// stats) as a reusable library, generalized from one synchronous REPL to
-/// N concurrent clients over a shared pool of per-(module fingerprint,
-/// abstract domain) stores on a fixed worker pool.
+/// stats / export / import) as a reusable library, generalized from one
+/// synchronous REPL to N concurrent clients over a shared pool of
+/// per-(module fingerprint, abstract domain) stores on a fixed worker
+/// pool.
+///
+/// `load` is link-aware: `load main.pl lib.pl ...` compiles each operand
+/// as a separate unit and links them into one program (extra operands are
+/// library units, linked ahead of the first, main unit); the slot keys on
+/// the *linked* module's fingerprint,
+/// which equals the monolithic compile's (relocation-invariant clause
+/// hashing), so split and concatenated loads share a store. `export TAG`
+/// serializes the current store's summaries + replay traces into a
+/// server-wide in-memory bundle registry; `import TAG` banks a bundle's
+/// still-valid traces into the current store as warm-start hints —
+/// across modules, domains permitting (the bundle is module-independent;
+/// per-predicate code fingerprints drop stale traces on the way in, and
+/// answers stay byte-identical regardless).
 ///
 /// Determinism is inherited, not re-proven: every store answer is
 /// byte-identical to a scratch analysis of that entry under the current
@@ -66,6 +80,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace awam {
@@ -117,6 +132,8 @@ public:
     uint64_t Rewarms = 0; ///< sessions recreated after an eviction
     uint64_t LiveStores = 0;
     uint64_t LiveBytes = 0;
+    uint64_t Bundles = 0;     ///< tags in the summary-bundle registry
+    uint64_t BundleBytes = 0; ///< total serialized bundle bytes held
   };
 
   explicit AnalysisServer(Config C);
@@ -169,10 +186,20 @@ private:
   void doOptimize(ClientState &CS, const std::string &Rest, Response &R);
   void doDump(ClientState &CS, Response &R);
   void doStats(ClientState &CS, Response &R);
-  /// Compiles \p Source and selects (creating if new) its (fingerprint,
+  /// `export TAG`: serializes the current store's summaries + replay
+  /// traces into the server-wide bundle registry under TAG (overwriting a
+  /// previous TAG).
+  void doExport(ClientState &CS, const std::string &Rest, Response &R);
+  /// `import TAG`: banks the registered bundle's still-valid traces into
+  /// the current store as warm-start hints; stale/unresolved drop counts
+  /// go to the message channel.
+  void doImport(ClientState &CS, const std::string &Rest, Response &R);
+  /// Compiles the (label, source) \p Units — linking when there is more
+  /// than one — and selects (creating if new) the result's (fingerprint,
   /// domain) slot as \p CS's cursor, with the REPL's loaded/reusing
-  /// message on \p R.Err.
-  void selectStore(ClientState &CS, const std::string &Source,
+  /// message (and any unresolved-import warnings) on \p R.Err.
+  void selectStore(ClientState &CS,
+                   const std::vector<std::pair<std::string, std::string>> &Units,
                    const std::string &Label, Response &R);
   /// Recreates an evicted slot's session (caller holds the slot lock).
   void ensureSession(StoreSlot &S);
@@ -204,6 +231,13 @@ private:
 
   /// Monotone touch clock for LRU ordering.
   std::atomic<uint64_t> TouchClock{0};
+
+  /// Summary-bundle registry (tag -> serialized bundle bytes), shared by
+  /// every client and store. Bundles are plain bytes — importing
+  /// re-validates against the target store's module, so a tag exported
+  /// from one module can warm another.
+  mutable std::mutex BundleMu;
+  std::map<std::string, std::string> Bundles;
 
   // Service counters (see Stats).
   std::atomic<uint64_t> NRequests{0}, NQueries{0}, NDrains{0};

@@ -82,6 +82,21 @@ Result<AnalysisStore *> AnalysisSession::ensureStore() {
   return PStore.get();
 }
 
+Result<std::string> AnalysisSession::exportSummaries() {
+  Result<AnalysisStore *> S = ensureStore();
+  if (!S)
+    return S.diag();
+  return (*S)->exportSummaries();
+}
+
+Result<AnalysisStore::ImportStats>
+AnalysisSession::importSummaries(std::string_view Bytes) {
+  Result<AnalysisStore *> S = ensureStore();
+  if (!S)
+    return S.diag();
+  return (*S)->importSummaries(Bytes);
+}
+
 Result<std::vector<AnalysisResult>>
 AnalysisSession::analyzeBatch(const std::vector<std::string> &EntrySpecs) {
   // Validate the whole batch before running anything: parse every spec and

@@ -117,6 +117,19 @@ public:
   Result<std::vector<AnalysisResult>>
   analyzeBatch(const std::vector<std::string> &EntrySpecs);
 
+  /// Serializes the session store's derived summaries + replay traces
+  /// into a module-independent byte bundle (see
+  /// AnalysisStore::exportSummaries). Creates the store if needed; errors
+  /// when the configuration cannot back one (custom backend, naive
+  /// driver, no interning).
+  Result<std::string> exportSummaries();
+
+  /// Imports a serialized bundle into the session store, banking its
+  /// still-valid traces as warm-start hints for subsequent analyses (see
+  /// AnalysisStore::importSummaries — answers stay byte-identical to
+  /// scratch whatever is imported).
+  Result<AnalysisStore::ImportStats> importSummaries(std::string_view Bytes);
+
   /// Adjusts the driver budgets for subsequent analyses (and the store's
   /// future queries — cached store results keep the budgets they were
   /// computed under).

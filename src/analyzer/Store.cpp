@@ -34,6 +34,8 @@ void AnalysisStore::resetState() {
   Core = SchedulerCore();
   EdgeSeen.clear();
   Roots.clear();
+  Imported.reset();
+  St.ImportedTraces = 0;
 }
 
 size_t AnalysisStore::numRoots() const {
@@ -122,6 +124,13 @@ Result<AnalysisResult> AnalysisStore::query(std::string_view Name,
       for (const std::shared_ptr<const RunTrace> &T : RI.Journal->runs())
         if (!T->Error && Pooled.insert(T.get()).second)
           PrevRuns.append(T);
+  // Imported bundle traces join the pool after the store's own: they are
+  // just more pre-verified candidates for the drain to validate, so a
+  // fresh store that imported a library's bundle runs its first query warm.
+  if (Imported)
+    for (const std::shared_ptr<const RunTrace> &T : Imported->runs())
+      if (!T->Error && Pooled.insert(T.get()).second)
+        PrevRuns.append(T);
 
   AnalysisResult R;
   WorklistScheduler::Status Status;
@@ -251,6 +260,8 @@ uint64_t AnalysisStore::bytesUsed() const {
     if (RI.Journal)
       B += RI.Journal->bytesUsed(Seen);
   }
+  if (Imported)
+    B += Imported->bytesUsed(Seen);
   return B;
 }
 
@@ -273,6 +284,149 @@ uint64_t AnalysisStore::compactJournals() {
   ++St.Compactions;
   St.CompactedTraces += Dropped;
   return Dropped;
+}
+
+SummaryBundle AnalysisStore::exportBundle() const {
+  const CodeModule &M = *Program->Module;
+  SummaryBundle B;
+  B.DomainName = std::string(Dom->name());
+  B.DepthLimit = Options.DepthLimit;
+  B.ModuleFingerprint = M.fingerprint();
+
+  // Summary pairs: every table entry some valid root reached.
+  for (const ETEntry &E : Table->entries()) {
+    bool Live = false;
+    for (int32_t R : E.Roots)
+      if (Roots[static_cast<size_t>(R)].Valid) {
+        Live = true;
+        break;
+      }
+    if (!Live)
+      continue;
+    const PredicateInfo &P = M.predicate(E.PredId);
+    SummaryBundle::Summary S;
+    S.Sig = {std::string(M.symbols().name(P.Name)), P.Arity};
+    S.Call = E.Call;
+    S.Success = E.Success;
+    B.Summaries.push_back(std::move(S));
+  }
+
+  // Traces: the same pooled dedup query() replays from (error traces
+  // never validate, so they don't ship). Re-exporting a store that itself
+  // imported includes the surviving foreign traces — bundles compose.
+  std::unordered_set<const RunTrace *> Pooled;
+  std::unordered_map<int32_t, PredSig> Sigs;
+  auto Harvest = [&](const RunJournal &J) {
+    for (const std::shared_ptr<const RunTrace> &T : J.runs())
+      if (!T->Error && Pooled.insert(T.get()).second)
+        B.Traces.push_back(T);
+    for (const auto &[Pid, Sig] : J.sigs())
+      Sigs.emplace(Pid, Sig);
+  };
+  for (const RootInfo &RI : Roots)
+    if (RI.Valid && RI.Journal)
+      Harvest(*RI.Journal);
+  if (Imported)
+    Harvest(*Imported);
+
+  // Deterministic bytes: the sig table sorts by pid. Every referenced
+  // predicate gets a clause-code fingerprint — including undefined ones,
+  // whose "no clauses" hash only matches another module where the call
+  // also fails, which is exactly the staleness check's job.
+  std::vector<int32_t> Pids;
+  Pids.reserve(Sigs.size());
+  for (const auto &[Pid, Sig] : Sigs)
+    Pids.push_back(Pid);
+  std::sort(Pids.begin(), Pids.end());
+  for (int32_t Pid : Pids) {
+    B.TraceSigs.emplace_back(Pid, Sigs[Pid]);
+    B.PredCodes.push_back({Sigs[Pid], M.predicateFingerprint(Pid)});
+  }
+  return B;
+}
+
+std::string AnalysisStore::exportSummaries() const {
+  return exportBundle().serialize(Program->Module->symbols());
+}
+
+Result<AnalysisStore::ImportStats>
+AnalysisStore::importBundle(const SummaryBundle &B) {
+  const CodeModule &M = *Program->Module;
+  if (B.DomainName != Dom->name())
+    return makeError("summary bundle: domain mismatch (bundle '" +
+                     B.DomainName + "', store '" +
+                     std::string(Dom->name()) + "')");
+  if (B.DepthLimit != Options.DepthLimit)
+    return makeError("summary bundle: depth-limit mismatch (bundle " +
+                     std::to_string(B.DepthLimit) + ", store " +
+                     std::to_string(Options.DepthLimit) + ")");
+
+  ImportStats IS;
+  IS.BundleTraces = B.Traces.size();
+  IS.Summaries = B.Summaries.size();
+
+  // Resolve the bundle's pid space against this module and precompute the
+  // staleness verdict per pid. A missing fingerprint entry counts as
+  // stale — the guard must be positive evidence of unchanged code.
+  int32_t MaxPid = -1;
+  for (const auto &[Pid, Sig] : B.TraceSigs)
+    MaxPid = std::max(MaxPid, Pid);
+  std::vector<int32_t> PidMap(static_cast<size_t>(MaxPid + 1), -1);
+  std::vector<char> Stale(static_cast<size_t>(MaxPid + 1), 1);
+  std::map<std::pair<std::string, int32_t>, uint64_t> Fps;
+  for (const SummaryBundle::PredCode &PC : B.PredCodes)
+    Fps[{PC.Sig.Name, PC.Sig.Arity}] = PC.CodeFp;
+  for (const auto &[Pid, Sig] : B.TraceSigs) {
+    Symbol Sym = M.symbols().lookup(Sig.Name);
+    int32_t NewPid = Sym == ~0u ? -1 : M.findPredicate(Sym, Sig.Arity);
+    PidMap[static_cast<size_t>(Pid)] = NewPid;
+    if (NewPid < 0)
+      continue;
+    auto It = Fps.find({Sig.Name, Sig.Arity});
+    Stale[static_cast<size_t>(Pid)] =
+        It == Fps.end() || It->second != M.predicateFingerprint(NewPid);
+  }
+
+  if (!Imported)
+    Imported = std::make_unique<RunJournal>(M);
+  for (const std::shared_ptr<const RunTrace> &T : B.Traces) {
+    if (!T || T->Error)
+      continue;
+    bool Unresolved = false, IsStale = false;
+    auto Check = [&](int32_t Pid) {
+      if (static_cast<size_t>(Pid) >= PidMap.size() ||
+          PidMap[static_cast<size_t>(Pid)] < 0)
+        Unresolved = true;
+      else if (Stale[static_cast<size_t>(Pid)])
+        IsStale = true;
+    };
+    Check(T->Pred);
+    for (const TraceOp &Op : T->Ops)
+      if (Op.Pred >= 0)
+        Check(Op.Pred);
+    if (Unresolved)
+      ++IS.DroppedUnresolved;
+    else if (IsStale)
+      ++IS.DroppedStale;
+    else {
+      Imported->appendRemapped(T, PidMap);
+      ++IS.Banked;
+    }
+  }
+  if (IS.Banked) {
+    ++St.BundlesImported;
+    St.ImportedTraces += IS.Banked;
+  }
+  return IS;
+}
+
+Result<AnalysisStore::ImportStats>
+AnalysisStore::importSummaries(std::string_view Bytes) {
+  Result<SummaryBundle> B =
+      SummaryBundle::deserialize(Bytes, Program->Module->symbols());
+  if (!B)
+    return B.diag();
+  return importBundle(*B);
 }
 
 void AnalysisStore::mergeQuery(std::string_view Name, int32_t Pid,
@@ -512,6 +666,41 @@ void AnalysisStore::invalidate(const CompiledProgram &NewP,
         static_cast<uint32_t>(NR);
     if (NewEdgeSeen.insert(Key).second)
       NewCore.noteRead(NR, ND, 0);
+  }
+
+  // The imported bank is not covered by the cone argument (its traces
+  // belong to no root), so filter it directly: drop every trace that
+  // touches an edited predicate or no longer resolves, remap the rest.
+  if (Imported) {
+    auto NewJ = std::make_unique<RunJournal>(MNew);
+    int32_t MaxPid = -1;
+    for (const auto &[Pid, Sig] : Imported->sigs())
+      MaxPid = std::max(MaxPid, Pid);
+    std::vector<int32_t> PidMap(static_cast<size_t>(MaxPid + 1), -1);
+    for (const auto &[Pid, Sig] : Imported->sigs()) {
+      Symbol Sym = MNew.symbols().lookup(Sig.Name);
+      PidMap[static_cast<size_t>(Pid)] =
+          Sym == ~0u ? -1 : MNew.findPredicate(Sym, Sig.Arity);
+    }
+    auto Live = [&](int32_t Pid) {
+      return static_cast<size_t>(Pid) < PidMap.size() &&
+             PidMap[static_cast<size_t>(Pid)] >= 0 &&
+             !(static_cast<size_t>(Pid) < IsEdited.size() &&
+               IsEdited[static_cast<size_t>(Pid)]);
+    };
+    uint64_t Survivors = 0;
+    for (const std::shared_ptr<const RunTrace> &T : Imported->runs()) {
+      bool Ok = Live(T->Pred);
+      for (const TraceOp &Op : T->Ops)
+        if (Ok && Op.Pred >= 0)
+          Ok = Live(Op.Pred);
+      if (Ok) {
+        NewJ->appendRemapped(T, PidMap);
+        ++Survivors;
+      }
+    }
+    Imported = Survivors ? std::move(NewJ) : nullptr;
+    St.ImportedTraces = Survivors;
   }
 
   St.InvalidatedEntries += OldEntries - NewTable->size();

@@ -61,6 +61,7 @@
 #include "analyzer/Incremental.h"
 #include "analyzer/ParallelScheduler.h"
 #include "analyzer/Scheduler.h"
+#include "analyzer/SummaryBundle.h"
 
 #include <memory>
 #include <string>
@@ -103,6 +104,19 @@ public:
     // Journal-bank hygiene (long-lived stores; see compactJournals).
     uint64_t Compactions = 0;      ///< compaction passes run
     uint64_t CompactedTraces = 0;  ///< trace handles dropped by compaction
+    // Cross-module summary sharing (see exportSummaries/importSummaries).
+    uint64_t BundlesImported = 0;  ///< importSummaries calls that banked
+    uint64_t ImportedTraces = 0;   ///< foreign traces currently banked
+  };
+
+  /// What one importSummaries call did with the bundle's traces.
+  struct ImportStats {
+    uint64_t BundleTraces = 0;     ///< traces the bundle carried
+    uint64_t Banked = 0;           ///< imported into the replay bank
+    uint64_t DroppedUnresolved = 0; ///< referenced a predicate this module
+                                    ///< does not define
+    uint64_t DroppedStale = 0;     ///< clause-code fingerprint mismatch
+    uint64_t Summaries = 0;        ///< summary pairs carried (reporting)
   };
 
   /// \p Program must outlive the store. The store always runs the worklist
@@ -180,6 +194,29 @@ public:
   /// kCompactionFactor (observable through Stats::Compactions).
   uint64_t compactJournals();
 
+  /// Packages the store's derived knowledge — every valid entry's
+  /// call/success summary plus the banked activation traces, with
+  /// per-predicate clause-code fingerprints — into a module-independent
+  /// bundle another store can import (analyzer/SummaryBundle.h). A store
+  /// with no merged roots exports an empty (but valid) bundle.
+  SummaryBundle exportBundle() const;
+
+  /// serialize() of exportBundle() — the byte string services persist and
+  /// ship between stores.
+  std::string exportSummaries() const;
+
+  /// Imports \p B: resolves its traces against this store's module, drops
+  /// the ones that reference missing predicates or predicates whose clause
+  /// code hashes differently (the staleness guard), and banks the rest as
+  /// replay hints the next queries warm-start from. Rejects bundles from a
+  /// different abstract domain or depth limit (their patterns mean
+  /// different things). Banked traces are validated on first use — the
+  /// warm drain stays byte-identical to scratch whatever is imported.
+  Result<ImportStats> importBundle(const SummaryBundle &B);
+
+  /// deserialize + importBundle.
+  Result<ImportStats> importSummaries(std::string_view Bytes);
+
   /// The cached per-root projection of a previously merged query, or
   /// nullptr if that root was never merged (or was invalidated). Non-const
   /// because the entry pattern is normalized through the shared interner.
@@ -233,6 +270,10 @@ private:
   SchedulerCore Core;
   std::unordered_set<uint64_t> EdgeSeen; ///< (dep, reader) pairs present
   std::vector<RootInfo> Roots;
+  /// Foreign traces banked by importBundle, pooled into every query's
+  /// replay source alongside the roots' own journals. Pure warmth: replay
+  /// validation re-derives everything it applies.
+  std::unique_ptr<RunJournal> Imported;
   /// Worker threads for cold parallel queries, created on first use.
   std::unique_ptr<SpecPool> Pool;
   std::string LastName;

@@ -1,0 +1,313 @@
+//===- analyzer/SummaryBundle.cpp - Exported analysis summaries -----------===//
+
+#include "analyzer/SummaryBundle.h"
+
+#include <cstring>
+
+using namespace awam;
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'W', 'S', 'B'};
+
+// --- little-endian primitive writers/readers ----------------------------
+// Fixed-width little-endian keeps the byte format architecture-independent
+// (the CI matrix covers clang and gcc; a bundle written by either loads in
+// the other).
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putI64(std::string &Out, int64_t V) {
+  putU64(Out, static_cast<uint64_t>(V));
+}
+
+void putStr(std::string &Out, std::string_view S) {
+  putU32(Out, static_cast<uint32_t>(S.size()));
+  Out.append(S.data(), S.size());
+}
+
+struct Reader {
+  const char *P;
+  const char *End;
+  bool Bad = false;
+
+  bool need(size_t N) {
+    if (static_cast<size_t>(End - P) < N) {
+      Bad = true;
+      return false;
+    }
+    return true;
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<unsigned char>(P[I]))
+           << (8 * I);
+    P += 4;
+    return V;
+  }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<unsigned char>(P[I]))
+           << (8 * I);
+    P += 8;
+    return V;
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  std::string str() {
+    uint32_t N = u32();
+    if (!need(N))
+      return {};
+    std::string S(P, N);
+    P += N;
+    return S;
+  }
+};
+
+// --- pattern section ----------------------------------------------------
+// Node symbols serialize as name strings (symbol ids are table-local); the
+// reader interns into its own table. Node order and child slices copy
+// verbatim — canonical node numbering is structural (first-visit from the
+// roots), so it is already symbol-table-independent.
+
+void putPattern(std::string &Out, const Pattern &P, const SymbolTable &Syms) {
+  putU32(Out, static_cast<uint32_t>(P.Nodes.size()));
+  for (const PatNode &N : P.Nodes) {
+    Out.push_back(static_cast<char>(N.K));
+    bool HasSym = N.K == PatKind::ConP || N.K == PatKind::StrP;
+    Out.push_back(HasSym ? 1 : 0);
+    if (HasSym)
+      putStr(Out, Syms.name(N.Sym));
+    putI64(Out, N.Num);
+    // ChildBegin ships explicitly: slices need not be laid out in node
+    // order (canonicalization and lub build layouts of their own), so it
+    // cannot be recomputed by accumulation on the way back in.
+    putU32(Out, static_cast<uint32_t>(N.ChildBegin));
+    putU32(Out, static_cast<uint32_t>(N.ChildCount));
+  }
+  putU32(Out, static_cast<uint32_t>(P.ChildStore.size()));
+  for (int32_t C : P.ChildStore)
+    putU32(Out, static_cast<uint32_t>(C));
+  putU32(Out, static_cast<uint32_t>(P.Roots.size()));
+  for (int32_t R : P.Roots)
+    putU32(Out, static_cast<uint32_t>(R));
+}
+
+Pattern getPattern(Reader &R, SymbolTable &Syms) {
+  Pattern P;
+  uint32_t NumNodes = R.u32();
+  // Guard against truncated/corrupt counts before reserving.
+  if (!R.need(NumNodes * 2))
+    return P;
+  P.Nodes.reserve(NumNodes);
+  for (uint32_t I = 0; I != NumNodes && !R.Bad; ++I) {
+    PatNode N;
+    if (!R.need(2))
+      break;
+    N.K = static_cast<PatKind>(*R.P++);
+    bool HasSym = *R.P++ != 0;
+    if (HasSym)
+      N.Sym = Syms.intern(R.str());
+    N.Num = R.i64();
+    N.ChildBegin = static_cast<int32_t>(R.u32());
+    N.ChildCount = static_cast<int32_t>(R.u32());
+    P.Nodes.push_back(N);
+  }
+  uint32_t NumChildren = R.u32();
+  P.ChildStore.reserve(NumChildren);
+  for (uint32_t I = 0; I != NumChildren && !R.Bad; ++I)
+    P.ChildStore.push_back(static_cast<int32_t>(R.u32()));
+  uint32_t NumRoots = R.u32();
+  P.Roots.reserve(NumRoots);
+  for (uint32_t I = 0; I != NumRoots && !R.Bad; ++I)
+    P.Roots.push_back(static_cast<int32_t>(R.u32()));
+  if (R.Bad)
+    return P;
+  // Index hygiene before anything downstream walks the DAG: every child
+  // slice must land inside ChildStore, and every root and child id must
+  // name a node. Corrupt bytes become a load error, never a bad access.
+  auto NodeOk = [&](int32_t Id) {
+    return Id >= 0 && static_cast<uint32_t>(Id) < NumNodes;
+  };
+  for (const PatNode &N : P.Nodes)
+    if (N.ChildCount < 0 || N.ChildBegin < 0 ||
+        static_cast<uint64_t>(N.ChildBegin) +
+                static_cast<uint64_t>(N.ChildCount) >
+            NumChildren) {
+      R.Bad = true;
+      return P;
+    }
+  for (int32_t C : P.ChildStore)
+    if (!NodeOk(C)) {
+      R.Bad = true;
+      return P;
+    }
+  for (int32_t Root : P.Roots)
+    if (!NodeOk(Root)) {
+      R.Bad = true;
+      return P;
+    }
+  return P;
+}
+
+void putOptPattern(std::string &Out, const std::optional<Pattern> &P,
+                   const SymbolTable &Syms) {
+  Out.push_back(P ? 1 : 0);
+  if (P)
+    putPattern(Out, *P, Syms);
+}
+
+std::optional<Pattern> getOptPattern(Reader &R, SymbolTable &Syms) {
+  if (!R.need(1))
+    return std::nullopt;
+  bool Has = *R.P++ != 0;
+  if (!Has)
+    return std::nullopt;
+  return getPattern(R, Syms);
+}
+
+void putSig(std::string &Out, const PredSig &S) {
+  putStr(Out, S.Name);
+  putU32(Out, static_cast<uint32_t>(S.Arity));
+}
+
+PredSig getSig(Reader &R) {
+  PredSig S;
+  S.Name = R.str();
+  S.Arity = static_cast<int32_t>(R.u32());
+  return S;
+}
+
+} // namespace
+
+std::string SummaryBundle::serialize(const SymbolTable &Syms) const {
+  std::string Out;
+  Out.append(kMagic, 4);
+  putU32(Out, kVersion);
+  putStr(Out, DomainName);
+  putU32(Out, static_cast<uint32_t>(DepthLimit));
+  putU64(Out, ModuleFingerprint);
+
+  putU32(Out, static_cast<uint32_t>(Summaries.size()));
+  for (const Summary &S : Summaries) {
+    putSig(Out, S.Sig);
+    putPattern(Out, S.Call, Syms);
+    putOptPattern(Out, S.Success, Syms);
+  }
+
+  putU32(Out, static_cast<uint32_t>(PredCodes.size()));
+  for (const PredCode &P : PredCodes) {
+    putSig(Out, P.Sig);
+    putU64(Out, P.CodeFp);
+  }
+
+  putU32(Out, static_cast<uint32_t>(TraceSigs.size()));
+  for (const auto &[Pid, Sig] : TraceSigs) {
+    putU32(Out, static_cast<uint32_t>(Pid));
+    putSig(Out, Sig);
+  }
+
+  putU32(Out, static_cast<uint32_t>(Traces.size()));
+  for (const std::shared_ptr<const RunTrace> &T : Traces) {
+    putU32(Out, static_cast<uint32_t>(T->Pred));
+    putPattern(Out, T->Call, Syms);
+    putOptPattern(Out, T->PreSuccess, Syms);
+    putU64(Out, T->Steps);
+    putU64(Out, T->Activations);
+    putU32(Out, static_cast<uint32_t>(T->Ops.size()));
+    for (const TraceOp &Op : T->Ops) {
+      Out.push_back(static_cast<char>(Op.K));
+      Out.push_back(Op.Created ? 1 : 0);
+      putU32(Out, static_cast<uint32_t>(Op.Pred));
+      putPattern(Out, Op.Call, Syms);
+      putOptPattern(Out, Op.Summary, Syms);
+    }
+  }
+  return Out;
+}
+
+Result<SummaryBundle> SummaryBundle::deserialize(std::string_view Bytes,
+                                                 SymbolTable &Syms) {
+  Reader R{Bytes.data(), Bytes.data() + Bytes.size()};
+  if (!R.need(4) || std::memcmp(R.P, kMagic, 4) != 0)
+    return makeError("summary bundle: bad magic (not a bundle file)");
+  R.P += 4;
+  uint32_t Version = R.u32();
+  if (Version != kVersion)
+    return makeError("summary bundle: unsupported format version " +
+                     std::to_string(Version) + " (expected " +
+                     std::to_string(kVersion) + ")");
+
+  SummaryBundle B;
+  B.DomainName = R.str();
+  B.DepthLimit = static_cast<int32_t>(R.u32());
+  B.ModuleFingerprint = R.u64();
+
+  uint32_t NumSummaries = R.u32();
+  for (uint32_t I = 0; I != NumSummaries && !R.Bad; ++I) {
+    Summary S;
+    S.Sig = getSig(R);
+    S.Call = getPattern(R, Syms);
+    S.Success = getOptPattern(R, Syms);
+    B.Summaries.push_back(std::move(S));
+  }
+
+  uint32_t NumCodes = R.u32();
+  for (uint32_t I = 0; I != NumCodes && !R.Bad; ++I) {
+    PredCode P;
+    P.Sig = getSig(R);
+    P.CodeFp = R.u64();
+    B.PredCodes.push_back(std::move(P));
+  }
+
+  uint32_t NumSigs = R.u32();
+  for (uint32_t I = 0; I != NumSigs && !R.Bad; ++I) {
+    int32_t Pid = static_cast<int32_t>(R.u32());
+    B.TraceSigs.emplace_back(Pid, getSig(R));
+  }
+
+  uint32_t NumTraces = R.u32();
+  for (uint32_t I = 0; I != NumTraces && !R.Bad; ++I) {
+    auto T = std::make_shared<RunTrace>();
+    T->Pred = static_cast<int32_t>(R.u32());
+    T->Call = getPattern(R, Syms);
+    T->PreSuccess = getOptPattern(R, Syms);
+    T->Steps = R.u64();
+    T->Activations = R.u64();
+    uint32_t NumOps = R.u32();
+    if (!R.need(NumOps))
+      break;
+    T->Ops.reserve(NumOps);
+    for (uint32_t J = 0; J != NumOps && !R.Bad; ++J) {
+      TraceOp Op;
+      if (!R.need(2))
+        break;
+      Op.K = static_cast<TraceOp::Kind>(*R.P++);
+      Op.Created = *R.P++ != 0;
+      Op.Pred = static_cast<int32_t>(R.u32());
+      Op.Call = getPattern(R, Syms);
+      Op.Summary = getOptPattern(R, Syms);
+      T->Ops.push_back(std::move(Op));
+    }
+    B.Traces.push_back(std::move(T));
+  }
+
+  if (R.Bad)
+    return makeError("summary bundle: truncated or corrupt");
+  if (R.P != R.End)
+    return makeError("summary bundle: trailing bytes after payload");
+  return B;
+}

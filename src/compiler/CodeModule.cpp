@@ -81,54 +81,63 @@ uint64_t CodeModule::fingerprint() const {
     std::string_view NB = Syms->name(PB.Name);
     return NA != NB ? NA < NB : PA.Arity < PB.Arity;
   });
-  for (int32_t Id : Order) {
-    const PredicateInfo &P = Preds[Id];
-    fnvStr(H, Syms->name(P.Name));
-    fnvInt(H, P.Arity);
-    fnvInt(H, static_cast<int64_t>(P.Clauses.size()));
-    for (const ClauseInfo &C : P.Clauses) {
-      fnvInt(H, C.NumInstr);
-      for (int32_t K = 0; K != C.NumInstr; ++K) {
-        const Instruction &I = Code[C.Entry + K];
-        fnvInt(H, static_cast<int64_t>(I.Op));
-        // Resolve pool/table indices to their meaning — the same
-        // resolution diffPrograms compares by — so two compilations of
-        // equivalent source fingerprint equal even if pool layouts differ.
-        switch (I.Op) {
-        case Opcode::GetConst:
-        case Opcode::PutConst:
-        case Opcode::UnifyConst: {
-          const ConstOperand &Cst = Consts[I.A];
-          fnvInt(H, Cst.K);
-          if (Cst.K == ConstOperand::AtomK)
-            fnvStr(H, Syms->name(Cst.Name));
-          else
-            fnvInt(H, Cst.Int);
-          fnvInt(H, I.B);
-          break;
-        }
-        case Opcode::GetStructure:
-        case Opcode::PutStructure: {
-          const FunctorArity &F = Functors[I.A];
-          fnvStr(H, Syms->name(F.Name));
-          fnvInt(H, F.Arity);
-          fnvInt(H, I.B);
-          break;
-        }
-        case Opcode::Call:
-        case Opcode::Execute: {
-          const PredicateInfo &Callee = Preds[I.A];
-          fnvStr(H, Syms->name(Callee.Name));
-          fnvInt(H, Callee.Arity);
-          break;
-        }
-        default:
-          fnvInt(H, I.A);
-          fnvInt(H, I.B);
-          break;
-        }
+  for (int32_t Id : Order)
+    hashPredicate(H, Id);
+  return H;
+}
+
+uint64_t CodeModule::predicateFingerprint(int32_t Id) const {
+  uint64_t H = 1469598103934665603ull;
+  hashPredicate(H, Id);
+  return H;
+}
+
+void CodeModule::hashPredicate(uint64_t &H, int32_t Id) const {
+  const PredicateInfo &P = Preds[Id];
+  fnvStr(H, Syms->name(P.Name));
+  fnvInt(H, P.Arity);
+  fnvInt(H, static_cast<int64_t>(P.Clauses.size()));
+  for (const ClauseInfo &C : P.Clauses) {
+    fnvInt(H, C.NumInstr);
+    for (int32_t K = 0; K != C.NumInstr; ++K) {
+      const Instruction &I = Code[C.Entry + K];
+      fnvInt(H, static_cast<int64_t>(I.Op));
+      // Resolve pool/table indices to their meaning — the same
+      // resolution diffPrograms compares by — so two compilations of
+      // equivalent source fingerprint equal even if pool layouts differ.
+      switch (I.Op) {
+      case Opcode::GetConst:
+      case Opcode::PutConst:
+      case Opcode::UnifyConst: {
+        const ConstOperand &Cst = Consts[I.A];
+        fnvInt(H, Cst.K);
+        if (Cst.K == ConstOperand::AtomK)
+          fnvStr(H, Syms->name(Cst.Name));
+        else
+          fnvInt(H, Cst.Int);
+        fnvInt(H, I.B);
+        break;
+      }
+      case Opcode::GetStructure:
+      case Opcode::PutStructure: {
+        const FunctorArity &F = Functors[I.A];
+        fnvStr(H, Syms->name(F.Name));
+        fnvInt(H, F.Arity);
+        fnvInt(H, I.B);
+        break;
+      }
+      case Opcode::Call:
+      case Opcode::Execute: {
+        const PredicateInfo &Callee = Preds[I.A];
+        fnvStr(H, Syms->name(Callee.Name));
+        fnvInt(H, Callee.Arity);
+        break;
+      }
+      default:
+        fnvInt(H, I.A);
+        fnvInt(H, I.B);
+        break;
       }
     }
   }
-  return H;
 }

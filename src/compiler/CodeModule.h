@@ -155,7 +155,18 @@ public:
   /// (analyzer/Store.h, examples/analyze_server.cpp).
   uint64_t fingerprint() const;
 
+  /// The per-predicate slice of fingerprint(): name/arity plus the clause
+  /// code of predicate \p Id alone, with the same pool-index resolution.
+  /// Equal hashes mean the predicate's clauses analyze identically in both
+  /// modules — the staleness guard summary bundles carry per predicate
+  /// (analyzer/SummaryBundle.h), which stays meaningful across a relink
+  /// because the resolution is relocation-invariant.
+  uint64_t predicateFingerprint(int32_t Id) const;
+
 private:
+  /// Folds predicate \p Id (name, arity, resolved clause code) into \p H.
+  void hashPredicate(uint64_t &H, int32_t Id) const;
+
   SymbolTable *Syms;
   std::vector<Instruction> Code;
   std::vector<ConstOperand> Consts;

@@ -1,0 +1,85 @@
+//===- compiler/ModuleLink.h - Cross-module linking -------------*- C++ -*-===//
+//
+// Part of the AWAM project (PLDI 1992 reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Separate compilation for the analysis pipeline: each source module
+/// (a prelude/library, then user code) compiles to its own CodeModule, and
+/// linkPrograms relocates them into one module the machines execute.
+///
+/// The import/export boundary is the predicate table: a predicate with
+/// clauses is an *export*; a Call/Execute of a predicate the module never
+/// defines is an *import*, resolved at link time against the exports of
+/// the other units. Linking is a relocation pass — clause code is copied
+/// with a per-unit address base, code addresses (try/retry/trust chains,
+/// jumps, switch targets) shift by that base, constant/functor pool
+/// operands re-intern into the linked pools, and Call/Execute operands
+/// re-resolve by (name, arity). The shared Halt/Proceed prologue at
+/// addresses 0/1 maps onto the linked module's own prologue, so the
+/// invariants every machine assumes (kHaltAddress, kProceedAddress,
+/// kFailTarget) hold unchanged.
+///
+/// Two diagnostics come out of a link: a *duplicate export* (two units
+/// both define foo/2) is a hard error, and the imports no unit exports are
+/// reported per-import through the same near-miss machinery the analyzers
+/// use for undefined entry predicates ("did you mean ...?"). Unresolved
+/// imports are not errors — an undefined predicate is a legal Prolog
+/// program that simply fails at that call, and both machines already
+/// handle it — but services surface the messages to the user.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AWAM_COMPILER_MODULELINK_H
+#define AWAM_COMPILER_MODULELINK_H
+
+#include "compiler/ProgramCompiler.h"
+
+#include <string>
+#include <vector>
+
+namespace awam {
+
+/// One input to the linker: a compiled unit plus the label diagnostics
+/// name it by (typically the source file name).
+struct ModuleUnit {
+  const CompiledProgram *Program = nullptr;
+  std::string Label;
+};
+
+/// A linked program plus link-time diagnostics.
+struct LinkedProgram {
+  CompiledProgram Program;
+  /// One message per import no unit exports, with near-miss suggestions
+  /// drawn from the linked export table. The corresponding predicate ids
+  /// are in Program.UndefinedPredicates (same order as the messages).
+  std::vector<std::string> UnresolvedImports;
+};
+
+/// Links \p Units (libraries first, user code last, though any order
+/// works) into one program. Every unit must be compiled against the same
+/// SymbolTable; two units exporting the same predicate is an error naming
+/// both units.
+Result<LinkedProgram> linkPrograms(const std::vector<ModuleUnit> &Units);
+
+/// Diagnostic for a \p Role ("entry" / "edited" / "imported") predicate
+/// \p Name/\p Arity the program does not define: "<role> predicate foo/2
+/// is not defined", plus near-miss candidates from \p Defined (same name
+/// at another arity, or names within a small edit distance): "; did you
+/// mean foo/3, fob/2?". \p Defined holds the defined predicates as
+/// (name, arity) pairs.
+std::string
+undefinedPredicateMessage(std::string_view Role, std::string_view Name,
+                          int Arity,
+                          const std::vector<std::pair<std::string, int>> &Defined);
+
+/// Convenience over a module's predicate table; candidates are the
+/// predicates with at least one clause.
+std::string undefinedPredicateMessage(const CodeModule &M,
+                                      std::string_view Role,
+                                      std::string_view Name, int Arity);
+
+} // namespace awam
+
+#endif // AWAM_COMPILER_MODULELINK_H

@@ -296,6 +296,10 @@ bool Machine::runBuiltin(int Id, int Arity) {
       int N = static_cast<int>(DAr.C.V);
       if (N == 0)
         return unify(X[0], DN.C);
+      if (N < 0) {
+        machineError("functor/3: arity must be non-negative");
+        return true;
+      }
       if (DN.C.T != Tag::Con) {
         machineError("functor/3: name must be an atom");
         return true;

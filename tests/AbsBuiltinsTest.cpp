@@ -177,4 +177,94 @@ TEST_F(AbsBuiltinsTest, CompoundTest) {
   EXPECT_TRUE(apply(BuiltinId::CompoundP, {abs(AbsKind::NV)}));
 }
 
+TEST_F(AbsBuiltinsTest, IsFoldsDeterminedExpressions) {
+  Cell R = var();
+  EXPECT_TRUE(apply(BuiltinId::Is, {R, strc("-", {strc("+", {intc(2), intc(3)}), intc(1)})}));
+  EXPECT_EQ(show(R), "4");
+  // A determined value meets an existing binding — or fails the builtin.
+  EXPECT_TRUE(apply(BuiltinId::Is, {intc(7), strc("+", {intc(3), intc(4)})}));
+  EXPECT_FALSE(apply(BuiltinId::Is, {intc(8), strc("+", {intc(3), intc(4)})}));
+}
+
+TEST_F(AbsBuiltinsTest, ComparisonChainsDecideOnDeterminedValues) {
+  EXPECT_TRUE(apply(BuiltinId::ArithLt, {intc(1), intc(2)}));
+  EXPECT_FALSE(apply(BuiltinId::ArithLt, {intc(2), intc(1)}));
+  EXPECT_TRUE(apply(BuiltinId::ArithGe, {strc("+", {intc(1), intc(1)}), intc(2)}));
+  EXPECT_FALSE(apply(BuiltinId::ArithNe, {intc(3), strc("+", {intc(1), intc(2)})}));
+  // Undetermined operands keep the grounding approximation.
+  Cell V = var();
+  EXPECT_TRUE(apply(BuiltinId::ArithEq, {V, intc(0)}));
+  EXPECT_EQ(show(V), "g");
+}
+
+TEST_F(AbsBuiltinsTest, FunctorConstructsWithDeterminedNameAndArity) {
+  Cell T = var();
+  EXPECT_TRUE(apply(BuiltinId::Functor, {T, atomc("f"), intc(2)}));
+  EXPECT_EQ(show(T).substr(0, 2), "f(");
+  // Arity 0 binds the constant itself.
+  Cell T0 = var();
+  EXPECT_TRUE(apply(BuiltinId::Functor, {T0, intc(9), intc(0)}));
+  EXPECT_EQ(show(T0), "9");
+  // Construction against a ground abstraction grounds the fresh args.
+  Cell TG = abs(AbsKind::Ground);
+  EXPECT_TRUE(apply(BuiltinId::Functor, {TG, atomc("g"), intc(1)}));
+  EXPECT_EQ(show(TG), "g(g)");
+  // An atom abstraction cannot be a compound.
+  EXPECT_FALSE(apply(BuiltinId::Functor,
+                     {abs(AbsKind::AtomT), atomc("f"), intc(1)}));
+}
+
+TEST_F(AbsBuiltinsTest, ArgFailsOnAtomicAndReadsAbstractLists) {
+  EXPECT_FALSE(apply(BuiltinId::Arg, {intc(1), atomc("a"), var()}));
+  EXPECT_FALSE(apply(BuiltinId::Arg, {intc(1), intc(3), var()}));
+  // arg/3 on an alpha-list: argument 1 is an element instance, argument 2
+  // another such list, anything else fails.
+  Cell GL = Cell::ref(St.push(
+      Cell::abs(AbsKind::List, St.push(Cell::abs(AbsKind::Ground)))));
+  Cell Head = var();
+  EXPECT_TRUE(apply(BuiltinId::Arg, {intc(1), GL, Head}));
+  EXPECT_EQ(show(Head), "g");
+  Cell Tail = var();
+  EXPECT_TRUE(apply(BuiltinId::Arg, {intc(2), GL, Tail}));
+  EXPECT_EQ(show(Tail), "g_list");
+  EXPECT_FALSE(apply(BuiltinId::Arg, {intc(3), GL, var()}));
+}
+
+TEST_F(AbsBuiltinsTest, UnivDecomposesDeterminedTerms) {
+  Cell V = var();
+  Cell T = strc("f", {atomc("a"), V});
+  Cell L = var();
+  EXPECT_TRUE(apply(BuiltinId::Univ, {T, L}));
+  EXPECT_EQ(show(L).substr(0, 5), "[f,a,");
+  // The list shares the term's cells: narrowing an element narrows the
+  // term.
+  EXPECT_TRUE(apply(BuiltinId::Unify, {V, intc(1)}));
+  EXPECT_EQ(show(T), "f(a,1)");
+  Cell LA = var();
+  EXPECT_TRUE(apply(BuiltinId::Univ, {atomc("k"), LA}));
+  EXPECT_EQ(show(LA), "[k]");
+}
+
+TEST_F(AbsBuiltinsTest, UnivConstructsFromDeterminedLists) {
+  // X =.. [f, a, Y] narrows X to f(a, Y).
+  Cell Y = var();
+  Cell X = var();
+  Cell Nil = atomc("[]");
+  auto cons = [&](Cell H, Cell T) {
+    int64_t Base = St.push(H);
+    St.push(T);
+    return Cell::ref(St.push(Cell::lis(Base)));
+  };
+  Cell L = cons(atomc("f"), cons(atomc("a"), cons(Y, Nil)));
+  EXPECT_TRUE(apply(BuiltinId::Univ, {X, L}));
+  EXPECT_EQ(show(X).substr(0, 4), "f(a,");
+  // X =.. [a] binds the constant.
+  Cell X1 = var();
+  EXPECT_TRUE(apply(BuiltinId::Univ, {X1, cons(atomc("a"), Nil)}));
+  EXPECT_EQ(show(X1), "a");
+  // A non-atom functor for a compound is a definite error: no successes.
+  EXPECT_FALSE(apply(BuiltinId::Univ,
+                     {var(), cons(intc(1), cons(intc(2), Nil))}));
+}
+
 } // namespace

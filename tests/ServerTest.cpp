@@ -231,6 +231,98 @@ TEST(ServerTest, EvictedStoreRewarmsByteIdentically) {
   EXPECT_EQ(First.Out, E.Out);
 }
 
+TEST(ServerTest, ExportImportWarmStartsAnEvictedStoreByteIdentically) {
+  // Round trip through the bundle registry: answer, export, lose the
+  // store to the byte cap, re-warm it cold, import, re-answer. The
+  // imported traces warm-start the drain; the bytes must not move.
+  AnalysisServer S(baseConfig(1, /*Cap=*/1));
+  int C = S.openClient();
+  S.execute(C, "load bench:qsort");
+  AnalysisServer::Response First = S.execute(C, kQsortEntry);
+  ASSERT_TRUE(First.Err.empty()) << First.Err;
+
+  AnalysisServer::Response Ex = S.execute(C, "export warm");
+  EXPECT_NE(Ex.Err.find("exported "), std::string::npos) << Ex.Err;
+  EXPECT_NE(Ex.Err.find("bundle 'warm'"), std::string::npos) << Ex.Err;
+  AnalysisServer::Stats T = S.stats();
+  EXPECT_EQ(T.Bundles, 1u);
+  EXPECT_GT(T.BundleBytes, 0u);
+
+  // Touching nreverse pushes the idle qsort store over the 1-byte cap.
+  S.execute(C, "load bench:nreverse");
+  S.execute(C, "entry nreverse(glist, var)");
+  ASSERT_GE(S.stats().Evictions, 1u);
+
+  S.execute(C, "load bench:qsort");
+  AnalysisServer::Response Im = S.execute(C, "import warm");
+  EXPECT_EQ(Im.Err.rfind("imported ", 0), 0u) << Im.Err;
+  EXPECT_EQ(Im.Err.rfind("imported 0/", 0), std::string::npos)
+      << "nothing banked from a bundle of the same module: " << Im.Err;
+  EXPECT_NE(Im.Err.find("(0 stale, 0 unresolved dropped)"),
+            std::string::npos)
+      << Im.Err;
+
+  AnalysisServer::Response Again = S.execute(C, kQsortEntry);
+  EXPECT_EQ(First.Out, Again.Out);
+}
+
+TEST(ServerTest, ImportRejectsUnknownTagsAndForeignDomains) {
+  AnalysisServer S(baseConfig(1));
+  int C = S.openClient();
+  S.execute(C, "load bench:qsort");
+  S.execute(C, kQsortEntry);
+
+  AnalysisServer::Response Missing = S.execute(C, "import nosuch");
+  EXPECT_NE(Missing.Err.find("unknown bundle 'nosuch'"), std::string::npos)
+      << Missing.Err;
+
+  ASSERT_TRUE(S.execute(C, "export modesbundle").Out.empty());
+  // Same module, pos domain: a different store, and a bundle recorded
+  // under "modes" must be refused with the store-level mismatch message.
+  S.execute(C, "domain pos");
+  AnalysisServer::Response Im = S.execute(C, "import modesbundle");
+  EXPECT_NE(Im.Err.find("domain mismatch"), std::string::npos) << Im.Err;
+}
+
+TEST(ServerTest, LinkedLoadSharesTheMonolithicStore) {
+  // `load main lib` compiles the units separately and links them; the
+  // linked fingerprint equals the monolithic compile's, so the slot (and
+  // its warm response cache) is shared with `load mono`.
+  static const char *kLib = "app([], Ys, Ys).\n"
+                            "app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).\n";
+  static const char *kUser = "dbl(Xs, Ys) :- app(Xs, Xs, Ys).\n";
+  AnalysisServer::Config Cfg = baseConfig(1);
+  Cfg.LoadSource = [](const std::string &Spec, std::string &Source,
+                      std::string &Err) {
+    if (Spec == "src:lib")
+      Source = kLib;
+    else if (Spec == "src:user")
+      Source = kUser;
+    else if (Spec == "src:mono")
+      Source = std::string(kLib) + kUser;
+    else {
+      Err = "unknown source '" + Spec + "'\n";
+      return false;
+    }
+    return true;
+  };
+  AnalysisServer S(Cfg);
+  int C = S.openClient();
+  AnalysisServer::Response Linked = S.execute(C, "load src:user src:lib");
+  EXPECT_NE(Linked.Err.find("loaded src:user src:lib"), std::string::npos)
+      << Linked.Err;
+  AnalysisServer::Response First = S.execute(C, "entry dbl(glist, var)");
+  ASSERT_TRUE(First.Err.empty()) << First.Err;
+
+  AnalysisServer::Response Mono = S.execute(C, "load src:mono");
+  EXPECT_NE(Mono.Err.find("reusing warm store"), std::string::npos)
+      << "linked and monolithic fingerprints diverged: " << Mono.Err;
+  AnalysisServer::Response Again = S.execute(C, "entry dbl(glist, var)");
+  EXPECT_EQ(First.Out, Again.Out);
+  EXPECT_EQ(S.stats().CacheHits, 1u)
+      << "the shared slot's response cache missed";
+}
+
 TEST(ServerTest, JournalCompactionPreservesAnswers) {
   const BenchmarkProgram *B = findBenchmark("qsort");
   ASSERT_NE(B, nullptr);

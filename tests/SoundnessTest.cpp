@@ -67,6 +67,20 @@ const Scenario Scenarios[] = {
      "classify(f(_), str).",
      "classify(hello, K)", "classify(any, var)", 5},
     {"alias", "alias(X, X).", "alias(A, B)", "alias(var, var)", 2},
+    // Deepened builtin transfers, pinned against the concrete machine:
+    // every concrete solution must stay below the sharpened summaries.
+    {"univ_decompose", "explode(T, L) :- T =.. L.",
+     "explode(f(1, g(a)), L)", "explode(g, var)", 2},
+    {"univ_construct", "implode(L, T) :- T =.. L.",
+     "implode([f, 1, X], T)", "implode(any, var)", 2},
+    {"functor_construct", "mk(N, A, T) :- functor(T, N, A).",
+     "mk(foo, 2, T)", "mk(atom, int, var)", 2},
+    {"arg_walk", "second(T, X) :- arg(2, T, X).",
+     "second(f(a, b), X)", "second(g, var)", 2},
+    {"guard_chain",
+     "step(X, Y) :- X > 0, Y is X - 1.\n"
+     "chain(R) :- step(2, A), step(A, R).",
+     "chain(R)", "chain(var)", 2},
 };
 
 class SoundnessTest : public ::testing::TestWithParam<Scenario> {};
